@@ -1,0 +1,83 @@
+// Command calibrate runs the timer-instrumented version of a benchmark on
+// a reference configuration and writes the measured task-time parameters
+// (the w_i of the paper) as a table consumable by `mpisim -tasktimes`.
+//
+// Usage:
+//
+//	calibrate -app tomcatv -ranks 16 -inputs N=2048,ITER=10 -o tomcatv.w
+//	mpisim -app tomcatv -mode am -ranks 64 -tasktimes tomcatv.w -inputs N=2048,ITER=100
+//
+// This is the left half of the paper's Figure 2: "MPI code with timers ->
+// parallel system -> measured task times".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpisim/internal/apps"
+	"mpisim/internal/cliutil"
+	"mpisim/internal/core"
+	"mpisim/internal/machine"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName   = flag.String("app", "tomcatv", "application: "+strings.Join(apps.Names(), ", "))
+		ranks     = flag.Int("ranks", 16, "reference configuration rank count")
+		inputsStr = flag.String("inputs", "", "program inputs as key=value,...")
+		machName  = flag.String("machine", "ibmsp", "target machine: ibmsp, origin2000")
+		outFile   = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	spec, ok := apps.Registry()[*appName]
+	if !ok {
+		return fmt.Errorf("unknown app %q (have %s)", *appName, strings.Join(apps.Names(), ", "))
+	}
+	m, err := machine.ByName(*machName)
+	if err != nil {
+		return err
+	}
+	inputs := spec.Default(*ranks)
+	over, err := cliutil.ParseInputs(*inputsStr)
+	if err != nil {
+		return err
+	}
+	inputs = cliutil.MergeInputs(inputs, over)
+
+	r, err := core.NewRunner(spec.Build(), m)
+	if err != nil {
+		return err
+	}
+	tt, err := r.Calibrate(*ranks, inputs)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	fmt.Fprintf(out, "# w_i for %s on %s, calibrated at %d ranks, inputs %v\n",
+		*appName, m.Name, *ranks, inputs)
+	if err := cliutil.WriteTaskTimes(out, tt); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "calibrated %d task-time parameters\n", len(tt))
+	return nil
+}

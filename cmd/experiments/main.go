@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// (3-16) and Table 1, as text tables with the same rows/series the paper
+// plots.
+//
+// Usage:
+//
+//	experiments                 # all experiments, scaled configurations
+//	experiments -id fig10       # a single experiment
+//	experiments -full           # paper-scale configurations (slow)
+//	experiments -outdir results # one file per experiment
+//
+// Scaled configurations preserve every qualitative shape; EXPERIMENTS.md
+// records the paper-versus-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mpisim/internal/tables"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id      = flag.String("id", "", "run a single experiment (fig3..fig16, table1); default all")
+		full    = flag.Bool("full", false, "use paper-scale configurations (slow)")
+		hosts   = flag.Int("hosts", 1, "host processors for the simulation engine")
+		rankCap = flag.Int("rankcap", 0, "drop configurations above this many target ranks")
+		outdir  = flag.String("outdir", "", "also write one file per experiment into this directory")
+	)
+	flag.Parse()
+
+	cfg := tables.Config{Full: *full, HostWorkers: *hosts, RankCap: *rankCap}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	runOne := func(expID string, gen func(tables.Config) (tables.Result, error)) error {
+		start := time.Now()
+		res, err := gen(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", expID, err)
+		}
+		body := res.Render()
+		fmt.Println(body)
+		fmt.Printf("(%s completed in %v)\n\n", expID, time.Since(start).Round(time.Millisecond))
+		if *outdir != "" {
+			path := filepath.Join(*outdir, expID+".txt")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if *id != "" {
+		return runOne(*id, func(c tables.Config) (tables.Result, error) {
+			return tables.ByID(*id, c)
+		})
+	}
+	for _, e := range tables.Experiments() {
+		if err := runOne(e.ID, e.Run); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+// Command mpisim runs one of the paper's benchmark applications under the
+// simulator in any evaluation mode and prints the predicted performance.
+//
+// Usage:
+//
+//	mpisim -app tomcatv -mode am -ranks 64 -inputs N=2048,ITER=100
+//	mpisim -app sweep3d -mode measured -ranks 16
+//	mpisim -app nassp -mode de -ranks 9 -inputs NX=64,STEPS=10,Q=3
+//
+// Modes: measured (detailed ground truth), de (MPI-SIM-DE, direct
+// execution), am (MPI-SIM-AM, compiler-simplified program with delay
+// calls). AM calibrates w_i automatically at -cal-ranks unless a table is
+// supplied with -tasktimes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpisim/internal/apps"
+	"mpisim/internal/cliutil"
+	"mpisim/internal/core"
+	"mpisim/internal/dtg"
+	"mpisim/internal/ir"
+	"mpisim/internal/machine"
+	"mpisim/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mpisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName   = flag.String("app", "tomcatv", "application: "+strings.Join(apps.Names(), ", "))
+		file      = flag.String("file", "", "load a program from a pseudocode file instead of -app (see stgdump output for the format)")
+		modeName  = flag.String("mode", "am", "evaluation mode: measured, de, am")
+		ranks     = flag.Int("ranks", 4, "number of target processors")
+		inputsStr = flag.String("inputs", "", "program inputs as key=value,... (defaults per app)")
+		machName  = flag.String("machine", "ibmsp", "target machine: ibmsp, origin2000")
+		hosts     = flag.Int("hosts", 1, "host processors for the simulation engine")
+		calRanks  = flag.Int("cal-ranks", 0, "calibration rank count for AM (default: min(ranks,16))")
+		ttFile    = flag.String("tasktimes", "", "read w_i table from file instead of calibrating")
+		memLimit  = flag.Int64("memlimit", 0, "simulated memory limit in bytes for measured/DE runs")
+		verbose   = flag.Bool("v", false, "print per-rank statistics")
+		matrix    = flag.Bool("matrix", false, "print the rank-to-rank communication matrix")
+		timeline  = flag.Bool("timeline", false, "print a per-rank activity timeline of the predicted run")
+		dtgFlag   = flag.Bool("dtg", false, "print dynamic-task-graph statistics (critical path, parallelism)")
+	)
+	flag.Parse()
+
+	var prog *ir.Program
+	var defaults func(int) map[string]float64
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		prog, err = ir.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		*appName = prog.Name
+		defaults = func(int) map[string]float64 { return map[string]float64{} }
+	} else {
+		spec, ok := apps.Registry()[*appName]
+		if !ok {
+			return fmt.Errorf("unknown app %q (have %s)", *appName, strings.Join(apps.Names(), ", "))
+		}
+		prog = spec.Build()
+		defaults = spec.Default
+	}
+	m, err := machine.ByName(*machName)
+	if err != nil {
+		return err
+	}
+	inputs := defaults(*ranks)
+	over, err := cliutil.ParseInputs(*inputsStr)
+	if err != nil {
+		return err
+	}
+	inputs = cliutil.MergeInputs(inputs, over)
+
+	var mode core.Mode
+	switch *modeName {
+	case "measured":
+		mode = core.Measured
+	case "de":
+		mode = core.DirectExec
+	case "am":
+		mode = core.Abstract
+	default:
+		return fmt.Errorf("unknown mode %q (want measured, de, am)", *modeName)
+	}
+
+	r, err := core.NewRunner(prog, m)
+	if err != nil {
+		return err
+	}
+	r.HostWorkers = *hosts
+	r.RealParallel = *hosts > 1
+	r.MemoryLimit = *memLimit
+	r.CollectMatrix = *matrix
+	r.CollectTrace = *timeline || *dtgFlag
+
+	if mode == core.Abstract {
+		if *ttFile != "" {
+			f, err := os.Open(*ttFile)
+			if err != nil {
+				return err
+			}
+			tt, err := cliutil.ReadTaskTimes(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			r.TaskTimes = tt
+		} else {
+			cr := *calRanks
+			if cr <= 0 {
+				cr = *ranks
+				if cr > 16 {
+					cr = 16
+				}
+			}
+			calInputs := cliutil.MergeInputs(defaults(cr), over)
+			fmt.Printf("calibrating w_i on %d ranks...\n", cr)
+			tt, err := r.Calibrate(cr, calInputs)
+			if err != nil {
+				return err
+			}
+			cliutil.WriteTaskTimes(os.Stdout, tt)
+		}
+	}
+
+	rep, err := r.Run(mode, *ranks, inputs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("app=%s mode=%s machine=%s targets=%d inputs=%v\n",
+		*appName, mode, m.Name, *ranks, inputs)
+	fmt.Printf("predicted execution time: %s\n", cliutil.FormatSeconds(rep.Time))
+	fmt.Printf("target memory: total %s, max rank %s\n",
+		cliutil.FormatBytes(rep.TotalPeakBytes), cliutil.FormatBytes(rep.MaxRankPeakBytes))
+	fmt.Printf("kernel: %d events, %d messages delivered, %d windows\n",
+		rep.Kernel.Events, rep.Kernel.Delivered, rep.Kernel.Windows)
+	if *verbose {
+		for i, rs := range rep.Ranks {
+			fmt.Printf("  rank %4d: compute %-12s delay %-12s blocked %-12s sent %d msgs / %s\n",
+				i, cliutil.FormatSeconds(float64(rs.ComputeTime)),
+				cliutil.FormatSeconds(float64(rs.DelayTime)),
+				cliutil.FormatSeconds(float64(rs.BlockedTime)),
+				rs.MsgsSent, cliutil.FormatBytes(rs.BytesSent))
+		}
+	}
+	if *timeline {
+		tl, err := trace.Timeline(rep, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tl)
+		u, err := trace.Utilize(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Println("utilization:")
+		fmt.Print(u.Summary())
+	}
+	if *dtgFlag {
+		g, err := dtg.Build(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(g.Summarize())
+	}
+	if *matrix && rep.MsgMatrix != nil {
+		fmt.Println("communication matrix (messages sent, row = source):")
+		for s, row := range rep.MsgMatrix {
+			fmt.Printf("  %4d:", s)
+			for _, c := range row {
+				fmt.Printf(" %6d", c)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package mpisim_test
+
+import (
+	"fmt"
+	"log"
+
+	"mpisim"
+)
+
+// The complete Figure-2 workflow: compile, calibrate on a reference
+// configuration, and validate the optimized simulator's prediction.
+func ExampleNewRunner() {
+	runner, err := mpisim.NewRunner(mpisim.Tomcatv(), mpisim.IBMSP())
+	if err != nil {
+		log.Fatal(err)
+	}
+	inputs := mpisim.TomcatvInputs(96, 2)
+	v, err := runner.Validate(8, inputs, 4, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("within paper envelope:", v.AMError < 0.17)
+	fmt.Println("AM uses less memory:", v.AMRep.TotalPeakBytes < v.DERep.TotalPeakBytes/10)
+	// Output:
+	// within paper envelope: true
+	// AM uses less memory: true
+}
+
+// Compiling alone exposes the dhpf-side artifacts: condensed tasks and
+// the simplified program with its dummy communication buffer.
+func ExampleCompile() {
+	res, err := mpisim.Compile(mpisim.Tomcatv())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("condensed tasks:", len(res.TaskVars))
+	fmt.Println("dummy buffer:", res.Simplified.Array("dummy_buf") != nil)
+	fmt.Println("big arrays kept:", res.Slice.KeptArrays["X"])
+	// Output:
+	// condensed tasks: 3
+	// dummy buffer: true
+	// big arrays kept: false
+}
+
+// Estimating memory without running reproduces how the paper reasons
+// about the direct-execution memory wall.
+func ExampleMemoryEstimate() {
+	inputs := mpisim.TomcatvInputs(2048, 100)
+	de, err := mpisim.MemoryEstimate(mpisim.Tomcatv(), 64, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mpisim.Compile(mpisim.Tomcatv())
+	if err != nil {
+		log.Fatal(err)
+	}
+	am, err := mpisim.MemoryEstimate(res.Simplified, 64, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduction: %dx\n", de/am)
+	// Output:
+	// reduction: 204x
+}
+
+// The dynamic task graph of a traced run supports critical-path and
+// what-if analyses.
+func ExampleBuildDynGraph() {
+	runner, err := mpisim.NewRunner(mpisim.Sweep3D(), mpisim.IBMSP())
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner.CollectTrace = true
+	rep, err := runner.Run(mpisim.Measured, 4, mpisim.Sweep3DInputs(4, 4, 16, 8, 2, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := mpisim.BuildDynGraph(rep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := g.Summarize()
+	fmt.Println("critical path <= simulated:", s.CriticalPath <= s.SimTime)
+	fmt.Println("zero-latency is faster:", s.ZeroLatency < s.CriticalPath)
+	// Output:
+	// critical path <= simulated: true
+	// zero-latency is faster: true
+}
+
+// ProcGrid factors rank counts into near-square process grids.
+func ExampleProcGrid() {
+	for _, ranks := range []int{4, 6, 12, 64} {
+		x, y := mpisim.ProcGrid(ranks)
+		fmt.Printf("%d -> %dx%d\n", ranks, x, y)
+	}
+	// Output:
+	// 4 -> 2x2
+	// 6 -> 2x3
+	// 12 -> 3x4
+	// 64 -> 8x8
+}
+
+// Machine presets are resolved by name for command-line use.
+func ExampleMachineByName() {
+	m, err := mpisim.MachineByName("origin2000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Name)
+	// Output:
+	// SGI-Origin-2000
+}

@@ -1,0 +1,82 @@
+// Machine study: the point of a calibrated performance-prediction tool
+// is asking "what if we ran this on a different machine?" — the paper's
+// motivation of "analyzing alternative architectures for such systems"
+// (§1). This example predicts NAS SP on the paper's IBM SP, on the SGI
+// Origin 2000, and on a commodity Beowulf cluster, then renders the
+// predicted execution timeline for the slowest machine to show *where*
+// the time goes.
+//
+//	go run ./examples/machine-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpisim"
+)
+
+func main() {
+	machines := []*mpisim.Machine{mpisim.IBMSP(), mpisim.Origin2000(), mpisim.Cluster()}
+	const ranks = 16
+	inputs := mpisim.NASSPInputs(48, 2, 4)
+
+	fmt.Println("NAS SP (48^3, 2 ADI steps) on 16 processors, predicted by MPI-SIM-AM:")
+	fmt.Printf("%-18s  %12s  %10s  %10s\n", "machine", "predicted", "compute%", "blocked%")
+	var worst *mpisim.Machine
+	worstTime := 0.0
+	for _, m := range machines {
+		runner, err := mpisim.NewRunner(mpisim.NASSP(), m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner.CollectTrace = true
+		if _, err := runner.Calibrate(ranks, inputs); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := runner.Run(mpisim.Abstract, ranks, inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		u, err := mpisim.Utilize(rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var comp, blocked float64
+		for k, v := range u.Fraction {
+			switch k.String() {
+			case "compute", "delay":
+				comp += v
+			case "blocked":
+				blocked += v
+			}
+		}
+		fmt.Printf("%-18s  %11.5fs  %9.1f%%  %9.1f%%\n", m.Name, rep.Time, 100*comp, 100*blocked)
+		if rep.Time > worstTime {
+			worstTime = rep.Time
+			worst = m
+		}
+	}
+
+	// Show where the slowest machine loses its time.
+	runner, err := mpisim.NewRunner(mpisim.NASSP(), worst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner.CollectTrace = true
+	if _, err := runner.Calibrate(ranks, inputs); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := runner.Run(mpisim.Abstract, ranks, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tl, err := mpisim.Timeline(rep, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted execution on %s:\n%s", worst.Name, tl)
+	fmt.Println("\nThe cluster's 3x-higher message latency turns the pipelined line")
+	fmt.Println("solves into long blocked stretches ('.'), while the same code on the")
+	fmt.Println("SP spends most of its time computing ('='). No hardware required.")
+}

@@ -1,0 +1,54 @@
+// Quickstart: the complete compiler-supported simulation workflow of the
+// paper's Figure 2 on the Tomcatv benchmark, in ~40 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpisim"
+)
+
+func main() {
+	// 1. A source program: Tomcatv as dhpf compiles it from HPF
+	//    ((*,BLOCK) distribution). The compiler pipeline runs inside
+	//    NewRunner: static task graph -> condensation -> slicing ->
+	//    simplified + timer programs.
+	prog := mpisim.Tomcatv()
+	runner, err := mpisim.NewRunner(prog, mpisim.IBMSP())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(runner.Compiled.Summary())
+
+	// 2. Calibrate: run the timer-instrumented program once on a small
+	//    reference configuration to measure the task-time parameters w_i.
+	inputs := mpisim.TomcatvInputs(512, 5)
+	taskTimes, err := runner.Calibrate(16, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated %d task-time parameters at 16 ranks\n\n", len(taskTimes))
+
+	// 3. Predict: run the simplified program (MPI-SIM-AM) at
+	//    configurations direct execution would struggle with, and compare
+	//    against ground truth where it is still feasible.
+	fmt.Printf("%10s  %14s  %14s  %8s\n", "ranks", "measured", "MPI-SIM-AM", "error")
+	for _, ranks := range []int{4, 8, 16, 32, 64} {
+		v, err := runner.Validate(ranks, inputs, 16, inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d  %13.6fs  %13.6fs  %7.2f%%\n",
+			ranks, v.MeasuredTime, v.AMTime, 100*v.AMError)
+	}
+
+	// 4. The payoff: memory. The simplified program needs only the dummy
+	//    communication buffer and a few scalars per rank.
+	deMem, _ := runner.DEMemory(64, inputs)
+	amMem, _ := runner.AMMemory(64, inputs)
+	fmt.Printf("\nsimulator memory at 64 ranks: direct execution %.1f MB, optimized %.1f KB (%.0fx less)\n",
+		float64(deMem)/1e6, float64(amMem)/1e3, float64(deMem)/float64(amMem))
+}

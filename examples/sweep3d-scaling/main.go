@@ -1,0 +1,75 @@
+// Sweep3D scaling study: the paper's headline capability — simulating a
+// target system far larger than direct execution can hold ("we were
+// successful in simulating the execution of a configuration of Sweep3D
+// for a target system with 10,000 processors!").
+//
+// The per-processor problem size is fixed (as in the paper's Figures 10
+// and 16), so the total problem grows with the machine; the script sweeps
+// target processor counts, predicting execution time and reporting the
+// memory both simulators would need.
+//
+//	go run ./examples/sweep3d-scaling [maxRanks]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"mpisim"
+)
+
+func main() {
+	maxRanks := 4096
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("bad maxRanks %q: %v", os.Args[1], err)
+		}
+		maxRanks = v
+	}
+
+	runner, err := mpisim.NewRunner(mpisim.Sweep3D(), mpisim.IBMSP())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-processor size 4x4x64 with 4-plane pipelining (a scaled stand-in
+	// for the paper's 4x4x255; pass kt=255 for the full size).
+	inputsFor := func(ranks int) map[string]float64 {
+		npx, npy := mpisim.ProcGrid(ranks)
+		return mpisim.Sweep3DInputs(4, 4, 64, 16, npx, npy)
+	}
+
+	if _, err := runner.Calibrate(16, inputsFor(16)); err != nil {
+		log.Fatal(err)
+	}
+
+	// A 64-node host partition with 256 MB per node bounds what direct
+	// execution could hold.
+	budget := int64(64) * mpisim.IBMSP().MemoryPerHost
+
+	fmt.Printf("%10s  %14s  %14s  %14s  %s\n",
+		"targets", "predicted", "DE memory", "AM memory", "DE feasible?")
+	for _, ranks := range []int{16, 64, 256, 1024, 2048, 4096, 10000} {
+		if ranks > maxRanks {
+			break
+		}
+		rep, err := runner.Run(mpisim.Abstract, ranks, inputsFor(ranks))
+		if err != nil {
+			log.Fatal(err)
+		}
+		deMem, _ := runner.DEMemory(ranks, inputsFor(ranks))
+		amMem, _ := runner.AMMemory(ranks, inputsFor(ranks))
+		feasible := "yes"
+		if deMem > budget {
+			feasible = "no (exceeds 64-host budget)"
+		}
+		fmt.Printf("%10d  %13.4fs  %13.2fMB  %13.3fMB  %s\n",
+			ranks, rep.Time, float64(deMem)/1e6, float64(amMem)/1e6, feasible)
+	}
+	fmt.Println("\nThe predicted time grows with the pipeline depth of the wavefront")
+	fmt.Println("sweeps while per-rank memory stays flat: the optimized simulator's")
+	fmt.Println("footprint is the dummy communication buffer plus scalars.")
+}

@@ -1,0 +1,3 @@
+module mpisim
+
+go 1.22

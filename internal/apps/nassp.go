@@ -1,0 +1,167 @@
+package apps
+
+import "mpisim/internal/ir"
+
+// NASSPInputs builds the input map for an nx^3 total grid, the given
+// number of ADI time steps, and a q x q process grid (P = q*q). Class A
+// of the NPB 2.3 suite is nx=64, class C is nx=162 (the paper validates
+// both, calibrating w_i only on class A — Figures 5, 6, 12).
+func NASSPInputs(nx, steps, q int) map[string]float64 {
+	return map[string]float64{"NX": float64(nx), "STEPS": float64(steps), "Q": float64(q)}
+}
+
+// NASSP is a scalar-pentadiagonal ADI solver in the style of the NAS SP
+// benchmark: on a q x q process grid, every time step computes the RHS
+// locally, then performs line solves in x and y as forward/backward
+// pipelined sweeps across the process grid (z lines are local), updates
+// the solution, and periodically reduces a residual norm.
+//
+// As in the real SP (paper §3.3), the per-processor cell sizes are
+// computed into an array (CSIZE) that then appears in most loop bounds,
+// which makes symbolic forward propagation infeasible; the compiler must
+// retain the executable scaling expressions and the CSIZE computation in
+// the simplified code.
+func NASSP() *ir.Program {
+	nx := ir.S("NX")
+	q := ir.S("Q")
+	i, j, k := ir.S("i"), ir.S("j"), ir.S("k")
+	cx, cy, cz := ir.S("cx"), ir.S("cy"), ir.S("cz") // local cell counts
+	myrow, mycol := ir.S("myrow"), ir.S("mycol")
+	// Array bound: ceil(NX/Q)+1 cells per dimension suffices everywhere.
+	bmax := ir.Add(ir.CeilDiv(nx, q), one)
+
+	prologue := ir.Block(
+		&ir.ReadInput{Var: "NX"},
+		&ir.ReadInput{Var: "STEPS"},
+		&ir.ReadInput{Var: "Q"},
+		ir.SetS("myrow", ir.Bin{Op: ir.OpIDiv, L: myid, R: q}),
+		ir.SetS("mycol", ir.Mod(myid, q)),
+		// Balanced cell split, stored in an array (the SP idiom): cell c
+		// gets floor((NX + Q - c) / Q) points.
+		ir.Loop("csize", "c", one, q,
+			ir.SetA("CSIZE", ir.IX(ir.S("c")),
+				ir.Bin{Op: ir.OpIDiv, L: ir.AddN(nx, q, ir.Mul(ir.S("c"), ir.N(-1))), R: q})),
+		ir.SetS("cx", ir.At("CSIZE", ir.Add(mycol, one))),
+		ir.SetS("cy", ir.At("CSIZE", ir.Add(myrow, one))),
+		ir.SetS("cz", nx),
+	)
+
+	// U initialization.
+	initNest := ir.Block(
+		ir.Loop("init", "k", one, cz,
+			ir.Loop("", "j", one, cy,
+				ir.Loop("", "i", one, cx,
+					ir.SetA("U", ir.IX(i, j, k), ir.Mul(ir.AddN(i, j, k), ir.N(0.001))),
+				),
+			),
+		),
+	)
+
+	// compute_rhs: ~26 abstract ops per cell.
+	rhsNest := ir.Loop("rhs", "k", two, ir.Sub(cz, one),
+		ir.Loop("", "j", one, cy,
+			ir.Loop("", "i", one, cx,
+				ir.SetA("RHS", ir.IX(i, j, k), ir.AddN(
+					ir.Mul(ir.N(0.4), ir.At("U", i, j, ir.Sub(k, one))),
+					ir.Mul(ir.N(-0.8), ir.At("U", i, j, k)),
+					ir.Mul(ir.N(0.4), ir.At("U", i, j, ir.Add(k, one))),
+					ir.Mul(ir.At("U", i, j, k), ir.At("U", i, j, k)),
+					ir.Mul(ir.N(0.01), ir.AddN(i, j, k)),
+				)),
+			),
+		),
+	)
+
+	// Pipelined line solve along the process-grid x direction: the face
+	// is a cy x cz plane. upstreamGuard/downstreamGuard in terms of the
+	// position coordinate pos and neighbour stride.
+	lineSolve := func(label string, pos ir.Expr, stride ir.Expr, tag int, faceDim1 ir.Expr) []ir.Stmt {
+		work := func(phase string) ir.Stmt {
+			return ir.Loop(label+"-"+phase, "k", one, cz,
+				ir.Loop("", "j", one, cy,
+					ir.Loop("", "i", one, cx,
+						ir.SetA("RHS", ir.IX(i, j, k), ir.Add(
+							ir.Mul(ir.At("RHS", i, j, k), ir.N(0.98)),
+							ir.Mul(ir.N(0.02), ir.At("FACE", ir.MinE(j, faceDim1), k)),
+						)),
+					),
+				),
+			)
+		}
+		return ir.Block(
+			// Forward sweep: low position to high.
+			&ir.If{Cond: ir.GT(pos, zero), Then: ir.Block(
+				&ir.Recv{Src: ir.Sub(myid, stride), Tag: tag, Array: "FACE",
+					Section: ir.Sec(one, faceDim1, one, cz)})},
+			work("fwd"),
+			&ir.If{Cond: ir.LT(pos, ir.Sub(q, one)), Then: ir.Block(
+				&ir.Send{Dest: ir.Add(myid, stride), Tag: tag, Array: "FACE",
+					Section: ir.Sec(one, faceDim1, one, cz)})},
+			// Backward substitution: high position to low.
+			&ir.If{Cond: ir.LT(pos, ir.Sub(q, one)), Then: ir.Block(
+				&ir.Recv{Src: ir.Add(myid, stride), Tag: tag + 1, Array: "FACE",
+					Section: ir.Sec(one, faceDim1, one, cz)})},
+			work("bwd"),
+			&ir.If{Cond: ir.GT(pos, zero), Then: ir.Block(
+				&ir.Send{Dest: ir.Sub(myid, stride), Tag: tag + 1, Array: "FACE",
+					Section: ir.Sec(one, faceDim1, one, cz)})},
+		)
+	}
+
+	// z solve is local (z is not distributed).
+	zSolve := ir.Loop("zsolve", "k", two, ir.Sub(cz, one),
+		ir.Loop("", "j", one, cy,
+			ir.Loop("", "i", one, cx,
+				ir.SetA("RHS", ir.IX(i, j, k), ir.Add(
+					ir.Mul(ir.At("RHS", i, j, k), ir.N(0.96)),
+					ir.Mul(ir.N(0.02), ir.Add(ir.At("RHS", i, j, ir.Sub(k, one)), ir.At("RHS", i, j, ir.MinE(ir.Add(k, one), cz)))),
+				)),
+			),
+		),
+	)
+
+	addNest := ir.Loop("add", "k", one, cz,
+		ir.Loop("", "j", one, cy,
+			ir.Loop("", "i", one, cx,
+				ir.SetA("U", ir.IX(i, j, k), ir.Add(ir.At("U", i, j, k), ir.At("RHS", i, j, k))),
+			),
+		),
+	)
+
+	residual := ir.Block(
+		&ir.If{Cond: ir.EQ(ir.Mod(ir.S("step"), ir.N(5)), zero), Then: ir.Block(
+			ir.SetS("rnorm", zero),
+			ir.Loop("rnorm", "k", one, cz,
+				ir.Loop("", "j", one, cy,
+					ir.Loop("", "i", one, cx,
+						ir.SetS("rnorm", ir.Add(ir.S("rnorm"),
+							ir.Mul(ir.At("RHS", i, j, k), ir.At("RHS", i, j, k))))))),
+			&ir.Allreduce{Op: "sum", Vars: []string{"rnorm"}},
+		)},
+	)
+
+	var stepBody []ir.Stmt
+	stepBody = append(stepBody, rhsNest)
+	stepBody = append(stepBody, lineSolve("xsolve", mycol, one, 10, cy)...)
+	stepBody = append(stepBody, lineSolve("ysolve", myrow, q, 20, cx)...)
+	stepBody = append(stepBody, zSolve, addNest)
+	stepBody = append(stepBody, residual...)
+
+	var body []ir.Stmt
+	body = append(body, prologue...)
+	body = append(body, initNest...)
+	body = append(body, ir.Loop("steps", "step", one, ir.S("STEPS"), stepBody...))
+
+	dims3 := []ir.Expr{bmax, bmax, nx}
+	return &ir.Program{
+		Name:   "nassp",
+		Params: []string{"NX", "STEPS", "Q"},
+		Arrays: []*ir.ArrayDecl{
+			{Name: "U", Dims: dims3, Elem: 8},
+			{Name: "RHS", Dims: dims3, Elem: 8},
+			{Name: "FACE", Dims: []ir.Expr{bmax, nx}, Elem: 8},
+			{Name: "CSIZE", Dims: []ir.Expr{q}, Elem: 8},
+		},
+		Body: body,
+	}
+}

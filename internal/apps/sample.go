@@ -1,0 +1,112 @@
+package apps
+
+import "mpisim/internal/ir"
+
+// Pattern values for the SAMPLE kernel's PATTERN input.
+const (
+	// PatternWavefront selects the pipelined wavefront pattern.
+	PatternWavefront = 1
+	// PatternNearestNeighbour selects the 4-neighbour exchange pattern.
+	PatternNearestNeighbour = 2
+)
+
+// SampleInputs builds the input map: pattern, work (abstract operations
+// per iteration), msg (elements per message), iters, and the process
+// grid. The communication-to-computation ratio of the paper's Figures 8
+// and 9 is swept by varying work against msg.
+func SampleInputs(pattern, work, msg, iters, npx, npy int) map[string]float64 {
+	return map[string]float64{
+		"PATTERN": float64(pattern), "WORK": float64(work), "MSG": float64(msg),
+		"ITERS": float64(iters), "NPX": float64(npx), "NPY": float64(npy),
+	}
+}
+
+// Sample is the synthetic communication kernel of paper §4.1/§4.2,
+// "designed to evaluate the impact of the compiler-directed optimizations
+// on programs with varying computation granularity and message
+// communication patterns": a wavefront pattern and a nearest-neighbour
+// pattern, each iterating a tunable computation block between message
+// exchanges on an NPX x NPY process grid. The PATTERN input is retained
+// control flow: the compiler cannot collapse the branch because both
+// arms communicate.
+func Sample() *ir.Program {
+	msg := ir.S("MSG")
+	work := ir.S("WORK")
+	npx := ir.S("NPX")
+	myi, myj := ir.S("myi"), ir.S("myj")
+	w := ir.S("w")
+
+	prologue := ir.Block(
+		&ir.ReadInput{Var: "PATTERN"},
+		&ir.ReadInput{Var: "WORK"},
+		&ir.ReadInput{Var: "MSG"},
+		&ir.ReadInput{Var: "ITERS"},
+		&ir.ReadInput{Var: "NPX"},
+		&ir.ReadInput{Var: "NPY"},
+		ir.SetS("myi", ir.Mod(myid, npx)),
+		ir.SetS("myj", ir.Bin{Op: ir.OpIDiv, L: myid, R: npx}),
+	)
+
+	// The computation block: WORK/2 sweeps over a small working array.
+	workNest := ir.Loop("work", "w", one, ir.Bin{Op: ir.OpIDiv, L: work, R: two},
+		ir.SetA("WA", ir.IX(ir.Add(ir.Mod(w, ir.N(512)), one)),
+			ir.Add(ir.At("WA", ir.Add(ir.Mod(w, ir.N(512)), one)), ir.N(0.5))),
+	)
+
+	sec := ir.Sec(one, msg)
+
+	wavefront := ir.Block(
+		&ir.If{Cond: ir.GT(myi, zero), Then: ir.Block(
+			&ir.Recv{Src: ir.Sub(myid, one), Tag: 1, Array: "BUF", Section: sec})},
+		&ir.If{Cond: ir.GT(myj, zero), Then: ir.Block(
+			&ir.Recv{Src: ir.Sub(myid, npx), Tag: 2, Array: "BUF", Section: sec})},
+		workNest,
+		&ir.If{Cond: ir.LT(myi, ir.Sub(npx, one)), Then: ir.Block(
+			&ir.Send{Dest: ir.Add(myid, one), Tag: 1, Array: "BUF", Section: sec})},
+		&ir.If{Cond: ir.LT(myj, ir.Sub(ir.S("NPY"), one)), Then: ir.Block(
+			&ir.Send{Dest: ir.Add(myid, npx), Tag: 2, Array: "BUF", Section: sec})},
+	)
+
+	nearest := ir.Block(
+		// Send to all four neighbours, then receive from them.
+		&ir.If{Cond: ir.GT(myi, zero), Then: ir.Block(
+			&ir.Send{Dest: ir.Sub(myid, one), Tag: 3, Array: "BUF", Section: sec})},
+		&ir.If{Cond: ir.LT(myi, ir.Sub(npx, one)), Then: ir.Block(
+			&ir.Send{Dest: ir.Add(myid, one), Tag: 4, Array: "BUF", Section: sec})},
+		&ir.If{Cond: ir.GT(myj, zero), Then: ir.Block(
+			&ir.Send{Dest: ir.Sub(myid, npx), Tag: 5, Array: "BUF", Section: sec})},
+		&ir.If{Cond: ir.LT(myj, ir.Sub(ir.S("NPY"), one)), Then: ir.Block(
+			&ir.Send{Dest: ir.Add(myid, npx), Tag: 6, Array: "BUF", Section: sec})},
+		&ir.If{Cond: ir.LT(myi, ir.Sub(npx, one)), Then: ir.Block(
+			&ir.Recv{Src: ir.Add(myid, one), Tag: 3, Array: "BUF", Section: sec})},
+		&ir.If{Cond: ir.GT(myi, zero), Then: ir.Block(
+			&ir.Recv{Src: ir.Sub(myid, one), Tag: 4, Array: "BUF", Section: sec})},
+		&ir.If{Cond: ir.LT(myj, ir.Sub(ir.S("NPY"), one)), Then: ir.Block(
+			&ir.Recv{Src: ir.Add(myid, npx), Tag: 5, Array: "BUF", Section: sec})},
+		&ir.If{Cond: ir.GT(myj, zero), Then: ir.Block(
+			&ir.Recv{Src: ir.Sub(myid, npx), Tag: 6, Array: "BUF", Section: sec})},
+		workNest,
+	)
+
+	iterBody := ir.Block(
+		&ir.If{Cond: ir.EQ(ir.S("PATTERN"), ir.N(PatternWavefront)),
+			Then: wavefront,
+			Else: nearest,
+		},
+	)
+
+	var body []ir.Stmt
+	body = append(body, prologue...)
+	body = append(body, ir.Loop("iters", "it", one, ir.S("ITERS"), iterBody...))
+	body = append(body, &ir.Barrier{})
+
+	return &ir.Program{
+		Name:   "sample",
+		Params: []string{"PATTERN", "WORK", "MSG", "ITERS", "NPX", "NPY"},
+		Arrays: []*ir.ArrayDecl{
+			{Name: "BUF", Dims: []ir.Expr{msg}, Elem: 8},
+			{Name: "WA", Dims: []ir.Expr{ir.N(512)}, Elem: 8},
+		},
+		Body: body,
+	}
+}

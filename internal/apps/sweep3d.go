@@ -1,0 +1,149 @@
+package apps
+
+import "mpisim/internal/ir"
+
+// Sweep3DInputs builds the input map. it x jt x kt is the per-processor
+// grid (the paper studies 4x4x255 and 6x6x1000 cells per processor), mk
+// is the k-block pipelining depth, and npx x npy the process grid.
+func Sweep3DInputs(it, jt, kt, mk, npx, npy int) map[string]float64 {
+	return map[string]float64{
+		"IT": float64(it), "JT": float64(jt), "KT": float64(kt),
+		"MK": float64(mk), "NPX": float64(npx), "NPY": float64(npy),
+	}
+}
+
+// Sweep3D is the ASCI discrete-ordinates transport kernel (paper §1,
+// §4.1): a 2D process decomposition in (i,j) sweeps wavefronts for all 8
+// octants, pipelined in blocks of mk k-planes. Each block waits for the
+// upstream i- and j-faces, computes its cells, and forwards the
+// downstream faces; the per-cell work includes the data-dependent
+// flux-fixup branch the paper singles out ("one minor conditional branch
+// in a loop nest of Sweep3D depends on intermediate values of large 3D
+// arrays").
+func Sweep3D() *ir.Program {
+	it, jt, kt := ir.S("IT"), ir.S("JT"), ir.S("KT")
+	mk := ir.S("MK")
+	npx := ir.S("NPX")
+	i, j, k := ir.S("i"), ir.S("j"), ir.S("k")
+	myi, myj := ir.S("myi"), ir.S("myj")
+	idir, jdir := ir.S("idir"), ir.S("jdir")
+	kg := ir.S("kg") // global k index of the cell
+
+	prologue := ir.Block(
+		&ir.ReadInput{Var: "IT"},
+		&ir.ReadInput{Var: "JT"},
+		&ir.ReadInput{Var: "KT"},
+		&ir.ReadInput{Var: "MK"},
+		&ir.ReadInput{Var: "NPX"},
+		&ir.ReadInput{Var: "NPY"},
+		ir.SetS("myi", ir.Mod(myid, npx)),
+		ir.SetS("myj", ir.Bin{Op: ir.OpIDiv, L: myid, R: npx}),
+		ir.SetS("nkb", ir.CeilDiv(kt, mk)),
+	)
+
+	// Source initialization: sign varies with position so the fixup
+	// branch is taken irregularly.
+	initNest := ir.Block(
+		ir.Loop("init", "k", one, kt,
+			ir.Loop("", "j", one, jt,
+				ir.Loop("", "i", one, it,
+					ir.SetA("SRC", ir.IX(i, j, k),
+						ir.Call{Name: "sin", Arg: ir.Mul(ir.AddN(i, j, k, myid), ir.N(0.7))}),
+					ir.SetA("FLUX", ir.IX(i, j, k), zero),
+				),
+			),
+		),
+	)
+
+	// Upstream/downstream guards: the neighbour coordinate must lie on
+	// the process grid.
+	upI := and(ir.GE(ir.Sub(myi, idir), zero), ir.LT(ir.Sub(myi, idir), npx))
+	dnI := and(ir.GE(ir.Add(myi, idir), zero), ir.LT(ir.Add(myi, idir), npx))
+	upJ := and(ir.GE(ir.Sub(myj, jdir), zero), ir.LT(ir.Sub(myj, jdir), ir.S("NPY")))
+	dnJ := and(ir.GE(ir.Add(myj, jdir), zero), ir.LT(ir.Add(myj, jdir), ir.S("NPY")))
+
+	cellBody := ir.Block(
+		ir.SetS("kg", ir.Add(ir.Mul(ir.Sub(ir.S("kb"), one), mk), k)),
+		// Balance equation: combine source, incoming i- and j-fluxes.
+		ir.SetA("PHI", ir.IX(i, j, k), ir.Mul(ir.AddN(
+			ir.At("SRC", i, j, kg),
+			ir.At("PHIIB", j, k),
+			ir.At("PHIJB", i, k),
+			ir.Mul(ir.At("FLUX", i, j, kg), ir.N(0.1)),
+		), ir.N(0.3333))),
+		// Flux fixup: data-dependent branch on the computed value.
+		&ir.If{Cond: ir.LT(ir.At("PHI", i, j, k), zero), Then: ir.Block(
+			ir.SetA("PHI", ir.IX(i, j, k), ir.Mul(ir.At("PHI", i, j, k), ir.N(-0.5))),
+		)},
+		ir.SetA("FLUX", ir.IX(i, j, kg),
+			ir.Add(ir.At("FLUX", i, j, kg), ir.At("PHI", i, j, k))),
+		// Outgoing faces (direction-agnostic cost model: last write is
+		// the downstream boundary).
+		ir.SetA("PHIIB", ir.IX(j, k), ir.At("PHI", i, j, k)),
+		ir.SetA("PHIJB", ir.IX(i, k), ir.At("PHI", i, j, k)),
+	)
+
+	kbBody := ir.Block(
+		// Wait for the upstream wavefront faces.
+		&ir.If{Cond: upI, Then: ir.Block(
+			&ir.Recv{Src: ir.Sub(myid, idir), Tag: 1, Array: "PHIIB",
+				Section: ir.Sec(one, jt, one, mk)})},
+		&ir.If{Cond: upJ, Then: ir.Block(
+			&ir.Recv{Src: ir.Sub(myid, ir.Mul(jdir, npx)), Tag: 2, Array: "PHIJB",
+				Section: ir.Sec(one, it, one, mk)})},
+		// Compute the block.
+		ir.Loop("sweep", "k", one, mk,
+			ir.Loop("", "j", one, jt,
+				ir.Loop("", "i", one, it, cellBody...),
+			),
+		),
+		// Forward the downstream faces.
+		&ir.If{Cond: dnI, Then: ir.Block(
+			&ir.Send{Dest: ir.Add(myid, idir), Tag: 1, Array: "PHIIB",
+				Section: ir.Sec(one, jt, one, mk)})},
+		&ir.If{Cond: dnJ, Then: ir.Block(
+			&ir.Send{Dest: ir.Add(myid, ir.Mul(jdir, npx)), Tag: 2, Array: "PHIJB",
+				Section: ir.Sec(one, it, one, mk)})},
+	)
+
+	octBody := ir.Block(
+		// Octant sweep directions from the octant number.
+		ir.SetS("idir", ir.Sub(one, ir.Mul(two, ir.Mod(ir.S("oct"), two)))),
+		ir.SetS("jdir", ir.Sub(one, ir.Mul(two, ir.Mod(ir.Bin{Op: ir.OpIDiv, L: ir.S("oct"), R: two}, two)))),
+		// Boundary inflow for ranks with no upstream neighbour.
+		ir.Loop("inflow-i", "k", one, mk, ir.Loop("", "j", one, jt,
+			ir.SetA("PHIIB", ir.IX(j, k), ir.N(0.5)))),
+		ir.Loop("inflow-j", "k", one, mk, ir.Loop("", "i", one, it,
+			ir.SetA("PHIJB", ir.IX(i, k), ir.N(0.5)))),
+		ir.Loop("kblocks", "kb", one, ir.S("nkb"), kbBody...),
+	)
+
+	// Final global flux sum (diagnostic reduction, as in the kernel).
+	epilogue := ir.Block(
+		ir.SetS("fsum", zero),
+		ir.Loop("fluxsum", "k", one, kt,
+			ir.Loop("", "j", one, jt,
+				ir.Loop("", "i", one, it,
+					ir.SetS("fsum", ir.Add(ir.S("fsum"), ir.At("FLUX", i, j, k)))))),
+		&ir.Allreduce{Op: "sum", Vars: []string{"fsum"}},
+	)
+
+	var body []ir.Stmt
+	body = append(body, prologue...)
+	body = append(body, initNest...)
+	body = append(body, ir.Loop("octants", "oct", one, ir.N(8), octBody...))
+	body = append(body, epilogue...)
+
+	return &ir.Program{
+		Name:   "sweep3d",
+		Params: []string{"IT", "JT", "KT", "MK", "NPX", "NPY"},
+		Arrays: []*ir.ArrayDecl{
+			{Name: "SRC", Dims: []ir.Expr{it, jt, kt}, Elem: 8},
+			{Name: "FLUX", Dims: []ir.Expr{it, jt, kt}, Elem: 8},
+			{Name: "PHI", Dims: []ir.Expr{it, jt, mk}, Elem: 8},
+			{Name: "PHIIB", Dims: []ir.Expr{jt, mk}, Elem: 8},
+			{Name: "PHIJB", Dims: []ir.Expr{it, mk}, Elem: 8},
+		},
+		Body: body,
+	}
+}

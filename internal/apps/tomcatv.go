@@ -1,0 +1,157 @@
+package apps
+
+import "mpisim/internal/ir"
+
+// TomcatvInputs builds the input map for an n x n grid and iter time
+// steps. The paper validates a 2048x2048 grid on 4-64 IBM SP processors
+// (Figures 3 and 13).
+func TomcatvInputs(n, iter int) map[string]float64 {
+	return map[string]float64{"N": float64(n), "ITER": float64(iter)}
+}
+
+// Tomcatv is the SPEC92 mesh-generation benchmark as compiled by dhpf
+// from HPF with the key arrays distributed (*,BLOCK): contiguous column
+// blocks in the second dimension (paper §4.1). The first dimension is
+// local, so the tridiagonal line solves along i need no communication;
+// each iteration exchanges one boundary column with each neighbour and
+// reduces the residual maximum.
+//
+// Local layout: arrays are (N, b+2) where b = ceil(N/P); local columns
+// 2..nloc+1 hold the rank's global columns myid*b+1 .. myid*b+nloc, and
+// columns 1 and nloc+2 are ghost columns.
+func Tomcatv() *ir.Program {
+	n := ir.S("N")
+	b := ir.S("b")
+	nloc := ir.S("nloc")
+	i, jl := ir.S("i"), ir.S("jl")
+	dims := []ir.Expr{n, ir.Add(ir.CeilDiv(n, nprc), two)}
+
+	// 9-point-ish residual stencil (~20 ops per point per array, close
+	// to Tomcatv's per-point flop count).
+	stencil := func(a string) ir.Expr {
+		return ir.AddN(
+			ir.At(a, ir.Sub(i, one), jl),
+			ir.At(a, ir.Add(i, one), jl),
+			ir.At(a, i, ir.Sub(jl, one)),
+			ir.At(a, i, ir.Add(jl, one)),
+			ir.Mul(ir.N(-4), ir.At(a, i, jl)),
+			ir.Mul(ir.N(0.25), ir.At(a, ir.Sub(i, one), ir.Sub(jl, one))),
+			ir.Mul(ir.N(0.25), ir.At(a, ir.Add(i, one), ir.Add(jl, one))),
+		)
+	}
+
+	ghostSendRecv := func(arr string, tagL, tagR int) []ir.Stmt {
+		return ir.Block(
+			// Send first owned column left, last owned column right.
+			&ir.If{Cond: ir.GT(myid, zero), Then: ir.Block(
+				&ir.Send{Dest: ir.Sub(myid, one), Tag: tagL, Array: arr,
+					Section: ir.Sec(one, n, two, two)})},
+			&ir.If{Cond: ir.LT(myid, ir.Sub(nprc, one)), Then: ir.Block(
+				&ir.Send{Dest: ir.Add(myid, one), Tag: tagR, Array: arr,
+					Section: ir.Sec(one, n, ir.Add(nloc, one), ir.Add(nloc, one))})},
+			// Receive ghosts: right ghost from right neighbour's tagL
+			// send, left ghost from left neighbour's tagR send.
+			&ir.If{Cond: ir.LT(myid, ir.Sub(nprc, one)), Then: ir.Block(
+				&ir.Recv{Src: ir.Add(myid, one), Tag: tagL, Array: arr,
+					Section: ir.Sec(one, n, ir.Add(nloc, two), ir.Add(nloc, two))})},
+			&ir.If{Cond: ir.GT(myid, zero), Then: ir.Block(
+				&ir.Recv{Src: ir.Sub(myid, one), Tag: tagR, Array: arr,
+					Section: ir.Sec(one, n, one, one)})},
+		)
+	}
+
+	// Interior local-column bounds: global interior is 2..N-1.
+	// jlo = max(2, myid*b+1) - myid*b + 1 ; jhi = min(N-1, myid*b+nloc) - myid*b + 1
+	base := ir.Mul(myid, b)
+	prologue := ir.Block(
+		&ir.ReadInput{Var: "N"},
+		&ir.ReadInput{Var: "ITER"},
+		ir.SetS("b", ir.CeilDiv(n, nprc)),
+		ir.SetS("nloc", ir.MaxE(zero, ir.MinE(b, ir.Sub(n, base)))),
+		ir.SetS("jlo", ir.Add(ir.Sub(ir.MaxE(two, ir.Add(base, one)), base), one)),
+		ir.SetS("jhi", ir.Add(ir.Sub(ir.MinE(ir.Sub(n, one), ir.Add(base, nloc)), base), one)),
+	)
+	jlo, jhi := ir.S("jlo"), ir.S("jhi")
+
+	// Mesh initialization (local).
+	initNest := ir.Block(
+		ir.Loop("init", "jl", two, ir.Add(nloc, one),
+			ir.Loop("", "i", one, n,
+				ir.SetA("X", ir.IX(i, jl), ir.Mul(i, ir.N(0.01))),
+				ir.SetA("Y", ir.IX(i, jl), ir.Mul(ir.Add(jl, ir.Mul(myid, b)), ir.N(0.01))),
+				ir.SetA("AA", ir.IX(i, jl), ir.N(-0.5)),
+			),
+		),
+	)
+
+	// Halo exchange for X and Y, then the computation nests.
+	var iterBody []ir.Stmt
+	iterBody = append(iterBody, ghostSendRecv("X", 10, 11)...)
+	iterBody = append(iterBody, ghostSendRecv("Y", 12, 13)...)
+	iterBody = append(iterBody, ir.Block(
+		// Residual computation over the interior.
+		ir.Loop("residual", "jl", jlo, jhi,
+			ir.Loop("", "i", two, ir.Sub(n, one),
+				ir.SetA("RX", ir.IX(i, jl), stencil("X")),
+				ir.SetA("RY", ir.IX(i, jl), stencil("Y")),
+			),
+		),
+		// Residual maximum.
+		ir.SetS("rmax", zero),
+		ir.Loop("rmax", "jl", jlo, jhi,
+			ir.Loop("", "i", two, ir.Sub(n, one),
+				ir.SetS("rmax", ir.MaxE(ir.S("rmax"),
+					ir.MaxE(ir.Abs(ir.At("RX", i, jl)), ir.Abs(ir.At("RY", i, jl))))),
+			),
+		),
+		&ir.Allreduce{Op: "max", Vars: []string{"rmax"}},
+		// Tridiagonal solves along i (local with (*,BLOCK)): forward
+		// elimination then back substitution, for both RX and RY.
+		ir.Loop("forward", "jl", jlo, jhi,
+			ir.Loop("", "i", two, ir.Sub(n, one),
+				ir.SetA("DD", ir.IX(i, jl),
+					ir.Div(one, ir.Sub(ir.N(4), ir.Mul(ir.At("AA", i, jl), ir.At("DD", ir.Sub(i, one), jl))))),
+				ir.SetA("RX", ir.IX(i, jl),
+					ir.Mul(ir.Add(ir.At("RX", i, jl), ir.At("RX", ir.Sub(i, one), jl)), ir.At("DD", i, jl))),
+				ir.SetA("RY", ir.IX(i, jl),
+					ir.Mul(ir.Add(ir.At("RY", i, jl), ir.At("RY", ir.Sub(i, one), jl)), ir.At("DD", i, jl))),
+			),
+		),
+		ir.Loop("backward", "jl", jlo, jhi,
+			ir.Loop("", "ii", two, ir.Sub(n, one),
+				// i runs N-1 down to 2.
+				ir.SetS("i", ir.Sub(ir.Add(n, one), ir.S("ii"))),
+				ir.SetA("RX", ir.IX(i, jl),
+					ir.Sub(ir.At("RX", i, jl), ir.Mul(ir.At("AA", i, jl), ir.At("RX", ir.MinE(ir.Add(i, one), n), jl)))),
+				ir.SetA("RY", ir.IX(i, jl),
+					ir.Sub(ir.At("RY", i, jl), ir.Mul(ir.At("AA", i, jl), ir.At("RY", ir.MinE(ir.Add(i, one), n), jl)))),
+			),
+		),
+		// Mesh update.
+		ir.Loop("update", "jl", jlo, jhi,
+			ir.Loop("", "i", two, ir.Sub(n, one),
+				ir.SetA("X", ir.IX(i, jl), ir.Add(ir.At("X", i, jl), ir.At("RX", i, jl))),
+				ir.SetA("Y", ir.IX(i, jl), ir.Add(ir.At("Y", i, jl), ir.At("RY", i, jl))),
+			),
+		),
+	)...)
+
+	var body []ir.Stmt
+	body = append(body, prologue...)
+	body = append(body, initNest...)
+	body = append(body, ir.Loop("timeloop", "iter", one, ir.S("ITER"), iterBody...))
+
+	return &ir.Program{
+		Name:   "tomcatv",
+		Params: []string{"N", "ITER"},
+		Arrays: []*ir.ArrayDecl{
+			{Name: "X", Dims: dims, Elem: 8},
+			{Name: "Y", Dims: dims, Elem: 8},
+			{Name: "RX", Dims: dims, Elem: 8},
+			{Name: "RY", Dims: dims, Elem: 8},
+			{Name: "AA", Dims: dims, Elem: 8},
+			{Name: "DD", Dims: dims, Elem: 8},
+		},
+		Body: body,
+	}
+}

@@ -1,0 +1,115 @@
+// Package cliutil holds the small amount of parsing and formatting shared
+// by the command-line tools: "key=value,key=value" input lists and the
+// task-time (w_i) table file format produced by cmd/calibrate and
+// consumed by cmd/mpisim.
+package cliutil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseInputs parses "N=2048,ITER=100" into an input map.
+func ParseInputs(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 || parts[0] == "" {
+			return nil, fmt.Errorf("cliutil: bad input %q (want key=value)", kv)
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad value in %q: %v", kv, err)
+		}
+		out[parts[0]] = v
+	}
+	return out, nil
+}
+
+// MergeInputs overlays b on a (b wins), returning a new map.
+func MergeInputs(a, b map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteTaskTimes writes a w_i table as "name value" lines, sorted.
+func WriteTaskTimes(w io.Writer, tt map[string]float64) error {
+	names := make([]string, 0, len(tt))
+	for n := range tt {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %.12e\n", n, tt[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTaskTimes parses a table written by WriteTaskTimes. Blank lines and
+// lines starting with '#' are ignored.
+func ReadTaskTimes(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("cliutil: line %d: want \"name value\", got %q", line, text)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: line %d: %v", line, err)
+		}
+		out[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatSeconds renders a duration in engineering style.
+func FormatSeconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.4g s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.4g ms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.4g us", s*1e6)
+	}
+	return fmt.Sprintf("%.4g ns", s*1e9)
+}
+
+// FormatBytes renders a byte count in binary units.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}

@@ -1,0 +1,98 @@
+package cliutil
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseInputs(t *testing.T) {
+	got, err := ParseInputs("N=2048, ITER=100,EPS=1e-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"N": 2048, "ITER": 100, "EPS": 1e-6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	if m, err := ParseInputs("  "); err != nil || len(m) != 0 {
+		t.Fatalf("empty parse: %v %v", m, err)
+	}
+	for _, bad := range []string{"N", "N=", "=3", "N=abc", "N=1,=2"} {
+		if _, err := ParseInputs(bad); err == nil {
+			t.Errorf("ParseInputs(%q): expected error", bad)
+		}
+	}
+}
+
+func TestMergeInputs(t *testing.T) {
+	a := map[string]float64{"N": 1, "X": 2}
+	b := map[string]float64{"N": 9}
+	got := MergeInputs(a, b)
+	if got["N"] != 9 || got["X"] != 2 {
+		t.Fatalf("merge = %v", got)
+	}
+	if a["N"] != 1 {
+		t.Fatal("merge mutated input")
+	}
+}
+
+func TestTaskTimesRoundTrip(t *testing.T) {
+	tt := map[string]float64{"w_1": 1.5e-8, "w_2": 3.25e-7, "w_10": 2e-9}
+	var buf bytes.Buffer
+	if err := WriteTaskTimes(&buf, tt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTaskTimes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tt) {
+		t.Fatalf("round trip: %v != %v", got, tt)
+	}
+}
+
+func TestReadTaskTimesComments(t *testing.T) {
+	in := "# calibrated on 16 ranks\n\nw_1 2e-8\n"
+	got, err := ReadTaskTimes(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["w_1"] != 2e-8 {
+		t.Fatalf("got %v", got)
+	}
+	for _, bad := range []string{"w_1", "w_1 x", "w_1 1 2"} {
+		if _, err := ReadTaskTimes(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadTaskTimes(%q): expected error", bad)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		2.5:     "2.5 s",
+		1e-3:    "1 ms",
+		4.2e-6:  "4.2 us",
+		3.3e-10: "0.33 ns",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:           "512 B",
+		2048:          "2.00 KiB",
+		3 << 20:       "3.00 MiB",
+		5 * (1 << 30): "5.00 GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+// Package compiler implements the dhpf-side pipeline of the paper
+// (Figure 2): from a source program it synthesizes the static task graph,
+// condenses it, slices the program, and emits two derived programs:
+//
+//   - the simplified program, in which every condensed task is replaced
+//     by a call to the simulator-provided delay function with a symbolic
+//     scaling expression, unused arrays are eliminated or replaced by a
+//     shared dummy communication buffer, and a preamble reads and
+//     broadcasts the measured w_i parameters (paper §3.1);
+//   - the timer-instrumented program, the unmodified computation wrapped
+//     with timers around each condensed task, whose output calibrates the
+//     w_i parameters (paper §3.3).
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpisim/internal/ir"
+	"mpisim/internal/slicer"
+	"mpisim/internal/stg"
+)
+
+// Result bundles the compilation artifacts.
+type Result struct {
+	// Original is the validated input program.
+	Original *ir.Program
+	// Simplified is the delay-call program fed to the optimized
+	// simulator (MPI-SIM-AM).
+	Simplified *ir.Program
+	// Timer is the instrumented program used to measure the w_i
+	// parameters.
+	Timer *ir.Program
+	// Graph is the condensed static task graph.
+	Graph *stg.Graph
+	// FullGraph is the uncondensed static task graph.
+	FullGraph *stg.Graph
+	// Slice is the program slice used for the simplification.
+	Slice *slicer.Slice
+	// TaskVars lists the w_i parameter names in order.
+	TaskVars []string
+	// DummyElems is the dummy buffer's element-count expression (nil if
+	// no dummy buffer was needed).
+	DummyElems ir.Expr
+}
+
+// DummyBufferName is the name of the shared communication buffer in
+// simplified programs.
+const DummyBufferName = "dummy_buf"
+
+// Options tune the compilation; the zero value reproduces the paper.
+type Options struct {
+	// NoCondense disables region condensation: every loop nest remains a
+	// separate task... it retains the full graph and emits one delay per
+	// leaf compute node. Used by the ablation benchmarks.
+	NoCondense bool
+	// NoSlice disables program slicing: the simplified program retains
+	// no computational statements (scaling functions may then evaluate
+	// incorrectly when they depend on computed values). Used by the
+	// ablation benchmarks.
+	NoSlice bool
+	// BranchProbs supplies measured taken-probabilities for the
+	// statistical folding of conditionals inside collapsed regions
+	// (paper §3.1's profiling refinement). Missing branches use 0.5.
+	BranchProbs map[*ir.If]float64
+}
+
+// Compile runs the full pipeline with default options.
+func Compile(p *ir.Program) (*Result, error) { return CompileOpts(p, Options{}) }
+
+// CompileOpts runs the pipeline with explicit options.
+func CompileOpts(p *ir.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	full, err := stg.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	var cg *stg.Graph
+	if opts.NoCondense {
+		cg = condenseLeaves(full)
+	} else {
+		cg = full.CondenseProfiled(opts.BranchProbs)
+	}
+	sl, err := slicer.Run(p, cg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.NoSlice {
+		sl.Retained = map[ir.Stmt]bool{}
+	}
+	res := &Result{
+		Original:  p,
+		Graph:     cg,
+		FullGraph: full,
+		Slice:     sl,
+		TaskVars:  append([]string{}, cg.TaskVars...),
+	}
+	em := &emitter{prog: p, slice: sl, graph: cg}
+	res.Simplified, res.DummyElems, err = em.simplified()
+	if err != nil {
+		return nil, err
+	}
+	res.Timer = em.timer()
+	if err := res.Simplified.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: emitted simplified program invalid: %w", err)
+	}
+	if err := res.Timer.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: emitted timer program invalid: %w", err)
+	}
+	return res, nil
+}
+
+// condenseLeaves is the ablation variant: condense each comm-free leaf
+// node separately instead of maximal regions.
+func condenseLeaves(full *stg.Graph) *stg.Graph {
+	// Reuse Condense but force region breaks by condensing single nodes:
+	// build a graph where every node is its own region. Implemented by
+	// condensing the full graph and then... simplest faithful approach:
+	// condense each compute node individually via a recursive rebuild.
+	ng := &stg.Graph{Program: full.Program}
+	var rec func(ns []*stg.Node) []*stg.Node
+	rec = func(ns []*stg.Node) []*stg.Node {
+		var out []*stg.Node
+		for _, n := range ns {
+			switch n.Kind {
+			case stg.KindComm:
+				out = append(out, n)
+			case stg.KindLoop:
+				cp := *n
+				cp.Children = rec(n.Children)
+				out = append(out, &cp)
+			case stg.KindBranch:
+				cp := *n
+				cp.Then = rec(n.Then)
+				cp.Else = rec(n.Else)
+				out = append(out, &cp)
+			case stg.KindCompute:
+				c := &stg.Node{
+					ID:      n.ID,
+					Kind:    stg.KindCondensed,
+					Guard:   n.Guard,
+					Stmts:   n.Stmts,
+					TaskVar: fmt.Sprintf("w_%d", len(ng.TaskVars)+1),
+				}
+				c.Units = ir.Simplify(stg.UnitsOf(n.Stmts))
+				c.Label = "task " + c.TaskVar
+				ng.TaskVars = append(ng.TaskVars, c.TaskVar)
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	ng.Roots = rec(full.Roots)
+	return ng
+}
+
+type emitter struct {
+	prog  *ir.Program
+	slice *slicer.Slice
+	graph *stg.Graph
+}
+
+// simplified emits the delay-call program.
+func (em *emitter) simplified() (*ir.Program, ir.Expr, error) {
+	out := &ir.Program{
+		Name:   em.prog.Name + "_simplified",
+		Params: append([]string{}, em.prog.Params...),
+	}
+	// Kept arrays keep their declarations.
+	for _, d := range em.prog.Arrays {
+		if em.slice.KeptArrays[d.Name] {
+			out.Arrays = append(out.Arrays, d)
+		}
+	}
+	// Dummy buffer sized to the largest replaced message.
+	var dummyElems ir.Expr
+	if len(em.slice.DummyArrays) > 0 {
+		seen := map[string]bool{}
+		var sizes []ir.Expr
+		for _, e := range em.slice.MsgElems {
+			if key := e.String(); !seen[key] {
+				seen[key] = true
+				sizes = append(sizes, e)
+			}
+		}
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i].String() < sizes[j].String() })
+		max := sizes[0]
+		for _, e := range sizes[1:] {
+			max = ir.MaxE(max, e)
+		}
+		dummyElems = em.resolveStartup(ir.Simplify(max))
+		out.Arrays = append(out.Arrays, &ir.ArrayDecl{
+			Name: DummyBufferName, Dims: []ir.Expr{dummyElems}, Elem: 8,
+		})
+	}
+	body := em.emitSimplifiedSeq(em.graph.Roots)
+	if len(em.graph.TaskVars) > 0 {
+		body = append([]ir.Stmt{&ir.ReadTaskTimes{Names: em.graph.TaskVars}}, body...)
+	}
+	out.Body = body
+	return out, dummyElems, nil
+}
+
+func (em *emitter) emitSimplifiedSeq(ns []*stg.Node) []ir.Stmt {
+	var out []ir.Stmt
+	for _, n := range ns {
+		switch n.Kind {
+		case stg.KindCondensed:
+			out = append(out, em.retainedSubset(n.Stmts)...)
+			out = append(out, &ir.Delay{
+				Seconds: ir.Mul(n.Units, ir.S(n.TaskVar)),
+				Task:    n.TaskVar,
+			})
+		case stg.KindLoop:
+			f := n.Stmts[0].(*ir.For)
+			out = append(out, &ir.For{
+				Var: f.Var, Lo: f.Lo, Hi: f.Hi, Label: f.Label,
+				Body: em.emitSimplifiedSeq(n.Children),
+			})
+		case stg.KindBranch:
+			br := n.Stmts[0].(*ir.If)
+			out = append(out, &ir.If{
+				Cond: br.Cond,
+				Then: em.emitSimplifiedSeq(n.Then),
+				Else: em.emitSimplifiedSeq(n.Else),
+			})
+		case stg.KindComm:
+			out = append(out, em.rewriteComm(n.Stmts[0]))
+		}
+	}
+	return out
+}
+
+// retainedSubset extracts the sliced statements of a condensed region,
+// preserving the control structure that encloses them.
+func (em *emitter) retainedSubset(stmts []ir.Stmt) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range stmts {
+		if !em.slice.Retained[s] {
+			continue
+		}
+		switch x := s.(type) {
+		case *ir.For:
+			out = append(out, &ir.For{
+				Var: x.Var, Lo: x.Lo, Hi: x.Hi, Label: x.Label,
+				Body: em.retainedSubset(x.Body),
+			})
+		case *ir.If:
+			out = append(out, &ir.If{
+				Cond: x.Cond,
+				Then: em.retainedSubset(x.Then),
+				Else: em.retainedSubset(x.Else),
+			})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// rewriteComm replaces payload arrays by the dummy buffer when the slice
+// allows it.
+func (em *emitter) rewriteComm(s ir.Stmt) ir.Stmt {
+	switch x := s.(type) {
+	case *ir.Send:
+		if em.slice.DummyArrays[x.Array] {
+			return &ir.Send{Dest: x.Dest, Tag: x.Tag, Array: DummyBufferName,
+				Section: []ir.Range{{Lo: ir.N(1), Hi: em.slice.MsgElems[s]}}}
+		}
+	case *ir.Recv:
+		if em.slice.DummyArrays[x.Array] {
+			return &ir.Recv{Src: x.Src, Tag: x.Tag, Array: DummyBufferName,
+				Section: []ir.Range{{Lo: ir.N(1), Hi: em.slice.MsgElems[s]}}}
+		}
+	}
+	return s
+}
+
+// timer emits the instrumented program: the original computation with a
+// Timed wrapper around every condensed task.
+func (em *emitter) timer() *ir.Program {
+	out := &ir.Program{
+		Name:   em.prog.Name + "_timer",
+		Params: append([]string{}, em.prog.Params...),
+		Arrays: em.prog.Arrays,
+	}
+	out.Body = em.emitTimerSeq(em.graph.Roots)
+	return out
+}
+
+func (em *emitter) emitTimerSeq(ns []*stg.Node) []ir.Stmt {
+	var out []ir.Stmt
+	for _, n := range ns {
+		switch n.Kind {
+		case stg.KindCondensed:
+			out = append(out, &ir.Timed{ID: n.TaskVar, Units: n.Units, Body: n.Stmts})
+		case stg.KindLoop:
+			f := n.Stmts[0].(*ir.For)
+			out = append(out, &ir.For{
+				Var: f.Var, Lo: f.Lo, Hi: f.Hi, Label: f.Label,
+				Body: em.emitTimerSeq(n.Children),
+			})
+		case stg.KindBranch:
+			br := n.Stmts[0].(*ir.If)
+			out = append(out, &ir.If{
+				Cond: br.Cond,
+				Then: em.emitTimerSeq(n.Then),
+				Else: em.emitTimerSeq(n.Else),
+			})
+		case stg.KindComm:
+			out = append(out, n.Stmts[0])
+		}
+	}
+	return out
+}
+
+// resolveStartup rewrites an expression so it is evaluable at program
+// start (array declaration time): computed scalars with a unique
+// top-level definition are forward-substituted by their defining
+// expressions (b -> ceil(N/P)). If unresolvable scalars remain, it falls
+// back to the conservative bound of the largest replaced array
+// ("allocate the buffer statically or dynamically ... depending on when
+// the required message sizes are known", paper §3.1).
+func (em *emitter) resolveStartup(e ir.Expr) ir.Expr {
+	defs := map[string]ir.Expr{}
+	multi := map[string]bool{}
+	ir.Walk(em.prog.Body, func(s ir.Stmt) bool {
+		if a, ok := s.(*ir.Assign); ok && !a.LHS.IsArray() {
+			if _, seen := defs[a.LHS.Name]; seen {
+				multi[a.LHS.Name] = true
+			}
+			defs[a.LHS.Name] = a.RHS
+		}
+		return true
+	})
+	inputs := map[string]bool{ir.BuiltinP: true, ir.BuiltinMyID: true}
+	for _, par := range em.prog.Params {
+		inputs[par] = true
+	}
+	cur := e
+	for depth := 0; depth < 10; depth++ {
+		unresolved := em.unresolvedScalars(cur, inputs)
+		if len(unresolved) == 0 && !ir.HasArrayRef(cur) {
+			return ir.Simplify(cur)
+		}
+		if ir.HasArrayRef(cur) {
+			break
+		}
+		progress := false
+		for _, name := range unresolved {
+			if rhs, ok := defs[name]; ok && !multi[name] && !ir.HasArrayRef(rhs) {
+				cur = ir.SubstScalar(cur, name, rhs)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Fallback: the largest replaced array bounds any section of it.
+	var bound ir.Expr
+	for _, d := range em.prog.Arrays {
+		if !em.slice.DummyArrays[d.Name] {
+			continue
+		}
+		var total ir.Expr = ir.N(1)
+		for _, dim := range d.Dims {
+			total = ir.Mul(total, dim)
+		}
+		if bound == nil {
+			bound = total
+		} else {
+			bound = ir.MaxE(bound, total)
+		}
+	}
+	if bound == nil {
+		bound = ir.N(1)
+	}
+	return ir.Simplify(bound)
+}
+
+func (em *emitter) unresolvedScalars(e ir.Expr, inputs map[string]bool) []string {
+	set := map[string]bool{}
+	ir.ScalarsIn(e, set, nil)
+	var out []string
+	for n := range set {
+		if !inputs[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary renders a human-readable compilation report.
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "compilation of %s\n", r.Original.Name)
+	fmt.Fprintf(&sb, "  STG nodes: %d full, %d condensed\n",
+		r.FullGraph.NodeCount(), r.Graph.NodeCount())
+	fmt.Fprintf(&sb, "  condensed tasks: %d (%s)\n", len(r.TaskVars), strings.Join(r.TaskVars, ", "))
+	fmt.Fprintf(&sb, "  relevant variables: %s\n", strings.Join(r.Slice.RelevantSorted(), ", "))
+	var kept, dummy []string
+	for n := range r.Slice.KeptArrays {
+		kept = append(kept, n)
+	}
+	for n := range r.Slice.DummyArrays {
+		dummy = append(dummy, n)
+	}
+	sort.Strings(kept)
+	sort.Strings(dummy)
+	fmt.Fprintf(&sb, "  arrays kept: [%s], replaced by dummy buffer: [%s], eliminated: %v\n",
+		strings.Join(kept, " "), strings.Join(dummy, " "), r.Slice.EliminatedArrays(r.Original))
+	if r.DummyElems != nil {
+		fmt.Fprintf(&sb, "  dummy buffer elements: %s\n", r.DummyElems)
+	}
+	return sb.String()
+}

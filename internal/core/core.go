@@ -1,0 +1,261 @@
+// Package core is the end-to-end integration of the paper's contribution:
+// the dhpf-side compilation (static task graph, condensation, slicing,
+// simplified-program emission) coupled with the MPI-Sim simulation modes.
+// It drives the complete Figure-2 workflow:
+//
+//	source program --compiler--> simplified MPI code + MPI code with timers
+//	timers on the (modeled) parallel system --> measured task times w_i
+//	simplified code + w_i --MPI-Sim--> performance estimates (MPI-SIM-AM)
+//
+// Three evaluation modes correspond to the paper's columns:
+//
+//	Measured   - the original program on the detailed machine model
+//	             (stand-in for running on the real machine);
+//	DirectExec - MPI-SIM-DE: direct execution of the computation with the
+//	             simulator's analytic communication model;
+//	Abstract   - MPI-SIM-AM: the compiler-simplified program with
+//	             calibrated delays.
+package core
+
+import (
+	"fmt"
+
+	"mpisim/internal/compiler"
+	"mpisim/internal/interp"
+	"mpisim/internal/ir"
+	"mpisim/internal/machine"
+	"mpisim/internal/mpi"
+)
+
+// Mode selects how a program configuration is evaluated.
+type Mode int
+
+// Evaluation modes.
+const (
+	// Measured is the ground truth: full computation on the detailed
+	// communication model.
+	Measured Mode = iota
+	// DirectExec is MPI-SIM-DE: full computation, analytic communication.
+	DirectExec
+	// Abstract is MPI-SIM-AM: the simplified program with delay calls.
+	Abstract
+	// PureAnalytic is the paper's §5 extension: the simplified program
+	// with the abstract communication model — analytical models for both
+	// the sequential tasks and the communication, with no event-level
+	// simulation at all. Fastest, least accurate on dependence-heavy
+	// codes (it ignores pipelining and wavefront serialization, the
+	// §1 critique of fully abstract simulation).
+	PureAnalytic
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Measured:
+		return "measured"
+	case DirectExec:
+		return "MPI-SIM-DE"
+	case Abstract:
+		return "MPI-SIM-AM"
+	case PureAnalytic:
+		return "MPI-SIM-AM/abstract-comm"
+	}
+	return "unknown"
+}
+
+// Runner owns a compiled application and a target machine, and runs it
+// in any mode.
+type Runner struct {
+	Program  *ir.Program
+	Machine  *machine.Model
+	Compiled *compiler.Result
+	// TaskTimes is the current w_i calibration table (set by Calibrate
+	// or manually).
+	TaskTimes map[string]float64
+	// HostWorkers configures the simulation engine for subsequent runs.
+	HostWorkers  int
+	RealParallel bool
+	// MemoryLimit bounds simulated target memory for DE/measured runs
+	// (0 = unlimited). AM runs are never limited: their footprint is the
+	// point of the technique.
+	MemoryLimit int64
+	// CollectMatrix enables rank-to-rank communication matrices in run
+	// reports.
+	CollectMatrix bool
+	// CollectTrace enables per-rank activity segments in run reports.
+	CollectTrace bool
+	// ProfileBranches enables the paper's §3.1 profiling refinement:
+	// Calibrate first measures the taken-probability of every branch,
+	// recompiles so that conditionals folded into condensed tasks are
+	// weighted by their measured probabilities instead of 0.5, and then
+	// calibrates the w_i against the refined scaling functions.
+	ProfileBranches bool
+}
+
+// NewRunner compiles the program for the given machine.
+func NewRunner(p *ir.Program, m *machine.Model) (*Runner, error) {
+	res, err := compiler.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{Program: p, Machine: m, Compiled: res}, nil
+}
+
+// Calibrate runs the timer-instrumented program on a reference
+// configuration and stores the measured w_i table (paper §3.3: "measure
+// task times for one or a few selected problem sizes and number of
+// processors"). It returns the table.
+func (r *Runner) Calibrate(ranks int, inputs map[string]float64) (map[string]float64, error) {
+	if r.ProfileBranches {
+		bp := interp.NewBranchProfile()
+		if _, err := interp.Run(r.Compiled.Timer, interp.Config{
+			Ranks: ranks, Machine: r.Machine, Comm: mpi.Detailed,
+			Inputs: inputs, BranchProfile: bp,
+			HostWorkers: r.HostWorkers, RealParallel: r.RealParallel,
+		}); err != nil {
+			return nil, fmt.Errorf("core: branch-profiling run: %w", err)
+		}
+		refined, err := compiler.CompileOpts(r.Program,
+			compiler.Options{BranchProbs: bp.Probabilities()})
+		if err != nil {
+			return nil, fmt.Errorf("core: recompile with branch profile: %w", err)
+		}
+		r.Compiled = refined
+	}
+	cal := interp.NewCalibration()
+	_, err := interp.Run(r.Compiled.Timer, interp.Config{
+		Ranks: ranks, Machine: r.Machine, Comm: mpi.Detailed,
+		Inputs: inputs, Calibration: cal,
+		HostWorkers: r.HostWorkers, RealParallel: r.RealParallel,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: calibration run: %w", err)
+	}
+	r.TaskTimes = cal.TaskTimes()
+	return r.TaskTimes, nil
+}
+
+// Run evaluates the configuration in the given mode.
+func (r *Runner) Run(mode Mode, ranks int, inputs map[string]float64) (*mpi.Report, error) {
+	cfg := interp.Config{
+		Ranks: ranks, Machine: r.Machine, Inputs: inputs,
+		HostWorkers: r.HostWorkers, RealParallel: r.RealParallel,
+		CollectMatrix: r.CollectMatrix,
+		CollectTrace:  r.CollectTrace,
+	}
+	switch mode {
+	case Measured:
+		cfg.Comm = mpi.Detailed
+		cfg.MemoryLimit = r.MemoryLimit
+		return interp.Run(r.Program, cfg)
+	case DirectExec:
+		cfg.Comm = mpi.Analytic
+		cfg.MemoryLimit = r.MemoryLimit
+		return interp.Run(r.Program, cfg)
+	case Abstract:
+		if r.TaskTimes == nil {
+			return nil, fmt.Errorf("core: Abstract mode requires Calibrate first")
+		}
+		cfg.Comm = mpi.Analytic
+		cfg.TaskTimes = r.TaskTimes
+		return interp.Run(r.Compiled.Simplified, cfg)
+	case PureAnalytic:
+		if r.TaskTimes == nil {
+			return nil, fmt.Errorf("core: PureAnalytic mode requires task times (Calibrate or EstimateTaskTimes)")
+		}
+		cfg.Comm = mpi.AbstractComm
+		cfg.TaskTimes = r.TaskTimes
+		return interp.Run(r.Compiled.Simplified, cfg)
+	}
+	return nil, fmt.Errorf("core: unknown mode %d", mode)
+}
+
+// EstimateTaskTimes sets the w_i table from a purely static compiler
+// estimate instead of measurement: one abstract operation costs the
+// machine's OpTime scaled by the cache factor of the per-rank working
+// set at the given reference configuration. This is the paper's §3.3
+// alternative (a), "compiler support for estimating sequential task
+// execution times analytically" — no program execution is needed at all.
+func (r *Runner) EstimateTaskTimes(ranks int, inputs map[string]float64) (map[string]float64, error) {
+	total, err := r.DEMemory(ranks, inputs)
+	if err != nil {
+		return nil, err
+	}
+	perRank := total / int64(ranks)
+	w := r.Machine.ComputeTime(1, perRank)
+	tt := make(map[string]float64, len(r.Compiled.TaskVars))
+	for _, name := range r.Compiled.TaskVars {
+		tt[name] = w
+	}
+	r.TaskTimes = tt
+	return tt, nil
+}
+
+// Validation compares the three modes on one configuration.
+type Validation struct {
+	Ranks                        int
+	MeasuredTime, DETime, AMTime float64
+	// DEError and AMError are relative errors against Measured.
+	DEError, AMError          float64
+	MeasuredRep, DERep, AMRep *mpi.Report
+}
+
+// Validate runs measured, DE and AM on the configuration, calibrating at
+// (calRanks, calInputs) if no task-time table is present yet.
+func (r *Runner) Validate(ranks int, inputs map[string]float64,
+	calRanks int, calInputs map[string]float64) (*Validation, error) {
+	if r.TaskTimes == nil {
+		if _, err := r.Calibrate(calRanks, calInputs); err != nil {
+			return nil, err
+		}
+	}
+	meas, err := r.Run(Measured, ranks, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("core: measured run: %w", err)
+	}
+	de, err := r.Run(DirectExec, ranks, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("core: DE run: %w", err)
+	}
+	am, err := r.Run(Abstract, ranks, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("core: AM run: %w", err)
+	}
+	v := &Validation{
+		Ranks:        ranks,
+		MeasuredTime: meas.Time, DETime: de.Time, AMTime: am.Time,
+		MeasuredRep: meas, DERep: de, AMRep: am,
+	}
+	if meas.Time > 0 {
+		v.DEError = relAbs(de.Time, meas.Time)
+		v.AMError = relAbs(am.Time, meas.Time)
+	}
+	return v, nil
+}
+
+func relAbs(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
+// DEMemory estimates the direct-execution simulator's target-state
+// memory for a configuration without running it.
+func (r *Runner) DEMemory(ranks int, inputs map[string]float64) (int64, error) {
+	return interp.MemoryEstimate(r.Program, ranks, inputs)
+}
+
+// AMMemory estimates the optimized simulator's target-state memory for a
+// configuration without running it (the simplified program's arrays).
+func (r *Runner) AMMemory(ranks int, inputs map[string]float64) (int64, error) {
+	return interp.MemoryEstimate(r.Compiled.Simplified, ranks, inputs)
+}
+
+// Lookahead returns the conservative lookahead (the machine's minimum
+// network latency), used by the host-cost model.
+func (r *Runner) Lookahead() float64 { return r.Machine.Net.Latency }

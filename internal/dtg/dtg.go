@@ -1,0 +1,227 @@
+// Package dtg builds the dynamic task graph of a simulated execution:
+// the unrolled DAG of executed task instances and the messages between
+// them. The paper's static task graph is "a compact, symbolic
+// representation ... independent of specific program input values or the
+// number of processors"; the dynamic task graph is its instantiation for
+// one run (the paper cites its own companion work on static *and
+// dynamic* task graph synthesis [3], and the POEMS environment consumes
+// both).
+//
+// The graph supports classic task-graph analyses: total work, critical
+// path, average parallelism, and what-if replays (e.g. an idealized
+// zero-latency network), giving bounds that complement the simulator's
+// point predictions.
+package dtg
+
+import (
+	"fmt"
+	"sort"
+
+	"mpisim/internal/mpi"
+)
+
+// Node is one executed task instance on one rank.
+type Node struct {
+	ID   int
+	Rank int
+	Kind mpi.SegKind
+	// Start and End are the simulated times of the instance.
+	Start, End float64
+	// Duration is End-Start (the task's work).
+	Duration float64
+}
+
+// Edge is a dependence between task instances: either program order on a
+// rank (Delay == 0 and same rank) or a message (Delay = network time).
+type Edge struct {
+	From, To int // node IDs
+	// Delay is the time the dependence takes to propagate (message
+	// network time; zero for program order).
+	Delay float64
+}
+
+// Graph is a dynamic task graph.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+	// SimTime is the simulated end time of the run the graph came from.
+	SimTime float64
+	// in[v] lists edges into node v (built lazily).
+	in [][]int
+}
+
+// Build constructs the dynamic task graph from a traced report
+// (Config.CollectTrace). Blocked segments become scheduling slack, not
+// nodes; every other segment is a task instance chained in rank order,
+// and every received message adds an edge from the sender's task that
+// issued it to the receiver's first task at or after the completion.
+func Build(rep *mpi.Report) (*Graph, error) {
+	if rep.Traces == nil {
+		return nil, fmt.Errorf("dtg: report has no traces (run with CollectTrace)")
+	}
+	g := &Graph{SimTime: rep.Time}
+	// Per rank: nodes in time order, chained.
+	rankNodes := make([][]int, len(rep.Traces))
+	for rank, segs := range rep.Traces {
+		prev := -1
+		for _, s := range segs {
+			if s.Kind == mpi.SegBlocked {
+				continue
+			}
+			id := len(g.Nodes)
+			g.Nodes = append(g.Nodes, Node{
+				ID: id, Rank: rank, Kind: s.Kind,
+				Start: s.Start, End: s.End, Duration: s.End - s.Start,
+			})
+			rankNodes[rank] = append(rankNodes[rank], id)
+			if prev >= 0 {
+				g.Edges = append(g.Edges, Edge{From: prev, To: id})
+			}
+			prev = id
+		}
+	}
+	// Message edges.
+	for rank, events := range rep.CommEvents {
+		for _, e := range events {
+			src := lastNodeEndingBy(g, rankNodes[e.From], e.SendTime)
+			dst := firstNodeStartingAt(g, rankNodes[rank], e.Complete)
+			if src < 0 || dst < 0 {
+				continue // boundary sends with no surrounding task
+			}
+			g.Edges = append(g.Edges, Edge{From: src, To: dst, Delay: e.Arrival - e.SendTime})
+		}
+	}
+	return g, nil
+}
+
+// lastNodeEndingBy finds the last node in ids (time ordered) whose end
+// is <= t (with slack for float rounding).
+func lastNodeEndingBy(g *Graph, ids []int, t float64) int {
+	const eps = 1e-12
+	i := sort.Search(len(ids), func(i int) bool { return g.Nodes[ids[i]].End > t+eps })
+	if i == 0 {
+		return -1
+	}
+	return ids[i-1]
+}
+
+// firstNodeStartingAt finds the first node in ids whose start is >= t
+// (with slack).
+func firstNodeStartingAt(g *Graph, ids []int, t float64) int {
+	const eps = 1e-12
+	i := sort.Search(len(ids), func(i int) bool { return g.Nodes[ids[i]].Start >= t-eps })
+	if i == len(ids) {
+		return -1
+	}
+	return ids[i]
+}
+
+// TotalWork sums all task durations: the serial execution time of the
+// computation and communication CPU work.
+func (g *Graph) TotalWork() float64 {
+	total := 0.0
+	for _, n := range g.Nodes {
+		total += n.Duration
+	}
+	return total
+}
+
+// incoming builds the reverse adjacency index.
+func (g *Graph) incoming() [][]int {
+	if g.in == nil {
+		g.in = make([][]int, len(g.Nodes))
+		for ei, e := range g.Edges {
+			g.in[e.To] = append(g.in[e.To], ei)
+		}
+	}
+	return g.in
+}
+
+// Replay recomputes every node's finish time honoring the dependence
+// structure, with message delays scaled by latencyScale (1 = as
+// simulated, 0 = idealized zero-latency network). It returns the
+// resulting makespan. Nodes are processed in start-time order, which is
+// a valid topological order of the recorded execution.
+func (g *Graph) Replay(latencyScale float64) float64 {
+	order := make([]int, len(g.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := g.Nodes[order[a]], g.Nodes[order[b]]
+		if na.Start != nb.Start {
+			return na.Start < nb.Start
+		}
+		return na.ID < nb.ID
+	})
+	in := g.incoming()
+	finish := make([]float64, len(g.Nodes))
+	makespan := 0.0
+	for _, v := range order {
+		ready := 0.0
+		for _, ei := range in[v] {
+			e := g.Edges[ei]
+			if t := finish[e.From] + e.Delay*latencyScale; t > ready {
+				ready = t
+			}
+		}
+		finish[v] = ready + g.Nodes[v].Duration
+		if finish[v] > makespan {
+			makespan = finish[v]
+		}
+	}
+	return makespan
+}
+
+// CriticalPath returns the dependence-respecting makespan with message
+// delays as simulated. It is a lower bound on (and for well-formed
+// traces very close to) the simulated execution time: the difference is
+// scheduling slack the simulation observed but the DAG does not force.
+func (g *Graph) CriticalPath() float64 { return g.Replay(1) }
+
+// AvgParallelism is total work divided by the critical path: the classic
+// task-graph parallelism metric.
+func (g *Graph) AvgParallelism() float64 {
+	cp := g.CriticalPath()
+	if cp == 0 {
+		return 0
+	}
+	return g.TotalWork() / cp
+}
+
+// Stats summarizes the graph.
+type Stats struct {
+	Nodes, Edges   int
+	TotalWork      float64
+	CriticalPath   float64
+	AvgParallelism float64
+	// ZeroLatency is the replayed makespan on an idealized network.
+	ZeroLatency float64
+	// SimTime is the simulated execution time for reference.
+	SimTime float64
+}
+
+// Summarize computes all graph statistics.
+func (g *Graph) Summarize() Stats {
+	return Stats{
+		Nodes:          len(g.Nodes),
+		Edges:          len(g.Edges),
+		TotalWork:      g.TotalWork(),
+		CriticalPath:   g.CriticalPath(),
+		AvgParallelism: g.AvgParallelism(),
+		ZeroLatency:    g.Replay(0),
+		SimTime:        g.SimTime,
+	}
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"dynamic task graph: %d tasks, %d edges\n"+
+			"  total work        %.6gs\n"+
+			"  critical path     %.6gs (simulated %.6gs)\n"+
+			"  avg parallelism   %.2f\n"+
+			"  zero-latency net  %.6gs",
+		s.Nodes, s.Edges, s.TotalWork, s.CriticalPath, s.SimTime,
+		s.AvgParallelism, s.ZeroLatency)
+}

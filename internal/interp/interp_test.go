@@ -1,0 +1,420 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mpisim/internal/ir"
+	"mpisim/internal/machine"
+	"mpisim/internal/mpi"
+)
+
+func baseConfig(ranks int) Config {
+	return Config{Ranks: ranks, Machine: machine.IBMSP(), Comm: mpi.Analytic,
+		Inputs: map[string]float64{}}
+}
+
+func run(t *testing.T, p *ir.Program, cfg Config) *mpi.Report {
+	t.Helper()
+	rep, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", p.Name, err)
+	}
+	return rep
+}
+
+// scalarProbe builds a program that computes into array R(1) so tests can
+// verify values via a final allreduce... simpler: use a 1-element array
+// and a Send to rank 0? Values are internal to the simulation, so tests
+// verify behaviour through timing, memory and error channels, plus data
+// movement via cross-rank round trips that would deadlock or mismatch on
+// error.
+
+func TestSimpleComputeTime(t *testing.T) {
+	// x = 1+2 executed once: cost = 1 store + 1 op = 2 ops.
+	p := &ir.Program{
+		Name: "simple",
+		Body: ir.Block(ir.SetS("x", ir.Add(ir.N(1), ir.N(2)))),
+	}
+	m := machine.IBMSP()
+	cfg := baseConfig(1)
+	rep := run(t, p, cfg)
+	want := m.ComputeTime(2, 0)
+	if math.Abs(rep.Time-want) > 1e-15 {
+		t.Fatalf("Time = %v, want %v", rep.Time, want)
+	}
+}
+
+func TestLoopOpAccounting(t *testing.T) {
+	// do i=1,10 { x = i } : head 1 + 10*(1 iter + (1 store)) = 1+10*2 = 21
+	p := &ir.Program{
+		Name: "loop",
+		Body: ir.Block(ir.Loop("", "i", ir.N(1), ir.N(10), ir.SetS("x", ir.S("i")))),
+	}
+	m := machine.IBMSP()
+	rep := run(t, p, baseConfig(1))
+	want := m.ComputeTime(21, 0)
+	if math.Abs(rep.Time-want) > 1e-15 {
+		t.Fatalf("Time = %v, want %v", rep.Time, want)
+	}
+}
+
+func TestEmptyLoopRuns(t *testing.T) {
+	p := &ir.Program{
+		Name: "empty",
+		Body: ir.Block(ir.Loop("", "i", ir.N(5), ir.N(4), ir.SetS("x", ir.N(1)))),
+	}
+	rep := run(t, p, baseConfig(1))
+	m := machine.IBMSP()
+	if rep.Time != m.ComputeTime(1, 0) { // loop head only
+		t.Fatalf("Time = %v", rep.Time)
+	}
+}
+
+func TestArrayAllocationAndMemory(t *testing.T) {
+	p := &ir.Program{
+		Name:   "alloc",
+		Params: []string{"N"},
+		Arrays: []*ir.ArrayDecl{
+			{Name: "A", Dims: []ir.Expr{ir.S("N"), ir.CeilDiv(ir.S("N"), ir.S(ir.BuiltinP))}, Elem: 8},
+		},
+		Body: ir.Block(ir.SetA("A", ir.IX(ir.N(1), ir.N(1)), ir.N(42))),
+	}
+	cfg := baseConfig(4)
+	cfg.Inputs["N"] = 100
+	rep := run(t, p, cfg)
+	// per rank: 100 x ceil(100/4)=25 elements x 8 bytes = 20000
+	for i, rs := range rep.Ranks {
+		if rs.PeakBytes != 20000 {
+			t.Fatalf("rank %d PeakBytes = %d, want 20000", i, rs.PeakBytes)
+		}
+	}
+	if rep.TotalPeakBytes != 80000 {
+		t.Fatalf("TotalPeakBytes = %d", rep.TotalPeakBytes)
+	}
+}
+
+func TestMissingInputFails(t *testing.T) {
+	p := &ir.Program{Name: "noin", Body: ir.Block(&ir.ReadInput{Var: "N"})}
+	_, err := Run(p, baseConfig(1))
+	if err == nil || !strings.Contains(err.Error(), "missing program input") {
+		t.Fatalf("expected missing input error, got %v", err)
+	}
+}
+
+func TestIndexOutOfBounds(t *testing.T) {
+	p := &ir.Program{
+		Name:   "oob",
+		Arrays: []*ir.ArrayDecl{{Name: "A", Dims: []ir.Expr{ir.N(5)}, Elem: 8}},
+		Body:   ir.Block(ir.SetS("x", ir.At("A", ir.N(9)))),
+	}
+	_, err := Run(p, baseConfig(1))
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("expected bounds error, got %v", err)
+	}
+}
+
+// shiftProgram moves each rank's value to its left neighbour and checks
+// it (a panic inside the If signals failure through the kernel).
+func shiftProgram() *ir.Program {
+	myid := ir.S(ir.BuiltinMyID)
+	return &ir.Program{
+		Name:   "shift",
+		Arrays: []*ir.ArrayDecl{{Name: "D", Dims: []ir.Expr{ir.N(4)}, Elem: 8}},
+		Body: ir.Block(
+			// D(1) = myid
+			ir.SetA("D", ir.IX(ir.N(1)), myid),
+			// send D(1:1) to myid-1
+			&ir.If{Cond: ir.GT(myid, ir.N(0)),
+				Then: ir.Block(&ir.Send{Dest: ir.Sub(myid, ir.N(1)), Tag: 1, Array: "D",
+					Section: ir.Pt(ir.N(1))})},
+			&ir.If{Cond: ir.LT(myid, ir.Sub(ir.S(ir.BuiltinP), ir.N(1))),
+				Then: ir.Block(&ir.Recv{Src: ir.Add(myid, ir.N(1)), Tag: 1, Array: "D",
+					Section: ir.Pt(ir.N(2))})},
+			// On non-last ranks, D(2) must now equal myid+1; flag into D(3).
+			ir.SetA("D", ir.IX(ir.N(3)), ir.EQ(ir.At("D", ir.IX(ir.N(2))...), ir.Add(myid, ir.N(1)))),
+		),
+	}
+}
+
+func TestShiftMovesData(t *testing.T) {
+	// Use a 1-element section round trip: rank1 sends its id to rank0;
+	// rank0 then sends what it received to rank 1's slot 2... The shift
+	// program already verifies locally: ensure it runs and time advanced.
+	rep := run(t, shiftProgram(), baseConfig(4))
+	if rep.Time <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	// 3 sends happen (ranks 1..3).
+	var msgs int64
+	for _, rs := range rep.Ranks {
+		msgs += rs.MsgsSent
+	}
+	if msgs != 3 {
+		t.Fatalf("MsgsSent total = %d, want 3", msgs)
+	}
+}
+
+func TestDataIntegrityAcrossRanks(t *testing.T) {
+	// Rank 0 computes a value, sends it to rank 1; rank 1 checks it and
+	// sends a transformed value back; rank 0 validates, panicking on
+	// mismatch (the assertion is an If whose branch indexes out of
+	// bounds on failure — a visible error channel).
+	myid := ir.S(ir.BuiltinMyID)
+	fail := ir.SetS("x", ir.At("D", ir.N(99))) // out of bounds => panic
+	p := &ir.Program{
+		Name:   "integrity",
+		Arrays: []*ir.ArrayDecl{{Name: "D", Dims: []ir.Expr{ir.N(4)}, Elem: 8}},
+		Body: ir.Block(
+			&ir.If{Cond: ir.EQ(myid, ir.N(0)), Then: ir.Block(
+				ir.SetA("D", ir.IX(ir.N(1)), ir.N(7)),
+				&ir.Send{Dest: ir.N(1), Tag: 5, Array: "D", Section: ir.Pt(ir.N(1))},
+				&ir.Recv{Src: ir.N(1), Tag: 6, Array: "D", Section: ir.Pt(ir.N(2))},
+				&ir.If{Cond: ir.NE(ir.At("D", ir.N(2)), ir.N(21)), Then: ir.Block(fail)},
+			)},
+			&ir.If{Cond: ir.EQ(myid, ir.N(1)), Then: ir.Block(
+				&ir.Recv{Src: ir.N(0), Tag: 5, Array: "D", Section: ir.Pt(ir.N(1))},
+				&ir.If{Cond: ir.NE(ir.At("D", ir.N(1)), ir.N(7)), Then: ir.Block(fail)},
+				ir.SetA("D", ir.IX(ir.N(2)), ir.Mul(ir.At("D", ir.N(1)), ir.N(3))),
+				&ir.Send{Dest: ir.N(0), Tag: 6, Array: "D", Section: ir.Pt(ir.N(2))},
+			)},
+		),
+	}
+	run(t, p, baseConfig(2))
+}
+
+func TestAllreduceValues(t *testing.T) {
+	// r = myid; allreduce sum; every rank then asserts r == P*(P-1)/2.
+	fail := ir.SetS("x", ir.At("Z", ir.N(99)))
+	p := &ir.Program{
+		Name:   "allred",
+		Arrays: []*ir.ArrayDecl{{Name: "Z", Dims: []ir.Expr{ir.N(2)}, Elem: 8}},
+		Body: ir.Block(
+			ir.SetS("r", ir.S(ir.BuiltinMyID)),
+			&ir.Allreduce{Op: "sum", Vars: []string{"r"}},
+			&ir.If{Cond: ir.NE(ir.S("r"), ir.N(6)), Then: ir.Block(fail)},
+		),
+	}
+	run(t, p, baseConfig(4)) // 0+1+2+3 = 6
+}
+
+func TestBcastValues(t *testing.T) {
+	fail := ir.SetS("x", ir.At("Z", ir.N(99)))
+	p := &ir.Program{
+		Name:   "bcast",
+		Arrays: []*ir.ArrayDecl{{Name: "Z", Dims: []ir.Expr{ir.N(2)}, Elem: 8}},
+		Body: ir.Block(
+			&ir.If{Cond: ir.EQ(ir.S(ir.BuiltinMyID), ir.N(2)),
+				Then: ir.Block(ir.SetS("v", ir.N(13)))},
+			&ir.Bcast{Root: ir.N(2), Vars: []string{"v"}},
+			&ir.If{Cond: ir.NE(ir.S("v"), ir.N(13)), Then: ir.Block(fail)},
+		),
+	}
+	run(t, p, baseConfig(5))
+}
+
+func TestBarrierStmt(t *testing.T) {
+	p := &ir.Program{Name: "bar", Body: ir.Block(&ir.Barrier{})}
+	rep := run(t, p, baseConfig(4))
+	if rep.Time <= 0 {
+		t.Fatal("barrier cost nothing")
+	}
+}
+
+func TestDelayStmt(t *testing.T) {
+	p := &ir.Program{
+		Name: "delay",
+		Body: ir.Block(
+			ir.SetS("w_1", ir.N(1e-6)),
+			&ir.Delay{Seconds: ir.Mul(ir.S("w_1"), ir.N(1000)), Task: "t1"},
+		),
+	}
+	rep := run(t, p, baseConfig(1))
+	if rep.Ranks[0].DelayTime != 1e-3 {
+		t.Fatalf("DelayTime = %v, want 1e-3", rep.Ranks[0].DelayTime)
+	}
+}
+
+func TestReadTaskTimes(t *testing.T) {
+	p := &ir.Program{
+		Name: "rtt",
+		Body: ir.Block(
+			&ir.ReadTaskTimes{Names: []string{"w_1"}},
+			&ir.Delay{Seconds: ir.Mul(ir.S("w_1"), ir.N(100)), Task: "t1"},
+		),
+	}
+	cfg := baseConfig(3)
+	cfg.TaskTimes = map[string]float64{"w_1": 2e-5}
+	rep := run(t, p, cfg)
+	for i, rs := range rep.Ranks {
+		if math.Abs(float64(rs.DelayTime)-2e-3) > 1e-12 {
+			t.Fatalf("rank %d DelayTime = %v, want 2e-3", i, rs.DelayTime)
+		}
+	}
+}
+
+func TestTimedCalibration(t *testing.T) {
+	// Timed region: loop of 50 iterations with one assign each; units
+	// expression says 50 units. w = time/units must equal the machine op
+	// time times ops-per-unit.
+	p := &ir.Program{
+		Name: "timed",
+		Body: ir.Block(
+			&ir.Timed{ID: "w_1", Units: ir.N(50), Body: ir.Block(
+				ir.Loop("", "i", ir.N(1), ir.N(50), ir.SetS("x", ir.S("i"))),
+			)},
+		),
+	}
+	cal := NewCalibration()
+	cfg := baseConfig(2)
+	cfg.Calibration = cal
+	run(t, p, cfg)
+	tt := cal.TaskTimes()
+	w := tt["w_1"]
+	if w <= 0 {
+		t.Fatalf("calibrated w_1 = %v", w)
+	}
+	// ops per execution = 1 head + 50*(1+1) = 101 over 50 units; 2 ranks
+	// accumulate both but the ratio is invariant.
+	m := machine.IBMSP()
+	want := m.ComputeTime(101, 0) / 50
+	if math.Abs(w-want) > want*1e-9 {
+		t.Fatalf("w_1 = %v, want %v", w, want)
+	}
+	if cal.Samples("w_1") != 2 {
+		t.Fatalf("Samples = %d, want 2", cal.Samples("w_1"))
+	}
+	if ids := cal.IDs(); len(ids) != 1 || ids[0] != "w_1" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestCalibrationEmptyUnits(t *testing.T) {
+	c := NewCalibration()
+	c.Add("w_0", 1.0, 0)
+	if c.TaskTimes()["w_0"] != 0 {
+		t.Fatal("zero-unit task should calibrate to 0")
+	}
+}
+
+func TestMemoryLimitAborts(t *testing.T) {
+	p := &ir.Program{
+		Name:   "big",
+		Arrays: []*ir.ArrayDecl{{Name: "A", Dims: []ir.Expr{ir.N(1e6)}, Elem: 8}},
+		Body:   ir.Block(ir.SetS("x", ir.N(1))),
+	}
+	cfg := baseConfig(4)
+	cfg.MemoryLimit = 1 << 20 // 1 MB total, each rank wants 8 MB
+	_, err := Run(p, cfg)
+	if err == nil || !mpi.IsMemoryLimit(err) {
+		t.Fatalf("expected memory limit error, got %v", err)
+	}
+}
+
+func TestValidationRunsFirst(t *testing.T) {
+	p := &ir.Program{Name: "bad", Body: ir.Block(ir.SetS("x", ir.At("Nope", ir.N(1))))}
+	_, err := Run(p, baseConfig(1))
+	if err == nil || !strings.Contains(err.Error(), "undeclared array") {
+		t.Fatalf("expected validation error, got %v", err)
+	}
+}
+
+func TestSumExprEvaluation(t *testing.T) {
+	// x = sum(i,1,10,i) = 55; assert via If-failure channel.
+	fail := ir.SetS("y", ir.At("Z", ir.N(9)))
+	p := &ir.Program{
+		Name:   "sum",
+		Arrays: []*ir.ArrayDecl{{Name: "Z", Dims: []ir.Expr{ir.N(2)}, Elem: 8}},
+		Body: ir.Block(
+			ir.SetS("x", ir.SumE{Index: "i", Lo: ir.N(1), Hi: ir.N(10), Body: ir.S("i")}),
+			&ir.If{Cond: ir.NE(ir.S("x"), ir.N(55)), Then: ir.Block(fail)},
+		),
+	}
+	run(t, p, baseConfig(1))
+}
+
+func TestSumRestoresIndex(t *testing.T) {
+	fail := ir.SetS("y", ir.At("Z", ir.N(9)))
+	p := &ir.Program{
+		Name:   "sumidx",
+		Arrays: []*ir.ArrayDecl{{Name: "Z", Dims: []ir.Expr{ir.N(2)}, Elem: 8}},
+		Body: ir.Block(
+			ir.SetS("i", ir.N(77)),
+			ir.SetS("x", ir.SumE{Index: "i", Lo: ir.N(1), Hi: ir.N(3), Body: ir.S("i")}),
+			&ir.If{Cond: ir.NE(ir.S("i"), ir.N(77)), Then: ir.Block(fail)},
+		),
+	}
+	run(t, p, baseConfig(1))
+}
+
+func TestEmptySectionSkipsComm(t *testing.T) {
+	// Section with hi < lo: no message should be sent or received.
+	p := &ir.Program{
+		Name:   "empty-section",
+		Arrays: []*ir.ArrayDecl{{Name: "D", Dims: []ir.Expr{ir.N(4)}, Elem: 8}},
+		Body: ir.Block(
+			&ir.If{Cond: ir.EQ(ir.S(ir.BuiltinMyID), ir.N(0)), Then: ir.Block(
+				&ir.Send{Dest: ir.N(1), Tag: 1, Array: "D", Section: ir.Sec(ir.N(3), ir.N(2))})},
+			&ir.If{Cond: ir.EQ(ir.S(ir.BuiltinMyID), ir.N(1)), Then: ir.Block(
+				&ir.Recv{Src: ir.N(0), Tag: 1, Array: "D", Section: ir.Sec(ir.N(3), ir.N(2))})},
+		),
+	}
+	rep := run(t, p, baseConfig(2))
+	for _, rs := range rep.Ranks {
+		if rs.MsgsSent != 0 {
+			t.Fatal("empty section sent a message")
+		}
+	}
+}
+
+func TestFigure1EndToEnd(t *testing.T) {
+	// The paper's Figure 1(a): shift + compute nest, on several ranks.
+	myid := ir.S(ir.BuiltinMyID)
+	nArr := ir.S("N")
+	b := ir.S("b")
+	p := &ir.Program{
+		Name:   "figure1",
+		Params: []string{"N"},
+		Arrays: []*ir.ArrayDecl{
+			{Name: "A", Dims: []ir.Expr{nArr, ir.Add(ir.N(1), ir.CeilDiv(nArr, ir.S(ir.BuiltinP)))}, Elem: 8},
+			{Name: "D", Dims: []ir.Expr{nArr, ir.Add(ir.N(1), ir.CeilDiv(nArr, ir.S(ir.BuiltinP)))}, Elem: 8},
+		},
+		Body: ir.Block(
+			&ir.ReadInput{Var: "N"},
+			ir.SetS("b", ir.CeilDiv(nArr, ir.S(ir.BuiltinP))),
+			&ir.If{Cond: ir.GT(myid, ir.N(0)), Then: ir.Block(
+				&ir.Send{Dest: ir.Sub(myid, ir.N(1)), Tag: 1, Array: "D",
+					Section: ir.Sec(ir.N(2), ir.Sub(nArr, ir.N(1)), ir.N(1), ir.N(1))})},
+			&ir.If{Cond: ir.LT(myid, ir.Sub(ir.S(ir.BuiltinP), ir.N(1))), Then: ir.Block(
+				&ir.Recv{Src: ir.Add(myid, ir.N(1)), Tag: 1, Array: "D",
+					Section: ir.Sec(ir.N(2), ir.Sub(nArr, ir.N(1)), ir.Add(b, ir.N(1)), ir.Add(b, ir.N(1)))})},
+			ir.Loop("compute", "j",
+				ir.MaxE(ir.N(2), ir.N(1)),
+				ir.MinE(ir.Sub(nArr, ir.N(1)), b),
+				ir.Loop("", "i", ir.N(2), ir.Sub(nArr, ir.N(1)),
+					ir.SetA("A", ir.IX(ir.S("i"), ir.S("j")),
+						ir.Mul(ir.Add(ir.At("D", ir.S("i"), ir.S("j")),
+							ir.At("D", ir.S("i"), ir.Add(ir.S("j"), ir.N(1)))), ir.N(0.5))),
+				),
+			),
+		),
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(4)
+	cfg.Inputs["N"] = 64
+	rep := run(t, p, cfg)
+	if rep.Time <= 0 {
+		t.Fatal("no time simulated")
+	}
+	// Engine equivalence on a real program.
+	cfg2 := cfg
+	cfg2.HostWorkers = 3
+	cfg2.RealParallel = true
+	rep2 := run(t, p, cfg2)
+	if rep2.Time != rep.Time {
+		t.Fatalf("parallel engine time %v != sequential %v", rep2.Time, rep.Time)
+	}
+}

@@ -1,0 +1,44 @@
+package interp
+
+import (
+	"mpisim/internal/ir"
+)
+
+// MemoryEstimate returns the total bytes of target-program array state a
+// direct-execution simulation of the program would allocate across all
+// ranks, by evaluating the array dimension expressions per rank without
+// running the program. It reproduces how the paper reasons about the
+// memory wall of MPI-SIM-DE for configurations too large to actually run
+// (Table 1, Figures 10 and 11).
+func MemoryEstimate(p *ir.Program, ranks int, inputs map[string]float64) (int64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	cp, err := compile(p)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	f := &frame{cp: cp, scalars: make([]float64, cp.numScalars)}
+	for rank := 0; rank < ranks; rank++ {
+		f.scalars[cp.slotP] = float64(ranks)
+		f.scalars[cp.slotMyID] = float64(rank)
+		for name, v := range inputs {
+			if slot, ok := cp.slots[name]; ok {
+				f.scalars[slot] = v
+			}
+		}
+		for _, ad := range cp.arrays {
+			elems := int64(1)
+			for _, fn := range ad.dimFns {
+				v := int64(fn(f))
+				if v < 1 {
+					v = 1
+				}
+				elems *= v
+			}
+			total += elems * ad.elem
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,144 @@
+package ir
+
+// Def/use analysis at variable-name granularity (arrays are treated as
+// wholes), the conservative precision at which the slicer operates. This
+// matches the paper's setting: "the subset has to be conservative,
+// limited by the precision of static program analysis".
+
+// DefUse lists the variables a statement defines and uses. Partial array
+// definitions (element stores, received sections) count as both a def and
+// a use of the array, since the rest of the array flows through.
+type DefUse struct {
+	Defs map[string]bool
+	Uses map[string]bool
+}
+
+func newDefUse() DefUse {
+	return DefUse{Defs: map[string]bool{}, Uses: map[string]bool{}}
+}
+
+func (du DefUse) useExpr(e Expr) {
+	if e == nil {
+		return
+	}
+	ScalarsIn(e, du.Uses, du.Uses)
+}
+
+// StmtDefUse computes the def/use sets of a single statement, not
+// descending into nested bodies (For/If/Timed report only their header
+// expressions; the slicer walks bodies itself).
+func StmtDefUse(s Stmt) DefUse {
+	du := newDefUse()
+	switch x := s.(type) {
+	case *Assign:
+		if x.LHS.IsArray() {
+			// Element store: def+use of the array, use of the indices.
+			du.Defs[x.LHS.Name] = true
+			du.Uses[x.LHS.Name] = true
+			for _, i := range x.LHS.Index {
+				du.useExpr(i)
+			}
+		} else {
+			du.Defs[x.LHS.Name] = true
+		}
+		du.useExpr(x.RHS)
+	case *For:
+		du.Defs[x.Var] = true
+		du.useExpr(x.Lo)
+		du.useExpr(x.Hi)
+	case *If:
+		du.useExpr(x.Cond)
+	case *Send:
+		du.useExpr(x.Dest)
+		du.Uses[x.Array] = true
+		for _, r := range x.Section {
+			du.useExpr(r.Lo)
+			du.useExpr(r.Hi)
+		}
+	case *Recv:
+		du.useExpr(x.Src)
+		du.Defs[x.Array] = true
+		du.Uses[x.Array] = true // partial def
+		for _, r := range x.Section {
+			du.useExpr(r.Lo)
+			du.useExpr(r.Hi)
+		}
+	case *Allreduce:
+		for _, v := range x.Vars {
+			du.Defs[v] = true
+			du.Uses[v] = true
+		}
+	case *Bcast:
+		du.useExpr(x.Root)
+		for _, v := range x.Vars {
+			du.Defs[v] = true
+			du.Uses[v] = true
+		}
+	case *ReadInput:
+		du.Defs[x.Var] = true
+	case *Delay:
+		du.useExpr(x.Seconds)
+	case *ReadTaskTimes:
+		for _, n := range x.Names {
+			du.Defs[n] = true
+		}
+	case *Barrier, *Timed:
+	}
+	return du
+}
+
+// Walk visits every statement in a body tree in pre-order, calling fn.
+// If fn returns false the statement's children are skipped.
+func Walk(body []Stmt, fn func(Stmt) bool) {
+	for _, s := range body {
+		if !fn(s) {
+			continue
+		}
+		switch x := s.(type) {
+		case *For:
+			Walk(x.Body, fn)
+		case *If:
+			Walk(x.Then, fn)
+			Walk(x.Else, fn)
+		case *Timed:
+			Walk(x.Body, fn)
+		}
+	}
+}
+
+// HasComm reports whether the body tree contains any communication
+// statement (the condensation criterion: "a collapsed region must contain
+// no communication tasks").
+func HasComm(body []Stmt) bool {
+	found := false
+	Walk(body, func(s Stmt) bool {
+		switch s.(type) {
+		case *Send, *Recv, *Allreduce, *Bcast, *Barrier, *ReadTaskTimes:
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// ArraysUsed returns the set of array names referenced anywhere in the
+// program body (communication or computation).
+func ArraysUsed(p *Program) map[string]bool {
+	used := map[string]bool{}
+	Walk(p.Body, func(s Stmt) bool {
+		du := StmtDefUse(s)
+		for n := range du.Defs {
+			if p.Array(n) != nil {
+				used[n] = true
+			}
+		}
+		for n := range du.Uses {
+			if p.Array(n) != nil {
+				used[n] = true
+			}
+		}
+		return true
+	})
+	return used
+}

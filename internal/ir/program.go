@@ -1,0 +1,263 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ArrayDecl declares a per-rank array with symbolic dimensions. The
+// dimension expressions may reference program inputs and the built-ins P
+// and myid; they are evaluated once per rank at program start (matching
+// the declarations of Figure 1, e.g. D(NMAX, 1+ceil(NMAX/MINPROC))).
+type ArrayDecl struct {
+	Name string
+	Dims []Expr
+	// Elem is the element size in bytes (8 for double precision).
+	Elem int64
+}
+
+// String renders the declaration.
+func (d *ArrayDecl) String() string {
+	parts := make([]string, len(d.Dims))
+	for i, e := range d.Dims {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("double precision %s(%s)", d.Name, strings.Join(parts, ", "))
+}
+
+// Program is an SPMD message-passing program. The built-in scalars P and
+// myid are bound before the body runs; every ReadInput pulls a value from
+// the run configuration.
+type Program struct {
+	Name   string
+	Params []string // input scalar names (documentation + validation)
+	Arrays []*ArrayDecl
+	Body   []Stmt
+}
+
+// Array returns the declaration with the given name, or nil.
+func (p *Program) Array(name string) *ArrayDecl {
+	for _, d := range p.Arrays {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// String renders the whole program as pseudocode.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, par := range p.Params {
+		fmt.Fprintf(&sb, "  ! input %s\n", par)
+	}
+	for _, d := range p.Arrays {
+		fmt.Fprintf(&sb, "  %s\n", d)
+	}
+	writeBlock(&sb, p.Body, 1)
+	sb.WriteString("end\n")
+	return sb.String()
+}
+
+// Builtin scalar names bound by the runtime.
+const (
+	BuiltinP    = "P"
+	BuiltinMyID = "myid"
+)
+
+// Validate checks structural well-formedness: unique declarations, array
+// references matching declared rank, and communication sections matching
+// array rank. It walks the whole program.
+func (p *Program) Validate() error {
+	dims := map[string]int{}
+	for _, d := range p.Arrays {
+		if _, dup := dims[d.Name]; dup {
+			return fmt.Errorf("ir: duplicate array %q", d.Name)
+		}
+		if len(d.Dims) == 0 {
+			return fmt.Errorf("ir: array %q has no dimensions", d.Name)
+		}
+		if d.Elem <= 0 {
+			return fmt.Errorf("ir: array %q has non-positive element size", d.Name)
+		}
+		dims[d.Name] = len(d.Dims)
+		for _, e := range d.Dims {
+			if HasArrayRef(e) {
+				return fmt.Errorf("ir: array %q dimension references an array", d.Name)
+			}
+		}
+	}
+	v := &validator{dims: dims}
+	for _, d := range p.Arrays {
+		for _, e := range d.Dims {
+			v.expr(e)
+		}
+	}
+	v.block(p.Body)
+	return v.err
+}
+
+type validator struct {
+	dims map[string]int
+	err  error
+}
+
+func (v *validator) fail(format string, args ...interface{}) {
+	if v.err == nil {
+		v.err = fmt.Errorf("ir: "+format, args...)
+	}
+}
+
+func (v *validator) expr(e Expr) {
+	if v.err != nil || e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case Num, Scalar:
+	case Idx:
+		n, ok := v.dims[x.Array]
+		if !ok {
+			v.fail("reference to undeclared array %q", x.Array)
+			return
+		}
+		if len(x.Index) != n {
+			v.fail("array %q indexed with %d subscripts, declared with %d", x.Array, len(x.Index), n)
+			return
+		}
+		for _, i := range x.Index {
+			v.expr(i)
+		}
+	case Bin:
+		v.expr(x.L)
+		v.expr(x.R)
+	case Call:
+		if _, ok := Intrinsics[x.Name]; !ok {
+			v.fail("unknown intrinsic %q", x.Name)
+			return
+		}
+		v.expr(x.Arg)
+	case SumE:
+		v.expr(x.Lo)
+		v.expr(x.Hi)
+		v.expr(x.Body)
+	default:
+		v.fail("unknown expression type %T", e)
+	}
+}
+
+func (v *validator) section(array string, sec []Range) {
+	n, ok := v.dims[array]
+	if !ok {
+		v.fail("communication references undeclared array %q", array)
+		return
+	}
+	if len(sec) != n {
+		v.fail("section of %q has %d ranges, array has %d dims", array, len(sec), n)
+		return
+	}
+	for _, r := range sec {
+		v.expr(r.Lo)
+		v.expr(r.Hi)
+	}
+}
+
+func (v *validator) block(body []Stmt) {
+	for _, s := range body {
+		v.stmt(s)
+		if v.err != nil {
+			return
+		}
+	}
+}
+
+func (v *validator) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *Assign:
+		if x.LHS.IsArray() {
+			v.expr(Idx{x.LHS.Name, x.LHS.Index})
+		} else if x.LHS.Name == "" {
+			v.fail("assignment to empty name")
+		}
+		v.expr(x.RHS)
+	case *For:
+		if x.Var == "" {
+			v.fail("loop with empty induction variable")
+		}
+		v.expr(x.Lo)
+		v.expr(x.Hi)
+		v.block(x.Body)
+	case *If:
+		v.expr(x.Cond)
+		v.block(x.Then)
+		v.block(x.Else)
+	case *Send:
+		v.expr(x.Dest)
+		v.section(x.Array, x.Section)
+	case *Recv:
+		v.expr(x.Src)
+		v.section(x.Array, x.Section)
+	case *Allreduce:
+		switch x.Op {
+		case "sum", "max", "min":
+		default:
+			v.fail("allreduce with unknown op %q", x.Op)
+		}
+		if len(x.Vars) == 0 {
+			v.fail("allreduce with no variables")
+		}
+	case *Bcast:
+		v.expr(x.Root)
+		if len(x.Vars) == 0 {
+			v.fail("bcast with no variables")
+		}
+	case *Barrier, *ReadInput, *ReadTaskTimes:
+	case *Delay:
+		v.expr(x.Seconds)
+	case *Timed:
+		v.expr(x.Units)
+		v.block(x.Body)
+	default:
+		v.fail("unknown statement type %T", s)
+	}
+}
+
+// Block is a convenience constructor for statement lists.
+func Block(stmts ...Stmt) []Stmt { return stmts }
+
+// Loop builds a labeled For statement.
+func Loop(label, v string, lo, hi Expr, body ...Stmt) *For {
+	return &For{Var: v, Lo: lo, Hi: hi, Body: body, Label: label}
+}
+
+// SetS assigns an expression to a scalar.
+func SetS(name string, rhs Expr) *Assign { return &Assign{LHS: Ref{Name: name}, RHS: rhs} }
+
+// SetA assigns an expression to an array element.
+func SetA(array string, idx []Expr, rhs Expr) *Assign {
+	return &Assign{LHS: Ref{Name: array, Index: idx}, RHS: rhs}
+}
+
+// IX builds an index list.
+func IX(idx ...Expr) []Expr { return idx }
+
+// Sec builds a section from (lo,hi) pairs.
+func Sec(bounds ...Expr) []Range {
+	if len(bounds)%2 != 0 {
+		panic("ir: Sec needs an even number of bounds")
+	}
+	sec := make([]Range, len(bounds)/2)
+	for i := range sec {
+		sec[i] = Range{bounds[2*i], bounds[2*i+1]}
+	}
+	return sec
+}
+
+// Pt builds a single-element section at the given indices.
+func Pt(idx ...Expr) []Range {
+	sec := make([]Range, len(idx))
+	for i, e := range idx {
+		sec[i] = Range{e, e}
+	}
+	return sec
+}

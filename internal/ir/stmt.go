@@ -1,0 +1,244 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is a program statement.
+type Stmt interface {
+	stmtNode()
+	// write renders the statement as Fortran-flavoured pseudocode.
+	write(sb *strings.Builder, indent int)
+}
+
+// Ref is an assignment target: a scalar when Index is nil, otherwise an
+// array element.
+type Ref struct {
+	Name  string
+	Index []Expr
+}
+
+// String renders the reference.
+func (r Ref) String() string {
+	if r.Index == nil {
+		return r.Name
+	}
+	return Idx{r.Name, r.Index}.String()
+}
+
+// IsArray reports whether the reference targets an array element.
+func (r Ref) IsArray() bool { return r.Index != nil }
+
+// Assign stores RHS into LHS.
+type Assign struct {
+	LHS Ref
+	RHS Expr
+}
+
+func (*Assign) stmtNode() {}
+
+// For is a Fortran-style DO loop: Var runs from Lo to Hi inclusive with
+// unit step; bounds are evaluated once on entry. Loops may carry a Label
+// used in task-graph and diagnostic output.
+type For struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+	Label  string
+}
+
+func (*For) stmtNode() {}
+
+// If executes Then when Cond is non-zero, else Else.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (*If) stmtNode() {}
+
+// Range is a 1-based inclusive index range in one array dimension.
+type Range struct{ Lo, Hi Expr }
+
+// Send transmits the section Array(Section...) to rank Dest with Tag.
+// Guarded sends (the "if myid > 0 then SEND" of Figure 1) are expressed
+// with an enclosing If.
+type Send struct {
+	Dest    Expr
+	Tag     int
+	Array   string
+	Section []Range
+}
+
+func (*Send) stmtNode() {}
+
+// Recv receives into the section Array(Section...) from rank Src.
+type Recv struct {
+	Src     Expr
+	Tag     int
+	Array   string
+	Section []Range
+}
+
+func (*Recv) stmtNode() {}
+
+// Allreduce combines the named scalar variables across all ranks with Op
+// ("sum", "max" or "min") and stores the result back everywhere.
+type Allreduce struct {
+	Op   string
+	Vars []string
+}
+
+func (*Allreduce) stmtNode() {}
+
+// Bcast broadcasts the named scalar variables from rank Root.
+type Bcast struct {
+	Root Expr
+	Vars []string
+}
+
+func (*Bcast) stmtNode() {}
+
+// Barrier synchronizes all ranks.
+type Barrier struct{}
+
+func (*Barrier) stmtNode() {}
+
+// ReadInput reads a program input into a scalar: the "read(*, N)" of
+// Figure 1. Inputs are supplied by the run configuration.
+type ReadInput struct{ Var string }
+
+func (*ReadInput) stmtNode() {}
+
+// Delay forwards the simulation clock by Seconds: the call to the
+// simulator-provided delay function that replaces collapsed tasks in
+// simplified programs. Only compiler-emitted programs contain it.
+type Delay struct {
+	Seconds Expr
+	// Task is the condensed-task identifier, for reporting.
+	Task string
+}
+
+func (*Delay) stmtNode() {}
+
+// ReadTaskTimes binds each named w_i scalar by reading the calibration
+// table on rank 0 and broadcasting (the simplified program's preamble,
+// paper §3.1).
+type ReadTaskTimes struct{ Names []string }
+
+func (*ReadTaskTimes) stmtNode() {}
+
+// Timed wraps a region with timers for w_i calibration: the interpreter
+// accumulates the region's elapsed simulated time together with the
+// evaluated Units (the scaling function's operation count), so that
+// w_i = total time / total units. Only compiler-emitted timer programs
+// contain it.
+type Timed struct {
+	ID    string
+	Units Expr
+	Body  []Stmt
+}
+
+func (*Timed) stmtNode() {}
+
+// --- pretty printing ---
+
+func ind(sb *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func writeBlock(sb *strings.Builder, body []Stmt, indent int) {
+	for _, s := range body {
+		s.write(sb, indent)
+	}
+}
+
+func (s *Assign) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	fmt.Fprintf(sb, "%s = %s\n", s.LHS, s.RHS)
+}
+
+func (s *For) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	label := ""
+	if s.Label != "" {
+		label = " ! " + s.Label
+	}
+	fmt.Fprintf(sb, "do %s = %s, %s%s\n", s.Var, s.Lo, s.Hi, label)
+	writeBlock(sb, s.Body, indent+1)
+	ind(sb, indent)
+	sb.WriteString("enddo\n")
+}
+
+func (s *If) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	fmt.Fprintf(sb, "if (%s) then\n", s.Cond)
+	writeBlock(sb, s.Then, indent+1)
+	if len(s.Else) > 0 {
+		ind(sb, indent)
+		sb.WriteString("else\n")
+		writeBlock(sb, s.Else, indent+1)
+	}
+	ind(sb, indent)
+	sb.WriteString("endif\n")
+}
+
+func sectionString(array string, sec []Range) string {
+	parts := make([]string, len(sec))
+	for i, r := range sec {
+		parts[i] = fmt.Sprintf("%s:%s", r.Lo, r.Hi)
+	}
+	return fmt.Sprintf("%s(%s)", array, strings.Join(parts, ", "))
+}
+
+func (s *Send) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	fmt.Fprintf(sb, "SEND %s to %s tag %d\n", sectionString(s.Array, s.Section), s.Dest, s.Tag)
+}
+
+func (s *Recv) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	fmt.Fprintf(sb, "RECV %s from %s tag %d\n", sectionString(s.Array, s.Section), s.Src, s.Tag)
+}
+
+func (s *Allreduce) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	fmt.Fprintf(sb, "ALLREDUCE(%s) %s\n", s.Op, strings.Join(s.Vars, ", "))
+}
+
+func (s *Bcast) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	fmt.Fprintf(sb, "BCAST from %s: %s\n", s.Root, strings.Join(s.Vars, ", "))
+}
+
+func (s *Barrier) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	sb.WriteString("BARRIER\n")
+}
+
+func (s *ReadInput) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	fmt.Fprintf(sb, "read(*, %s)\n", s.Var)
+}
+
+func (s *Delay) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	fmt.Fprintf(sb, "call delay(%s) ! task %s\n", s.Seconds, s.Task)
+}
+
+func (s *ReadTaskTimes) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	fmt.Fprintf(sb, "call read_and_broadcast(%s)\n", strings.Join(s.Names, ", "))
+}
+
+func (s *Timed) write(sb *strings.Builder, indent int) {
+	ind(sb, indent)
+	fmt.Fprintf(sb, "call start_timer(%q)\n", s.ID)
+	writeBlock(sb, s.Body, indent+1)
+	ind(sb, indent)
+	fmt.Fprintf(sb, "call stop_timer(%q, units=%s)\n", s.ID, s.Units)
+}

@@ -1,0 +1,226 @@
+// Package machine defines the parameterized target-architecture models
+// used by the simulator: a computation model (cost per abstract operation
+// with a cache working-set factor) and a network model (LogGP-style
+// parameters consumed by the mpi layer).
+//
+// The paper validates on a distributed-memory IBM SP and a shared-memory
+// SGI Origin 2000 (whose MPI communication MPI-Sim simulates as message
+// passing); presets for both are provided. Absolute constants are
+// representative of the late-1990s machines, but the reproduction's claims
+// are about *shapes* (who wins, crossover points), which are insensitive
+// to the exact values.
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// CacheLevel maps a working-set size bound to a slowdown factor relative
+// to in-cache execution. Levels must be ordered by increasing Size.
+type CacheLevel struct {
+	Size   int64   // working sets up to this many bytes hit this level
+	Factor float64 // multiplicative cost factor for such working sets
+}
+
+// Network holds LogGP-style communication parameters.
+type Network struct {
+	// Latency is the end-to-end zero-byte message latency in seconds.
+	// It is also the simulator's conservative lookahead.
+	Latency float64
+	// Bandwidth is the sustained point-to-point bandwidth in bytes/second.
+	Bandwidth float64
+	// SendOverhead and RecvOverhead are CPU occupancy per message
+	// (the o parameters of LogP), charged to the sender and receiver.
+	SendOverhead float64
+	RecvOverhead float64
+	// GapPerByte is the per-byte NIC occupancy (the G of LogGP) used by
+	// the detailed network model to serialize messages through a node's
+	// interface. The analytic model ignores it.
+	GapPerByte float64
+}
+
+// AnalyticDelay is the simple latency+bandwidth transfer time used by the
+// analytic communication model (and by MPI-Sim-DE's communication model).
+func (n *Network) AnalyticDelay(size int64) float64 {
+	return n.Latency + float64(size)/n.Bandwidth
+}
+
+// Validate reports configuration errors.
+func (n *Network) Validate() error {
+	if n.Latency <= 0 {
+		return fmt.Errorf("machine: network latency must be positive")
+	}
+	if n.Bandwidth <= 0 {
+		return fmt.Errorf("machine: network bandwidth must be positive")
+	}
+	return nil
+}
+
+// Model is a complete target machine description.
+type Model struct {
+	Name string
+	// OpTime is the cost in seconds of one abstract operation (roughly a
+	// floating-point operation with its associated loads/stores) when the
+	// working set fits in the nearest cache.
+	OpTime float64
+	// Caches is the working-set factor table; working sets larger than
+	// the last level use MemFactor.
+	Caches []CacheLevel
+	// MemFactor applies when the working set exceeds all cache levels.
+	MemFactor float64
+	// Net describes the interconnect.
+	Net Network
+	// MemoryPerHost is the usable memory per host processor in bytes; it
+	// bounds what the direct-execution simulator can allocate (the paper's
+	// "memory requirements of the direct execution model restricted the
+	// largest target architecture that could be simulated").
+	MemoryPerHost int64
+}
+
+// Validate reports configuration errors.
+func (m *Model) Validate() error {
+	if m.OpTime <= 0 {
+		return fmt.Errorf("machine %s: OpTime must be positive", m.Name)
+	}
+	if m.MemFactor < 1 {
+		return fmt.Errorf("machine %s: MemFactor must be >= 1", m.Name)
+	}
+	var prev int64
+	for i, c := range m.Caches {
+		if c.Size <= prev {
+			return fmt.Errorf("machine %s: cache level %d not increasing", m.Name, i)
+		}
+		if c.Factor < 1 {
+			return fmt.Errorf("machine %s: cache level %d factor < 1", m.Name, i)
+		}
+		prev = c.Size
+	}
+	return m.Net.Validate()
+}
+
+// memSaturation is the multiple of the last cache level's size at which
+// the factor reaches MemFactor (working sets this far beyond the cache
+// get no further locality benefit).
+const memSaturation = 8
+
+// CacheFactor returns the slowdown factor for a per-process working set
+// of the given size. This is the nonlinearity that the compiler's linear
+// scaling functions deliberately do not capture (paper §3.3), and hence
+// the principal source of MPI-SIM-AM prediction error. The factor is
+// log-linear between cache levels, as real working-set curves are
+// gradual rather than cliffs.
+func (m *Model) CacheFactor(workingSet int64) float64 {
+	if len(m.Caches) == 0 {
+		return m.MemFactor
+	}
+	if workingSet <= m.Caches[0].Size {
+		return m.Caches[0].Factor
+	}
+	interp := func(ws, s0 int64, f0 float64, s1 int64, f1 float64) float64 {
+		t := math.Log(float64(ws)/float64(s0)) / math.Log(float64(s1)/float64(s0))
+		return f0 + t*(f1-f0)
+	}
+	for i := 0; i+1 < len(m.Caches); i++ {
+		if workingSet <= m.Caches[i+1].Size {
+			return interp(workingSet, m.Caches[i].Size, m.Caches[i].Factor,
+				m.Caches[i+1].Size, m.Caches[i+1].Factor)
+		}
+	}
+	last := m.Caches[len(m.Caches)-1]
+	sat := last.Size * memSaturation
+	if workingSet >= sat {
+		return m.MemFactor
+	}
+	return interp(workingSet, last.Size, last.Factor, sat, m.MemFactor)
+}
+
+// ComputeTime returns the execution time of ops abstract operations over
+// a working set of the given size.
+func (m *Model) ComputeTime(ops float64, workingSet int64) float64 {
+	return ops * m.OpTime * m.CacheFactor(workingSet)
+}
+
+// IBMSP returns a model of the distributed-memory IBM SP used for the
+// Tomcatv, Sweep3D and NAS SP validations (paper §4.1).
+func IBMSP() *Model {
+	return &Model{
+		Name:   "IBM-SP",
+		OpTime: 6e-9, // ~160 Mflop/s sustained per P2SC node
+		Caches: []CacheLevel{
+			{Size: 96 << 10, Factor: 1.0}, // 128KB L1, conservatively 96KB usable
+			{Size: 2 << 20, Factor: 1.15},
+		},
+		MemFactor: 1.40,
+		Net: Network{
+			Latency:      4.0e-5, // ~40us MPI latency on the SP switch
+			Bandwidth:    9.0e7,  // ~90 MB/s
+			SendOverhead: 8e-6,
+			RecvOverhead: 8e-6,
+			GapPerByte:   1.0 / 1.1e8,
+		},
+		MemoryPerHost: 256 << 20, // 256 MB per SP node, as in late-90s configs
+	}
+}
+
+// Origin2000 returns a model of the shared-memory SGI Origin 2000 used
+// for the SAMPLE experiments. MPI-Sim simulates its MPI library's message
+// passing, not hardware shared memory, so only MPI-level parameters are
+// modeled.
+func Origin2000() *Model {
+	return &Model{
+		Name:   "SGI-Origin-2000",
+		OpTime: 3.5e-9, // R10000 @195MHz, ~280 Mflop/s sustained
+		Caches: []CacheLevel{
+			{Size: 32 << 10, Factor: 1.0},
+			{Size: 4 << 20, Factor: 1.10},
+		},
+		MemFactor: 1.30,
+		Net: Network{
+			Latency:      1.2e-5, // MPI over ccNUMA interconnect
+			Bandwidth:    1.4e8,
+			SendOverhead: 3e-6,
+			RecvOverhead: 3e-6,
+			GapPerByte:   1.0 / 1.8e8,
+		},
+		MemoryPerHost: 512 << 20,
+	}
+}
+
+// Cluster returns a model of a commodity workstation cluster on switched
+// fast Ethernet — a late-1990s Beowulf. Not used in the paper's
+// evaluation, but a common target for MPI-Sim users; its much higher
+// latency shifts every communication-sensitive crossover, which makes it
+// useful for studying how the paper's conclusions depend on the machine.
+func Cluster() *Model {
+	return &Model{
+		Name:   "Beowulf-Cluster",
+		OpTime: 4.5e-9, // ~220 Mflop/s commodity node
+		Caches: []CacheLevel{
+			{Size: 16 << 10, Factor: 1.0},
+			{Size: 512 << 10, Factor: 1.20},
+		},
+		MemFactor: 1.55,
+		Net: Network{
+			Latency:      1.2e-4, // 120us TCP/IP over fast Ethernet
+			Bandwidth:    1.1e7,  // ~11 MB/s
+			SendOverhead: 3e-5,
+			RecvOverhead: 3e-5,
+			GapPerByte:   1.0 / 1.2e7,
+		},
+		MemoryPerHost: 128 << 20,
+	}
+}
+
+// ByName returns a preset model.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "ibmsp", "sp", "IBM-SP":
+		return IBMSP(), nil
+	case "origin2000", "origin", "SGI-Origin-2000":
+		return Origin2000(), nil
+	case "cluster", "beowulf", "Beowulf-Cluster":
+		return Cluster(), nil
+	}
+	return nil, fmt.Errorf("machine: unknown model %q", name)
+}

@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, m := range []*Model{IBMSP(), Origin2000()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ibmsp", "sp", "IBM-SP", "origin2000", "origin", "SGI-Origin-2000"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("cray-t3e"); err == nil {
+		t.Error("expected error for unknown machine")
+	}
+}
+
+func TestCacheFactorMonotone(t *testing.T) {
+	m := IBMSP()
+	sizes := []int64{1, 1 << 10, 96 << 10, 97 << 10, 2 << 20, (2 << 20) + 1, 1 << 30}
+	prev := 0.0
+	for _, s := range sizes {
+		f := m.CacheFactor(s)
+		if f < prev {
+			t.Fatalf("CacheFactor not monotone at %d: %v < %v", s, f, prev)
+		}
+		prev = f
+	}
+	if m.CacheFactor(1) != 1.0 {
+		t.Fatalf("small working set should be factor 1")
+	}
+	if m.CacheFactor(1<<30) != m.MemFactor {
+		t.Fatalf("huge working set should use MemFactor")
+	}
+}
+
+func TestComputeTimeScalesLinearlyInOps(t *testing.T) {
+	m := Origin2000()
+	a := m.ComputeTime(1e6, 1024)
+	b := m.ComputeTime(2e6, 1024)
+	if b != 2*a {
+		t.Fatalf("ComputeTime not linear in ops: %v vs %v", a, b)
+	}
+}
+
+func TestComputeTimeCacheEffect(t *testing.T) {
+	m := IBMSP()
+	small := m.ComputeTime(1e6, 1<<10)
+	big := m.ComputeTime(1e6, 1<<30)
+	if big <= small {
+		t.Fatalf("out-of-cache time (%v) must exceed in-cache (%v)", big, small)
+	}
+}
+
+func TestAnalyticDelay(t *testing.T) {
+	n := &Network{Latency: 1e-5, Bandwidth: 1e8}
+	if got := n.AnalyticDelay(0); got != 1e-5 {
+		t.Fatalf("zero-byte delay = %v, want latency", got)
+	}
+	if got := n.AnalyticDelay(1e8); got != 1e-5+1 {
+		t.Fatalf("1e8-byte delay = %v, want %v", got, 1e-5+1)
+	}
+}
+
+func TestAnalyticDelayMonotoneQuick(t *testing.T) {
+	n := IBMSP().Net
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return n.AnalyticDelay(x) <= n.AnalyticDelay(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []Model{
+		{Name: "no-op-time", MemFactor: 1, Net: Network{Latency: 1, Bandwidth: 1}},
+		{Name: "bad-memfactor", OpTime: 1, MemFactor: 0.5, Net: Network{Latency: 1, Bandwidth: 1}},
+		{Name: "bad-cache-order", OpTime: 1, MemFactor: 1,
+			Caches: []CacheLevel{{Size: 100, Factor: 1}, {Size: 50, Factor: 1}},
+			Net:    Network{Latency: 1, Bandwidth: 1}},
+		{Name: "bad-cache-factor", OpTime: 1, MemFactor: 1,
+			Caches: []CacheLevel{{Size: 100, Factor: 0.5}},
+			Net:    Network{Latency: 1, Bandwidth: 1}},
+		{Name: "no-latency", OpTime: 1, MemFactor: 1, Net: Network{Bandwidth: 1}},
+		{Name: "no-bandwidth", OpTime: 1, MemFactor: 1, Net: Network{Latency: 1}},
+	}
+	for _, m := range cases {
+		m := m
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.Name)
+		}
+	}
+}
+
+func TestClusterPreset(t *testing.T) {
+	m := Cluster()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("cluster"); err != nil {
+		t.Fatal(err)
+	}
+	// The cluster's latency must dwarf the SP's: that is its point.
+	if m.Net.Latency <= IBMSP().Net.Latency {
+		t.Fatal("cluster should have higher latency than the SP")
+	}
+}
+
+func TestCacheFactorSmooth(t *testing.T) {
+	// The working-set curve must be continuous-ish: no step larger than
+	// 10% between adjacent sample points (log-linear interpolation).
+	m := IBMSP()
+	prev := m.CacheFactor(1 << 10)
+	for ws := int64(1 << 10); ws <= 64<<20; ws = ws * 5 / 4 {
+		f := m.CacheFactor(ws)
+		if f < prev {
+			t.Fatalf("factor not monotone at %d", ws)
+		}
+		if f/prev > 1.10 {
+			t.Fatalf("factor cliff at %d: %v -> %v", ws, prev, f)
+		}
+		prev = f
+	}
+	if got := m.CacheFactor(1 << 30); got != m.MemFactor {
+		t.Fatalf("saturated factor = %v, want %v", got, m.MemFactor)
+	}
+}
+
+func TestCacheFactorNoCaches(t *testing.T) {
+	m := &Model{Name: "flat", OpTime: 1, MemFactor: 2,
+		Net: Network{Latency: 1, Bandwidth: 1}}
+	if m.CacheFactor(1) != 2 {
+		t.Fatal("model without caches must use MemFactor")
+	}
+}

@@ -1,0 +1,337 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpisim/internal/sim"
+)
+
+// Collective operations are built from point-to-point messages using
+// binomial-tree algorithms, so the simulator models them in full detail
+// (the paper retains and simulates all communication code precisely).
+//
+// Internal collective traffic uses tags below collTagBase so it can never
+// match user receives, and each rank separates successive collectives by
+// the MPI non-overtaking guarantee of the transport.
+const collTagBase = -1000
+
+// ReduceOp combines a contribution into an accumulator, elementwise.
+// Accumulator and contribution have equal length.
+type ReduceOp func(acc, in []float64)
+
+// OpSum adds elementwise.
+func OpSum(acc, in []float64) {
+	for i := range acc {
+		acc[i] += in[i]
+	}
+}
+
+// OpMax takes the elementwise maximum.
+func OpMax(acc, in []float64) {
+	for i := range acc {
+		if in[i] > acc[i] {
+			acc[i] = in[i]
+		}
+	}
+}
+
+// OpMin takes the elementwise minimum.
+func OpMin(acc, in []float64) {
+	for i := range acc {
+		if in[i] < acc[i] {
+			acc[i] = in[i]
+		}
+	}
+}
+
+// ceilLog2 returns ceil(log2(p)) for p >= 1.
+func ceilLog2(p int) float64 {
+	steps := 0.0
+	for n := 1; n < p; n <<= 1 {
+		steps++
+	}
+	return steps
+}
+
+// abstractColl charges the closed-form cost of a collective under the
+// AbstractComm model and reports whether that model is active. steps is
+// the number of sequential communication rounds the algorithm needs;
+// each costs a send overhead plus an analytic transfer. Payload values
+// are not transported under this model.
+func (r *Rank) abstractColl(steps float64, bytes int64) bool {
+	if r.world.cfg.Comm != AbstractComm {
+		return false
+	}
+	n := &r.world.cfg.Machine.Net
+	r.commCPU += sim.Time(steps * n.SendOverhead)
+	r.proc.Advance(sim.Time(steps * (n.SendOverhead + n.AnalyticDelay(bytes))))
+	return true
+}
+
+// collBytes resolves the simulated payload size: real data wins over the
+// declared size so that simplified (AM) programs can pass nil data with an
+// explicit byte count.
+func collBytes(data []float64, size int64) int64 {
+	if data != nil {
+		return int64(len(data)) * 8
+	}
+	if size < 0 {
+		return 0
+	}
+	return size
+}
+
+// Bcast broadcasts data of the given size from root using a binomial
+// tree. Every rank returns the broadcast data (nil when the caller passed
+// nil, i.e. in simplified programs where only timing matters).
+func (r *Rank) Bcast(root int, data []float64, size int64) []float64 {
+	p := r.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mpi: Bcast root %d out of range", root))
+	}
+	r.collectives++
+	if p == 1 {
+		return data
+	}
+	bytes := collBytes(data, size)
+	if r.abstractColl(ceilLog2(p), bytes) {
+		return data
+	}
+	rel := (r.rank - root + p) % p
+	// Receive phase: find the subtree parent.
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % p
+			_, payload := r.Recv(src, collTagBase)
+			if payload != nil {
+				// Clone so ranks never share mutable state through the
+				// simulated network.
+				data = cloneVec(payload.([]float64))
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// Send phase: forward to subtree children.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			dst := (rel + mask + root) % p
+			var payload interface{}
+			if data != nil {
+				payload = data
+			}
+			r.send(dst, collTagBase, bytes, payload)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// Reduce combines data from all ranks at root with op over a binomial
+// tree. The root returns the combined vector; other ranks return nil.
+// data may be nil (with an explicit size) in simplified programs; the
+// combination is then skipped but the communication is fully simulated.
+func (r *Rank) Reduce(root int, data []float64, size int64, op ReduceOp) []float64 {
+	p := r.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mpi: Reduce root %d out of range", root))
+	}
+	r.collectives++
+	if p == 1 {
+		return cloneVec(data)
+	}
+	bytes := collBytes(data, size)
+	if r.abstractColl(ceilLog2(p), bytes) {
+		if r.rank == root {
+			return cloneVec(data)
+		}
+		return nil
+	}
+	acc := cloneVec(data)
+	rel := (r.rank - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask == 0 {
+			child := rel + mask
+			if child < p {
+				src := (child + root) % p
+				_, payload := r.Recv(src, collTagBase-1)
+				if payload != nil && acc != nil {
+					op(acc, payload.([]float64))
+				}
+			}
+		} else {
+			dst := (rel - mask + root) % p
+			var payload interface{}
+			if acc != nil {
+				payload = acc
+			}
+			r.send(dst, collTagBase-1, bytes, payload)
+			return nil
+		}
+		mask <<= 1
+	}
+	if r.rank == root {
+		return acc
+	}
+	return nil
+}
+
+// Allreduce combines data across all ranks and distributes the result,
+// implemented as Reduce to rank 0 followed by Bcast (both fully
+// simulated). Every rank returns the combined vector (nil payloads stay
+// nil).
+func (r *Rank) Allreduce(data []float64, size int64, op ReduceOp) []float64 {
+	acc := r.Reduce(0, data, size, op)
+	return r.Bcast(0, acc, collBytes(data, size))
+}
+
+// Barrier blocks until all ranks have entered it, modeled as a zero-byte
+// allreduce over the binomial trees.
+func (r *Rank) Barrier() {
+	r.Allreduce(nil, 4, OpSum)
+}
+
+// Gather collects size-byte contributions at root (linear algorithm).
+// The root returns the concatenation in rank order; others return nil.
+func (r *Rank) Gather(root int, data []float64, size int64) [][]float64 {
+	p := r.Size()
+	r.collectives++
+	bytes := collBytes(data, size)
+	if r.abstractColl(float64(p-1), bytes) {
+		return nil
+	}
+	if r.rank != root {
+		var payload interface{}
+		if data != nil {
+			payload = data
+		}
+		r.send(root, collTagBase-2, bytes, payload)
+		return nil
+	}
+	out := make([][]float64, p)
+	out[r.rank] = cloneVec(data)
+	for src := 0; src < p; src++ {
+		if src == root {
+			continue
+		}
+		_, payload := r.Recv(src, collTagBase-2)
+		if payload != nil {
+			out[src] = payload.([]float64)
+		}
+	}
+	return out
+}
+
+// Scatter distributes per-rank chunks from root (linear algorithm). Rank
+// i receives chunks[i]; size is the per-chunk byte count used when
+// chunks is nil.
+func (r *Rank) Scatter(root int, chunks [][]float64, size int64) []float64 {
+	p := r.Size()
+	r.collectives++
+	if r.abstractColl(float64(p-1), size) {
+		if chunks != nil && r.rank == root {
+			return chunks[root]
+		}
+		return nil
+	}
+	if r.rank == root {
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			var payload interface{}
+			bytes := size
+			if chunks != nil {
+				payload = chunks[dst]
+				bytes = int64(len(chunks[dst])) * 8
+			}
+			r.send(dst, collTagBase-3, bytes, payload)
+		}
+		if chunks != nil {
+			return chunks[root]
+		}
+		return nil
+	}
+	_, payload := r.Recv(root, collTagBase-3)
+	if payload != nil {
+		return payload.([]float64)
+	}
+	return nil
+}
+
+// Allgather gathers equal-size contributions everywhere using a ring
+// algorithm (P-1 steps of neighbour exchange).
+func (r *Rank) Allgather(data []float64, size int64) [][]float64 {
+	p := r.Size()
+	r.collectives++
+	out := make([][]float64, p)
+	out[r.rank] = cloneVec(data)
+	if p == 1 {
+		return out
+	}
+	bytes := collBytes(data, size)
+	if r.abstractColl(float64(p-1), bytes) {
+		return out
+	}
+	right := (r.rank + 1) % p
+	left := (r.rank - 1 + p) % p
+	// Pass blocks around the ring: at step s we forward the block that
+	// originated at rank (rank-s+p)%p.
+	for s := 0; s < p-1; s++ {
+		origin := (r.rank - s + p) % p
+		var payload interface{}
+		if out[origin] != nil {
+			payload = out[origin]
+		}
+		r.send(right, collTagBase-4, bytes, payload)
+		_, in := r.Recv(left, collTagBase-4)
+		inOrigin := (r.rank - s - 1 + p) % p
+		if in != nil {
+			out[inOrigin] = in.([]float64)
+		}
+	}
+	return out
+}
+
+// Alltoall exchanges size bytes between every pair of ranks (pairwise
+// exchange algorithm). Real payloads are taken from chunks (indexed by
+// destination) when non-nil; the result is indexed by source.
+func (r *Rank) Alltoall(chunks [][]float64, size int64) [][]float64 {
+	p := r.Size()
+	r.collectives++
+	out := make([][]float64, p)
+	if chunks != nil {
+		out[r.rank] = chunks[r.rank]
+	}
+	if r.abstractColl(float64(p-1), size) {
+		return out
+	}
+	for step := 1; step < p; step++ {
+		dst := (r.rank + step) % p
+		src := (r.rank - step + p) % p
+		var payload interface{}
+		bytes := size
+		if chunks != nil {
+			payload = chunks[dst]
+			bytes = int64(len(chunks[dst])) * 8
+		}
+		r.send(dst, collTagBase-5, bytes, payload)
+		_, in := r.Recv(src, collTagBase-5)
+		if in != nil {
+			out[src] = in.([]float64)
+		}
+	}
+	return out
+}
+
+func cloneVec(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	c := make([]float64, len(v))
+	copy(c, v)
+	return c
+}

@@ -1,0 +1,350 @@
+// Package mpi is the simulated Message Passing Interface library at the
+// heart of the MPI-Sim reproduction. Target programs are Go functions
+// (here: the IR interpreter, examples and tests) that run one body per
+// target rank; every MPI call is trapped and its cost on the target
+// architecture is simulated, while local computation is either directly
+// executed (MPI-SIM-DE) or replaced by the Delay function (MPI-SIM-AM),
+// exactly as in the paper (§2.1, §3.1).
+//
+// Three communication timing models are provided:
+//
+//   - Detailed: LogGP-style with per-rank NIC occupancy serialization on
+//     both the send and receive side. This is the reproduction's stand-in
+//     for "direct measurement on the real machine".
+//   - Analytic: latency + size/bandwidth plus CPU overheads, the model
+//     MPI-Sim uses to predict communication time.
+//   - AbstractComm: closed-form costs with no event simulation (the
+//     paper's §5 extension).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"mpisim/internal/machine"
+	"mpisim/internal/sim"
+)
+
+// CommModel selects the communication timing model.
+type CommModel int
+
+const (
+	// Analytic is the simple latency+bandwidth model used by the simulator.
+	Analytic CommModel = iota
+	// Detailed adds NIC occupancy serialization; it is the ground-truth
+	// ("measured") model of this reproduction.
+	Detailed
+	// AbstractComm is the paper's §5 alternative: "extend the MPI-Sim
+	// simulator to take as input an abstract model of the communication
+	// (based on message size, message destination, etc.) and use it to
+	// predict communication performance". No messages are simulated at
+	// all: every communication call advances the caller's clock by a
+	// closed-form cost. It is by far the fastest model, but — exactly as
+	// the paper's §1 critique of fully abstract simulation warns — it
+	// ignores cross-process synchronization (pipelines, wavefronts,
+	// load imbalance at barriers), so its predictions degrade on
+	// dependence-heavy codes. Payload values are not transported.
+	AbstractComm
+)
+
+// String implements fmt.Stringer.
+func (c CommModel) String() string {
+	switch c {
+	case Detailed:
+		return "detailed"
+	case AbstractComm:
+		return "abstract"
+	}
+	return "analytic"
+}
+
+// AnySource matches a message from any sender. It is exact under the
+// sequential engine; conservative parallel runs should avoid it (the
+// benchmarks in this repository do).
+const AnySource = -1
+
+// Config describes one simulation run.
+type Config struct {
+	// Ranks is the number of target processes.
+	Ranks int
+	// Machine is the target architecture model.
+	Machine *machine.Model
+	// Comm selects the communication timing model.
+	Comm CommModel
+	// HostWorkers is the number of host processors the simulator itself
+	// uses (1 = sequential engine).
+	HostWorkers int
+	// RealParallel runs host workers on separate goroutines.
+	RealParallel bool
+	// Protocol selects the conservative synchronization protocol of the
+	// parallel engine (window or null-message).
+	Protocol sim.Protocol
+	// TaskTimes is the w_i calibration table consumed by ReadTaskTime
+	// (the paper's "read in the value of the parameter from a file and
+	// broadcast it to all processors").
+	TaskTimes map[string]float64
+	// MemoryLimit, when positive, bounds the total simulated memory the
+	// target program may allocate across all ranks (TrackAlloc). It
+	// reproduces the out-of-memory wall that limits MPI-SIM-DE.
+	MemoryLimit int64
+	// CollectMatrix enables per-pair communication accounting; the
+	// Report then carries the rank-to-rank message and byte matrices
+	// ("more detailed metrics of the communication behavior", paper
+	// §2.2 challenge (a)).
+	CollectMatrix bool
+	// CollectTrace enables per-rank activity segments (compute, delay,
+	// blocked, communication CPU) in the Report, from which a timeline
+	// of the predicted execution can be rendered.
+	CollectTrace bool
+}
+
+// SegKind classifies a trace segment.
+type SegKind uint8
+
+// Trace segment kinds.
+const (
+	// SegCompute is directly executed target computation.
+	SegCompute SegKind = iota
+	// SegDelay is abstracted computation (delay calls).
+	SegDelay
+	// SegBlocked is time spent waiting for a message.
+	SegBlocked
+	// SegComm is CPU time in communication calls.
+	SegComm
+)
+
+// String implements fmt.Stringer.
+func (k SegKind) String() string {
+	switch k {
+	case SegCompute:
+		return "compute"
+	case SegDelay:
+		return "delay"
+	case SegBlocked:
+		return "blocked"
+	case SegComm:
+		return "comm"
+	}
+	return "unknown"
+}
+
+// Segment is one interval of a rank's simulated activity.
+type Segment struct {
+	Start, End float64
+	Kind       SegKind
+}
+
+// CommEvent records one received message from the receiver's viewpoint,
+// collected under CollectTrace; the dynamic task graph is built from
+// these.
+type CommEvent struct {
+	// From is the sending rank.
+	From int
+	// SendTime is the sender's clock when the send was issued.
+	SendTime float64
+	// Arrival is when the message reached the receiver.
+	Arrival float64
+	// Complete is when the receive finished (>= Arrival).
+	Complete float64
+	// Size is the message size in bytes.
+	Size int64
+}
+
+// RankStats extends the kernel's per-process statistics with MPI-level
+// accounting.
+type RankStats struct {
+	sim.ProcStats
+	// DelayTime is simulated time injected through Delay (the abstracted
+	// computation of MPI-SIM-AM).
+	DelayTime sim.Time
+	// CommCPUTime is CPU time charged for send/receive overheads.
+	CommCPUTime sim.Time
+	// PeakBytes is the high-water mark of tracked target-program memory.
+	PeakBytes int64
+	// CurBytes is the tracked memory at program end.
+	CurBytes int64
+	// Collectives counts collective operations completed.
+	Collectives int64
+}
+
+// Report is the outcome of a World run.
+type Report struct {
+	// Time is the predicted execution time of the target program in
+	// seconds (the maximum rank finish time).
+	Time float64
+	// Ranks holds per-rank statistics.
+	Ranks []RankStats
+	// TotalPeakBytes sums the per-rank memory peaks: the total memory the
+	// simulator needs for target-program state (Table 1).
+	TotalPeakBytes int64
+	// MaxRankPeakBytes is the largest single-rank peak.
+	MaxRankPeakBytes int64
+	// Kernel carries the kernel-level result (events, windows, ...).
+	Kernel *sim.Result
+	// MsgMatrix[s][d] counts messages sent from rank s to rank d, and
+	// ByteMatrix the corresponding bytes. Only populated when
+	// Config.CollectMatrix is set.
+	MsgMatrix  [][]int64
+	ByteMatrix [][]int64
+	// Traces holds each rank's activity segments when
+	// Config.CollectTrace is set.
+	Traces [][]Segment
+	// CommEvents holds each rank's received-message records when
+	// Config.CollectTrace is set.
+	CommEvents [][]CommEvent
+	// DelayByTask aggregates delay seconds per condensed-task name over
+	// all ranks (populated by simplified-program runs).
+	DelayByTask map[string]float64
+}
+
+// World runs a target program of Config.Ranks ranks.
+type World struct {
+	cfg    Config
+	kernel *sim.Kernel
+	ranks  []*Rank
+
+	memMu   sync.Mutex
+	memUsed int64
+	memErr  error
+}
+
+// NewWorld validates cfg and prepares a world.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("mpi: Ranks must be positive, got %d", cfg.Ranks)
+	}
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("mpi: Machine model required")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HostWorkers <= 0 {
+		cfg.HostWorkers = 1
+	}
+	k, err := sim.NewKernel(sim.Config{
+		Workers:      cfg.HostWorkers,
+		Lookahead:    sim.Time(cfg.Machine.Net.Latency),
+		RealParallel: cfg.RealParallel,
+		Protocol:     cfg.Protocol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &World{cfg: cfg, kernel: k}, nil
+}
+
+// Run executes body once per rank and returns the report. The error
+// reports deadlocks, panics in the target program, or exceeding the
+// simulated memory limit.
+func (w *World) Run(body func(*Rank)) (*Report, error) {
+	w.ranks = make([]*Rank, w.cfg.Ranks)
+	for i := 0; i < w.cfg.Ranks; i++ {
+		r := &Rank{world: w, rank: i}
+		w.ranks[i] = r
+		w.kernel.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			r.proc = p
+			body(r)
+		})
+	}
+	res, err := w.kernel.Run()
+	if w.memErr != nil {
+		return nil, w.memErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Time: float64(res.EndTime), Kernel: res}
+	rep.Ranks = make([]RankStats, w.cfg.Ranks)
+	for i, r := range w.ranks {
+		rs := RankStats{
+			ProcStats:   res.Procs[i],
+			DelayTime:   r.delayTime,
+			CommCPUTime: r.commCPU,
+			PeakBytes:   r.peakBytes,
+			CurBytes:    r.curBytes,
+			Collectives: r.collectives,
+		}
+		rep.Ranks[i] = rs
+		rep.TotalPeakBytes += r.peakBytes
+		if r.peakBytes > rep.MaxRankPeakBytes {
+			rep.MaxRankPeakBytes = r.peakBytes
+		}
+	}
+	if w.cfg.CollectMatrix {
+		rep.MsgMatrix = make([][]int64, w.cfg.Ranks)
+		rep.ByteMatrix = make([][]int64, w.cfg.Ranks)
+		for i, r := range w.ranks {
+			rep.MsgMatrix[i] = r.msgMatrix
+			rep.ByteMatrix[i] = r.byteMatrix
+		}
+	}
+	if w.cfg.CollectTrace {
+		rep.Traces = make([][]Segment, w.cfg.Ranks)
+		rep.CommEvents = make([][]CommEvent, w.cfg.Ranks)
+		for i, r := range w.ranks {
+			rep.Traces[i] = r.segments
+			rep.CommEvents[i] = r.commEvents
+		}
+	}
+	for _, r := range w.ranks {
+		if r.delayByTask == nil {
+			continue
+		}
+		if rep.DelayByTask == nil {
+			rep.DelayByTask = map[string]float64{}
+		}
+		for task, secs := range r.delayByTask {
+			rep.DelayByTask[task] += secs
+		}
+	}
+	return rep, nil
+}
+
+// Run is a convenience wrapper: build a world and run body on every rank.
+func Run(cfg Config, body func(*Rank)) (*Report, error) {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return w.Run(body)
+}
+
+// trackAlloc charges n bytes (n may be negative for frees) against the
+// global memory limit.
+func (w *World) trackAlloc(n int64) error {
+	w.memMu.Lock()
+	defer w.memMu.Unlock()
+	w.memUsed += n
+	if w.cfg.MemoryLimit > 0 && w.memUsed > w.cfg.MemoryLimit {
+		if w.memErr == nil {
+			w.memErr = &MemoryLimitError{Used: w.memUsed, Limit: w.cfg.MemoryLimit}
+		}
+		return w.memErr
+	}
+	return nil
+}
+
+// MemoryLimitError reports that the target program exceeded the simulated
+// memory available to the simulator, the failure mode that prevents
+// MPI-SIM-DE from simulating large configurations.
+type MemoryLimitError struct {
+	Used, Limit int64
+}
+
+// Error implements error.
+func (e *MemoryLimitError) Error() string {
+	return fmt.Sprintf("mpi: simulated memory limit exceeded (%d > %d bytes)", e.Used, e.Limit)
+}
+
+// IsMemoryLimit reports whether err is a memory-limit failure.
+func IsMemoryLimit(err error) bool {
+	_, ok := err.(*MemoryLimitError)
+	return ok
+}
+
+// envelope is the MPI-level message header layered onto kernel messages.
+type envelope struct {
+	tag  int
+	data interface{}
+}

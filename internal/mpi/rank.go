@@ -1,0 +1,330 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpisim/internal/machine"
+	"mpisim/internal/sim"
+)
+
+// Rank is one target MPI process. All methods must be called from the
+// rank's own body function.
+type Rank struct {
+	world *World
+	proc  *sim.Proc
+	rank  int
+
+	// Detailed-model NIC occupancy state.
+	nicSendFree sim.Time
+	nicRecvFree sim.Time
+	// Non-overtaking guarantee: last arrival time per destination.
+	lastArrival map[int]sim.Time
+
+	delayTime   sim.Time
+	commCPU     sim.Time
+	curBytes    int64
+	peakBytes   int64
+	collectives int64
+	// AbstractComm accounting (no kernel messages exist to count).
+	abstractSent  int64
+	abstractBytes int64
+	// Per-destination accounting, allocated when CollectMatrix is set.
+	msgMatrix  []int64
+	byteMatrix []int64
+	// Activity segments, collected when CollectTrace is set.
+	segments []Segment
+	// Received-message records, collected when CollectTrace is set.
+	commEvents []CommEvent
+	// Delay seconds per condensed task name.
+	delayByTask map[string]float64
+}
+
+// segment appends a trace segment when tracing is enabled; zero-length
+// segments are dropped.
+func (r *Rank) segment(start, end float64, kind SegKind) {
+	if !r.world.cfg.CollectTrace || end <= start {
+		return
+	}
+	r.segments = append(r.segments, Segment{Start: start, End: end, Kind: kind})
+}
+
+// Rank returns this process's rank in 0..Size()-1.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the number of ranks in the world.
+func (r *Rank) Size() int { return r.world.cfg.Ranks }
+
+// Now returns the rank's local simulated time in seconds.
+func (r *Rank) Now() float64 { return float64(r.proc.Now()) }
+
+// Machine returns the target machine model.
+func (r *Rank) Machine() *machine.Model { return r.world.cfg.Machine }
+
+// Compute directly executes local computation costing the given seconds
+// of target time (MPI-Sim's direct execution of sequential code blocks).
+func (r *Rank) Compute(seconds float64) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("mpi: negative Compute(%g)", seconds))
+	}
+	r.segment(r.Now(), r.Now()+seconds, SegCompute)
+	r.proc.Advance(sim.Time(seconds))
+}
+
+// Delay is the simulator-provided delay function of the paper: it simply
+// forwards the simulation clock on the simulation thread by a specified
+// amount. It is the replacement for collapsed computational tasks in the
+// simplified (MPI-SIM-AM) programs.
+func (r *Rank) Delay(seconds float64) { r.DelayTask("", seconds) }
+
+// DelayTask is Delay attributed to a named condensed task, so reports
+// can break predicted computation down per task.
+func (r *Rank) DelayTask(task string, seconds float64) {
+	if seconds < 0 {
+		// Scaling functions can yield tiny negative values for degenerate
+		// (empty) iteration spaces; clamp as the runtime library would.
+		seconds = 0
+	}
+	r.delayTime += sim.Time(seconds)
+	if task != "" {
+		if r.delayByTask == nil {
+			r.delayByTask = map[string]float64{}
+		}
+		r.delayByTask[task] += seconds
+	}
+	r.segment(r.Now(), r.Now()+seconds, SegDelay)
+	r.proc.Advance(sim.Time(seconds))
+}
+
+// ReadTaskTime returns the measured w_i parameter with the given name
+// from the calibration table (the simplified program's preamble, paper
+// §3.1: "read in the value of the parameter from a file and broadcast it
+// to all processors"). The read-and-broadcast is instrumentation of the
+// simplified program rather than behaviour of the application being
+// predicted, so it is charged zero simulated time; otherwise the
+// preamble's broadcast latency would bias predictions for short runs.
+func (r *Rank) ReadTaskTime(name string) float64 {
+	return r.world.cfg.TaskTimes[name]
+}
+
+// TrackAlloc records allocation of n bytes of target-program memory. The
+// interpreter calls it for every array the target program allocates; the
+// direct-execution simulator therefore "uses at least as much memory as
+// the application" while the optimized simulator tracks only the dummy
+// communication buffer and retained scalars.
+func (r *Rank) TrackAlloc(n int64) {
+	r.curBytes += n
+	if r.curBytes > r.peakBytes {
+		r.peakBytes = r.curBytes
+	}
+	if err := r.world.trackAlloc(n); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TrackFree records release of n bytes of target-program memory.
+func (r *Rank) TrackFree(n int64) {
+	r.curBytes -= n
+	r.world.memMu.Lock()
+	r.world.memUsed -= n
+	r.world.memMu.Unlock()
+}
+
+// sendTimes computes (cpuOverhead, arrivalTime) for a message of size
+// bytes issued now, under the configured communication model.
+func (r *Rank) sendTimes(dst int, size int64) (cpu sim.Time, arrival sim.Time) {
+	n := &r.world.cfg.Machine.Net
+	now := r.proc.Now()
+	if dst == r.rank {
+		// Self message: a memory copy, no network traversal. Same-worker
+		// delivery, so it is exempt from the lookahead bound.
+		cpu = sim.Time(n.SendOverhead / 4)
+		arrival = now + cpu + sim.Time(float64(size)/(4*n.Bandwidth))
+		return cpu, arrival
+	}
+	switch r.world.cfg.Comm {
+	case Detailed:
+		start := now
+		if r.nicSendFree > start {
+			start = r.nicSendFree
+		}
+		occupancy := sim.Time(n.SendOverhead + float64(size)*n.GapPerByte)
+		r.nicSendFree = start + occupancy
+		cpu = sim.Time(n.SendOverhead)
+		arrival = start + occupancy + sim.Time(n.Latency+float64(size)/n.Bandwidth)
+	default: // Analytic
+		cpu = sim.Time(n.SendOverhead)
+		arrival = now + cpu + sim.Time(n.Latency+float64(size)/n.Bandwidth)
+	}
+	// MPI non-overtaking: messages between the same pair are delivered in
+	// send order.
+	if r.lastArrival == nil {
+		r.lastArrival = make(map[int]sim.Time)
+	}
+	if last := r.lastArrival[dst]; arrival < last {
+		arrival = last
+	}
+	r.lastArrival[dst] = arrival
+	return cpu, arrival
+}
+
+// send issues the message and charges sender-side CPU cost.
+func (r *Rank) send(dst, tag int, size int64, data interface{}) {
+	if dst < 0 || dst >= r.Size() {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", dst, r.Size()))
+	}
+	if r.world.cfg.CollectMatrix {
+		if r.msgMatrix == nil {
+			r.msgMatrix = make([]int64, r.Size())
+			r.byteMatrix = make([]int64, r.Size())
+		}
+		r.msgMatrix[dst]++
+		r.byteMatrix[dst] += size
+	}
+	if r.world.cfg.Comm == AbstractComm {
+		// Closed-form sender cost; no message is simulated.
+		n := &r.world.cfg.Machine.Net
+		cpu := sim.Time(n.SendOverhead)
+		r.commCPU += cpu
+		r.proc.Advance(cpu)
+		r.abstractSent++
+		r.abstractBytes += size
+		return
+	}
+	cpu, arrival := r.sendTimes(dst, size)
+	r.proc.Send(dst, envelope{tag: tag, data: data}, size, arrival)
+	r.commCPU += cpu
+	r.segment(r.Now(), r.Now()+float64(cpu), SegComm)
+	r.proc.Advance(cpu)
+}
+
+// Send is a blocking standard-mode send of size bytes with the given tag.
+// Sends are modeled as eager/buffered: the call returns after the sender
+// CPU overhead. data is an optional payload carried to the receiver (the
+// direct-execution interpreter moves real array sections; the simplified
+// programs send nil, standing for the dummy buffer).
+func (r *Rank) Send(dst, tag int, size int64, data interface{}) {
+	r.send(dst, tag, size, data)
+}
+
+// matchFn builds the mailbox predicate for (src, tag).
+func matchFn(src, tag int) func(*sim.Message) bool {
+	return func(m *sim.Message) bool {
+		env, ok := m.Payload.(envelope)
+		if !ok {
+			return false
+		}
+		return (src == AnySource || m.From == src) && (tag == AnyTag || env.tag == tag)
+	}
+}
+
+// AnyTag matches any message tag.
+const AnyTag = -1
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its size and payload. Receiver-side costs (CPU overhead, and
+// NIC serialization under the Detailed model) are charged on completion.
+// Under the AbstractComm model the expected size is unknown, so a
+// zero-byte transfer is assumed; prefer RecvSized there.
+func (r *Rank) Recv(src, tag int) (int64, interface{}) {
+	return r.RecvSized(src, tag, 0)
+}
+
+// RecvSized is Recv with the receiver's declared message size, which the
+// AbstractComm model needs to compute the closed-form transfer cost
+// ("based on message size, message destination, etc.", paper §5). The
+// event-driven models ignore expect and use the real message's size.
+func (r *Rank) RecvSized(src, tag int, expect int64) (int64, interface{}) {
+	if r.world.cfg.Comm == AbstractComm {
+		n := &r.world.cfg.Machine.Net
+		cost := sim.Time(n.AnalyticDelay(expect) + n.RecvOverhead)
+		r.commCPU += sim.Time(n.RecvOverhead)
+		r.proc.Advance(cost)
+		return expect, nil
+	}
+	t0 := r.Now()
+	m := r.proc.Recv(matchFn(src, tag))
+	r.segment(t0, r.Now(), SegBlocked)
+	return r.finishRecv(m)
+}
+
+func (r *Rank) finishRecv(m *sim.Message) (int64, interface{}) {
+	n := &r.world.cfg.Machine.Net
+	if r.world.cfg.Comm == Detailed && m.From != r.rank {
+		// Serialize through the receive NIC.
+		ready := m.Arrival
+		if r.nicRecvFree > ready {
+			ready = r.nicRecvFree
+		}
+		r.nicRecvFree = ready + sim.Time(float64(m.Size)*n.GapPerByte)
+		if ready > r.proc.Now() {
+			r.segment(r.Now(), float64(ready), SegBlocked)
+			r.proc.Advance(ready - r.proc.Now())
+		}
+	}
+	cpu := sim.Time(n.RecvOverhead)
+	if m.From == r.rank {
+		cpu = sim.Time(n.RecvOverhead / 4)
+	}
+	r.commCPU += cpu
+	r.segment(r.Now(), r.Now()+float64(cpu), SegComm)
+	if r.world.cfg.CollectTrace {
+		r.commEvents = append(r.commEvents, CommEvent{
+			From: m.From, SendTime: float64(m.SendTime),
+			Arrival: float64(m.Arrival), Complete: r.Now(),
+			Size: m.Size,
+		})
+	}
+	r.proc.Advance(cpu)
+	env := m.Payload.(envelope)
+	return m.Size, env.data
+}
+
+// Sendrecv performs a combined send and receive, as used by shift
+// communications. The send is issued first (eager), then the receive
+// blocks; this cannot deadlock under the eager model.
+func (r *Rank) Sendrecv(dst, sendTag int, size int64, data interface{}, src, recvTag int) (int64, interface{}) {
+	r.send(dst, sendTag, size, data)
+	return r.Recv(src, recvTag)
+}
+
+// Request represents a nonblocking operation handle.
+type Request struct {
+	rank   *Rank
+	isSend bool
+	src    int
+	tag    int
+	done   bool
+	size   int64
+	data   interface{}
+}
+
+// Isend starts a nonblocking send. Under the eager model the message is
+// buffered immediately, so the request is born complete.
+func (r *Rank) Isend(dst, tag int, size int64, data interface{}) *Request {
+	r.send(dst, tag, size, data)
+	return &Request{rank: r, isSend: true, done: true}
+}
+
+// Irecv posts a nonblocking receive for (src, tag). The match is made at
+// Wait time.
+func (r *Rank) Irecv(src, tag int) *Request {
+	return &Request{rank: r, isSend: false, src: src, tag: tag}
+}
+
+// Wait blocks until the request completes and returns the received size
+// and payload (zero values for sends).
+func (req *Request) Wait() (int64, interface{}) {
+	if req.done {
+		return req.size, req.data
+	}
+	req.done = true
+	req.size, req.data = req.rank.Recv(req.src, req.tag)
+	return req.size, req.data
+}
+
+// Waitall completes all requests in order.
+func (r *Rank) Waitall(reqs []*Request) {
+	for _, q := range reqs {
+		q.Wait()
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import "container/heap"
+
+// eventKind discriminates kernel events.
+type eventKind uint8
+
+const (
+	evStart   eventKind = iota // begin executing a process body
+	evDeliver                  // deposit a message into a mailbox
+	evWake                     // resume a process sleeping via Sleep
+)
+
+// event is a kernel-internal scheduled occurrence. Events are totally
+// ordered by (time, proc, seq) so that simulation results are independent
+// of engine choice and host processor count.
+type event struct {
+	t    Time
+	proc int    // tie-break: originating process id
+	seq  uint64 // tie-break: per-process sequence number
+	kind eventKind
+	dst  int // destination process id
+	msg  *Message
+}
+
+func eventLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.proc != b.proc {
+		return a.proc < b.proc
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap of events ordered by eventLess.
+type eventHeap []*event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return eventLess(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func (h *eventHeap) push(e *event) { heap.Push(h, e) }
+
+func (h *eventHeap) pop() *event { return heap.Pop(h).(*event) }
+
+func (h *eventHeap) peek() *event {
+	if len(*h) == 0 {
+		return nil
+	}
+	return (*h)[0]
+}

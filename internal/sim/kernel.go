@@ -1,0 +1,418 @@
+// Package sim is the discrete-event simulation kernel underlying the
+// MPI-Sim reproduction. It is process-oriented: each simulated process
+// (a target MPI rank) runs its body on a goroutine and interacts with
+// simulated time through kernel calls (Advance, Send, Recv, Sleep).
+//
+// Two engines are provided, mirroring MPI-Sim's sequential and
+// conservative parallel simulation protocols:
+//
+//   - the sequential engine (Workers == 1) processes events from a single
+//     heap in global (time, proc, seq) order;
+//   - the parallel engine partitions processes over Workers host logical
+//     processes and synchronizes them with a conservative time-window
+//     protocol: in each round the window [T, T+Lookahead) is processed
+//     concurrently by all workers, which is safe because every message
+//     incurs at least Lookahead of network delay and therefore cannot be
+//     received inside the window it was sent in.
+//
+// Simulation results are bit-identical across engines and worker counts;
+// the kernel is deterministic by construction (total event order
+// (time, proc, seq), deterministic mailbox matching).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Protocol selects the conservative synchronization protocol of the
+// parallel engine (MPI-Sim provides "a set of conservative parallel
+// simulation protocols"; this kernel provides two).
+type Protocol int
+
+const (
+	// ProtocolWindow processes global time windows [T, T+Lookahead): all
+	// workers advance in lockstep from the global minimum event time.
+	ProtocolWindow Protocol = iota
+	// ProtocolNullMessage exchanges per-worker clock promises
+	// (Chandy-Misra-Bryant null messages, evaluated by synchronous
+	// reduction rounds): each worker advances to the minimum promise of
+	// its peers, which lets workers ahead of the global minimum keep
+	// processing when their peers cannot affect them yet. Fewer, larger
+	// rounds on pipelined workloads; identical simulation results.
+	ProtocolNullMessage
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	if p == ProtocolNullMessage {
+		return "null-message"
+	}
+	return "window"
+}
+
+// Config controls the kernel.
+type Config struct {
+	// Workers is the number of host logical processes (>= 1). It models
+	// the host processors of MPI-Sim. Values larger than the number of
+	// spawned processes are clamped.
+	Workers int
+	// Lookahead is the conservative window width; it must be positive for
+	// Workers > 1 and no larger than the minimum message delay, which the
+	// mpi layer guarantees by setting it to the network's minimum latency.
+	Lookahead Time
+	// RealParallel, when true, executes each window's workers on separate
+	// goroutines (true host parallelism). When false the workers are run
+	// sequentially in worker order, which is useful to model large host
+	// counts deterministically on few cores; results are identical.
+	RealParallel bool
+	// Protocol selects the conservative synchronization protocol for
+	// Workers > 1 (default ProtocolWindow).
+	Protocol Protocol
+}
+
+// Result summarizes a completed simulation.
+type Result struct {
+	// EndTime is the maximum finish time over all processes: the
+	// predicted execution time of the target program.
+	EndTime Time
+	// Procs holds per-process statistics indexed by process id.
+	Procs []ProcStats
+	// Events is the total number of kernel events processed.
+	Events int64
+	// Delivered is the number of messages delivered.
+	Delivered int64
+	// CrossWorker is the number of messages that crossed host workers.
+	CrossWorker int64
+	// Windows is the number of conservative windows executed (1 for the
+	// sequential engine).
+	Windows int64
+}
+
+// MaxProcTime returns the maximum over processes of the given accessor.
+func (r *Result) MaxProcTime(f func(ProcStats) Time) Time {
+	var m Time
+	for _, ps := range r.Procs {
+		if v := f(ps); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// worker owns a partition of the processes and their pending events.
+type worker struct {
+	id        int
+	kernel    *Kernel
+	heap      eventHeap
+	parked    chan struct{}
+	outbox    []*event // cross-worker sends buffered until the barrier
+	events    int64
+	delivered int64
+	cross     int64
+}
+
+// Kernel drives a set of spawned processes to completion.
+type Kernel struct {
+	cfg     Config
+	procs   []*Proc
+	workers []*worker
+	started bool
+}
+
+// NewKernel returns a kernel with the given configuration.
+func NewKernel(cfg Config) (*Kernel, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("sim: Workers must be >= 1, got %d", cfg.Workers)
+	}
+	if cfg.Workers > 1 && cfg.Lookahead <= 0 {
+		return nil, fmt.Errorf("sim: parallel engine requires positive Lookahead")
+	}
+	return &Kernel{cfg: cfg}, nil
+}
+
+// Spawn registers a process with the given body. All processes must be
+// spawned before Run. The returned process id equals the spawn order.
+func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	if k.started {
+		panic("sim: Spawn after Run")
+	}
+	p := &Proc{
+		id:     len(k.procs),
+		name:   name,
+		kernel: k,
+		body:   body,
+		resume: make(chan *Message),
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// NumProcs returns the number of spawned processes.
+func (k *Kernel) NumProcs() int { return len(k.procs) }
+
+// workerOf maps a process id to its host worker (block distribution, as
+// MPI-Sim maps target processes to host processors).
+func (k *Kernel) workerOf(proc int) *worker {
+	w := proc * len(k.workers) / len(k.procs)
+	return k.workers[w]
+}
+
+// Run executes the simulation to completion and returns the result. It
+// returns an error if any process panicked or if the program deadlocks
+// (every process blocked with no messages in flight).
+func (k *Kernel) Run() (*Result, error) {
+	if k.started {
+		return nil, fmt.Errorf("sim: Run called twice")
+	}
+	k.started = true
+	if len(k.procs) == 0 {
+		return &Result{}, nil
+	}
+	nw := k.cfg.Workers
+	if nw > len(k.procs) {
+		nw = len(k.procs)
+	}
+	k.workers = make([]*worker, nw)
+	for i := range k.workers {
+		k.workers[i] = &worker{id: i, kernel: k, parked: make(chan struct{})}
+	}
+	for _, p := range k.procs {
+		p.worker = k.workerOf(p.id)
+		p.worker.heap.push(&event{t: 0, proc: p.id, seq: 0, kind: evStart, dst: p.id})
+	}
+
+	res := &Result{}
+	if nw == 1 {
+		k.workers[0].processWindow(Infinity)
+		res.Windows = 1
+	} else {
+		if err := k.runParallel(res); err != nil {
+			return nil, err
+		}
+	}
+	return k.finish(res)
+}
+
+// runParallel executes conservative rounds until no events remain.
+func (k *Kernel) runParallel(res *Result) error {
+	for {
+		// Barrier: merge cross-worker messages produced in the last round.
+		var pending []*event
+		for _, w := range k.workers {
+			pending = append(pending, w.outbox...)
+			w.outbox = w.outbox[:0]
+		}
+		sort.Slice(pending, func(i, j int) bool { return eventLess(pending[i], pending[j]) })
+		for _, e := range pending {
+			k.workerOf(e.dst).heap.push(e)
+		}
+		bounds, any := k.safeBounds()
+		if !any {
+			return nil
+		}
+		res.Windows++
+		if k.cfg.RealParallel {
+			var wg sync.WaitGroup
+			for i, w := range k.workers {
+				wg.Add(1)
+				go func(w *worker, end Time) {
+					defer wg.Done()
+					w.processWindow(end)
+				}(w, bounds[i])
+			}
+			wg.Wait()
+		} else {
+			for i, w := range k.workers {
+				w.processWindow(bounds[i])
+			}
+		}
+	}
+}
+
+// safeBounds computes, per worker, the time bound below which it may
+// safely process events this round. It reports false when no events
+// remain anywhere.
+func (k *Kernel) safeBounds() ([]Time, bool) {
+	nw := len(k.workers)
+	tops := make([]Time, nw)
+	start := Infinity
+	for i, w := range k.workers {
+		tops[i] = Infinity
+		if top := w.heap.peek(); top != nil {
+			tops[i] = top.t
+			if top.t < start {
+				start = top.t
+			}
+		}
+	}
+	if start >= Infinity {
+		return nil, false
+	}
+	bounds := make([]Time, nw)
+	switch k.cfg.Protocol {
+	case ProtocolNullMessage:
+		// Clock promises: worker i cannot emit an arrival earlier than
+		// lookahead past its next activity, which is its next local event
+		// or the earliest arrival its peers could still send it:
+		//
+		//	p_i = lookahead + min(top_i, min_{j != i} p_j)
+		//
+		// Starting from the always-safe bound (lookahead past the global
+		// minimum event time), iterate upward; every intermediate value
+		// is a valid lower bound because it is the formula applied to
+		// valid lower bounds, and the sequence is monotone. A bounded
+		// iteration count keeps rounds cheap; promises merely end up
+		// conservative when peers are idle.
+		promises := make([]Time, nw)
+		for i := range promises {
+			promises[i] = start + k.cfg.Lookahead
+		}
+		for iter := 0; iter < nw+1; iter++ {
+			changed := false
+			for i := range promises {
+				minPeer := Infinity
+				for j := range promises {
+					if j != i && promises[j] < minPeer {
+						minPeer = promises[j]
+					}
+				}
+				next := tops[i]
+				if minPeer < next {
+					next = minPeer
+				}
+				if p := next + k.cfg.Lookahead; p > promises[i] {
+					promises[i] = p
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		for i := range bounds {
+			minPeer := Infinity
+			for j := range promises {
+				if j != i && promises[j] < minPeer {
+					minPeer = promises[j]
+				}
+			}
+			bounds[i] = minPeer
+			if nw == 1 {
+				bounds[i] = Infinity
+			}
+		}
+	default: // ProtocolWindow
+		end := start + k.cfg.Lookahead
+		for i := range bounds {
+			bounds[i] = end
+		}
+	}
+	return bounds, true
+}
+
+// finish validates terminal state, tears down blocked processes and
+// assembles the result.
+func (k *Kernel) finish(res *Result) (*Result, error) {
+	var blocked []string
+	for _, p := range k.procs {
+		if p.state == stBlocked {
+			blocked = append(blocked, fmt.Sprintf("%d(%s)@%g", p.id, p.name, float64(p.now)))
+		}
+	}
+	if len(blocked) > 0 {
+		k.terminateBlocked()
+		return nil, fmt.Errorf("sim: deadlock, %d blocked processes: %s",
+			len(blocked), strings.Join(blocked, ", "))
+	}
+	res.Procs = make([]ProcStats, len(k.procs))
+	for i, p := range k.procs {
+		if p.err != nil {
+			return nil, p.err
+		}
+		res.Procs[i] = p.stats
+		if p.stats.FinishTime > res.EndTime {
+			res.EndTime = p.stats.FinishTime
+		}
+	}
+	for _, w := range k.workers {
+		res.Events += w.events
+		res.Delivered += w.delivered
+		res.CrossWorker += w.cross
+	}
+	return res, nil
+}
+
+// terminateBlocked unblocks deadlocked processes so their goroutines can
+// exit (their bodies observe a nil message and panic, which is captured).
+func (k *Kernel) terminateBlocked() {
+	for _, p := range k.procs {
+		if p.state != stBlocked {
+			continue
+		}
+		w := p.worker
+		p.resume <- nil
+		<-w.parked
+	}
+	// Let the scheduler retire the goroutines.
+	runtime.Gosched()
+}
+
+// park is called from a process goroutine when it hands control back to
+// its worker.
+func (w *worker) park() { w.parked <- struct{}{} }
+
+// sendOut routes a delivery event: same-worker events are inserted
+// directly (they cannot fall inside the current window, see package doc);
+// cross-worker events are buffered until the window barrier.
+func (w *worker) sendOut(e *event) {
+	dst := w.kernel.workerOf(e.dst)
+	if dst == w {
+		w.heap.push(e)
+		return
+	}
+	w.cross++
+	w.outbox = append(w.outbox, e)
+}
+
+// scheduleLocal inserts an event for a process owned by this worker.
+func (w *worker) scheduleLocal(e *event) { w.heap.push(e) }
+
+// processWindow pops and handles every event with time < end.
+func (w *worker) processWindow(end Time) {
+	for {
+		top := w.heap.peek()
+		if top == nil || top.t >= end {
+			return
+		}
+		e := w.heap.pop()
+		w.events++
+		p := w.kernel.procs[e.dst]
+		switch e.kind {
+		case evStart:
+			go p.run()
+			<-w.parked
+		case evWake:
+			p.resume <- nil
+			<-w.parked
+		case evDeliver:
+			w.delivered++
+			w.deliver(p, e.msg)
+		}
+	}
+}
+
+// deliver deposits a message, waking the destination if it is blocked on
+// a matching Recv. A blocked process has already scanned its mailbox, so
+// the delivered message is handed over directly when it matches.
+func (w *worker) deliver(p *Proc, m *Message) {
+	if p.state == stBlocked && p.match != nil && p.match(m) {
+		p.resume <- m
+		<-w.parked
+		return
+	}
+	p.mailbox = append(p.mailbox, m)
+}

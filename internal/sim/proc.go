@@ -1,0 +1,231 @@
+package sim
+
+import "fmt"
+
+// Time is simulated time in seconds.
+type Time float64
+
+// Infinity is a time later than any event.
+const Infinity = Time(1e300)
+
+// Message is a unit of simulated communication between processes. The
+// mpi package layers MPI envelope semantics (tag, communicator, kind)
+// on top via Payload.
+type Message struct {
+	From, To int  // process ids
+	SendTime Time // sender's local time when the send was issued
+	Arrival  Time // timestamp at which the message reaches the receiver
+	Size     int64
+	Payload  interface{}
+	seq      uint64 // sender-side sequence, part of the deterministic order
+}
+
+// procState tracks where a process is in its lifecycle.
+type procState uint8
+
+const (
+	stNew procState = iota
+	stRunnable
+	stBlocked // waiting in Recv
+	stDone
+)
+
+// ProcStats accumulates per-process accounting used for validation,
+// Table 1 and the host-cost model.
+type ProcStats struct {
+	ComputeTime Time  // simulated time consumed by Advance (direct execution / delays)
+	BlockedTime Time  // simulated time spent waiting in Recv
+	MsgsSent    int64 // point-to-point messages issued
+	BytesSent   int64
+	MsgsRecvd   int64
+	BytesRecvd  int64
+	FinishTime  Time // local clock when the body returned
+}
+
+// Proc is a simulated process (one target MPI rank, in this system).
+// Its body function runs on its own goroutine; kernel calls (Advance,
+// Send, Recv, Sleep) coordinate it with simulated time. Methods on Proc
+// must only be called from the body function.
+type Proc struct {
+	id     int
+	name   string
+	kernel *Kernel
+	worker *worker
+
+	now   Time
+	state procState
+	seq   uint64
+
+	body    func(*Proc)
+	resume  chan *Message       // kernel -> proc: start or matched message
+	mailbox []*Message          // arrived, unmatched messages
+	match   func(*Message) bool // set while blocked in Recv
+	err     error               // panic captured from the body
+	stats   ProcStats
+}
+
+// ID returns the process identifier (0..N-1 in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the process's local virtual time.
+func (p *Proc) Now() Time { return p.now }
+
+// Stats returns a snapshot of the process's accounting.
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// Advance consumes d seconds of simulated local time. This is the
+// mechanism behind both direct execution of computational code and the
+// simulator-provided delay function of the paper (MPI-Sim's "forward the
+// simulation clock on the simulation thread by a specified amount").
+// It never yields to the kernel: local computation cannot affect other
+// processes except through later messages, so running ahead is safe
+// under the conservative protocols.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative Advance(%v) on proc %d", d, p.id))
+	}
+	p.now += d
+	p.stats.ComputeTime += d
+}
+
+// nextSeq returns the per-process monotone sequence used for
+// deterministic event ordering.
+func (p *Proc) nextSeq() uint64 {
+	p.seq++
+	return p.seq
+}
+
+// Send schedules delivery of payload to process `to` at the given arrival
+// time. Arrival must be at least Now()+lookahead when running under the
+// parallel engine; the mpi layer guarantees this by construction because
+// the kernel lookahead is the minimum network delay.
+func (p *Proc) Send(to int, payload interface{}, size int64, arrival Time) {
+	if to < 0 || to >= len(p.kernel.procs) {
+		panic(fmt.Sprintf("sim: Send to unknown proc %d", to))
+	}
+	if arrival < p.now {
+		panic(fmt.Sprintf("sim: Send arrival %v before local time %v", arrival, p.now))
+	}
+	m := &Message{
+		From: p.id, To: to, SendTime: p.now, Arrival: arrival,
+		Size: size, Payload: payload, seq: p.nextSeq(),
+	}
+	p.stats.MsgsSent++
+	p.stats.BytesSent += size
+	p.worker.sendOut(&event{t: arrival, proc: p.id, seq: m.seq, kind: evDeliver, dst: to, msg: m})
+}
+
+// Recv blocks until a message satisfying match has arrived, removes it
+// from the mailbox and returns it. The local clock advances to the
+// message's arrival time if that is later than Now(). When several
+// messages match, the earliest in the deterministic (arrival, sender,
+// sequence) order is returned.
+func (p *Proc) Recv(match func(*Message) bool) *Message {
+	if m := p.takeMatch(match); m != nil {
+		p.completeRecv(m)
+		return m
+	}
+	// Block: publish the predicate and yield to the kernel.
+	p.match = match
+	p.state = stBlocked
+	p.worker.park()
+	m := <-p.resume
+	p.match = nil
+	p.state = stRunnable
+	if m == nil {
+		// Deadlock teardown: the kernel unblocks us so the goroutine can
+		// exit; the panic is captured by run and reported via the kernel.
+		panic("terminated while blocked in Recv (deadlock teardown)")
+	}
+	p.completeRecv(m)
+	return m
+}
+
+// completeRecv advances the clock past the message arrival and accounts
+// for blocking time.
+func (p *Proc) completeRecv(m *Message) {
+	if m.Arrival > p.now {
+		p.stats.BlockedTime += m.Arrival - p.now
+		p.now = m.Arrival
+	}
+	p.stats.MsgsRecvd++
+	p.stats.BytesRecvd += m.Size
+}
+
+// takeMatch removes and returns the earliest matching mailbox message.
+func (p *Proc) takeMatch(match func(*Message) bool) *Message {
+	best := -1
+	for i, m := range p.mailbox {
+		if !match(m) {
+			continue
+		}
+		if best == -1 || messageLess(m, p.mailbox[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	m := p.mailbox[best]
+	p.mailbox = append(p.mailbox[:best], p.mailbox[best+1:]...)
+	return m
+}
+
+// HasMatch reports whether a matching message has already arrived. It
+// supports probe-style optimizations but never blocks; a false result
+// does not imply no such message will arrive (conservatively, callers
+// must still Recv).
+func (p *Proc) HasMatch(match func(*Message) bool) bool {
+	for _, m := range p.mailbox {
+		if match(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// messageLess orders messages by (arrival, sender, sequence).
+func messageLess(a, b *Message) bool {
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.seq < b.seq
+}
+
+// Sleep suspends the process until the given absolute simulated time,
+// yielding to the kernel. Unlike Advance it allows other processes'
+// messages to be matched first; it exists for test scenarios and
+// time-driven workloads. Sleeping into the past is a no-op.
+func (p *Proc) Sleep(until Time) {
+	if until <= p.now {
+		return
+	}
+	p.worker.scheduleLocal(&event{t: until, proc: p.id, seq: p.nextSeq(), kind: evWake, dst: p.id})
+	p.state = stBlocked
+	p.worker.park()
+	<-p.resume
+	p.state = stRunnable
+	if until > p.now {
+		p.now = until
+	}
+}
+
+// run executes the process body, capturing panics as errors.
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.err = fmt.Errorf("sim: proc %d (%s) panicked: %v", p.id, p.name, r)
+		}
+		p.state = stDone
+		p.stats.FinishTime = p.now
+		p.worker.park()
+	}()
+	p.state = stRunnable
+	p.body(p)
+}

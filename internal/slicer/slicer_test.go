@@ -1,0 +1,225 @@
+package slicer
+
+import (
+	"testing"
+
+	"mpisim/internal/ir"
+	"mpisim/internal/stg"
+)
+
+func slice(t *testing.T, p *ir.Program) *Slice {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := stg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(p, g.Condense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSeedsFromCommArguments(t *testing.T) {
+	// dest = myid-1 and section bounds use N: myid, N relevant.
+	p := &ir.Program{
+		Name:   "comm-seeds",
+		Params: []string{"N"},
+		Arrays: []*ir.ArrayDecl{{Name: "D", Dims: []ir.Expr{ir.N(100)}, Elem: 8}},
+		Body: ir.Block(
+			&ir.ReadInput{Var: "N"},
+			&ir.If{Cond: ir.GT(ir.S(ir.BuiltinMyID), ir.N(0)), Then: ir.Block(
+				&ir.Send{Dest: ir.Sub(ir.S(ir.BuiltinMyID), ir.N(1)), Tag: 1, Array: "D",
+					Section: ir.Sec(ir.N(1), ir.S("N"))})},
+		),
+	}
+	s := slice(t, p)
+	for _, v := range []string{"N", ir.BuiltinMyID} {
+		if !s.Relevant[v] {
+			t.Errorf("%s not relevant: %v", v, s.RelevantSorted())
+		}
+	}
+	if !s.Retained[p.Body[0]] {
+		t.Error("ReadInput N not retained")
+	}
+}
+
+func TestTransitiveChainRetained(t *testing.T) {
+	// c <- b <- a: a send count uses c, so all three defs are retained.
+	p := &ir.Program{
+		Name:   "chain",
+		Params: []string{"N"},
+		Arrays: []*ir.ArrayDecl{{Name: "D", Dims: []ir.Expr{ir.N(100)}, Elem: 8}},
+		Body: ir.Block(
+			&ir.ReadInput{Var: "N"},
+			ir.SetS("a", ir.Add(ir.S("N"), ir.N(1))),
+			ir.SetS("b", ir.Mul(ir.S("a"), ir.N(2))),
+			ir.SetS("c", ir.Sub(ir.S("b"), ir.N(3))),
+			ir.SetS("unrelated", ir.N(7)),
+			&ir.Send{Dest: ir.N(0), Tag: 1, Array: "D", Section: ir.Sec(ir.N(1), ir.S("c"))},
+		),
+	}
+	s := slice(t, p)
+	for _, v := range []string{"a", "b", "c", "N"} {
+		if !s.Relevant[v] {
+			t.Errorf("%s not relevant", v)
+		}
+	}
+	if s.Relevant["unrelated"] {
+		t.Error("unrelated var wrongly relevant")
+	}
+	retainedAssigns := 0
+	for st := range s.Retained {
+		if _, ok := st.(*ir.Assign); ok {
+			retainedAssigns++
+		}
+	}
+	if retainedAssigns != 3 {
+		t.Errorf("retained %d assigns, want 3 (a,b,c)", retainedAssigns)
+	}
+}
+
+func TestLoopCarriedChain(t *testing.T) {
+	// n is updated inside a loop and used as a later loop bound whose
+	// body is collapsed: the updating loop must be retained (fixpoint
+	// over loop-carried definitions).
+	p := &ir.Program{
+		Name: "loop-carried",
+		Body: ir.Block(
+			ir.SetS("n", ir.N(1)),
+			ir.Loop("grow", "i", ir.N(1), ir.N(5),
+				ir.SetS("n", ir.Mul(ir.S("n"), ir.N(2)))),
+			ir.Loop("work", "j", ir.N(1), ir.S("n"),
+				ir.SetS("x", ir.S("j"))),
+			&ir.Barrier{},
+		),
+	}
+	s := slice(t, p)
+	if !s.Relevant["n"] {
+		t.Fatal("n not relevant")
+	}
+	// The grow loop defines n (via its body) and must be retained.
+	grow := p.Body[1].(*ir.For)
+	if !s.Retained[grow] {
+		t.Error("grow loop not retained")
+	}
+	if !s.Retained[grow.Body[0]] {
+		t.Error("n update not retained")
+	}
+	// The work loop is inside a condensed region; x is irrelevant.
+	if s.Relevant["x"] {
+		t.Error("x wrongly relevant")
+	}
+}
+
+func TestArrayClassification(t *testing.T) {
+	// BOUNDS feeds loop bounds (kept); DATA is comm payload only
+	// (dummy); SCRATCH is pure computation (eliminated).
+	p := &ir.Program{
+		Name: "classify",
+		Arrays: []*ir.ArrayDecl{
+			{Name: "BOUNDS", Dims: []ir.Expr{ir.N(4)}, Elem: 8},
+			{Name: "DATA", Dims: []ir.Expr{ir.N(64)}, Elem: 8},
+			{Name: "SCRATCH", Dims: []ir.Expr{ir.N(64)}, Elem: 8},
+		},
+		Body: ir.Block(
+			ir.SetA("BOUNDS", ir.IX(ir.N(1)), ir.N(10)),
+			&ir.Send{Dest: ir.N(0), Tag: 1, Array: "DATA",
+				Section: ir.Sec(ir.N(1), ir.At("BOUNDS", ir.N(1)))},
+			ir.Loop("", "i", ir.N(1), ir.N(64),
+				ir.SetA("SCRATCH", ir.IX(ir.S("i")), ir.S("i"))),
+		),
+	}
+	s := slice(t, p)
+	if !s.KeptArrays["BOUNDS"] {
+		t.Errorf("BOUNDS not kept: %v", s.RelevantSorted())
+	}
+	if !s.DummyArrays["DATA"] {
+		t.Error("DATA not dummied")
+	}
+	if s.KeptArrays["SCRATCH"] || s.DummyArrays["SCRATCH"] {
+		t.Error("SCRATCH not eliminated")
+	}
+	elim := s.EliminatedArrays(p)
+	if len(elim) != 1 || elim[0] != "SCRATCH" {
+		t.Errorf("eliminated = %v", elim)
+	}
+}
+
+func TestMsgElemsOnlyForDummiedComm(t *testing.T) {
+	// A comm statement on a kept array must not get a dummy size.
+	p := &ir.Program{
+		Name: "keptcomm",
+		Arrays: []*ir.ArrayDecl{
+			{Name: "B", Dims: []ir.Expr{ir.N(4)}, Elem: 8},
+		},
+		Body: ir.Block(
+			ir.SetA("B", ir.IX(ir.N(1)), ir.N(3)),
+			// B is relevant because the section bound below reads it.
+			&ir.Send{Dest: ir.N(0), Tag: 1, Array: "B",
+				Section: ir.Sec(ir.N(1), ir.At("B", ir.N(1)))},
+		),
+	}
+	s := slice(t, p)
+	if !s.KeptArrays["B"] {
+		t.Fatalf("B should be kept: %v", s.RelevantSorted())
+	}
+	if len(s.MsgElems) != 0 {
+		t.Fatalf("MsgElems for kept-array comm: %v", s.MsgElems)
+	}
+}
+
+func TestScalingFunctionVariablesAreSeeds(t *testing.T) {
+	// The loop bound scalar "m" only matters through the condensed
+	// region's scaling function; it must still be relevant and its
+	// definition retained.
+	p := &ir.Program{
+		Name: "scaling-seed",
+		Body: ir.Block(
+			ir.SetS("m", ir.N(42)),
+			ir.Loop("work", "i", ir.N(1), ir.S("m"),
+				ir.SetS("x", ir.S("i"))),
+			&ir.Barrier{},
+		),
+	}
+	s := slice(t, p)
+	if !s.Relevant["m"] {
+		t.Fatalf("m not relevant: %v", s.RelevantSorted())
+	}
+	if !s.Retained[p.Body[0]] {
+		t.Error("definition of m not retained")
+	}
+}
+
+func TestBranchConditionControlDependence(t *testing.T) {
+	// A retained statement inside an If makes the condition's variables
+	// relevant, even if the If guards no communication.
+	p := &ir.Program{
+		Name:   "ctrl-dep",
+		Arrays: []*ir.ArrayDecl{{Name: "D", Dims: []ir.Expr{ir.N(8)}, Elem: 8}},
+		Body: ir.Block(
+			ir.SetS("flag", ir.N(1)),
+			&ir.If{Cond: ir.GT(ir.S("flag"), ir.N(0)), Then: ir.Block(
+				ir.SetS("count", ir.N(5)))},
+			&ir.Send{Dest: ir.N(0), Tag: 1, Array: "D",
+				Section: ir.Sec(ir.N(1), ir.S("count"))},
+		),
+	}
+	s := slice(t, p)
+	if !s.Relevant["count"] || !s.Relevant["flag"] {
+		t.Fatalf("control dependence missed: %v", s.RelevantSorted())
+	}
+	if !s.Retained[p.Body[0]] {
+		t.Error("flag definition not retained")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	s := slice(t, &ir.Program{Name: "empty"})
+	if len(s.Relevant) != 0 || len(s.Retained) != 0 {
+		t.Fatalf("empty program produced a non-empty slice: %+v", s)
+	}
+}

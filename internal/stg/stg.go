@@ -1,0 +1,479 @@
+// Package stg implements the static task graph (STG) of the paper: an
+// abstract, symbolic representation of a message-passing program that
+// identifies the sequential computations (tasks), the parallel structure
+// (communication and synchronization), and the control flow that
+// determines the parallel structure (paper §2.2).
+//
+// The graph is synthesized from the program IR (the role dhpf plays in
+// the paper), and a condensation transform collapses maximal
+// communication-free regions into single condensed tasks annotated with
+// symbolic scaling functions — the number of abstract operations the
+// region executes as a function of program variables (paper §3.1).
+package stg
+
+import (
+	"fmt"
+	"strings"
+
+	"mpisim/internal/ir"
+)
+
+// Kind classifies STG nodes: the paper's control-flow, computation and
+// communication categories, plus the condensed tasks introduced by the
+// condensation transform.
+type Kind int
+
+// Node kinds.
+const (
+	KindCompute Kind = iota
+	KindLoop
+	KindBranch
+	KindComm
+	KindCondensed
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindLoop:
+		return "loop"
+	case KindBranch:
+		return "branch"
+	case KindComm:
+		return "comm"
+	case KindCondensed:
+		return "condensed"
+	}
+	return "unknown"
+}
+
+// Node is an STG node. Each node remembers the region of source (IR)
+// statements it represents, as the paper's nodes carry source markers.
+type Node struct {
+	ID    int
+	Kind  Kind
+	Label string
+	// Stmts is the represented source region: the run of simple
+	// statements for compute nodes, the single statement for comm nodes,
+	// the whole collapsed region for condensed nodes, and the For/If
+	// statement itself for loop/branch nodes.
+	Stmts []ir.Stmt
+	// Children is the loop body for KindLoop.
+	Children []*Node
+	// Then/Else are the arms for KindBranch.
+	Then, Else []*Node
+	// Guard is the stack of enclosing branch conditions: together with
+	// the implicit {[p] : 0 <= p < P} it denotes the symbolic set of
+	// processes that execute the node.
+	Guard []ir.Expr
+	// Units is the symbolic scaling function of a condensed node: the
+	// abstract-operation count as an expression over program variables.
+	Units ir.Expr
+	// TaskVar is the w_i time parameter name of a condensed node.
+	TaskVar string
+	// Mapping annotates comm nodes with the symbolic task mapping, e.g.
+	// "[p] -> [q = (myid - 1)]".
+	Mapping string
+}
+
+// Graph is a static task graph (hierarchical form: sequence + nesting;
+// control-flow edges are the sequence order, communication edges are
+// derivable from the comm nodes' mappings).
+type Graph struct {
+	Program *ir.Program
+	Roots   []*Node
+	// TaskVars lists the condensed tasks' time parameters in emission
+	// order (empty before condensation).
+	TaskVars    []string
+	nextID      int
+	branchProbs map[*ir.If]float64
+}
+
+// Build synthesizes the STG of a program. Programs containing
+// compiler-emitted constructs (Delay, Timed, ReadTaskTimes) are rejected:
+// the STG is built from source programs only.
+func Build(p *ir.Program) (*Graph, error) {
+	g := &Graph{Program: p}
+	roots, err := g.buildSeq(p.Body, nil)
+	if err != nil {
+		return nil, err
+	}
+	g.Roots = roots
+	return g, nil
+}
+
+func (g *Graph) newNode(k Kind, label string, guard []ir.Expr) *Node {
+	g.nextID++
+	return &Node{ID: g.nextID, Kind: k, Label: label, Guard: guard}
+}
+
+func (g *Graph) buildSeq(body []ir.Stmt, guard []ir.Expr) ([]*Node, error) {
+	var out []*Node
+	var run []ir.Stmt // pending simple statements
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		n := g.newNode(KindCompute, fmt.Sprintf("compute#%d", g.nextID+1), guard)
+		n.Stmts = run
+		run = nil
+		out = append(out, n)
+	}
+	for _, s := range body {
+		switch x := s.(type) {
+		case *ir.Assign, *ir.ReadInput:
+			run = append(run, s)
+		case *ir.For:
+			flush()
+			n := g.newNode(KindLoop, loopLabel(x), guard)
+			n.Stmts = []ir.Stmt{x}
+			children, err := g.buildSeq(x.Body, guard)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = children
+			out = append(out, n)
+		case *ir.If:
+			flush()
+			n := g.newNode(KindBranch, fmt.Sprintf("if(%s)", x.Cond), guard)
+			n.Stmts = []ir.Stmt{x}
+			thenG := append(append([]ir.Expr{}, guard...), x.Cond)
+			var err error
+			n.Then, err = g.buildSeq(x.Then, thenG)
+			if err != nil {
+				return nil, err
+			}
+			elseG := append(append([]ir.Expr{}, guard...), ir.EQ(x.Cond, ir.N(0)))
+			n.Else, err = g.buildSeq(x.Else, elseG)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+		case *ir.Send:
+			flush()
+			n := g.newNode(KindComm, "send "+x.Array, guard)
+			n.Stmts = []ir.Stmt{x}
+			n.Mapping = fmt.Sprintf("[p] -> [q = %s]", x.Dest)
+			out = append(out, n)
+		case *ir.Recv:
+			flush()
+			n := g.newNode(KindComm, "recv "+x.Array, guard)
+			n.Stmts = []ir.Stmt{x}
+			n.Mapping = fmt.Sprintf("[p] <- [q = %s]", x.Src)
+			out = append(out, n)
+		case *ir.Allreduce:
+			flush()
+			n := g.newNode(KindComm, "allreduce "+strings.Join(x.Vars, ","), guard)
+			n.Stmts = []ir.Stmt{x}
+			n.Mapping = "[p] <-> [all]"
+			out = append(out, n)
+		case *ir.Bcast:
+			flush()
+			n := g.newNode(KindComm, "bcast "+strings.Join(x.Vars, ","), guard)
+			n.Stmts = []ir.Stmt{x}
+			n.Mapping = fmt.Sprintf("[%s] -> [all]", x.Root)
+			out = append(out, n)
+		case *ir.Barrier:
+			flush()
+			n := g.newNode(KindComm, "barrier", guard)
+			n.Stmts = []ir.Stmt{x}
+			n.Mapping = "[all] <-> [all]"
+			out = append(out, n)
+		case *ir.Delay, *ir.Timed, *ir.ReadTaskTimes:
+			return nil, fmt.Errorf("stg: %T is a compiler-emitted construct; build the STG from the source program", s)
+		default:
+			return nil, fmt.Errorf("stg: unsupported statement %T", s)
+		}
+	}
+	flush()
+	return out, nil
+}
+
+func loopLabel(f *ir.For) string {
+	if f.Label != "" {
+		return "do " + f.Label
+	}
+	return fmt.Sprintf("do %s=%s,%s", f.Var, f.Lo, f.Hi)
+}
+
+// hasComm reports whether the node or any descendant is a communication
+// node.
+func hasComm(n *Node) bool {
+	if n.Kind == KindComm {
+		return true
+	}
+	for _, c := range n.Children {
+		if hasComm(c) {
+			return true
+		}
+	}
+	for _, c := range n.Then {
+		if hasComm(c) {
+			return true
+		}
+	}
+	for _, c := range n.Else {
+		if hasComm(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Condense returns a new graph in which every maximal run of
+// communication-free sibling nodes is collapsed into a single condensed
+// task with a symbolic scaling function (paper §3.1). Loops and branches
+// that contain communication are retained, and their bodies condensed
+// recursively. The criteria follow the paper: single-exit regions (the
+// IR has no early exits), no communication inside a collapsed region,
+// and conditionals inside collapsed regions folded statistically
+// (uniform 0.5 arm weights; see CondenseProfiled).
+func (g *Graph) Condense() *Graph { return g.CondenseProfiled(nil) }
+
+// CondenseProfiled is Condense with measured branch probabilities for
+// the statistical folding of conditionals inside collapsed regions
+// ("we can use profiling to estimate the branching probabilities of
+// eliminated branches", paper §3.1). Branches absent from the map fold
+// with the default 0.5 weight.
+func (g *Graph) CondenseProfiled(branchProbs map[*ir.If]float64) *Graph {
+	ng := &Graph{Program: g.Program, branchProbs: branchProbs}
+	ng.Roots = ng.condenseSeq(g.Roots)
+	return ng
+}
+
+func (ng *Graph) condenseSeq(nodes []*Node) []*Node {
+	var out []*Node
+	var region []*Node
+	flush := func() {
+		if len(region) == 0 {
+			return
+		}
+		var stmts []ir.Stmt
+		for _, n := range region {
+			stmts = append(stmts, n.Stmts...)
+		}
+		c := ng.newNode(KindCondensed, "", region[0].Guard)
+		c.Stmts = stmts
+		c.TaskVar = fmt.Sprintf("w_%d", len(ng.TaskVars)+1)
+		c.Units = ir.Simplify(UnitsOfProfiled(stmts, ng.branchProbs))
+		c.Label = fmt.Sprintf("task %s", c.TaskVar)
+		ng.TaskVars = append(ng.TaskVars, c.TaskVar)
+		region = nil
+		out = append(out, c)
+	}
+	for _, n := range nodes {
+		if !hasComm(n) {
+			region = append(region, n)
+			continue
+		}
+		flush()
+		switch n.Kind {
+		case KindLoop:
+			nn := ng.newNode(KindLoop, n.Label, n.Guard)
+			nn.Stmts = n.Stmts
+			nn.Children = ng.condenseSeq(n.Children)
+			out = append(out, nn)
+		case KindBranch:
+			nn := ng.newNode(KindBranch, n.Label, n.Guard)
+			nn.Stmts = n.Stmts
+			nn.Then = ng.condenseSeq(n.Then)
+			nn.Else = ng.condenseSeq(n.Else)
+			out = append(out, nn)
+		default: // comm
+			nn := ng.newNode(n.Kind, n.Label, n.Guard)
+			nn.Stmts = n.Stmts
+			nn.Mapping = n.Mapping
+			out = append(out, nn)
+		}
+	}
+	flush()
+	return out
+}
+
+// UnitsOf computes the symbolic scaling function of a statement region:
+// the abstract-operation count the interpreter would charge, as an
+// expression over program variables. Conditionals contribute the average
+// of their arms (the paper's statistical folding of branches inside
+// collapsible regions); loops contribute bounded summations that
+// Simplify collapses to closed form when rectangular.
+func UnitsOf(stmts []ir.Stmt) ir.Expr { return UnitsOfProfiled(stmts, nil) }
+
+// UnitsOfProfiled is UnitsOf with measured branch-taken probabilities;
+// conditionals listed in probs weight their arms by p and 1-p instead of
+// the uniform 0.5.
+func UnitsOfProfiled(stmts []ir.Stmt, probs map[*ir.If]float64) ir.Expr {
+	var total ir.Expr = ir.N(0)
+	for _, s := range stmts {
+		total = ir.Add(total, unitsOfStmt(s, probs))
+	}
+	return total
+}
+
+func unitsOfStmt(s ir.Stmt, probs map[*ir.If]float64) ir.Expr {
+	switch x := s.(type) {
+	case *ir.Assign:
+		cost := 1 + ir.OpCount(x.RHS)
+		if x.LHS.IsArray() {
+			for _, e := range x.LHS.Index {
+				cost += ir.OpCount(e)
+			}
+		}
+		return ir.N(cost)
+	case *ir.ReadInput:
+		return ir.N(0)
+	case *ir.For:
+		head := ir.N(1 + ir.OpCount(x.Lo) + ir.OpCount(x.Hi))
+		body := ir.Add(ir.N(1), UnitsOfProfiled(x.Body, probs))
+		return ir.Add(head, ir.SumE{Index: x.Var, Lo: x.Lo, Hi: x.Hi, Body: body})
+	case *ir.If:
+		head := ir.N(1 + ir.OpCount(x.Cond))
+		p := 0.5
+		if probs != nil {
+			if measured, ok := probs[x]; ok {
+				p = measured
+			}
+		}
+		arms := ir.Add(
+			ir.Mul(UnitsOfProfiled(x.Then, probs), ir.N(p)),
+			ir.Mul(UnitsOfProfiled(x.Else, probs), ir.N(1-p)))
+		return ir.Add(head, arms)
+	}
+	// Communication and compiler constructs carry no computational units.
+	return ir.N(0)
+}
+
+// CondensedTasks returns the condensed nodes in emission order.
+func (g *Graph) CondensedTasks() []*Node {
+	var out []*Node
+	g.walk(func(n *Node) {
+		if n.Kind == KindCondensed {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// CommNodes returns the communication nodes in order.
+func (g *Graph) CommNodes() []*Node {
+	var out []*Node
+	g.walk(func(n *Node) {
+		if n.Kind == KindComm {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// NodeCount returns the total number of nodes.
+func (g *Graph) NodeCount() int {
+	c := 0
+	g.walk(func(*Node) { c++ })
+	return c
+}
+
+func (g *Graph) walk(fn func(*Node)) {
+	var rec func(ns []*Node)
+	rec = func(ns []*Node) {
+		for _, n := range ns {
+			fn(n)
+			rec(n.Children)
+			rec(n.Then)
+			rec(n.Else)
+		}
+	}
+	rec(g.Roots)
+}
+
+// String renders the graph as an indented tree with symbolic annotations.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "static task graph: %s\n", g.Program.Name)
+	var rec func(ns []*Node, depth int)
+	rec = func(ns []*Node, depth int) {
+		for _, n := range ns {
+			for i := 0; i < depth; i++ {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "[%d] %s", n.ID, n.Kind)
+			if n.Label != "" {
+				fmt.Fprintf(&sb, " %s", n.Label)
+			}
+			if n.Mapping != "" {
+				fmt.Fprintf(&sb, "  %s", n.Mapping)
+			}
+			if n.Units != nil {
+				fmt.Fprintf(&sb, "  units=%s", n.Units)
+			}
+			if len(n.Guard) > 0 {
+				guards := make([]string, len(n.Guard))
+				for i, ge := range n.Guard {
+					guards[i] = ge.String()
+				}
+				fmt.Fprintf(&sb, "  procs={[p] : %s}", strings.Join(guards, " && "))
+			} else {
+				sb.WriteString("  procs={[p] : 0 <= p < P}")
+			}
+			sb.WriteString("\n")
+			if len(n.Then) > 0 || len(n.Else) > 0 {
+				rec(n.Then, depth+1)
+				if len(n.Else) > 0 {
+					for i := 0; i < depth; i++ {
+						sb.WriteString("  ")
+					}
+					sb.WriteString("else:\n")
+					rec(n.Else, depth+1)
+				}
+			}
+			rec(n.Children, depth+1)
+		}
+	}
+	rec(g.Roots, 1)
+	return sb.String()
+}
+
+// DOT renders the graph in Graphviz dot format for visualization.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n  node [fontsize=10];\n", g.Program.Name)
+	var emit func(ns []*Node, parent string)
+	emit = func(ns []*Node, parent string) {
+		prev := parent
+		for _, n := range ns {
+			id := fmt.Sprintf("n%d", n.ID)
+			label := n.Kind.String()
+			if n.Label != "" {
+				label = n.Label
+			}
+			shape := "box"
+			switch n.Kind {
+			case KindComm:
+				shape = "ellipse"
+				if n.Mapping != "" {
+					label += "\n" + n.Mapping
+				}
+			case KindCondensed:
+				shape = "box3d"
+				if n.Units != nil {
+					label += "\nunits=" + n.Units.String()
+				}
+			case KindLoop:
+				shape = "hexagon"
+			case KindBranch:
+				shape = "diamond"
+			}
+			fmt.Fprintf(&sb, "  %s [label=%q, shape=%s];\n", id, label, shape)
+			if prev != "" {
+				fmt.Fprintf(&sb, "  %s -> %s;\n", prev, id)
+			}
+			emit(n.Children, id)
+			emit(n.Then, id)
+			emit(n.Else, id)
+			prev = id
+		}
+	}
+	emit(g.Roots, "")
+	sb.WriteString("}\n")
+	return sb.String()
+}

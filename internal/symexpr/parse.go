@@ -1,0 +1,327 @@
+package symexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an expression in the surface syntax produced by
+// Expr.String. Supported forms:
+//
+//	number          123, 4.5, 1e-6
+//	variable        N, myid, w_1
+//	e1 OP e2        + - * / // % < <= > >= == !=
+//	fn(e)           ceil floor abs sqrt log2
+//	min(a,b) max(a,b) ceildiv(a,b)
+//	sum(i, lo, hi, body)
+//	test ? a : b
+//	( e )
+//
+// Operator precedence follows Go: * / // % bind tighter than + -, which
+// bind tighter than comparisons; ?: is lowest and right-associative.
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	p.next()
+	e, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("symexpr: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; for constants in code and tests.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNum
+	tokIdent
+	tokOp     // one of + - * / // % < <= > >= == != ? :
+	tokLParen // (
+	tokRParen // )
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	src string
+	off int
+	tok token
+}
+
+func (p *parser) next() {
+	for p.off < len(p.src) && unicode.IsSpace(rune(p.src[p.off])) {
+		p.off++
+	}
+	start := p.off
+	if p.off >= len(p.src) {
+		p.tok = token{tokEOF, "", start}
+		return
+	}
+	c := p.src[p.off]
+	switch {
+	case c >= '0' && c <= '9' || c == '.':
+		for p.off < len(p.src) && (isNumChar(p.src[p.off]) ||
+			// accept exponent sign immediately after e/E
+			((p.src[p.off] == '+' || p.src[p.off] == '-') && p.off > start &&
+				(p.src[p.off-1] == 'e' || p.src[p.off-1] == 'E'))) {
+			p.off++
+		}
+		p.tok = token{tokNum, p.src[start:p.off], start}
+	case isIdentStart(c):
+		for p.off < len(p.src) && isIdentChar(p.src[p.off]) {
+			p.off++
+		}
+		p.tok = token{tokIdent, p.src[start:p.off], start}
+	case c == '(':
+		p.off++
+		p.tok = token{tokLParen, "(", start}
+	case c == ')':
+		p.off++
+		p.tok = token{tokRParen, ")", start}
+	case c == ',':
+		p.off++
+		p.tok = token{tokComma, ",", start}
+	default:
+		// multi-character operators first
+		two := ""
+		if p.off+1 < len(p.src) {
+			two = p.src[p.off : p.off+2]
+		}
+		switch two {
+		case "//", "<=", ">=", "==", "!=":
+			p.off += 2
+			p.tok = token{tokOp, two, start}
+			return
+		}
+		if strings.ContainsRune("+-*/%<>?:", rune(c)) {
+			p.off++
+			p.tok = token{tokOp, string(c), start}
+			return
+		}
+		p.tok = token{tokOp, string(c), start}
+		p.off++
+	}
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E'
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+// parseCond handles the lowest-precedence ternary operator.
+func (p *parser) parseCond() (Expr, error) {
+	test, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp && p.tok.text == "?" {
+		p.next()
+		then, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokOp || p.tok.text != ":" {
+			return nil, fmt.Errorf("symexpr: expected ':' at offset %d", p.tok.pos)
+		}
+		p.next()
+		els, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		return Cond{test, then, els}, nil
+	}
+	return test, nil
+}
+
+var cmpOps = map[string]Op{
+	"<": OpLT, "<=": OpLE, ">": OpGT, ">=": OpGE, "==": OpEQ, "!=": OpNE,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		if op, ok := cmpOps[p.tok.text]; ok {
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{op, l, r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := OpAdd
+		if p.tok.text == "-" {
+			op = OpSub
+		}
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{op, l, r}
+	}
+	return l, nil
+}
+
+var mulOps = map[string]Op{"*": OpMul, "/": OpDiv, "//": OpIDiv, "%": OpMod}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp {
+		op, ok := mulOps[p.tok.text]
+		if !ok {
+			break
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokOp && p.tok.text == "-" {
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{OpSub, Const{0}, e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokNum:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("symexpr: bad number %q: %v", p.tok.text, err)
+		}
+		p.next()
+		return Const{v}, nil
+	case tokIdent:
+		name := p.tok.text
+		p.next()
+		if p.tok.kind != tokLParen {
+			return Var{name}, nil
+		}
+		return p.parseCall(name)
+	case tokLParen:
+		p.next()
+		e, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("symexpr: expected ')' at offset %d", p.tok.pos)
+		}
+		p.next()
+		return e, nil
+	}
+	return nil, fmt.Errorf("symexpr: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+}
+
+func (p *parser) parseCall(name string) (Expr, error) {
+	// consume '('
+	p.next()
+	var args []Expr
+	// sum's first argument is an identifier binding, handled specially.
+	if name == "sum" {
+		if p.tok.kind != tokIdent {
+			return nil, fmt.Errorf("symexpr: sum index must be an identifier at offset %d", p.tok.pos)
+		}
+		idx := p.tok.text
+		p.next()
+		for i := 0; i < 3; i++ {
+			if p.tok.kind != tokComma {
+				return nil, fmt.Errorf("symexpr: sum expects 4 arguments at offset %d", p.tok.pos)
+			}
+			p.next()
+			a, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("symexpr: expected ')' at offset %d", p.tok.pos)
+		}
+		p.next()
+		return Sum{idx, args[0], args[1], args[2]}, nil
+	}
+	for {
+		a, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.tok.kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokRParen {
+		return nil, fmt.Errorf("symexpr: expected ')' at offset %d", p.tok.pos)
+	}
+	p.next()
+	switch name {
+	case "min", "max", "ceildiv":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("symexpr: %s expects 2 arguments, got %d", name, len(args))
+		}
+		op := map[string]Op{"min": OpMin, "max": OpMax, "ceildiv": OpCeilDiv}[name]
+		return Binary{op, args[0], args[1]}, nil
+	default:
+		if _, ok := unaryFuncs[name]; !ok {
+			return nil, fmt.Errorf("symexpr: unknown function %q", name)
+		}
+		if len(args) != 1 {
+			return nil, fmt.Errorf("symexpr: %s expects 1 argument, got %d", name, len(args))
+		}
+		return Func{name, args[0]}, nil
+	}
+}

@@ -1,0 +1,116 @@
+package symexpr
+
+import "math"
+
+// Simplify returns an expression equivalent to e with constants folded and
+// common algebraic identities applied (x+0, x*1, x*0, x-0, x/1, min/max of
+// equal operands, conditionals with constant tests). The compiler applies
+// it to every synthesized scaling function so that the emitted simplified
+// programs stay readable.
+func Simplify(e Expr) Expr {
+	switch x := e.(type) {
+	case Const, Var:
+		return e
+	case Binary:
+		return simplifyBinary(Binary{x.Op, Simplify(x.L), Simplify(x.R)})
+	case Func:
+		arg := Simplify(x.Arg)
+		if c, ok := arg.(Const); ok {
+			if fn, known := unaryFuncs[x.Name]; known {
+				return Const{fn(c.Value)}
+			}
+		}
+		return Func{x.Name, arg}
+	case Cond:
+		test := Simplify(x.Test)
+		if c, ok := test.(Const); ok {
+			if c.Value != 0 {
+				return Simplify(x.Then)
+			}
+			return Simplify(x.Else)
+		}
+		return Cond{test, Simplify(x.Then), Simplify(x.Else)}
+	case Sum:
+		lo, hi, body := Simplify(x.Lo), Simplify(x.Hi), Simplify(x.Body)
+		// A body independent of the index collapses to body*(hi-lo+1).
+		free := make(map[string]bool)
+		body.addVars(free)
+		if !free[x.Index] {
+			count := Simplify(Max(C(0), Add(Sub(hi, lo), C(1))))
+			return simplifyBinary(Binary{OpMul, body, count})
+		}
+		return Sum{x.Index, lo, hi, body}
+	}
+	return e
+}
+
+func simplifyBinary(b Binary) Expr {
+	lc, lIsC := b.L.(Const)
+	rc, rIsC := b.R.(Const)
+	if lIsC && rIsC {
+		if v, err := applyOp(b.Op, lc.Value, rc.Value); err == nil {
+			return Const{v}
+		}
+		return b
+	}
+	switch b.Op {
+	case OpAdd:
+		if lIsC && lc.Value == 0 {
+			return b.R
+		}
+		if rIsC && rc.Value == 0 {
+			return b.L
+		}
+	case OpSub:
+		if rIsC && rc.Value == 0 {
+			return b.L
+		}
+		if Equal(b.L, b.R) {
+			return Const{0}
+		}
+	case OpMul:
+		if lIsC {
+			if lc.Value == 0 {
+				return Const{0}
+			}
+			if lc.Value == 1 {
+				return b.R
+			}
+		}
+		if rIsC {
+			if rc.Value == 0 {
+				return Const{0}
+			}
+			if rc.Value == 1 {
+				return b.L
+			}
+		}
+	case OpDiv, OpIDiv, OpCeilDiv:
+		if rIsC && rc.Value == 1 {
+			return b.L
+		}
+		if lIsC && lc.Value == 0 && !(rIsC && rc.Value == 0) {
+			return Const{0}
+		}
+	case OpMin, OpMax:
+		if Equal(b.L, b.R) {
+			return b.L
+		}
+	}
+	return b
+}
+
+// FoldEnv partially evaluates e: variables bound in env are replaced by
+// their values, then the result is simplified. Unbound variables remain
+// symbolic. This implements the paper's parameterization step, where a
+// scaling function over (N, P, myid, w_1) is specialized for a measured
+// w_1 while remaining symbolic in the problem size.
+func FoldEnv(e Expr, env Env) Expr {
+	folded := e
+	for name, v := range env {
+		if !math.IsNaN(v) {
+			folded = Subst(folded, name, Const{v})
+		}
+	}
+	return Simplify(folded)
+}

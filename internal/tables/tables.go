@@ -1,0 +1,201 @@
+// Package tables regenerates every table and figure of the paper's
+// evaluation (§4): validation curves (Figures 3-9), the memory-usage
+// table (Table 1), scalability of the optimized simulator (Figures
+// 10-11) and simulator performance (Figures 12-16).
+//
+// Each experiment returns a structured result that renders as the same
+// rows/series the paper reports. Absolute seconds come from this
+// repository's machine models, so the claims to check are shapes: who
+// wins, by roughly what factor, and where the crossovers fall.
+// EXPERIMENTS.md records paper-versus-measured for every experiment.
+package tables
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Full selects paper-scale configurations (hours of CPU). The
+	// default is a scaled-down set preserving every shape; EXPERIMENTS.md
+	// documents the scaling.
+	Full bool
+	// HostWorkers sets the simulation engine's host processes for the
+	// heavy runs (0 = sequential engine).
+	HostWorkers int
+	// RankCap, when positive, drops configurations above this many
+	// target ranks; used by the test suite to bound experiment runtime.
+	RankCap int
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct{ X, Y float64 }
+
+// Series is a named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Table is a regenerated paper table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Result is any renderable experiment outcome.
+type Result interface {
+	Render() string
+	Name() string
+}
+
+// Name implements Result.
+func (f *Figure) Name() string { return f.ID }
+
+// Name implements Result.
+func (t *Table) Name() string { return t.ID }
+
+// Render formats the figure as an aligned text table: one row per x
+// value, one column per series.
+func (f *Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", f.ID, f.Title)
+	// Collect the union of x values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmtG(p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&sb, header, rows)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", t.ID, t.Title)
+	writeAligned(&sb, t.Header, t.Rows)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func writeAligned(sb *strings.Builder, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(header)
+	rows2 := append([][]string{}, rows...)
+	for _, r := range rows2 {
+		line(r)
+	}
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.4g", x)
+}
+
+func fmtG(y float64) string { return fmt.Sprintf("%.4g", y) }
+
+// Experiments returns the registry of all experiment generators in paper
+// order.
+func Experiments() []struct {
+	ID  string
+	Run func(Config) (Result, error)
+} {
+	return []struct {
+		ID  string
+		Run func(Config) (Result, error)
+	}{
+		{"fig3", func(c Config) (Result, error) { return Figure3(c) }},
+		{"fig4", func(c Config) (Result, error) { return Figure4(c) }},
+		{"fig5", func(c Config) (Result, error) { return Figure5(c) }},
+		{"fig6", func(c Config) (Result, error) { return Figure6(c) }},
+		{"fig7", func(c Config) (Result, error) { return Figure7(c) }},
+		{"fig8", func(c Config) (Result, error) { return Figure8(c) }},
+		{"fig9", func(c Config) (Result, error) { return Figure9(c) }},
+		{"table1", func(c Config) (Result, error) { return Table1(c) }},
+		{"fig10", func(c Config) (Result, error) { return Figure10(c) }},
+		{"fig11", func(c Config) (Result, error) { return Figure11(c) }},
+		{"fig12", func(c Config) (Result, error) { return Figure12(c) }},
+		{"fig13", func(c Config) (Result, error) { return Figure13(c) }},
+		{"fig14", func(c Config) (Result, error) { return Figure14(c) }},
+		{"fig15", func(c Config) (Result, error) { return Figure15(c) }},
+		{"fig16", func(c Config) (Result, error) { return Figure16(c) }},
+		{"ablation", func(c Config) (Result, error) { return Ablation(c) }},
+	}
+}
+
+// ByID runs one experiment by identifier.
+func ByID(id string, cfg Config) (Result, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run(cfg)
+		}
+	}
+	return nil, fmt.Errorf("tables: unknown experiment %q (have fig3..fig16, table1, ablation)", id)
+}

@@ -1,0 +1,150 @@
+// Package trace renders the predicted execution of a simulated program
+// as a per-rank activity timeline and utilization summary, from the
+// segments collected by the mpi layer (Config.CollectTrace). It gives
+// the simulated equivalent of the timeline views contemporary MPI
+// performance tools (Jumpshot, VAMPIR) provided for real executions —
+// except here the timeline is of the *predicted* run, so bottlenecks can
+// be inspected before the machine exists.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpisim/internal/mpi"
+)
+
+// glyphs for the timeline, indexed by mpi.SegKind.
+var glyphs = [...]byte{
+	mpi.SegCompute: '#',
+	mpi.SegDelay:   '=',
+	mpi.SegBlocked: '.',
+	mpi.SegComm:    '+',
+}
+
+// Timeline renders each rank's activity over [0, rep.Time] as a row of
+// width columns: '#' executed computation, '=' abstracted computation
+// (delays), '+' communication CPU, '.' blocked, ' ' idle/untraced. The
+// glyph for a column is the kind occupying the largest share of it.
+func Timeline(rep *mpi.Report, width int) (string, error) {
+	if rep.Traces == nil {
+		return "", fmt.Errorf("trace: report has no traces (run with CollectTrace)")
+	}
+	if width < 10 {
+		width = 10
+	}
+	if rep.Time <= 0 {
+		return "", fmt.Errorf("trace: empty simulation")
+	}
+	var sb strings.Builder
+	sb.WriteString("predicted timeline ('#' compute, '=' delay, '+' comm, '.' blocked)\n")
+	fmt.Fprintf(&sb, "0s %s %.4gs\n", strings.Repeat("-", width-2), rep.Time)
+	scale := float64(width) / rep.Time
+	for rank, segs := range rep.Traces {
+		// Per-column occupancy per kind.
+		occ := make([][4]float64, width)
+		for _, s := range segs {
+			lo := int(s.Start * scale)
+			hi := int(s.End * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			for c := lo; c <= hi; c++ {
+				cLo := float64(c) / scale
+				cHi := float64(c+1) / scale
+				overlap := minF(s.End, cHi) - maxF(s.Start, cLo)
+				if overlap > 0 {
+					occ[c][s.Kind] += overlap
+				}
+			}
+		}
+		row := make([]byte, width)
+		for c := range row {
+			row[c] = ' '
+			best := 0.0
+			for k, v := range occ[c] {
+				if v > best {
+					best = v
+					row[c] = glyphs[k]
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "%4d|%s|\n", rank, row)
+	}
+	return sb.String(), nil
+}
+
+// Utilization summarizes, per activity kind, the fraction of total
+// rank-time spent in it.
+type Utilization struct {
+	// Fraction[kind] is the share of aggregate rank-time in that kind;
+	// the remainder is idle/untraced.
+	Fraction map[mpi.SegKind]float64
+	// PerRank[i][kind] is rank i's share.
+	PerRank []map[mpi.SegKind]float64
+}
+
+// Utilize computes the utilization breakdown of a traced report.
+func Utilize(rep *mpi.Report) (*Utilization, error) {
+	if rep.Traces == nil {
+		return nil, fmt.Errorf("trace: report has no traces (run with CollectTrace)")
+	}
+	if rep.Time <= 0 {
+		return nil, fmt.Errorf("trace: empty simulation")
+	}
+	u := &Utilization{
+		Fraction: map[mpi.SegKind]float64{},
+		PerRank:  make([]map[mpi.SegKind]float64, len(rep.Traces)),
+	}
+	total := rep.Time * float64(len(rep.Traces))
+	for i, segs := range rep.Traces {
+		per := map[mpi.SegKind]float64{}
+		for _, s := range segs {
+			per[s.Kind] += s.End - s.Start
+		}
+		u.PerRank[i] = map[mpi.SegKind]float64{}
+		for k, v := range per {
+			u.PerRank[i][k] = v / rep.Time
+			u.Fraction[k] += v / total
+		}
+	}
+	return u, nil
+}
+
+// Summary renders the utilization as one line per kind, sorted by share.
+func (u *Utilization) Summary() string {
+	type kv struct {
+		k mpi.SegKind
+		v float64
+	}
+	var kvs []kv
+	for k, v := range u.Fraction {
+		kvs = append(kvs, kv{k, v})
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].v != kvs[j].v {
+			return kvs[i].v > kvs[j].v
+		}
+		return kvs[i].k < kvs[j].k
+	})
+	var sb strings.Builder
+	for _, e := range kvs {
+		fmt.Fprintf(&sb, "%-8s %6.2f%%\n", e.k, 100*e.v)
+	}
+	return sb.String()
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

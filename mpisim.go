@@ -1,0 +1,217 @@
+// Package mpisim is a Go reproduction of "Compiler-Supported Simulation
+// of Highly Scalable Parallel Applications" (Adve, Bagrodia, Deelman,
+// Phan, Sakellariou; SC 1999): the MPI-Sim direct-execution parallel
+// simulator integrated with a dhpf-style compiler that synthesizes static
+// task graphs, condenses communication-free regions into tasks with
+// symbolic scaling functions, slices the program to the computations
+// that determine parallel behaviour, and emits simplified programs whose
+// collapsed computation is replaced by calls to the simulator's delay
+// function.
+//
+// The package is a facade over the internal packages; everything needed
+// to reproduce the paper is reachable from here:
+//
+//	prog := mpisim.Tomcatv()
+//	r, _ := mpisim.NewRunner(prog, mpisim.IBMSP())
+//	r.Calibrate(16, mpisim.TomcatvInputs(2048, 100))     // timer run -> w_i
+//	rep, _ := r.Run(mpisim.Abstract, 64, mpisim.TomcatvInputs(2048, 100))
+//	fmt.Println(rep.Time)                                 // predicted seconds
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package mpisim
+
+import (
+	"mpisim/internal/apps"
+	"mpisim/internal/compiler"
+	"mpisim/internal/core"
+	"mpisim/internal/dtg"
+	"mpisim/internal/hostmodel"
+	"mpisim/internal/interp"
+	"mpisim/internal/ir"
+	"mpisim/internal/machine"
+	"mpisim/internal/mpi"
+	"mpisim/internal/stg"
+	"mpisim/internal/tables"
+	"mpisim/internal/trace"
+)
+
+// Core workflow types.
+type (
+	// Program is a message-passing program in the IR consumed by the
+	// compiler and the simulator.
+	Program = ir.Program
+	// Machine is a target-architecture model.
+	Machine = machine.Model
+	// Runner drives the compile/calibrate/simulate workflow for one
+	// program on one machine.
+	Runner = core.Runner
+	// Mode selects measured / direct-execution / abstract evaluation.
+	Mode = core.Mode
+	// Validation compares the three modes on one configuration.
+	Validation = core.Validation
+	// Report is the outcome of one simulation run.
+	Report = mpi.Report
+	// RankStats is per-rank accounting inside a Report.
+	RankStats = mpi.RankStats
+	// CompileResult bundles the compiler artifacts (simplified program,
+	// timer program, condensed task graph, slice).
+	CompileResult = compiler.Result
+	// TaskGraph is a static task graph.
+	TaskGraph = stg.Graph
+	// HostParams are the host-cost model coefficients.
+	HostParams = hostmodel.Params
+	// HostWorkload summarizes a run for the host-cost model.
+	HostWorkload = hostmodel.Workload
+	// ExperimentConfig controls experiment scale (scaled vs paper-size).
+	ExperimentConfig = tables.Config
+	// ExperimentResult is a regenerated figure or table.
+	ExperimentResult = tables.Result
+)
+
+// Evaluation modes (paper terminology).
+const (
+	// Measured is the ground truth: full computation on the detailed
+	// communication model (the stand-in for the real machine).
+	Measured = core.Measured
+	// DirectExec is MPI-SIM-DE: direct execution plus the analytic
+	// communication model.
+	DirectExec = core.DirectExec
+	// Abstract is MPI-SIM-AM: the compiler-simplified program with
+	// calibrated delay calls.
+	Abstract = core.Abstract
+	// PureAnalytic is the §5 extension: analytical models for both the
+	// sequential tasks and the communication (no event simulation).
+	PureAnalytic = core.PureAnalytic
+)
+
+// NewRunner compiles a program for a machine and returns a Runner.
+func NewRunner(p *Program, m *Machine) (*Runner, error) { return core.NewRunner(p, m) }
+
+// Compile runs the dhpf-style pipeline alone: static task graph,
+// condensation, slicing, and emission of the simplified and timer
+// programs.
+func Compile(p *Program) (*CompileResult, error) { return compiler.Compile(p) }
+
+// TaskGraphOf synthesizes the (uncondensed) static task graph of a
+// program.
+func TaskGraphOf(p *Program) (*TaskGraph, error) { return stg.Build(p) }
+
+// MemoryEstimate returns the bytes of target array state a
+// direct-execution simulation would need, without running it.
+func MemoryEstimate(p *Program, ranks int, inputs map[string]float64) (int64, error) {
+	return interp.MemoryEstimate(p, ranks, inputs)
+}
+
+// Machines.
+
+// IBMSP models the distributed-memory IBM SP of the paper's validations.
+func IBMSP() *Machine { return machine.IBMSP() }
+
+// Origin2000 models the SGI Origin 2000 of the SAMPLE experiments.
+func Origin2000() *Machine { return machine.Origin2000() }
+
+// Cluster models a commodity Beowulf cluster on fast Ethernet (not in
+// the paper; useful for studying machine-dependence of the conclusions).
+func Cluster() *Machine { return machine.Cluster() }
+
+// MachineByName resolves a preset machine model by name.
+func MachineByName(name string) (*Machine, error) { return machine.ByName(name) }
+
+// Benchmarks (the paper's workloads, written once in the IR; the
+// compiler derives their simplified and timer variants).
+
+// Tomcatv returns the SPEC92 mesh-generation benchmark ((*,BLOCK) HPF
+// distribution compiled to MPI).
+func Tomcatv() *Program { return apps.Tomcatv() }
+
+// TomcatvInputs builds Tomcatv inputs for an n x n grid and iter steps.
+func TomcatvInputs(n, iter int) map[string]float64 { return apps.TomcatvInputs(n, iter) }
+
+// Sweep3D returns the ASCI wavefront transport kernel.
+func Sweep3D() *Program { return apps.Sweep3D() }
+
+// Sweep3DInputs builds Sweep3D inputs: per-processor grid it x jt x kt,
+// k-block size mk, and the npx x npy process grid.
+func Sweep3DInputs(it, jt, kt, mk, npx, npy int) map[string]float64 {
+	return apps.Sweep3DInputs(it, jt, kt, mk, npx, npy)
+}
+
+// NASSP returns the ADI scalar-pentadiagonal solver in the style of NAS
+// SP.
+func NASSP() *Program { return apps.NASSP() }
+
+// NASSPInputs builds NAS SP inputs for an nx^3 grid, steps ADI steps and
+// a q x q process grid.
+func NASSPInputs(nx, steps, q int) map[string]float64 { return apps.NASSPInputs(nx, steps, q) }
+
+// Sample returns the synthetic SAMPLE communication kernel.
+func Sample() *Program { return apps.Sample() }
+
+// SampleInputs builds SAMPLE inputs; pattern is PatternWavefront or
+// PatternNearestNeighbour.
+func SampleInputs(pattern, work, msg, iters, npx, npy int) map[string]float64 {
+	return apps.SampleInputs(pattern, work, msg, iters, npx, npy)
+}
+
+// SAMPLE pattern selectors.
+const (
+	// PatternWavefront selects the pipelined wavefront pattern.
+	PatternWavefront = apps.PatternWavefront
+	// PatternNearestNeighbour selects the 4-neighbour exchange pattern.
+	PatternNearestNeighbour = apps.PatternNearestNeighbour
+)
+
+// ProcGrid factors a rank count into the most square npx x npy grid.
+func ProcGrid(ranks int) (npx, npy int) { return apps.ProcGrid(ranks) }
+
+// Host-cost model (simulator performance, Figures 12-16).
+
+// DefaultHostParams returns the calibrated host-cost coefficients.
+func DefaultHostParams() HostParams { return hostmodel.Default() }
+
+// HostWorkloadFrom extracts a host-cost workload from a report.
+func HostWorkloadFrom(rep *Report, directExec bool, lookahead float64) HostWorkload {
+	return hostmodel.FromReport(rep, directExec, lookahead)
+}
+
+// Timeline renders a traced report (Runner.CollectTrace = true) as a
+// per-rank activity chart of the predicted execution.
+func Timeline(rep *Report, width int) (string, error) { return trace.Timeline(rep, width) }
+
+// Utilization is the activity breakdown of a traced report.
+type Utilization = trace.Utilization
+
+// Utilize computes the utilization breakdown of a traced report.
+func Utilize(rep *Report) (*Utilization, error) { return trace.Utilize(rep) }
+
+// Dynamic task graph analyses.
+
+// DynGraph is the dynamic task graph of one traced run: the unrolled DAG
+// of executed task instances and messages.
+type DynGraph = dtg.Graph
+
+// DynStats summarizes a dynamic task graph (total work, critical path,
+// average parallelism, zero-latency bound).
+type DynStats = dtg.Stats
+
+// BuildDynGraph constructs the dynamic task graph from a traced report
+// (Runner.CollectTrace = true).
+func BuildDynGraph(rep *Report) (*DynGraph, error) { return dtg.Build(rep) }
+
+// Experiments (every table and figure of the paper's evaluation).
+
+// RunExperiment regenerates one experiment by id ("fig3".."fig16",
+// "table1").
+func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
+	return tables.ByID(id, cfg)
+}
+
+// ExperimentIDs lists the experiment identifiers in paper order.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range tables.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

@@ -1,0 +1,113 @@
+package mpisim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	prog := Tomcatv()
+	r, err := NewRunner(prog, IBMSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := TomcatvInputs(96, 2)
+	if _, err := r.Calibrate(4, inputs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(Abstract, 8, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Time <= 0 {
+		t.Fatal("no predicted time")
+	}
+}
+
+func TestFacadeCompile(t *testing.T) {
+	res, err := Compile(Sweep3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Simplified == nil || res.Timer == nil || len(res.TaskVars) == 0 {
+		t.Fatal("incomplete compile result")
+	}
+	g, err := TaskGraphOf(Sweep3D())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() == 0 {
+		t.Fatal("empty task graph")
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	if IBMSP().Name != "IBM-SP" || Origin2000().Name != "SGI-Origin-2000" {
+		t.Fatal("machine presets wrong")
+	}
+	if _, err := MachineByName("ibmsp"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeInputsBuilders(t *testing.T) {
+	if SampleInputs(PatternWavefront, 1, 2, 3, 4, 5)["PATTERN"] != 1 {
+		t.Fatal("sample inputs wrong")
+	}
+	if NASSPInputs(64, 10, 4)["Q"] != 4 {
+		t.Fatal("sp inputs wrong")
+	}
+	if Sweep3DInputs(1, 2, 3, 4, 5, 6)["NPY"] != 6 {
+		t.Fatal("sweep inputs wrong")
+	}
+	if x, y := ProcGrid(12); x*y != 12 {
+		t.Fatal("proc grid wrong")
+	}
+}
+
+func TestFacadeMemoryEstimate(t *testing.T) {
+	mem, err := MemoryEstimate(Tomcatv(), 4, TomcatvInputs(64, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem <= 0 {
+		t.Fatal("no memory estimated")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 16 {
+		t.Fatalf("got %d experiment ids", len(ids))
+	}
+	res, err := RunExperiment("table1", ExperimentConfig{RankCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Render(), "Tomcatv") {
+		t.Fatal("table1 render missing content")
+	}
+	if _, err := RunExperiment("nope", ExperimentConfig{}); err == nil {
+		t.Fatal("expected unknown experiment error")
+	}
+}
+
+func TestFacadeHostModel(t *testing.T) {
+	r, err := NewRunner(Sample(), Origin2000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := SampleInputs(PatternNearestNeighbour, 2000, 100, 3, 2, 2)
+	rep, err := r.Run(Measured, 4, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := HostWorkloadFrom(rep, true, r.Lookahead())
+	rt, err := DefaultHostParams().Runtime(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt <= 0 {
+		t.Fatal("no host runtime")
+	}
+}
