@@ -211,12 +211,12 @@ func BenchmarkKernelMessageRate(b *testing.B) {
 		k.Spawn("ping", func(p *sim.Proc) {
 			for j := 0; j < msgs; j++ {
 				p.Send(1, nil, 8, p.Now()+1e-6)
-				p.Recv(func(*sim.Message) bool { return true })
+				p.FreeMessage(p.RecvSrcTag(sim.Any, sim.Any))
 			}
 		})
 		k.Spawn("pong", func(p *sim.Proc) {
 			for j := 0; j < msgs; j++ {
-				p.Recv(func(*sim.Message) bool { return true })
+				p.FreeMessage(p.RecvSrcTag(sim.Any, sim.Any))
 				p.Send(0, nil, 8, p.Now()+1e-6)
 			}
 		})

@@ -8,6 +8,7 @@
 //	experiments -id fig10       # a single experiment
 //	experiments -full           # paper-scale configurations (slow)
 //	experiments -outdir results # one file per experiment
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof -id fig10
 //
 // Scaled configurations preserve every qualitative shape; EXPERIMENTS.md
 // records the paper-versus-measured comparison.
@@ -18,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mpisim/internal/tables"
@@ -37,8 +40,36 @@ func run() error {
 		hosts   = flag.Int("hosts", 1, "host processors for the simulation engine")
 		rankCap = flag.Int("rankcap", 0, "drop configurations above this many target ranks")
 		outdir  = flag.String("outdir", "", "also write one file per experiment into this directory")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	cfg := tables.Config{Full: *full, HostWorkers: *hosts, RankCap: *rankCap}
 	if *outdir != "" {

@@ -45,6 +45,15 @@ func figure1() *ir.Program {
 	}
 }
 
+// interp mirrors DummyBufferName as a local constant (it cannot import
+// this package: these in-package tests import interp); this pin breaks
+// if the name drifts.
+func TestDummyBufferNamePinned(t *testing.T) {
+	if DummyBufferName != "dummy_buf" {
+		t.Fatalf("DummyBufferName = %q; interp's mirrored constant must be updated in lockstep", DummyBufferName)
+	}
+}
+
 func TestCompileFigure1(t *testing.T) {
 	res, err := Compile(figure1())
 	if err != nil {

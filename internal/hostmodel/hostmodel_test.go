@@ -23,6 +23,46 @@ func uniformWorkload(ranks int, exec float64) Workload {
 	return w
 }
 
+// TestDefaultPinned pins the calibrated coefficients: figs 12-16 are
+// generated from them, so any change breaks the byte-identical
+// regeneration of results/*.txt. Kernel-derived coefficients belong in
+// MeasuredKernel instead.
+func TestDefaultPinned(t *testing.T) {
+	want := Params{
+		ExecFactor:  2.0,
+		EventCost:   2e-5,
+		MessageCost: 2e-5,
+		ByteCost:    2.5e-9,
+		WindowBase:  5e-7,
+		WindowSync:  2e-6,
+	}
+	if Default() != want {
+		t.Fatalf("Default() changed: %+v", Default())
+	}
+}
+
+// TestMeasuredKernelSane: the benchmark-derived coefficients must behave
+// like a host model (faster per event than the calibrated 1999 numbers,
+// runtimes still decreasing with hosts).
+func TestMeasuredKernelSane(t *testing.T) {
+	m, d := MeasuredKernel(), Default()
+	if m.EventCost >= d.EventCost || m.MessageCost >= d.MessageCost {
+		t.Fatalf("measured kernel should be cheaper per event/message than the calibrated model: %+v", m)
+	}
+	w := uniformWorkload(64, 0.5)
+	t1, err := m.Runtime(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t64, err := m.Runtime(w, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t64 >= t1 {
+		t.Fatalf("measured params: no speedup on 64 hosts (%g >= %g)", t64, t1)
+	}
+}
+
 func TestRuntimeValidation(t *testing.T) {
 	p := Default()
 	if _, err := p.Runtime(Workload{}, 1); err == nil {

@@ -9,6 +9,12 @@ import (
 	"mpisim/internal/symexpr"
 )
 
+// dummyBufferName mirrors compiler.DummyBufferName, the shared
+// communication stand-in buffer of simplified (MPI-SIM-AM) programs.
+// interp cannot import compiler (compiler's in-package tests import
+// interp); the compiler's own tests pin the constant's value.
+const dummyBufferName = "dummy_buf"
+
 // compiled is a program lowered to closures over a frame. Compilation
 // resolves every scalar name to a slot and every array name to an index,
 // so execution performs no map lookups.
@@ -188,13 +194,22 @@ func (cp *compiled) stmt(s ir.Stmt) stmtFn {
 		secFn := cp.section(x.Section)
 		ai := cp.array(x.Array)
 		tag := x.Tag
+		isDummy := x.Array == dummyBufferName
 		return func(f *frame) {
 			f.flush()
 			bounds := secFn(f)
 			if sectionElems(bounds) == 0 {
 				return
 			}
-			payload := f.arrays[ai].pack(bounds)
+			var payload interface{}
+			if !isDummy {
+				payload = f.arrays[ai].pack(bounds)
+			}
+			// Dummy-buffer sends (simplified MPI-SIM-AM programs) carry no
+			// payload: the buffer exists only to preserve message sizes, its
+			// values are never read (zeros either way), and skipping pack
+			// keeps the AM hot path allocation-free. The receive side only
+			// unpacks []float64 payloads, so nil is ignored there.
 			f.r.Send(int(math.Round(dest(f))), tag, sectionBytes(bounds), payload)
 		}
 

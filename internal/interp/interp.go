@@ -29,11 +29,12 @@ type Config struct {
 	// Comm selects the communication model (Detailed = "measured" ground
 	// truth, Analytic = the simulator's model).
 	Comm mpi.CommModel
-	// HostWorkers / RealParallel / Protocol configure the simulation
-	// engine.
+	// HostWorkers / RealParallel / Protocol / Queue configure the
+	// simulation engine.
 	HostWorkers  int
 	RealParallel bool
 	Protocol     sim.Protocol
+	Queue        sim.QueueKind
 	// MemoryLimit bounds total simulated target memory (0 = unlimited).
 	MemoryLimit int64
 	// Inputs supplies the program's ReadInput values (problem sizes).
@@ -71,6 +72,7 @@ func Run(p *ir.Program, cfg Config) (*mpi.Report, error) {
 		HostWorkers:   cfg.HostWorkers,
 		RealParallel:  cfg.RealParallel,
 		Protocol:      cfg.Protocol,
+		Queue:         cfg.Queue,
 		TaskTimes:     cfg.TaskTimes,
 		MemoryLimit:   cfg.MemoryLimit,
 		CollectMatrix: cfg.CollectMatrix,

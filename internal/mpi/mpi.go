@@ -58,10 +58,11 @@ func (c CommModel) String() string {
 	return "analytic"
 }
 
-// AnySource matches a message from any sender. It is exact under the
-// sequential engine; conservative parallel runs should avoid it (the
-// benchmarks in this repository do).
-const AnySource = -1
+// AnySource matches a message from any sender (the kernel's exact
+// wildcard sentinel sim.Any). It is exact under the sequential engine;
+// conservative parallel runs should avoid it (the benchmarks in this
+// repository do).
+const AnySource = sim.Any
 
 // Config describes one simulation run.
 type Config struct {
@@ -79,6 +80,10 @@ type Config struct {
 	// Protocol selects the conservative synchronization protocol of the
 	// parallel engine (window or null-message).
 	Protocol sim.Protocol
+	// Queue selects the kernel's pending-event queue implementation.
+	// Purely a performance knob: simulation results are identical across
+	// kinds.
+	Queue sim.QueueKind
 	// TaskTimes is the w_i calibration table consumed by ReadTaskTime
 	// (the paper's "read in the value of the parameter from a file and
 	// broadcast it to all processors").
@@ -227,6 +232,7 @@ func NewWorld(cfg Config) (*World, error) {
 		Lookahead:    sim.Time(cfg.Machine.Net.Latency),
 		RealParallel: cfg.RealParallel,
 		Protocol:     cfg.Protocol,
+		Queue:        cfg.Queue,
 	})
 	if err != nil {
 		return nil, err
@@ -341,10 +347,4 @@ func (e *MemoryLimitError) Error() string {
 func IsMemoryLimit(err error) bool {
 	_, ok := err.(*MemoryLimitError)
 	return ok
-}
-
-// envelope is the MPI-level message header layered onto kernel messages.
-type envelope struct {
-	tag  int
-	data interface{}
 }

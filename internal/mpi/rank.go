@@ -191,7 +191,7 @@ func (r *Rank) send(dst, tag int, size int64, data interface{}) {
 		return
 	}
 	cpu, arrival := r.sendTimes(dst, size)
-	r.proc.Send(dst, envelope{tag: tag, data: data}, size, arrival)
+	r.proc.SendTag(dst, tag, data, size, arrival)
 	r.commCPU += cpu
 	r.segment(r.Now(), r.Now()+float64(cpu), SegComm)
 	r.proc.Advance(cpu)
@@ -206,19 +206,10 @@ func (r *Rank) Send(dst, tag int, size int64, data interface{}) {
 	r.send(dst, tag, size, data)
 }
 
-// matchFn builds the mailbox predicate for (src, tag).
-func matchFn(src, tag int) func(*sim.Message) bool {
-	return func(m *sim.Message) bool {
-		env, ok := m.Payload.(envelope)
-		if !ok {
-			return false
-		}
-		return (src == AnySource || m.From == src) && (tag == AnyTag || env.tag == tag)
-	}
-}
-
-// AnyTag matches any message tag.
-const AnyTag = -1
+// AnyTag matches any message tag. AnyTag and AnySource equal the
+// kernel's exact wildcard sentinel sim.Any, so (src, tag) matching is
+// evaluated inside the kernel with no per-receive closure.
+const AnyTag = sim.Any
 
 // Recv blocks until a message with the given source and tag arrives and
 // returns its size and payload. Receiver-side costs (CPU overhead, and
@@ -242,7 +233,7 @@ func (r *Rank) RecvSized(src, tag int, expect int64) (int64, interface{}) {
 		return expect, nil
 	}
 	t0 := r.Now()
-	m := r.proc.Recv(matchFn(src, tag))
+	m := r.proc.RecvSrcTag(src, tag)
 	r.segment(t0, r.Now(), SegBlocked)
 	return r.finishRecv(m)
 }
@@ -275,8 +266,10 @@ func (r *Rank) finishRecv(m *sim.Message) (int64, interface{}) {
 		})
 	}
 	r.proc.Advance(cpu)
-	env := m.Payload.(envelope)
-	return m.Size, env.data
+	size, data := m.Size, m.Payload
+	// The message and every field have been consumed; recycle it.
+	r.proc.FreeMessage(m)
+	return size, data
 }
 
 // Sendrecv performs a combined send and receive, as used by shift

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// The BenchmarkKernel* suite measures raw kernel throughput (events/sec)
+// and steady-state allocation behaviour (allocs/event) across the
+// engine, protocol and queue axes at 16/256/4096 target processes.
+// scripts/bench_kernel.sh runs it and records the results in
+// BENCH_kernel.json so the performance trajectory is tracked across PRs.
+
+// benchBody is a neighbour-exchange workload: every process alternates
+// local computation, a send to its successor and a receive, recycling
+// each received message. Fully deterministic, communication-dominated —
+// the kernel hot path is the entire cost.
+func benchBody(n, rounds int, latency Time) func(*Proc) {
+	return func(p *Proc) {
+		next := (p.ID() + 1) % n
+		for r := 0; r < rounds; r++ {
+			p.Advance(1e-7)
+			p.Send(next, nil, 64, p.Now()+latency)
+			p.FreeMessage(p.RecvSrcTag(Any, Any))
+		}
+	}
+}
+
+// benchFanIn is a same-time gather: every round, all senders deliver to
+// one receiver at an identical timestamp. This is the same-time wake
+// batching fast path: the first matching delivery wakes the receiver
+// with a single handoff and the rest of the batch goes straight to its
+// mailbox, so subsequent receives complete without yielding. The
+// receiver is the highest process id because batching only absorbs
+// senders ordered at or before the receiver in the deterministic
+// (time, proc, seq) order.
+func benchFanIn(n, rounds int, latency Time) func(*Proc) {
+	recv := n - 1
+	return func(p *Proc) {
+		if p.ID() != recv {
+			for r := 0; r < rounds; r++ {
+				t := Time(r) * 1e-3
+				p.Sleep(t) // pace the rounds: bounded in-flight messages
+				p.Send(recv, nil, 8, t+latency)
+			}
+			return
+		}
+		for r := 0; r < rounds; r++ {
+			for s := 0; s < n-1; s++ {
+				p.FreeMessage(p.RecvSrcTag(Any, Any))
+			}
+		}
+	}
+}
+
+// benchEventTarget is the approximate number of kernel events per
+// benchmark iteration; rounds are scaled down as the process count grows
+// so every configuration does comparable work.
+const benchEventTarget = 1 << 18
+
+func benchKernel(b *testing.B, procs, workers int, proto Protocol, queue QueueKind) {
+	benchKernelBody(b, procs, workers, proto, queue, benchBody)
+}
+
+func benchKernelBody(b *testing.B, procs, workers int, proto Protocol, queue QueueKind,
+	prog func(n, rounds int, latency Time) func(*Proc)) {
+	const latency = Time(1e-6)
+	rounds := benchEventTarget / procs
+	if rounds < 1 {
+		rounds = 1
+	}
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	startMallocs := ms.Mallocs
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{Workers: workers, Protocol: proto, Queue: queue}
+		if workers > 1 {
+			cfg.Lookahead = latency
+			cfg.RealParallel = true
+		}
+		k, err := NewKernel(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < procs; j++ {
+			k.Spawn("p", prog(procs, rounds, latency))
+		}
+		res, err := k.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms)
+	// Mallocs delta over the whole measured region: includes per-run
+	// setup (Spawn, goroutines), so this is an honest upper bound on the
+	// steady-state allocation rate.
+	allocs := ms.Mallocs - startMallocs
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(allocs)/float64(events), "allocs/event")
+}
+
+func benchSizes(b *testing.B, workers int, proto Protocol) {
+	for _, procs := range []int{16, 256, 4096} {
+		procs := procs
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchKernel(b, procs, workers, proto, QueueQuaternary)
+		})
+	}
+}
+
+// BenchmarkKernelSequential: the sequential engine (single worker).
+func BenchmarkKernelSequential(b *testing.B) { benchSizes(b, 1, ProtocolWindow) }
+
+// BenchmarkKernelFanIn: the sequential engine on the same-time gather
+// workload (see benchFanIn), where same-time wake batching applies.
+func BenchmarkKernelFanIn(b *testing.B) {
+	for _, procs := range []int{16, 256, 4096} {
+		procs := procs
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchKernelBody(b, procs, 1, ProtocolWindow, QueueQuaternary, benchFanIn)
+		})
+	}
+}
+
+// BenchmarkKernelWindow: conservative time-window protocol, 4 workers on
+// real goroutines.
+func BenchmarkKernelWindow(b *testing.B) { benchSizes(b, 4, ProtocolWindow) }
+
+// BenchmarkKernelNullMessage: null-message protocol, 4 workers on real
+// goroutines.
+func BenchmarkKernelNullMessage(b *testing.B) { benchSizes(b, 4, ProtocolNullMessage) }
+
+// BenchmarkKernelQueue compares the event-queue implementations
+// head-to-head on the sequential engine at 256 processes.
+func BenchmarkKernelQueue(b *testing.B) {
+	for _, queue := range []QueueKind{QueueQuaternary, QueueBinary} {
+		queue := queue
+		b.Run(queue.String(), func(b *testing.B) {
+			benchKernel(b, 256, 1, ProtocolWindow, queue)
+		})
+	}
+}
+
+// BenchmarkKernelWorkers sweeps the worker count at a fixed process
+// count, exercising the O(W) safeBounds and the sorted outbox merge.
+func BenchmarkKernelWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchKernel(b, 1024, workers, ProtocolWindow, QueueQuaternary)
+		})
+	}
+}

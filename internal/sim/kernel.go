@@ -7,7 +7,7 @@
 // conservative parallel simulation protocols:
 //
 //   - the sequential engine (Workers == 1) processes events from a single
-//     heap in global (time, proc, seq) order;
+//     queue in global (time, proc, seq) order;
 //   - the parallel engine partitions processes over Workers host logical
 //     processes and synchronizes them with a conservative time-window
 //     protocol: in each round the window [T, T+Lookahead) is processed
@@ -15,15 +15,21 @@
 //     incurs at least Lookahead of network delay and therefore cannot be
 //     received inside the window it was sent in.
 //
-// Simulation results are bit-identical across engines and worker counts;
-// the kernel is deterministic by construction (total event order
-// (time, proc, seq), deterministic mailbox matching).
+// Simulation results are bit-identical across engines, worker counts and
+// queue implementations; the kernel is deterministic by construction
+// (total event order (time, proc, seq), deterministic mailbox matching).
+//
+// The hot path is allocation-free in steady state: events and messages
+// are pooled (pool.go), and a wake costs a single channel operation —
+// the goroutine that yields runs the worker's event loop itself and
+// hands control directly to the next process (zero channel operations
+// when that process is itself).
 package sim
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 )
@@ -72,6 +78,9 @@ type Config struct {
 	// Protocol selects the conservative synchronization protocol for
 	// Workers > 1 (default ProtocolWindow).
 	Protocol Protocol
+	// Queue selects the pending-event queue implementation (default
+	// QueueQuaternary). Results are identical across kinds; see QueueKind.
+	Queue QueueKind
 }
 
 // Result summarizes a completed simulation.
@@ -105,14 +114,19 @@ func (r *Result) MaxProcTime(f func(ProcStats) Time) Time {
 
 // worker owns a partition of the processes and their pending events.
 type worker struct {
-	id        int
-	kernel    *Kernel
-	heap      eventHeap
-	parked    chan struct{}
-	outbox    []*event // cross-worker sends buffered until the barrier
-	events    int64
-	delivered int64
-	cross     int64
+	id     int
+	kernel *Kernel
+	queue  eventQueue
+	parked chan struct{} // window-completion signal to the driver
+	end    Time          // current window bound, written by the driver
+	outbox []*event      // cross-worker sends buffered until the barrier
+	// Free lists for pooled events/messages (pool.go). Only touched by
+	// goroutines holding this worker's run token.
+	freeEvents []*event
+	freeMsgs   []*Message
+	events     int64
+	delivered  int64
+	cross      int64
 }
 
 // Kernel drives a set of spawned processes to completion.
@@ -121,6 +135,9 @@ type Kernel struct {
 	procs   []*Proc
 	workers []*worker
 	started bool
+	// Per-round scratch buffers, reused so rounds do not allocate.
+	bounds     []Time
+	mergeHeads []outCursor
 }
 
 // NewKernel returns a kernel with the given configuration.
@@ -178,11 +195,20 @@ func (k *Kernel) Run() (*Result, error) {
 	}
 	k.workers = make([]*worker, nw)
 	for i := range k.workers {
-		k.workers[i] = &worker{id: i, kernel: k, parked: make(chan struct{})}
+		k.workers[i] = &worker{
+			id:     i,
+			kernel: k,
+			parked: make(chan struct{}),
+			queue:  newEventQueue(k.cfg.Queue),
+		}
 	}
+	k.bounds = make([]Time, nw)
 	for _, p := range k.procs {
 		p.worker = k.workerOf(p.id)
-		p.worker.heap.push(&event{t: 0, proc: p.id, seq: 0, kind: evStart, dst: p.id})
+		e := p.worker.newEvent()
+		e.t, e.proc, e.seq = 0, p.id, 0
+		e.kind, e.dst, e.msg = evStart, p.id, nil
+		p.worker.queue.push(e)
 	}
 
 	res := &Result{}
@@ -200,16 +226,8 @@ func (k *Kernel) Run() (*Result, error) {
 // runParallel executes conservative rounds until no events remain.
 func (k *Kernel) runParallel(res *Result) error {
 	for {
-		// Barrier: merge cross-worker messages produced in the last round.
-		var pending []*event
-		for _, w := range k.workers {
-			pending = append(pending, w.outbox...)
-			w.outbox = w.outbox[:0]
-		}
-		sort.Slice(pending, func(i, j int) bool { return eventLess(pending[i], pending[j]) })
-		for _, e := range pending {
-			k.workerOf(e.dst).heap.push(e)
-		}
+		// Barrier: route cross-worker messages produced in the last round.
+		k.mergeOutboxes()
 		bounds, any := k.safeBounds()
 		if !any {
 			return nil
@@ -233,80 +251,146 @@ func (k *Kernel) runParallel(res *Result) error {
 	}
 }
 
-// safeBounds computes, per worker, the time bound below which it may
-// safely process events this round. It reports false when no events
-// remain anywhere.
-func (k *Kernel) safeBounds() ([]Time, bool) {
-	nw := len(k.workers)
-	tops := make([]Time, nw)
-	start := Infinity
-	for i, w := range k.workers {
-		tops[i] = Infinity
-		if top := w.heap.peek(); top != nil {
-			tops[i] = top.t
-			if top.t < start {
-				start = top.t
+// outCursor walks one worker's sorted outbox during the barrier merge.
+type outCursor struct {
+	w   *worker
+	idx int
+}
+
+// mergeOutboxes routes every cross-worker event produced in the last
+// round into its destination worker's queue. Each outbox was sorted at
+// window end (inside the worker's parallel section), so a k-way merge
+// yields the events in global (time, proc, seq) order; inserting an
+// ascending sequence into an implicit heap sifts at most one level, so
+// the per-event insertion cost is effectively O(1). The seed kernel
+// instead concatenated all outboxes and re-sorted the whole pending
+// slice every barrier.
+func (k *Kernel) mergeOutboxes() {
+	heads := k.mergeHeads[:0]
+	for _, w := range k.workers {
+		if len(w.outbox) > 0 {
+			heads = append(heads, outCursor{w: w, idx: 0})
+		}
+	}
+	switch len(heads) {
+	case 0:
+	case 1:
+		// Common case: only one worker sent cross-worker this round.
+		w := heads[0].w
+		for _, e := range w.outbox {
+			k.procs[e.dst].worker.queue.push(e)
+		}
+		clearOutbox(w)
+	default:
+		// Binary min-heap of cursors keyed by their head event.
+		less := func(a, b outCursor) bool {
+			return eventLess(a.w.outbox[a.idx], b.w.outbox[b.idx])
+		}
+		for i := len(heads)/2 - 1; i >= 0; i-- {
+			siftCursor(heads, i, less)
+		}
+		for len(heads) > 0 {
+			c := heads[0]
+			e := c.w.outbox[c.idx]
+			k.procs[e.dst].worker.queue.push(e)
+			if c.idx+1 < len(c.w.outbox) {
+				heads[0].idx++
+			} else {
+				clearOutbox(c.w)
+				heads[0] = heads[len(heads)-1]
+				heads = heads[:len(heads)-1]
+			}
+			if len(heads) > 0 {
+				siftCursor(heads, 0, less)
 			}
 		}
 	}
-	if start >= Infinity {
+	k.mergeHeads = heads[:0]
+}
+
+// siftCursor restores the min-heap property at index i.
+func siftCursor(h []outCursor, i int, less func(a, b outCursor) bool) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
+		}
+		if c+1 < len(h) && less(h[c+1], h[c]) {
+			c++
+		}
+		if !less(h[c], h[i]) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}
+
+// clearOutbox resets a drained outbox, dropping stale event pointers.
+func clearOutbox(w *worker) {
+	for i := range w.outbox {
+		w.outbox[i] = nil
+	}
+	w.outbox = w.outbox[:0]
+}
+
+// safeBounds computes, per worker, the time bound below which it may
+// safely process events this round. It reports false when no events
+// remain anywhere. Both protocols are O(Workers) per round; the seed
+// kernel evaluated the null-message promises by an O(Workers^2)
+// fixed-point iteration, whose limit has the closed form used here (the
+// equivalence is property-tested against the iterative reference in
+// TestNullMessageBoundsMatchIterative).
+func (k *Kernel) safeBounds() ([]Time, bool) {
+	// One scan finds the earliest pending event time t1, the first worker
+	// a holding it, and the earliest time t2 among the other workers.
+	t1, t2 := Infinity, Infinity
+	a := -1
+	for i, w := range k.workers {
+		t := Infinity
+		if top := w.queue.peek(); top != nil {
+			t = top.t
+		}
+		if t < t1 {
+			t2 = t1
+			t1 = t
+			a = i
+		} else if t < t2 {
+			t2 = t
+		}
+	}
+	if a == -1 {
 		return nil, false
 	}
-	bounds := make([]Time, nw)
+	bounds := k.bounds
+	L := k.cfg.Lookahead
 	switch k.cfg.Protocol {
 	case ProtocolNullMessage:
 		// Clock promises: worker i cannot emit an arrival earlier than
 		// lookahead past its next activity, which is its next local event
 		// or the earliest arrival its peers could still send it:
 		//
-		//	p_i = lookahead + min(top_i, min_{j != i} p_j)
+		//	p_i = L + min(top_i, min_{j != i} p_j)
 		//
-		// Starting from the always-safe bound (lookahead past the global
-		// minimum event time), iterate upward; every intermediate value
-		// is a valid lower bound because it is the formula applied to
-		// valid lower bounds, and the sequence is monotone. A bounded
-		// iteration count keeps rounds cheap; promises merely end up
-		// conservative when peers are idle.
-		promises := make([]Time, nw)
-		for i := range promises {
-			promises[i] = start + k.cfg.Lookahead
-		}
-		for iter := 0; iter < nw+1; iter++ {
-			changed := false
-			for i := range promises {
-				minPeer := Infinity
-				for j := range promises {
-					if j != i && promises[j] < minPeer {
-						minPeer = promises[j]
-					}
-				}
-				next := tops[i]
-				if minPeer < next {
-					next = minPeer
-				}
-				if p := next + k.cfg.Lookahead; p > promises[i] {
-					promises[i] = p
-					changed = true
-				}
-			}
-			if !changed {
-				break
-			}
-		}
+		// The least fixed point of this monotone system is
+		//
+		//	p_a = L + t1            (the earliest worker's own event wins)
+		//	p_i = L + min(t_i, p_a) (everyone else is capped by a's promise)
+		//
+		// and each worker's bound is the minimum promise of its peers:
+		// p_a for everyone except a itself, which is bounded by the least
+		// promise among the others, L + min(t2, p_a).
+		pa := t1 + L
 		for i := range bounds {
-			minPeer := Infinity
-			for j := range promises {
-				if j != i && promises[j] < minPeer {
-					minPeer = promises[j]
-				}
-			}
-			bounds[i] = minPeer
-			if nw == 1 {
-				bounds[i] = Infinity
-			}
+			bounds[i] = pa
 		}
+		amin := t2
+		if pa < amin {
+			amin = pa
+		}
+		bounds[a] = amin + L
 	default: // ProtocolWindow
-		end := start + k.cfg.Lookahead
+		end := t1 + L
 		for i := range bounds {
 			bounds[i] = end
 		}
@@ -348,6 +432,9 @@ func (k *Kernel) finish(res *Result) (*Result, error) {
 
 // terminateBlocked unblocks deadlocked processes so their goroutines can
 // exit (their bodies observe a nil message and panic, which is captured).
+// At teardown every queue is empty, so each resumed goroutine's loop
+// finds no work and parks immediately; pooled events cannot be
+// double-freed because none are outstanding.
 func (k *Kernel) terminateBlocked() {
 	for _, p := range k.procs {
 		if p.state != stBlocked {
@@ -361,58 +448,108 @@ func (k *Kernel) terminateBlocked() {
 	runtime.Gosched()
 }
 
-// park is called from a process goroutine when it hands control back to
-// its worker.
-func (w *worker) park() { w.parked <- struct{}{} }
-
 // sendOut routes a delivery event: same-worker events are inserted
 // directly (they cannot fall inside the current window, see package doc);
 // cross-worker events are buffered until the window barrier.
 func (w *worker) sendOut(e *event) {
-	dst := w.kernel.workerOf(e.dst)
-	if dst == w {
-		w.heap.push(e)
+	if w.kernel.procs[e.dst].worker != w {
+		w.cross++
+		w.outbox = append(w.outbox, e)
 		return
 	}
-	w.cross++
-	w.outbox = append(w.outbox, e)
+	w.queue.push(e)
 }
 
-// scheduleLocal inserts an event for a process owned by this worker.
-func (w *worker) scheduleLocal(e *event) { w.heap.push(e) }
+// loopStatus reports how a runLoop invocation ended.
+type loopStatus uint8
 
-// processWindow pops and handles every event with time < end.
+const (
+	// loopWindowDone: no events below the window bound remain.
+	loopWindowDone loopStatus = iota
+	// loopHandoff: control was transferred to another process goroutine
+	// with a single channel send.
+	loopHandoff
+	// loopSelf: the next event wakes the very process whose goroutine is
+	// running the loop; it resumes with no channel operation at all.
+	loopSelf
+)
+
+// processWindow is the driver entry: it publishes the window bound, runs
+// the loop (following the token through process goroutines if control is
+// handed off) and, once the window is exhausted, sorts the outbox for
+// the barrier merge. Sorting here keeps it inside the worker's parallel
+// section under RealParallel.
 func (w *worker) processWindow(end Time) {
+	w.end = end
+	if st, _ := w.runLoop(nil); st == loopHandoff {
+		<-w.parked
+	}
+	if len(w.outbox) > 1 {
+		slices.SortFunc(w.outbox, eventCmp)
+	}
+}
+
+// runLoop pops and handles events with time < w.end in (time, proc, seq)
+// order. self names the process whose goroutine is executing the loop
+// (nil when the worker driver runs it): the kernel is process-oriented
+// but the event loop is not tied to one goroutine — whichever goroutine
+// last yielded donates itself to the loop, so waking the next process is
+// a direct handoff costing one channel operation instead of the seed's
+// two (resume + park), and zero when the next event resumes self.
+func (w *worker) runLoop(self *Proc) (loopStatus, *Message) {
 	for {
-		top := w.heap.peek()
-		if top == nil || top.t >= end {
+		top := w.queue.peek()
+		if top == nil || top.t >= w.end {
+			return loopWindowDone, nil
+		}
+		e := w.queue.pop()
+		w.events++
+		q := w.kernel.procs[e.dst]
+		kind, t, m := e.kind, e.t, e.msg
+		w.freeEvent(e)
+		switch kind {
+		case evStart:
+			go q.run()
+			return loopHandoff, nil
+		case evWake:
+			if q == self {
+				return loopSelf, nil
+			}
+			q.resume <- nil
+			return loopHandoff, nil
+		default: // evDeliver
+			w.delivered++
+			if q.state == stBlocked && q.matches(m) {
+				w.batchSameTime(q, t)
+				if q == self {
+					return loopSelf, m
+				}
+				q.resume <- m
+				return loopHandoff, nil
+			}
+			q.mailbox = append(q.mailbox, m)
+		}
+	}
+}
+
+// batchSameTime drains immediately-following deliveries to q that share
+// the wake timestamp into q's mailbox before q runs, saving a
+// block/handoff cycle per message on same-time fan-in. Only senders
+// ordered at or before q's own position in the (time, proc, seq) order
+// are batched: q cannot schedule any event that would precede those, so
+// the processing order is exactly what the unbatched kernel would have
+// produced and results stay bit-identical.
+func (w *worker) batchSameTime(q *Proc, t Time) {
+	for {
+		top := w.queue.peek()
+		if top == nil || top.t != t || top.kind != evDeliver ||
+			top.dst != q.id || top.proc > q.id {
 			return
 		}
-		e := w.heap.pop()
+		e := w.queue.pop()
 		w.events++
-		p := w.kernel.procs[e.dst]
-		switch e.kind {
-		case evStart:
-			go p.run()
-			<-w.parked
-		case evWake:
-			p.resume <- nil
-			<-w.parked
-		case evDeliver:
-			w.delivered++
-			w.deliver(p, e.msg)
-		}
+		w.delivered++
+		q.mailbox = append(q.mailbox, e.msg)
+		w.freeEvent(e)
 	}
-}
-
-// deliver deposits a message, waking the destination if it is blocked on
-// a matching Recv. A blocked process has already scanned its mailbox, so
-// the delivered message is handed over directly when it matches.
-func (w *worker) deliver(p *Proc, m *Message) {
-	if p.state == stBlocked && p.match != nil && p.match(m) {
-		p.resume <- m
-		<-w.parked
-		return
-	}
-	p.mailbox = append(p.mailbox, m)
 }

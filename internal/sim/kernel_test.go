@@ -631,33 +631,45 @@ func TestNullMessageRandomEquivalence(t *testing.T) {
 	}
 }
 
-// Property (testing/quick): the event heap pops in (time, proc, seq)
-// order for random event sets.
-func TestEventHeapOrderQuick(t *testing.T) {
-	f := func(times []uint16, procs []uint8) bool {
-		n := len(times)
-		if len(procs) < n {
-			n = len(procs)
-		}
-		if n == 0 {
-			return true
-		}
-		var h eventHeap
-		for i := 0; i < n; i++ {
-			h.push(&event{t: Time(times[i]), proc: int(procs[i]), seq: uint64(i)})
-		}
-		prev := h.pop()
-		for len(h) > 0 {
-			cur := h.pop()
-			if eventLess(cur, prev) {
-				return false
+// Property (testing/quick): every event queue implementation pops in
+// (time, proc, seq) order for random event sets, so simulation results
+// cannot depend on the Config.Queue knob.
+func TestEventQueueOrderQuick(t *testing.T) {
+	for _, kind := range []QueueKind{QueueQuaternary, QueueBinary} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			f := func(times []uint16, procs []uint8) bool {
+				n := len(times)
+				if len(procs) < n {
+					n = len(procs)
+				}
+				if n == 0 {
+					return true
+				}
+				h := newEventQueue(kind)
+				for i := 0; i < n; i++ {
+					h.push(&event{t: Time(times[i]), proc: int(procs[i]), seq: uint64(i)})
+				}
+				if h.len() != n {
+					return false
+				}
+				prev := h.pop()
+				for h.len() > 0 {
+					if h.peek() == nil {
+						return false
+					}
+					cur := h.pop()
+					if eventLess(cur, prev) {
+						return false
+					}
+					prev = cur
+				}
+				return h.peek() == nil
 			}
-			prev = cur
-		}
-		return true
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
+			if err := quick.Check(f, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

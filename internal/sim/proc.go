@@ -8,16 +8,28 @@ type Time float64
 // Infinity is a time later than any event.
 const Infinity = Time(1e300)
 
+// Any is the wildcard for RecvSrcTag's source and tag arguments. It is
+// an exact sentinel (not "any negative value"): the mpi layer reserves
+// large negative tags for collectives, which must not match a wildcard.
+const Any = -1
+
 // Message is a unit of simulated communication between processes. The
-// mpi package layers MPI envelope semantics (tag, communicator, kind)
-// on top via Payload.
+// mpi package layers MPI envelope semantics on top: Tag carries the MPI
+// tag (or an internal collective tag), Payload the user data.
+//
+// Messages are pooled. The receiver owns a message returned by
+// Recv/RecvSrcTag and may recycle it with FreeMessage once it is done
+// with every field, including Payload; freeing is optional, freeing
+// twice panics. Senders must not retain the message after Send.
 type Message struct {
 	From, To int  // process ids
+	Tag      int  // mpi-layer tag, matched by RecvSrcTag
 	SendTime Time // sender's local time when the send was issued
 	Arrival  Time // timestamp at which the message reaches the receiver
 	Size     int64
 	Payload  interface{}
 	seq      uint64 // sender-side sequence, part of the deterministic order
+	live     bool   // pool liveness guard (detects double-free)
 }
 
 // procState tracks where a process is in its lifecycle.
@@ -26,8 +38,17 @@ type procState uint8
 const (
 	stNew procState = iota
 	stRunnable
-	stBlocked // waiting in Recv
+	stBlocked // waiting in Recv or Sleep
 	stDone
+)
+
+// matchMode discriminates how a blocked process matches arrivals.
+type matchMode uint8
+
+const (
+	matchNone   matchMode = iota // not receiving (e.g. Sleep): nothing matches
+	matchFunc                    // arbitrary predicate (Recv)
+	matchSrcTag                  // kernel-side (source, tag) match (RecvSrcTag)
 )
 
 // ProcStats accumulates per-process accounting used for validation,
@@ -56,12 +77,24 @@ type Proc struct {
 	state procState
 	seq   uint64
 
-	body    func(*Proc)
-	resume  chan *Message       // kernel -> proc: start or matched message
-	mailbox []*Message          // arrived, unmatched messages
-	match   func(*Message) bool // set while blocked in Recv
-	err     error               // panic captured from the body
-	stats   ProcStats
+	body   func(*Proc)
+	resume chan *Message // handoff into a blocked process: matched message or wake (nil)
+	// mailbox[mbHead:] holds arrived, unmatched messages. Deliveries are
+	// appended in event pop order, which is exactly the deterministic
+	// (arrival, sender, sequence) order of messageLess, so the mailbox is
+	// always sorted: the first match is the earliest match, and the
+	// common take-from-the-front is O(1) via the head index.
+	mailbox []*Message
+	mbHead  int
+
+	// Receive predicate, valid while state == stBlocked.
+	matchMode matchMode
+	matchFn   func(*Message) bool
+	matchSrc  int
+	matchTag  int
+
+	err   error // panic captured from the body
+	stats ProcStats
 }
 
 // ID returns the process identifier (0..N-1 in spawn order).
@@ -98,24 +131,35 @@ func (p *Proc) nextSeq() uint64 {
 	return p.seq
 }
 
-// Send schedules delivery of payload to process `to` at the given arrival
-// time. Arrival must be at least Now()+lookahead when running under the
-// parallel engine; the mpi layer guarantees this by construction because
-// the kernel lookahead is the minimum network delay.
+// Send schedules delivery of payload to process `to` at the given
+// arrival time, with tag 0. Arrival must be at least Now()+lookahead
+// when running under the parallel engine; the mpi layer guarantees this
+// by construction because the kernel lookahead is the minimum network
+// delay.
 func (p *Proc) Send(to int, payload interface{}, size int64, arrival Time) {
+	p.SendTag(to, 0, payload, size, arrival)
+}
+
+// SendTag is Send with an explicit tag for RecvSrcTag matching.
+func (p *Proc) SendTag(to, tag int, payload interface{}, size int64, arrival Time) {
 	if to < 0 || to >= len(p.kernel.procs) {
 		panic(fmt.Sprintf("sim: Send to unknown proc %d", to))
 	}
 	if arrival < p.now {
 		panic(fmt.Sprintf("sim: Send arrival %v before local time %v", arrival, p.now))
 	}
-	m := &Message{
-		From: p.id, To: to, SendTime: p.now, Arrival: arrival,
-		Size: size, Payload: payload, seq: p.nextSeq(),
-	}
+	w := p.worker
+	m := w.newMessage()
+	m.From, m.To, m.Tag = p.id, to, tag
+	m.SendTime, m.Arrival = p.now, arrival
+	m.Size, m.Payload = size, payload
+	m.seq = p.nextSeq()
 	p.stats.MsgsSent++
 	p.stats.BytesSent += size
-	p.worker.sendOut(&event{t: arrival, proc: p.id, seq: m.seq, kind: evDeliver, dst: to, msg: m})
+	e := w.newEvent()
+	e.t, e.proc, e.seq = arrival, p.id, m.seq
+	e.kind, e.dst, e.msg = evDeliver, to, m
+	w.sendOut(e)
 }
 
 // Recv blocks until a message satisfying match has arrived, removes it
@@ -124,16 +168,46 @@ func (p *Proc) Send(to int, payload interface{}, size int64, arrival Time) {
 // messages match, the earliest in the deterministic (arrival, sender,
 // sequence) order is returned.
 func (p *Proc) Recv(match func(*Message) bool) *Message {
-	if m := p.takeMatch(match); m != nil {
+	p.matchMode, p.matchFn = matchFunc, match
+	m := p.recvMatched()
+	p.matchFn = nil // do not retain the closure past the call
+	return m
+}
+
+// RecvSrcTag is Recv with the ubiquitous (source, tag) predicate
+// evaluated inside the kernel: src and tag each either name an exact
+// value or are the wildcard Any. Unlike Recv it needs no per-call
+// closure, so the mpi receive path stays allocation-free.
+func (p *Proc) RecvSrcTag(src, tag int) *Message {
+	p.matchMode, p.matchSrc, p.matchTag = matchSrcTag, src, tag
+	return p.recvMatched()
+}
+
+// matches evaluates the published receive predicate against m.
+func (p *Proc) matches(m *Message) bool {
+	switch p.matchMode {
+	case matchFunc:
+		return p.matchFn(m)
+	case matchSrcTag:
+		return (p.matchSrc == Any || m.From == p.matchSrc) &&
+			(p.matchTag == Any || m.Tag == p.matchTag)
+	default:
+		return false
+	}
+}
+
+// recvMatched completes a receive whose predicate has been published in
+// the match fields: take an already-arrived match if any, otherwise
+// block until the kernel hands one over.
+func (p *Proc) recvMatched() *Message {
+	if m := p.takeMatched(); m != nil {
+		p.matchMode = matchNone
 		p.completeRecv(m)
 		return m
 	}
-	// Block: publish the predicate and yield to the kernel.
-	p.match = match
 	p.state = stBlocked
-	p.worker.park()
-	m := <-p.resume
-	p.match = nil
+	m := p.yield()
+	p.matchMode = matchNone
 	p.state = stRunnable
 	if m == nil {
 		// Deadlock teardown: the kernel unblocks us so the goroutine can
@@ -142,6 +216,24 @@ func (p *Proc) Recv(match func(*Message) bool) *Message {
 	}
 	p.completeRecv(m)
 	return m
+}
+
+// yield donates this goroutine to the worker's event loop until an event
+// resumes p. This is the direct-handoff scheduler: control flows from
+// the yielding process straight to the next one with a single channel
+// send (loopHandoff), or with none at all when the next event resumes p
+// itself (loopSelf). Only when the window is exhausted does control
+// return to the worker driver.
+func (p *Proc) yield() *Message {
+	w := p.worker
+	st, m := w.runLoop(p)
+	switch st {
+	case loopSelf:
+		return m
+	case loopWindowDone:
+		w.parked <- struct{}{}
+	}
+	return <-p.resume
 }
 
 // completeRecv advances the clock past the message arrival and accounts
@@ -155,23 +247,28 @@ func (p *Proc) completeRecv(m *Message) {
 	p.stats.BytesRecvd += m.Size
 }
 
-// takeMatch removes and returns the earliest matching mailbox message.
-func (p *Proc) takeMatch(match func(*Message) bool) *Message {
-	best := -1
-	for i, m := range p.mailbox {
-		if !match(m) {
+// takeMatched removes and returns the earliest mailbox message matching
+// the published predicate: because the mailbox is sorted (see the field
+// doc), that is the first match.
+func (p *Proc) takeMatched() *Message {
+	for i := p.mbHead; i < len(p.mailbox); i++ {
+		m := p.mailbox[i]
+		if !p.matches(m) {
 			continue
 		}
-		if best == -1 || messageLess(m, p.mailbox[best]) {
-			best = i
+		if i == p.mbHead {
+			p.mailbox[i] = nil
+			p.mbHead++
+			if p.mbHead == len(p.mailbox) {
+				p.mailbox = p.mailbox[:0]
+				p.mbHead = 0
+			}
+		} else {
+			p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
 		}
+		return m
 	}
-	if best == -1 {
-		return nil
-	}
-	m := p.mailbox[best]
-	p.mailbox = append(p.mailbox[:best], p.mailbox[best+1:]...)
-	return m
+	return nil
 }
 
 // HasMatch reports whether a matching message has already arrived. It
@@ -179,12 +276,19 @@ func (p *Proc) takeMatch(match func(*Message) bool) *Message {
 // does not imply no such message will arrive (conservatively, callers
 // must still Recv).
 func (p *Proc) HasMatch(match func(*Message) bool) bool {
-	for _, m := range p.mailbox {
+	for _, m := range p.mailbox[p.mbHead:] {
 		if match(m) {
 			return true
 		}
 	}
 	return false
+}
+
+// FreeMessage returns a message obtained from Recv/RecvSrcTag to the
+// process's worker pool. Optional; see Message. Must only be called from
+// the body function, on a message this process received, at most once.
+func (p *Proc) FreeMessage(m *Message) {
+	p.worker.freeMessage(m)
 }
 
 // messageLess orders messages by (arrival, sender, sequence).
@@ -206,17 +310,22 @@ func (p *Proc) Sleep(until Time) {
 	if until <= p.now {
 		return
 	}
-	p.worker.scheduleLocal(&event{t: until, proc: p.id, seq: p.nextSeq(), kind: evWake, dst: p.id})
-	p.state = stBlocked
-	p.worker.park()
-	<-p.resume
+	w := p.worker
+	e := w.newEvent()
+	e.t, e.proc, e.seq = until, p.id, p.nextSeq()
+	e.kind, e.dst, e.msg = evWake, p.id, nil
+	w.queue.push(e)
+	p.state = stBlocked // matchMode is matchNone: arrivals queue in the mailbox
+	p.yield()
 	p.state = stRunnable
 	if until > p.now {
 		p.now = until
 	}
 }
 
-// run executes the process body, capturing panics as errors.
+// run executes the process body, capturing panics as errors. On return
+// the goroutine still holds the worker's run token, so it keeps driving
+// the event loop until it can hand off or the window is done.
 func (p *Proc) run() {
 	defer func() {
 		if r := recover(); r != nil {
@@ -224,7 +333,9 @@ func (p *Proc) run() {
 		}
 		p.state = stDone
 		p.stats.FinishTime = p.now
-		p.worker.park()
+		if st, _ := p.worker.runLoop(nil); st == loopWindowDone {
+			p.worker.parked <- struct{}{}
+		}
 	}()
 	p.state = stRunnable
 	p.body(p)

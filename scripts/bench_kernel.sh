@@ -1,0 +1,40 @@
+#!/bin/sh
+# bench_kernel.sh — run the kernel throughput suite (BenchmarkKernel* in
+# internal/sim) and record the results as BENCH_kernel.json so the
+# performance trajectory is tracked across PRs.
+#
+# Usage: scripts/bench_kernel.sh [benchtime]   (default 2s)
+#
+# Each JSON entry holds the sub-benchmark name, iteration count, ns/op,
+# and every custom metric the suite reports (events/sec, allocs/event).
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2s}"
+out=BENCH_kernel.json
+trap 'rm -f "$out.tmp"' EXIT
+
+go test -bench 'BenchmarkKernel' -benchtime "$benchtime" -run '^$' ./internal/sim/ |
+awk '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    line = ""
+    # Fields after the iteration count come in (value, unit) pairs.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9]/, "_", unit)
+        line = line sprintf(",\n    \"%s\": %s", unit, $i)
+    }
+    entries[n++] = sprintf("  {\n    \"name\": \"%s\",\n    \"iterations\": %s%s\n  }", name, iters, line)
+}
+END {
+    if (n == 0) { print "bench_kernel.sh: no benchmark output" > "/dev/stderr"; exit 1 }
+    print "["
+    for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+    print "]"
+}
+' > "$out.tmp"
+mv "$out.tmp" "$out" # atomic: a failed run must not clobber the last good file
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
