@@ -14,12 +14,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"mpisim/internal/apps"
+	"mpisim/internal/check"
 	"mpisim/internal/cliutil"
 	"mpisim/internal/core"
 	"mpisim/internal/dtg"
@@ -30,6 +32,12 @@ import (
 
 func main() {
 	if err := run(); err != nil {
+		// When the pre-simulation verifier refused the configuration,
+		// surface its findings one per line before the summary.
+		var ce *core.CheckError
+		if errors.As(err, &ce) {
+			fmt.Fprint(os.Stderr, ce.Result.Text(check.Error))
+		}
 		fmt.Fprintln(os.Stderr, "mpisim:", err)
 		os.Exit(1)
 	}
@@ -51,6 +59,8 @@ func run() error {
 		matrix    = flag.Bool("matrix", false, "print the rank-to-rank communication matrix")
 		timeline  = flag.Bool("timeline", false, "print a per-rank activity timeline of the predicted run")
 		dtgFlag   = flag.Bool("dtg", false, "print dynamic-task-graph statistics (critical path, parallelism)")
+		checkFlag = flag.Bool("check", false, "print every static-verification finding (not just errors) to stderr before running")
+		noCheck   = flag.Bool("nocheck", false, "skip the pre-simulation static verification entirely")
 	)
 	flag.Parse()
 
@@ -107,6 +117,14 @@ func run() error {
 	r.MemoryLimit = *memLimit
 	r.CollectMatrix = *matrix
 	r.CollectTrace = *timeline || *dtgFlag
+	r.SkipChecks = *noCheck
+	if *checkFlag && !*noCheck {
+		res, err := r.Check(*ranks, inputs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, res.Text(check.Info))
+	}
 
 	if mode == core.Abstract {
 		if *ttFile != "" {

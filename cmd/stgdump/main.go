@@ -19,6 +19,8 @@ import (
 	"strings"
 
 	"mpisim/internal/apps"
+	"mpisim/internal/check"
+	"mpisim/internal/cliutil"
 	"mpisim/internal/compiler"
 	"mpisim/internal/ir"
 )
@@ -71,10 +73,15 @@ func run() error {
 		file    = flag.String("file", "", "load a program from a pseudocode file instead of -app")
 		what    = flag.String("what", "all",
 			"what to print: program, stg, condensed, dot, slice, simplified, timer, summary, all")
+		checkFlag = flag.Bool("check", false,
+			"statically verify the program first; findings go to stderr, errors abort the dump")
+		ranks     = flag.Int("ranks", 4, "process count for -check")
+		inputsStr = flag.String("inputs", "", "program inputs for -check as key=value,...")
 	)
 	flag.Parse()
 
 	var prog *ir.Program
+	var defaults map[string]float64
 	if *file != "" {
 		src, err := os.ReadFile(*file)
 		if err != nil {
@@ -92,6 +99,24 @@ func run() error {
 			return fmt.Errorf("unknown app %q (have %s)", *appName, strings.Join(names, ", "))
 		}
 		prog = spec.Build()
+		defaults = spec.Default(*ranks)
+	}
+
+	if *checkFlag {
+		over, err := cliutil.ParseInputs(*inputsStr)
+		if err != nil {
+			return err
+		}
+		cres, err := check.Run(prog, check.Options{
+			Ranks: *ranks, Inputs: cliutil.MergeInputs(defaults, over),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, cres.Text(check.Info))
+		if cres.HasErrors() {
+			return fmt.Errorf("static verification found %d error(s); dump aborted", cres.Errors())
+		}
 	}
 
 	res, err := compiler.Compile(prog)

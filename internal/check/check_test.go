@@ -1,0 +1,164 @@
+package check
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mpisim/internal/apps"
+	"mpisim/internal/ir"
+)
+
+// runApp checks a registered application at the given rank count with
+// its default inputs.
+func runApp(t *testing.T, name string, ranks int) *Result {
+	t.Helper()
+	spec, ok := apps.Registry()[name]
+	if !ok {
+		t.Fatalf("unknown app %q", name)
+	}
+	res, err := Run(spec.Build(), Options{Ranks: ranks, Inputs: spec.Default(ranks)})
+	if err != nil {
+		t.Fatalf("check.Run(%s): %v", name, err)
+	}
+	return res
+}
+
+// appRanks picks a rank count every app supports (nassp needs a square).
+const appRanks = 4
+
+func TestAppsClean(t *testing.T) {
+	for _, name := range apps.Names() {
+		res := runApp(t, name, appRanks)
+		if res.HasErrors() {
+			t.Errorf("%s: unexpected errors:\n%s", name, res.Text(Error))
+		}
+	}
+}
+
+// TestAppsKnownWarnings pins the expected analysis quality on the real
+// workloads: the ghost exchanges of tomcatv and the nearest-neighbour
+// pattern of SAMPLE are send-before-receive exchanges, legal under the
+// simulator's eager sends but flagged as unsafe under rendezvous.
+func TestAppsKnownWarnings(t *testing.T) {
+	res := runApp(t, "tomcatv", appRanks)
+	if !strings.Contains(res.Text(Warning), "unsafe under synchronous sends") {
+		t.Errorf("tomcatv: expected a rendezvous-unsafety warning, got:\n%s", res.Text(Info))
+	}
+}
+
+func TestPrintParseCheckStability(t *testing.T) {
+	for _, name := range apps.Names() {
+		spec := apps.Registry()[name]
+		orig := spec.Build()
+		inputs := spec.Default(appRanks)
+		res1, err := Run(orig, Options{Ranks: appRanks, Inputs: inputs})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		reparsed, err := ir.Parse(orig.String())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		res2, err := Run(reparsed, Options{Ranks: appRanks, Inputs: inputs})
+		if err != nil {
+			t.Fatalf("%s: recheck: %v", name, err)
+		}
+		if got, want := res2.Text(Info), res1.Text(Info); got != want {
+			t.Errorf("%s: diagnostics changed across print->parse:\noriginal:\n%s\nreparsed:\n%s",
+				name, want, got)
+		}
+	}
+}
+
+func TestDiagnosticJSONRoundTrip(t *testing.T) {
+	res := runApp(t, "tomcatv", appRanks)
+	raw, err := res.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(back.Diags) != len(res.Diags) {
+		t.Fatalf("round trip lost diagnostics: %d != %d", len(back.Diags), len(res.Diags))
+	}
+	for i := range res.Diags {
+		if back.Diags[i].String() != res.Diags[i].String() {
+			t.Errorf("diag %d changed: %+v vs %+v", i, back.Diags[i], res.Diags[i])
+		}
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	cases := map[Severity]string{Info: "info", Warning: "warning", Error: "error"}
+	for sev, want := range cases {
+		if sev.String() != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", int(sev), sev.String(), want)
+		}
+		raw, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Severity
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if back != sev {
+			t.Errorf("severity %v did not round-trip", sev)
+		}
+	}
+	var bad Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &bad); err == nil {
+		t.Error("expected error for unknown severity name")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Pass: "sendrecv", Severity: Error, Program: "demo", Line: 7,
+		Message: "boom", Ranks: []int{1, 2}}
+	got := d.String()
+	want := "demo:7: error: [sendrecv] boom (ranks [1 2])"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	d.Line = 0
+	d.Ranks = nil
+	if got := d.String(); got != "demo: error: [sendrecv] boom" {
+		t.Errorf("String() without line = %q", got)
+	}
+}
+
+func TestPassSelection(t *testing.T) {
+	spec := apps.Registry()["tomcatv"]
+	res, err := Run(spec.Build(), Options{
+		Ranks: appRanks, Inputs: spec.Default(appRanks), Passes: []string{"collective"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diags {
+		if d.Pass != "collective" && d.Pass != "trace" {
+			t.Errorf("pass filter leaked diagnostic from %q: %s", d.Pass, d)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range Passes() {
+		if p.Name == "" || p.Desc == "" || p.Run == nil {
+			t.Errorf("pass %+v incomplete", p)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate pass %q", p.Name)
+		}
+		names[p.Name] = true
+	}
+	for _, want := range []string{"sendrecv", "deadlock", "collective", "bounds", "slice"} {
+		if !names[want] {
+			t.Errorf("missing pass %q", want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package check
+
+import (
+	"testing"
+
+	"mpisim/internal/irgen"
+)
+
+// Generated programs are well-formed and deadlock-free by construction
+// (guarded one-directional ring shifts, unconditional collectives), so
+// the checker must accept every one of them without errors: any error is
+// a false positive by definition, and any panic a robustness bug.
+func TestGeneratedProgramsCheckClean(t *testing.T) {
+	const seeds = 60
+	for seed := int64(0); seed < seeds; seed++ {
+		p, inputs := irgen.Program(seed, irgen.Config{})
+		for _, ranks := range []int{1, 3, 4} {
+			res, err := Run(p, Options{Ranks: ranks, Inputs: inputs})
+			if err != nil {
+				t.Fatalf("seed %d ranks %d: %v", seed, ranks, err)
+			}
+			if res.HasErrors() {
+				t.Errorf("seed %d ranks %d: false positive:\n%s\nprogram:\n%s",
+					seed, ranks, res.Text(Error), p)
+			}
+		}
+	}
+}
+
+// Larger generated programs stress the unrolling budget: the checker may
+// degrade to warnings about truncation but must never report an error or
+// crash.
+func TestGeneratedProgramsBudgetedCheck(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p, inputs := irgen.Program(seed, irgen.Config{MaxNests: 6, MaxTimeSteps: 12})
+		res, err := Run(p, Options{Ranks: 4, Inputs: inputs, MaxOps: 200})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.HasErrors() {
+			t.Errorf("seed %d under a tight budget: false positive:\n%s", seed, res.Text(Error))
+		}
+	}
+}
+
+var sinkText string
+
+// The property test doubles as a smoke benchmark guard: checking a
+// generated program end to end must stay cheap enough to run before
+// every simulation (the core fail-fast hook).
+func BenchmarkCheckGenerated(b *testing.B) {
+	p, inputs := irgen.Program(1, irgen.Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(p, Options{Ranks: 4, Inputs: inputs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkText = res.Text(Info)
+	}
+}

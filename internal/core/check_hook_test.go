@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mpisim/internal/ir"
+	"mpisim/internal/machine"
+)
+
+// deadlockedRing is a program every static pass accepts except the
+// deadlock detector: all ranks post a receive before any send.
+func deadlockedRing() *ir.Program {
+	myid, np := ir.S(ir.BuiltinMyID), ir.S(ir.BuiltinP)
+	return &ir.Program{
+		Name:   "ring",
+		Arrays: []*ir.ArrayDecl{{Name: "A", Dims: []ir.Expr{ir.N(8)}, Elem: 8}},
+		Body: ir.Block(
+			&ir.Recv{Src: ir.Mod(ir.Add(myid, ir.Sub(np, ir.N(1))), np), Tag: 5,
+				Array: "A", Section: ir.Sec(ir.N(1), ir.N(8))},
+			&ir.Send{Dest: ir.Mod(ir.Add(myid, ir.N(1)), np), Tag: 5,
+				Array: "A", Section: ir.Sec(ir.N(1), ir.N(8))},
+		),
+	}
+}
+
+// The fail-fast hook must refuse to simulate a program with
+// error-severity findings, and SkipChecks must bypass exactly that.
+func TestRunRefusesCheckedErrors(t *testing.T) {
+	r, err := NewRunner(deadlockedRing(), machine.IBMSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Run(Measured, 4, nil)
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected a CheckError, got %v", err)
+	}
+	if ce.Result == nil || !ce.Result.HasErrors() {
+		t.Fatal("CheckError carries no error findings")
+	}
+	// The cache must serve the repeat verification.
+	if _, err := r.Run(DirectExec, 4, nil); !errors.As(err, &ce) {
+		t.Fatalf("expected a cached CheckError, got %v", err)
+	}
+	if len(r.checkCache) != 1 {
+		t.Fatalf("expected one cached configuration, have %d", len(r.checkCache))
+	}
+}
+
+func TestSkipChecksEscapeHatch(t *testing.T) {
+	r, err := NewRunner(deadlockedRing(), machine.IBMSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SkipChecks = true
+	// The simulation itself must then hit the deadlock dynamically; the
+	// kernel detects the global stall and errors out rather than hanging.
+	if _, err := r.Run(Measured, 4, nil); err == nil {
+		t.Fatal("deadlocked ring simulated to completion")
+	} else if errors.As(err, new(*CheckError)) {
+		t.Fatalf("SkipChecks did not bypass verification: %v", err)
+	}
+}

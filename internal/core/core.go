@@ -19,7 +19,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
+	"mpisim/internal/check"
 	"mpisim/internal/compiler"
 	"mpisim/internal/interp"
 	"mpisim/internal/ir"
@@ -90,6 +93,73 @@ type Runner struct {
 	// weighted by their measured probabilities instead of 0.5, and then
 	// calibrates the w_i against the refined scaling functions.
 	ProfileBranches bool
+	// SkipChecks disables the pre-simulation static verification
+	// (internal/check). By default every Run and Calibrate first verifies
+	// the source program at the requested configuration and refuses to
+	// simulate one with error-severity findings — a deadlocked or
+	// mismatched program would otherwise burn a full simulation before
+	// hanging or producing garbage.
+	SkipChecks bool
+
+	// checkCache memoizes verification per (ranks, inputs) configuration.
+	checkCache map[string]*check.Result
+}
+
+// CheckError is returned when pre-simulation verification refuses a
+// configuration. Result carries the complete findings for display.
+type CheckError struct {
+	Result *check.Result
+}
+
+// Error implements error with a one-line summary; use Result for the
+// individual diagnostics.
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("core: static verification found %d error(s) in %s at %d ranks (set SkipChecks to simulate anyway)",
+		e.Result.Errors(), e.Result.Program, e.Result.Ranks)
+}
+
+// Check runs the static communication verifier on the source program at
+// a configuration. Results are cached per configuration, so the hook in
+// Run costs one verification per distinct (ranks, inputs).
+func (r *Runner) Check(ranks int, inputs map[string]float64) (*check.Result, error) {
+	keys := make([]string, 0, len(inputs))
+	for k := range inputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d", ranks)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "|%s=%g", k, inputs[k])
+	}
+	key := sb.String()
+	if res, ok := r.checkCache[key]; ok {
+		return res, nil
+	}
+	res, err := check.Run(r.Program, check.Options{Ranks: ranks, Inputs: inputs})
+	if err != nil {
+		return nil, err
+	}
+	if r.checkCache == nil {
+		r.checkCache = map[string]*check.Result{}
+	}
+	r.checkCache[key] = res
+	return res, nil
+}
+
+// precheck is the fail-fast hook: verify before simulating.
+func (r *Runner) precheck(ranks int, inputs map[string]float64) error {
+	if r.SkipChecks {
+		return nil
+	}
+	res, err := r.Check(ranks, inputs)
+	if err != nil {
+		return fmt.Errorf("core: static verification: %w", err)
+	}
+	if res.HasErrors() {
+		return &CheckError{Result: res}
+	}
+	return nil
 }
 
 // NewRunner compiles the program for the given machine.
@@ -109,6 +179,9 @@ func NewRunner(p *ir.Program, m *machine.Model) (*Runner, error) {
 // task times for one or a few selected problem sizes and number of
 // processors"). It returns the table.
 func (r *Runner) Calibrate(ranks int, inputs map[string]float64) (map[string]float64, error) {
+	if err := r.precheck(ranks, inputs); err != nil {
+		return nil, err
+	}
 	if r.ProfileBranches {
 		bp := interp.NewBranchProfile()
 		if _, err := interp.Run(r.Compiled.Timer, interp.Config{
@@ -138,8 +211,13 @@ func (r *Runner) Calibrate(ranks int, inputs map[string]float64) (map[string]flo
 	return r.TaskTimes, nil
 }
 
-// Run evaluates the configuration in the given mode.
+// Run evaluates the configuration in the given mode. Unless SkipChecks
+// is set, the configuration is first statically verified and refused
+// (with a CheckError) when verification finds errors.
 func (r *Runner) Run(mode Mode, ranks int, inputs map[string]float64) (*mpi.Report, error) {
+	if err := r.precheck(ranks, inputs); err != nil {
+		return nil, err
+	}
 	cfg := interp.Config{
 		Ranks: ranks, Machine: r.Machine, Inputs: inputs,
 		HostWorkers: r.HostWorkers, RealParallel: r.RealParallel,

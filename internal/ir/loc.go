@@ -1,0 +1,68 @@
+package ir
+
+import "strings"
+
+// Statement location support for diagnostics: the IR carries no surface
+// source positions, so analysis tools anchor their findings to the
+// canonical pretty-printed listing (Program.String). StmtLines assigns
+// every statement the 1-based line number of its header line in that
+// listing; Parse(p.String()) preserves program structure, so the numbers
+// are stable across a print→parse round trip.
+
+// StmtLines returns a map from each statement in the program body to the
+// 1-based line of its header in p.String(). The accounting mirrors the
+// pretty-printer exactly: line 1 is the "program" header, followed by one
+// line per input parameter and one per array declaration, then the body.
+func (p *Program) StmtLines() map[Stmt]int {
+	lines := map[Stmt]int{}
+	// "program NAME" + "! input ..." per param + one line per array decl.
+	line := 1 + len(p.Params) + len(p.Arrays)
+	lineBlock(p.Body, &line, lines)
+	return lines
+}
+
+// lineBlock advances *line over body exactly as writeBlock renders it,
+// recording each statement's header line.
+func lineBlock(body []Stmt, line *int, out map[Stmt]int) {
+	for _, s := range body {
+		*line++
+		out[s] = *line
+		switch x := s.(type) {
+		case *For:
+			lineBlock(x.Body, line, out)
+			*line++ // enddo
+		case *If:
+			lineBlock(x.Then, line, out)
+			if len(x.Else) > 0 {
+				*line++ // else
+				lineBlock(x.Else, line, out)
+			}
+			*line++ // endif
+		case *Timed:
+			lineBlock(x.Body, line, out)
+			*line++ // stop_timer
+		}
+	}
+}
+
+// StmtHead renders the first (header) line of a statement: the full text
+// for simple statements, the "do ..."/"if (...) then" line for control
+// statements. Used to label diagnostics.
+func StmtHead(s Stmt) string {
+	switch x := s.(type) {
+	case *For:
+		label := ""
+		if x.Label != "" {
+			label = " ! " + x.Label
+		}
+		return "do " + x.Var + " = " + x.Lo.String() + ", " + x.Hi.String() + label
+	case *If:
+		return "if (" + x.Cond.String() + ") then"
+	case *Timed:
+		return "call start_timer(\"" + x.ID + "\")"
+	default:
+		var sb strings.Builder
+		s.write(&sb, 0)
+		return strings.TrimSuffix(sb.String(), "\n")
+	}
+}

@@ -1,0 +1,108 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// locProgram exercises every construct the line accounting must mirror:
+// params, array decls, nested loops, if with and without else, and timed
+// sections.
+func locProgram() *Program {
+	return &Program{
+		Name:   "locdemo",
+		Params: []string{"N", "STEPS"},
+		Arrays: []*ArrayDecl{
+			{Name: "A", Dims: []Expr{S("N"), S("N")}, Elem: 8},
+			{Name: "B", Dims: []Expr{S("N")}, Elem: 4},
+		},
+		Body: Block(
+			&ReadInput{Var: "N"},
+			SetS("b", CeilDiv(S("N"), S(BuiltinP))),
+			Loop("outer", "j", N(1), S("N"),
+				Loop("", "i", N(1), S("b"),
+					SetA("A", IX(S("i"), S("j")), Add(S("i"), S("j")))),
+				&If{Cond: GT(S(BuiltinMyID), N(0)),
+					Then: Block(&Send{Dest: Sub(S(BuiltinMyID), N(1)), Tag: 9, Array: "B",
+						Section: Sec(N(1), S("b"))}),
+					Else: Block(&Barrier{})},
+			),
+			&Timed{ID: "solve", Units: S("N"), Body: Block(
+				&If{Cond: LT(S("b"), N(2)), Then: Block(&Barrier{})},
+				&Allreduce{Op: "max", Vars: []string{"b"}},
+			)},
+		),
+	}
+}
+
+// Every statement's recorded line must hold that statement's header text
+// in the canonical listing.
+func verifyLines(t *testing.T, p *Program) {
+	t.Helper()
+	listing := strings.Split(p.String(), "\n")
+	lines := p.StmtLines()
+	if len(lines) == 0 {
+		t.Fatal("StmtLines returned no entries")
+	}
+	var walkStmts func(body []Stmt)
+	walkStmts = func(body []Stmt) {
+		for _, s := range body {
+			ln, ok := lines[s]
+			if !ok {
+				t.Errorf("%s: statement %q has no line", p.Name, StmtHead(s))
+				continue
+			}
+			if ln < 1 || ln > len(listing) {
+				t.Errorf("%s: line %d out of range for %q", p.Name, ln, StmtHead(s))
+				continue
+			}
+			got := strings.TrimSpace(listing[ln-1])
+			want := strings.TrimSpace(StmtHead(s))
+			if got != want {
+				t.Errorf("%s: line %d is %q, want header %q", p.Name, ln, got, want)
+			}
+			switch x := s.(type) {
+			case *For:
+				walkStmts(x.Body)
+			case *If:
+				walkStmts(x.Then)
+				walkStmts(x.Else)
+			case *Timed:
+				walkStmts(x.Body)
+			}
+		}
+	}
+	walkStmts(p.Body)
+}
+
+func TestStmtLinesMatchListing(t *testing.T) {
+	verifyLines(t, locProgram())
+}
+
+// Line numbers survive a print→parse round trip: the reparsed program's
+// own accounting agrees with its (identical) listing.
+func TestStmtLinesStableAcrossParse(t *testing.T) {
+	p := locProgram()
+	q, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if q.String() != p.String() {
+		t.Fatal("print->parse->print not stable; line anchors would drift")
+	}
+	verifyLines(t, q)
+}
+
+func TestStmtHeadSimpleStatements(t *testing.T) {
+	cases := map[Stmt]string{
+		SetS("x", N(1)): "x = 1",
+		&Barrier{}:      "BARRIER",
+		&For{Var: "i", Lo: N(1), Hi: N(3), Label: "lab"}: "do i = 1, 3 ! lab",
+		&If{Cond: GT(S("x"), N(0))}:                      "if ((x > 0)) then",
+	}
+	for s, want := range cases {
+		if got := StmtHead(s); got != want {
+			t.Errorf("StmtHead = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# ci.sh — the full verification gate, runnable from a clean checkout:
+#
+#   1. gofmt enforcement over the tree
+#   2. tier-1 build + tests (go build ./... && go test ./...)
+#   3. go vet
+#   4. race detector over the concurrent packages (sim kernel, MPI layer)
+#   5. the msgown ownership analyzer via go vet -vettool
+#   6. mpicheck over every registered app and every examples/programs/*.ir
+#
+# Usage: scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== build"
+go build ./...
+
+echo "== vet"
+go vet ./...
+
+echo "== tests"
+go test ./...
+
+echo "== race (sim kernel + MPI layer)"
+go test -race ./internal/sim/ ./internal/mpi/
+
+echo "== msgown ownership analyzer"
+bin=$(mktemp -d)
+trap 'rm -rf "$bin"' EXIT
+go build -o "$bin/msgown" ./tools/analyzers/msgown
+go vet -vettool="$bin/msgown" ./...
+
+echo "== mpicheck: registered applications"
+go build -o "$bin/mpicheck" ./cmd/mpicheck
+"$bin/mpicheck" -all -min warning
+
+echo "== mpicheck: example programs"
+for f in examples/programs/*.ir; do
+    "$bin/mpicheck" -file "$f" -inputs N=32,STEPS=2 -min warning
+done
+
+echo "CI OK"

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// The fixture is its own little "sim" package, so isMessagePtr matches
+// without needing export data for the real kernel.
+const fixtureHeader = `package sim
+
+type Message struct {
+	Size    int64
+	Payload interface{}
+}
+
+type Proc struct{}
+
+func (p *Proc) Send(to int, payload interface{}, size int64)    {}
+func (p *Proc) SendTag(to, tag int, payload interface{})        {}
+func (p *Proc) FreeMessage(m *Message)                          {}
+func (p *Proc) RecvSrcTag(src, tag int) *Message                { return nil }
+`
+
+func analyzeSource(t *testing.T, body string) []finding {
+	t.Helper()
+	src := fixtureHeader + body
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	cfg := &types.Config{}
+	if _, err := cfg.Check("sim", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return analyze(fset, []*ast.File{f}, info)
+}
+
+func TestFlagsReadAfterFree(t *testing.T) {
+	findings := analyzeSource(t, `
+func bad(p *Proc, m *Message) int64 {
+	p.FreeMessage(m)
+	return m.Size
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	if !strings.Contains(findings[0].msg, "FreeMessage") {
+		t.Errorf("finding does not name the consumer: %s", findings[0].msg)
+	}
+}
+
+func TestFlagsReadAfterSendAsPayload(t *testing.T) {
+	findings := analyzeSource(t, `
+func bad(p *Proc, m *Message) int64 {
+	p.Send(1, m, m.Size)
+	return m.Size
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+}
+
+func TestCleanConsumeLast(t *testing.T) {
+	findings := analyzeSource(t, `
+func good(p *Proc) (int64, interface{}) {
+	m := p.RecvSrcTag(0, 1)
+	size, data := m.Size, m.Payload
+	p.FreeMessage(m)
+	return size, data
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("clean consume-last pattern flagged: %v", findings)
+	}
+}
+
+func TestReassignmentRestoresOwnership(t *testing.T) {
+	findings := analyzeSource(t, `
+func good(p *Proc) int64 {
+	m := p.RecvSrcTag(0, 1)
+	p.FreeMessage(m)
+	m = p.RecvSrcTag(0, 2)
+	total := m.Size
+	p.FreeMessage(m)
+	return total
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("reassignment did not restore ownership: %v", findings)
+	}
+}
+
+func TestDoubleFreeFlagged(t *testing.T) {
+	findings := analyzeSource(t, `
+func bad(p *Proc, m *Message) {
+	p.FreeMessage(m)
+	p.FreeMessage(m)
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("double free not flagged exactly once: %v", findings)
+	}
+}
+
+func TestOtherTypesIgnored(t *testing.T) {
+	findings := analyzeSource(t, `
+type note struct{ n int }
+
+func ok(p *Proc, m *note) int {
+	p.Send(1, m, 0)
+	return m.n
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("non-message type flagged: %v", findings)
+	}
+}
+
+func TestLanguageVersion(t *testing.T) {
+	cases := map[string]string{
+		"go1.24.5": "go1.24",
+		"go1.21":   "go1.21",
+		"devel":    "",
+		"":         "",
+	}
+	for in, want := range cases {
+		if got := languageVersion(in); got != want {
+			t.Errorf("languageVersion(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
