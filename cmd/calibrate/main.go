@@ -37,6 +37,7 @@ func run() error {
 		inputsStr = flag.String("inputs", "", "program inputs as key=value,...")
 		machName  = flag.String("machine", "ibmsp", "target machine: ibmsp, origin2000")
 		outFile   = flag.String("o", "", "output file (default stdout)")
+		strict    = flag.Bool("strict", false, "exit nonzero when any coefficient is calibrated from fewer than 3 samples")
 	)
 	flag.Parse()
 
@@ -79,5 +80,31 @@ func run() error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "calibrated %d task-time parameters\n", len(tt))
+
+	// Per-coefficient fit quality: the spread of the per-sample unit
+	// costs each w_i was averaged from. A large relative stddev means the
+	// task's cost is not the linear function of its scaling units the
+	// model assumes; few samples mean the mean itself is untrustworthy.
+	stats := r.LastCalibration.Stats()
+	fmt.Fprintln(os.Stderr, "fit residuals (per-sample unit cost):")
+	fmt.Fprintf(os.Stderr, "  %-8s %12s %8s %12s %8s\n",
+		"task", "w", "samples", "stddev", "rel")
+	low := 0
+	for _, s := range stats {
+		note := ""
+		if s.Samples < 3 {
+			note = "  <3 samples"
+			low++
+		}
+		fmt.Fprintf(os.Stderr, "  %-8s %12.6g %8d %12.6g %7.2f%%%s\n",
+			s.ID, s.W, s.Samples, s.Stddev, 100*s.RelStddev, note)
+	}
+	if low > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d coefficient(s) calibrated from fewer than 3 samples; "+
+			"increase the reference iteration count or problem size\n", low)
+		if *strict {
+			return fmt.Errorf("%d under-sampled coefficient(s) with -strict", low)
+		}
+	}
 	return nil
 }

@@ -17,12 +17,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"mpisim/internal/cliutil"
+	"mpisim/internal/obs"
 	"mpisim/internal/tables"
 )
 
@@ -42,6 +46,10 @@ func run() error {
 		outdir  = flag.String("outdir", "", "also write one file per experiment into this directory")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		metrics = flag.Bool("metrics", false, "print simulator self-metrics to stderr after the run")
+		trcFile = flag.String("tracefile", "", "write a structured trace of every simulation to this file")
+		trcFmt  = flag.String("traceformat", "chrome", "trace file format: chrome or jsonl")
+		obsHTTP = flag.String("obshttp", "", "serve live simulator metrics over HTTP at this address (e.g. localhost:6070)")
 	)
 	flag.Parse()
 
@@ -72,6 +80,41 @@ func run() error {
 	}
 
 	cfg := tables.Config{Full: *full, HostWorkers: *hosts, RankCap: *rankCap}
+	var reg *obs.Registry
+	if *metrics || *obsHTTP != "" {
+		reg = obs.NewRegistry(*hosts)
+		reg.SetEnabled(true)
+		cfg.Metrics = reg
+	}
+	if *obsHTTP != "" {
+		// Fail fast on a bad address, then serve in the background; the
+		// registry aggregates across every experiment as the run proceeds.
+		ln, err := net.Listen("tcp", *obsHTTP)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics at http://%s/ (JSON; /text for plain)\n", ln.Addr())
+		go http.Serve(ln, obs.Handler(reg))
+	}
+	if *trcFile != "" {
+		tracer, traceDone, err := cliutil.OpenTraceFile(*trcFile, *trcFmt)
+		if err != nil {
+			return err
+		}
+		cfg.Tracer = tracer
+		defer func() {
+			if err := traceDone(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
+	if reg != nil {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "simulator self-metrics (all experiments aggregated):")
+			reg.WriteText(os.Stderr)
+		}()
+	}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			return err

@@ -1,0 +1,83 @@
+// Command mpireport compares run artifacts written by `mpisim -runjson`
+// and attributes the predicted-time difference between configurations:
+// which component of the critical rank's time grew (pure compute, delay,
+// communication CPU, blocking), how each rank shifted, and which
+// condensed task — anchored to its listing line — the delay change comes
+// from. This answers the scaling question ("we doubled the ranks and
+// only got 1.3x: why?") from predicted executions, before the machine
+// exists.
+//
+// Usage:
+//
+//	mpisim -app sweep3d -mode am -ranks 16 -runjson r16.json
+//	mpisim -app sweep3d -mode am -ranks 64 -runjson r64.json
+//	mpireport r16.json r64.json
+//	mpireport -json r16.json r32.json r64.json > scaling.json
+//
+// With more than two artifacts, runs are sorted by rank count and each
+// consecutive pair is attributed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mpisim/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mpireport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		jsonOut = flag.Bool("json", false, "emit the attribution(s) as JSON instead of text")
+		topN    = flag.Int("top", 10, "bound the per-task and per-rank tables (0 = all)")
+	)
+	flag.Parse()
+	paths := flag.Args()
+	if len(paths) < 2 {
+		return fmt.Errorf("need at least two run artifacts (from mpisim -runjson), got %d", len(paths))
+	}
+
+	arts := make([]*trace.Artifact, len(paths))
+	for i, p := range paths {
+		a, err := trace.ReadArtifact(p)
+		if err != nil {
+			return err
+		}
+		arts[i] = a
+	}
+	sort.SliceStable(arts, func(i, j int) bool { return arts[i].Ranks < arts[j].Ranks })
+
+	var ats []*trace.Attribution
+	for i := 0; i+1 < len(arts); i++ {
+		at, err := trace.Attribute(arts[i], arts[i+1])
+		if err != nil {
+			return err
+		}
+		ats = append(ats, at)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(ats) == 1 {
+			return enc.Encode(ats[0])
+		}
+		return enc.Encode(ats)
+	}
+	for i, at := range ats {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(at.Text(*topN))
+	}
+	return nil
+}

@@ -6,6 +6,8 @@
 //	mpisim -app tomcatv -mode am -ranks 64 -inputs N=2048,ITER=100
 //	mpisim -app sweep3d -mode measured -ranks 16
 //	mpisim -app nassp -mode de -ranks 9 -inputs NX=64,STEPS=10,Q=3
+//	mpisim -app sweep3d -mode am -ranks 64 -tracefile run.json -metrics
+//	mpisim -app sweep3d -mode am -ranks 64 -runjson r64.json   # then mpireport
 //
 // Modes: measured (detailed ground truth), de (MPI-SIM-DE, direct
 // execution), am (MPI-SIM-AM, compiler-simplified program with delay
@@ -27,6 +29,7 @@ import (
 	"mpisim/internal/dtg"
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
+	"mpisim/internal/obs"
 	"mpisim/internal/trace"
 )
 
@@ -61,6 +64,10 @@ func run() error {
 		dtgFlag   = flag.Bool("dtg", false, "print dynamic-task-graph statistics (critical path, parallelism)")
 		checkFlag = flag.Bool("check", false, "print every static-verification finding (not just errors) to stderr before running")
 		noCheck   = flag.Bool("nocheck", false, "skip the pre-simulation static verification entirely")
+		metrics   = flag.Bool("metrics", false, "print simulator self-metrics to stderr after the run")
+		traceFile = flag.String("tracefile", "", "write a structured trace of the run to this file (implies trace collection)")
+		traceFmt  = flag.String("traceformat", "chrome", "trace file format: chrome (trace_event JSON for Perfetto) or jsonl")
+		runJSON   = flag.String("runjson", "", "write the run artifact as JSON (input for mpireport)")
 	)
 	flag.Parse()
 
@@ -116,8 +123,23 @@ func run() error {
 	r.RealParallel = *hosts > 1
 	r.MemoryLimit = *memLimit
 	r.CollectMatrix = *matrix
-	r.CollectTrace = *timeline || *dtgFlag
+	r.CollectTrace = *timeline || *dtgFlag || *traceFile != ""
 	r.SkipChecks = *noCheck
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry(*hosts)
+		reg.SetEnabled(true)
+		r.Metrics = reg
+	}
+	var tracer *obs.Tracer
+	var traceDone func() error
+	if *traceFile != "" {
+		tracer, traceDone, err = cliutil.OpenTraceFile(*traceFile, *traceFmt)
+		if err != nil {
+			return err
+		}
+		r.Tracer = tracer
+	}
 	if *checkFlag && !*noCheck {
 		res, err := r.Check(*ranks, inputs)
 		if err != nil {
@@ -196,6 +218,41 @@ func run() error {
 			return err
 		}
 		fmt.Println(g.Summarize())
+	}
+	if tracer != nil {
+		// The simulator-plane events streamed during the run; append the
+		// simulated plane (rank spans, message flows, collective phases).
+		if err := trace.Export(tracer, rep); err != nil {
+			return err
+		}
+		if err := traceDone(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%s)\n", *traceFile, *traceFmt)
+	}
+	if *runJSON != "" {
+		art := &trace.Artifact{
+			App: *appName, Mode: mode.String(), Machine: m.Name,
+			Inputs: inputs, Report: rep,
+		}
+		if tls := r.Compiled.TaskLines(); len(tls) > 0 {
+			art.TaskLines = make(map[string]int, len(tls))
+			art.TaskHeads = make(map[string]string, len(tls))
+			for _, tl := range tls {
+				art.TaskLines[tl.Task] = tl.Line
+				art.TaskHeads[tl.Task] = tl.Head
+			}
+		}
+		if err := trace.WriteArtifact(*runJSON, art); err != nil {
+			return err
+		}
+		fmt.Printf("run artifact written to %s\n", *runJSON)
+	}
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "simulator self-metrics:")
+		if err := reg.WriteText(os.Stderr); err != nil {
+			return err
+		}
 	}
 	if *matrix && rep.MsgMatrix != nil {
 		fmt.Println("communication matrix (messages sent, row = source):")

@@ -2,6 +2,8 @@ package cliutil
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -94,5 +96,30 @@ func TestFormatBytes(t *testing.T) {
 		if got := FormatBytes(in); got != want {
 			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestOpenTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"chrome", "jsonl"} {
+		path := filepath.Join(dir, "out."+format)
+		tr, done, err := OpenTraceFile(path, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Instant(1, 0, "test", "tick", 0.5)
+		if err := done(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "tick") {
+			t.Errorf("%s trace missing event: %q", format, data)
+		}
+	}
+	if _, _, err := OpenTraceFile(filepath.Join(dir, "bad"), "xml"); err == nil {
+		t.Fatal("expected error for unknown format")
 	}
 }

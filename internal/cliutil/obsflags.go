@@ -1,0 +1,40 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"mpisim/internal/obs"
+)
+
+// OpenTraceFile creates path and returns a tracer writing to it in the
+// given format ("chrome" for trace_event JSON loadable by Perfetto and
+// chrome://tracing, "jsonl" for one JSON object per line). The returned
+// finish function closes the tracer and the file, reporting the first
+// error from either; call it exactly once after the final event.
+func OpenTraceFile(path, format string) (*obs.Tracer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sink obs.Sink
+	switch format {
+	case "chrome":
+		sink = obs.NewChromeSink(f)
+	case "jsonl":
+		sink = obs.NewJSONLSink(f)
+	default:
+		f.Close()
+		os.Remove(path)
+		return nil, nil, fmt.Errorf("unknown trace format %q (want chrome or jsonl)", format)
+	}
+	t := obs.NewTracer(sink)
+	finish := func() error {
+		err := t.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return t, finish, nil
+}

@@ -419,3 +419,41 @@ func (r *Result) Summary() string {
 	}
 	return sb.String()
 }
+
+// TaskLine anchors one condensed task to the canonical listing of the
+// original program (Program.String), the same coordinates the static
+// verifier and the scaling-loss attribution report use.
+type TaskLine struct {
+	// Task is the w_i time parameter name.
+	Task string `json:"task"`
+	// Line is the 1-based listing line of the task's first collapsed
+	// statement (0 when the task region is empty).
+	Line int `json:"line"`
+	// Head is the header text of that statement.
+	Head string `json:"head"`
+}
+
+// TaskLines locates every condensed task in the original program's
+// listing, in graph order.
+func (r *Result) TaskLines() []TaskLine {
+	lines := r.Original.StmtLines()
+	var out []TaskLine
+	var rec func(ns []*stg.Node)
+	rec = func(ns []*stg.Node) {
+		for _, n := range ns {
+			if n.Kind == stg.KindCondensed && n.TaskVar != "" {
+				tl := TaskLine{Task: n.TaskVar}
+				if len(n.Stmts) > 0 {
+					tl.Line = lines[n.Stmts[0]]
+					tl.Head = ir.StmtHead(n.Stmts[0])
+				}
+				out = append(out, tl)
+			}
+			rec(n.Children)
+			rec(n.Then)
+			rec(n.Else)
+		}
+	}
+	rec(r.Graph.Roots)
+	return out
+}

@@ -28,6 +28,7 @@ import (
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
 	"mpisim/internal/mpi"
+	"mpisim/internal/obs"
 )
 
 // Mode selects how a program configuration is evaluated.
@@ -93,6 +94,15 @@ type Runner struct {
 	// weighted by their measured probabilities instead of 0.5, and then
 	// calibrates the w_i against the refined scaling functions.
 	ProfileBranches bool
+	// Metrics / Tracer attach the observability plane (internal/obs) to
+	// every subsequent run's simulation kernel. Nil disables
+	// instrumentation down to one pointer check per kernel hook.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+	// LastCalibration is the collector of the most recent Calibrate call,
+	// kept so callers can inspect per-coefficient fit quality
+	// (Calibration.Stats) after the run.
+	LastCalibration *interp.Calibration
 	// SkipChecks disables the pre-simulation static verification
 	// (internal/check). By default every Run and Calibrate first verifies
 	// the source program at the requested configuration and refuses to
@@ -188,6 +198,7 @@ func (r *Runner) Calibrate(ranks int, inputs map[string]float64) (map[string]flo
 			Ranks: ranks, Machine: r.Machine, Comm: mpi.Detailed,
 			Inputs: inputs, BranchProfile: bp,
 			HostWorkers: r.HostWorkers, RealParallel: r.RealParallel,
+			Metrics: r.Metrics, Tracer: r.Tracer,
 		}); err != nil {
 			return nil, fmt.Errorf("core: branch-profiling run: %w", err)
 		}
@@ -203,10 +214,12 @@ func (r *Runner) Calibrate(ranks int, inputs map[string]float64) (map[string]flo
 		Ranks: ranks, Machine: r.Machine, Comm: mpi.Detailed,
 		Inputs: inputs, Calibration: cal,
 		HostWorkers: r.HostWorkers, RealParallel: r.RealParallel,
+		Metrics: r.Metrics, Tracer: r.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: calibration run: %w", err)
 	}
+	r.LastCalibration = cal
 	r.TaskTimes = cal.TaskTimes()
 	return r.TaskTimes, nil
 }
@@ -223,6 +236,8 @@ func (r *Runner) Run(mode Mode, ranks int, inputs map[string]float64) (*mpi.Repo
 		HostWorkers: r.HostWorkers, RealParallel: r.RealParallel,
 		CollectMatrix: r.CollectMatrix,
 		CollectTrace:  r.CollectTrace,
+		Metrics:       r.Metrics,
+		Tracer:        r.Tracer,
 	}
 	switch mode {
 	case Measured:

@@ -225,6 +225,22 @@ func (p Params) criticalPathFloor(w Workload) float64 {
 	return floor
 }
 
+// WallPerVirtualSecond predicts the simulator's host wall-clock cost per
+// simulated second: Runtime over the workload's simulated end time. It
+// is the model-side counterpart of the kernel's sim_wall_ns_per_virtual_s
+// gauge (internal/obs), which samples the same ratio from a live run —
+// comparing the two calibrates the host model against reality.
+func (p Params) WallPerVirtualSecond(w Workload, hosts int) (float64, error) {
+	if w.SimTime <= 0 {
+		return 0, fmt.Errorf("hostmodel: non-positive simulated time %g", w.SimTime)
+	}
+	rt, err := p.Runtime(w, hosts)
+	if err != nil {
+		return 0, err
+	}
+	return rt / w.SimTime, nil
+}
+
 // Speedup returns Runtime(1 host) / Runtime(hosts).
 func (p Params) Speedup(w Workload, hosts int) (float64, error) {
 	t1, err := p.Runtime(w, 1)

@@ -236,3 +236,23 @@ func TestByteCostCharged(t *testing.T) {
 		t.Fatalf("byte cost not charged: %g vs %g", b, a)
 	}
 }
+
+func TestWallPerVirtualSecond(t *testing.T) {
+	p := Default()
+	w := uniformWorkload(16, 0.5)
+	rt, err := p.Runtime(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.WallPerVirtualSecond(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rt / w.SimTime; got != want {
+		t.Fatalf("WallPerVirtualSecond = %g, want Runtime/SimTime = %g", got, want)
+	}
+	w.SimTime = 0
+	if _, err := p.WallPerVirtualSecond(w, 4); err == nil {
+		t.Fatal("expected error for zero simulated time")
+	}
+}

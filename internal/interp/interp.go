@@ -11,12 +11,14 @@ package interp
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
 	"mpisim/internal/mpi"
+	"mpisim/internal/obs"
 	"mpisim/internal/sim"
 )
 
@@ -54,6 +56,10 @@ type Config struct {
 	BranchProfile *BranchProfile
 	// CollectTrace enables per-rank activity segments in the report.
 	CollectTrace bool
+	// Metrics / Tracer attach the observability plane to the underlying
+	// kernel (see mpi.Config and internal/obs).
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Run executes the program and returns the simulation report.
@@ -77,6 +83,8 @@ func Run(p *ir.Program, cfg Config) (*mpi.Report, error) {
 		MemoryLimit:   cfg.MemoryLimit,
 		CollectMatrix: cfg.CollectMatrix,
 		CollectTrace:  cfg.CollectTrace,
+		Metrics:       cfg.Metrics,
+		Tracer:        cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -104,6 +112,11 @@ type calEntry struct {
 	seconds float64
 	units   float64
 	samples int64
+	// Welford online moments over the per-sample unit costs
+	// (seconds/units of each region execution), for fit residuals.
+	n        int64
+	mean, m2 float64
+	min, max float64
 }
 
 // NewCalibration returns an empty collector.
@@ -123,6 +136,19 @@ func (c *Calibration) Add(id string, seconds, units float64) {
 	e.seconds += seconds
 	e.units += units
 	e.samples++
+	if units > 0 {
+		v := seconds / units
+		e.n++
+		d := v - e.mean
+		e.mean += d / float64(e.n)
+		e.m2 += d * (v - e.mean)
+		if e.n == 1 || v < e.min {
+			e.min = v
+		}
+		if e.n == 1 || v > e.max {
+			e.max = v
+		}
+	}
 }
 
 // TaskTimes returns the measured w_i table, keyed by task-time parameter
@@ -161,6 +187,45 @@ func (c *Calibration) Samples(id string) int64 {
 		return e.samples
 	}
 	return 0
+}
+
+// CalStat summarizes the quality of one coefficient's fit: the fitted
+// w_i (total seconds / total units), the per-sample spread of unit
+// costs, and the sample count. RelStddev is the coefficient of
+// variation of the per-sample unit cost — the fit residual a
+// calibration report surfaces (large values mean w_i is not a constant
+// and the simplified program's linear model is suspect for that task).
+type CalStat struct {
+	ID        string  `json:"id"`
+	W         float64 `json:"w"`
+	Samples   int64   `json:"samples"`
+	Mean      float64 `json:"mean"`
+	Stddev    float64 `json:"stddev"`
+	RelStddev float64 `json:"rel_stddev"`
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+}
+
+// Stats returns per-coefficient fit statistics, sorted by id.
+func (c *Calibration) Stats() []CalStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CalStat, 0, len(c.acc))
+	for id, e := range c.acc {
+		s := CalStat{ID: id, Samples: e.samples, Mean: e.mean, Min: e.min, Max: e.max}
+		if e.units > 0 {
+			s.W = e.seconds / e.units
+		}
+		if e.n > 1 {
+			s.Stddev = math.Sqrt(e.m2 / float64(e.n-1))
+			if s.Mean != 0 {
+				s.RelStddev = s.Stddev / s.Mean
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // BranchProfile accumulates branch-taken counts across all ranks of a

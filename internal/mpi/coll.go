@@ -44,6 +44,24 @@ func OpMin(acc, in []float64) {
 	}
 }
 
+// collPhase records the rank's participation interval in a primitive
+// collective when tracing is enabled. Use as
+//
+//	defer r.collPhase(name, r.Now())()
+//
+// so the interval closes when the collective returns. Zero-length
+// intervals (e.g. single-rank worlds) are dropped.
+func (r *Rank) collPhase(name string, start float64) func() {
+	if !r.world.cfg.CollectTrace {
+		return func() {}
+	}
+	return func() {
+		if end := r.Now(); end > start {
+			r.collPhases = append(r.collPhases, CollPhase{Name: name, Start: start, End: end})
+		}
+	}
+}
+
 // ceilLog2 returns ceil(log2(p)) for p >= 1.
 func ceilLog2(p int) float64 {
 	steps := 0.0
@@ -90,6 +108,7 @@ func (r *Rank) Bcast(root int, data []float64, size int64) []float64 {
 		panic(fmt.Sprintf("mpi: Bcast root %d out of range", root))
 	}
 	r.collectives++
+	defer r.collPhase("bcast", r.Now())()
 	if p == 1 {
 		return data
 	}
@@ -139,6 +158,7 @@ func (r *Rank) Reduce(root int, data []float64, size int64, op ReduceOp) []float
 		panic(fmt.Sprintf("mpi: Reduce root %d out of range", root))
 	}
 	r.collectives++
+	defer r.collPhase("reduce", r.Now())()
 	if p == 1 {
 		return cloneVec(data)
 	}
@@ -199,6 +219,7 @@ func (r *Rank) Barrier() {
 func (r *Rank) Gather(root int, data []float64, size int64) [][]float64 {
 	p := r.Size()
 	r.collectives++
+	defer r.collPhase("gather", r.Now())()
 	bytes := collBytes(data, size)
 	if r.abstractColl(float64(p-1), bytes) {
 		return nil
@@ -231,6 +252,7 @@ func (r *Rank) Gather(root int, data []float64, size int64) [][]float64 {
 func (r *Rank) Scatter(root int, chunks [][]float64, size int64) []float64 {
 	p := r.Size()
 	r.collectives++
+	defer r.collPhase("scatter", r.Now())()
 	if r.abstractColl(float64(p-1), size) {
 		if chunks != nil && r.rank == root {
 			return chunks[root]
@@ -267,6 +289,7 @@ func (r *Rank) Scatter(root int, chunks [][]float64, size int64) []float64 {
 func (r *Rank) Allgather(data []float64, size int64) [][]float64 {
 	p := r.Size()
 	r.collectives++
+	defer r.collPhase("allgather", r.Now())()
 	out := make([][]float64, p)
 	out[r.rank] = cloneVec(data)
 	if p == 1 {
@@ -302,6 +325,7 @@ func (r *Rank) Allgather(data []float64, size int64) [][]float64 {
 func (r *Rank) Alltoall(chunks [][]float64, size int64) [][]float64 {
 	p := r.Size()
 	r.collectives++
+	defer r.collPhase("alltoall", r.Now())()
 	out := make([][]float64, p)
 	if chunks != nil {
 		out[r.rank] = chunks[r.rank]

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"mpisim/internal/machine"
+	"mpisim/internal/obs"
 	"mpisim/internal/sim"
 )
 
@@ -101,6 +102,14 @@ type Config struct {
 	// blocked, communication CPU) in the Report, from which a timeline
 	// of the predicted execution can be rendered.
 	CollectTrace bool
+	// Metrics, when non-nil, receives simulator-plane metrics from the
+	// underlying kernel (see sim.Config.Metrics / internal/obs).
+	Metrics *obs.Registry
+	// Tracer, when non-nil and enabled, receives the kernel's sampled
+	// simulator-plane counter tracks. The simulated plane (per-rank
+	// spans, message flows, collective phases) is exported separately
+	// from the Report by internal/trace.Export.
+	Tracer *obs.Tracer
 }
 
 // SegKind classifies a trace segment.
@@ -153,6 +162,18 @@ type CommEvent struct {
 	Complete float64
 	// Size is the message size in bytes.
 	Size int64
+	// Tag is the MPI tag (negative for internal collective traffic).
+	Tag int
+}
+
+// CollPhase is one collective operation interval on a rank, collected
+// under CollectTrace. Composed collectives (Allreduce, Barrier) appear
+// as their constituent primitives.
+type CollPhase struct {
+	// Name is the primitive collective ("bcast", "reduce", ...).
+	Name string
+	// Start and End bound the rank's participation in seconds.
+	Start, End float64
 }
 
 // RankStats extends the kernel's per-process statistics with MPI-level
@@ -197,6 +218,9 @@ type Report struct {
 	// CommEvents holds each rank's received-message records when
 	// Config.CollectTrace is set.
 	CommEvents [][]CommEvent
+	// CollPhases holds each rank's collective intervals when
+	// Config.CollectTrace is set.
+	CollPhases [][]CollPhase
 	// DelayByTask aggregates delay seconds per condensed-task name over
 	// all ranks (populated by simplified-program runs).
 	DelayByTask map[string]float64
@@ -233,6 +257,8 @@ func NewWorld(cfg Config) (*World, error) {
 		RealParallel: cfg.RealParallel,
 		Protocol:     cfg.Protocol,
 		Queue:        cfg.Queue,
+		Metrics:      cfg.Metrics,
+		Tracer:       cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -288,9 +314,11 @@ func (w *World) Run(body func(*Rank)) (*Report, error) {
 	if w.cfg.CollectTrace {
 		rep.Traces = make([][]Segment, w.cfg.Ranks)
 		rep.CommEvents = make([][]CommEvent, w.cfg.Ranks)
+		rep.CollPhases = make([][]CollPhase, w.cfg.Ranks)
 		for i, r := range w.ranks {
 			rep.Traces[i] = r.segments
 			rep.CommEvents[i] = r.commEvents
+			rep.CollPhases[i] = r.collPhases
 		}
 	}
 	for _, r := range w.ranks {

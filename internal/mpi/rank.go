@@ -35,6 +35,8 @@ type Rank struct {
 	segments []Segment
 	// Received-message records, collected when CollectTrace is set.
 	commEvents []CommEvent
+	// Collective intervals, collected when CollectTrace is set.
+	collPhases []CollPhase
 	// Delay seconds per condensed task name.
 	delayByTask map[string]float64
 }
@@ -262,7 +264,7 @@ func (r *Rank) finishRecv(m *sim.Message) (int64, interface{}) {
 		r.commEvents = append(r.commEvents, CommEvent{
 			From: m.From, SendTime: float64(m.SendTime),
 			Arrival: float64(m.Arrival), Complete: r.Now(),
-			Size: m.Size,
+			Size: m.Size, Tag: m.Tag,
 		})
 	}
 	r.proc.Advance(cpu)

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler serves the registry as an expvar-style HTTP endpoint:
+//
+//	GET /        — JSON snapshot {"metrics": [...]}
+//	GET /text    — the human-readable table of WriteText
+//
+// Mount it (e.g. on cmd/experiments' -obshttp flag) to watch a long
+// sweep's kernel behaviour live without touching the run.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/text", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	return mux
+}

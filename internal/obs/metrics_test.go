@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterShardsMerge(t *testing.T) {
+	r := NewRegistry(4)
+	r.SetEnabled(true)
+	c := r.Counter("events_total", "processed events")
+	for shard := 0; shard < 4; shard++ {
+		for i := 0; i < 10; i++ {
+			c.Add(shard, int64(shard+1))
+		}
+	}
+	if got, want := c.Value(), int64(10*(1+2+3+4)); got != want {
+		t.Fatalf("Value = %d, want %d", got, want)
+	}
+}
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := NewRegistry(1)
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 10})
+	c.Inc(0)
+	g.Set(0, 7)
+	h.Observe(0, 3)
+	if c.Value() != 0 || g.Sum() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry recorded updates: c=%d g=%d h=%d",
+			c.Value(), g.Sum(), h.Count())
+	}
+	r.SetEnabled(true)
+	c.Inc(0)
+	if c.Value() != 1 {
+		t.Fatalf("enabled counter = %d, want 1", c.Value())
+	}
+}
+
+func TestGaugeSumMax(t *testing.T) {
+	r := NewRegistry(4)
+	r.SetEnabled(true)
+	g := r.Gauge("depth", "")
+	g.Set(0, 5)
+	g.Set(1, 11)
+	g.Set(2, 3)
+	if g.Sum() != 19 {
+		t.Fatalf("Sum = %d, want 19", g.Sum())
+	}
+	if g.Max() != 11 {
+		t.Fatalf("Max = %d, want 11", g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry(2)
+	r.SetEnabled(true)
+	h := r.Histogram("scan", "", []float64{1, 4, 16})
+	for _, v := range []float64{0, 1, 2, 4, 5, 100} {
+		h.Observe(0, v)
+	}
+	h.Observe(1, 17)
+	s := h.snapshot()
+	wantCounts := []int64{2, 2, 1, 2} // le1, le4, le16, +Inf
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Fatalf("bucket %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	if want := 0.0 + 1 + 2 + 4 + 5 + 100 + 17; s.Sum != want {
+		t.Fatalf("Sum = %g, want %g", s.Sum, want)
+	}
+	if !math.IsInf(s.Buckets[3].Upper, 1) {
+		t.Fatalf("last bucket upper = %g, want +Inf", s.Buckets[3].Upper)
+	}
+}
+
+func TestShardMaskWraps(t *testing.T) {
+	r := NewRegistry(2)
+	r.SetEnabled(true)
+	c := r.Counter("c", "")
+	c.Add(17, 3) // 17 & 1 == 1: must not panic, must count
+	if c.Value() != 3 {
+		t.Fatalf("Value = %d, want 3", c.Value())
+	}
+}
+
+func TestReregistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry(1)
+	r.SetEnabled(true)
+	c := r.Counter("x", "")
+	c.Inc(0)
+	// Same name + kind hands back the same handle, so repeated kernel
+	// runs can share one registry across an experiment sweep.
+	if c2 := r.Counter("x", ""); c2 != c {
+		t.Fatal("re-registering a counter returned a new handle")
+	}
+	if c.Value() != 1 {
+		t.Fatalf("counter = %d after re-registration, want 1", c.Value())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry(1)
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind-conflicting registration did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestConcurrentUpdates exercises every metric kind from concurrent
+// worker goroutines (one per shard, the kernel's discipline) while a
+// reader snapshots, under the race detector in CI.
+func TestConcurrentUpdates(t *testing.T) {
+	const workers = 8
+	const iters = 2000
+	r := NewRegistry(workers)
+	r.SetEnabled(true)
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{10, 100, 1000})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc(w)
+				g.Set(w, int64(i))
+				h.Observe(w, float64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Snapshot()
+			_ = c.Value()
+			_ = h.Sum()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got, want := c.Value(), int64(workers*iters); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got, want := h.Count(), int64(workers*iters); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+}
+
+func TestSnapshotJSONValidAndSorted(t *testing.T) {
+	r := NewRegistry(2)
+	r.SetEnabled(true)
+	r.Counter("zz", "last").Inc(0)
+	r.Gauge("aa", "first").Set(0, 4)
+	r.Histogram("mm", "middle", []float64{1})
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatalf("WriteJSON produced invalid JSON:\n%s", sb.String())
+	}
+	snaps := r.Snapshot()
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i-1].Name > snaps[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snaps[i-1].Name, snaps[i].Name)
+		}
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	r := NewRegistry(1)
+	c := r.Counter("c", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(0)
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	r := NewRegistry(1)
+	r.SetEnabled(true)
+	c := r.Counter("c", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc(0)
+	}
+}

@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The tracer's track identifiers. Trace consumers (Perfetto,
+// chrome://tracing) group tracks by process then thread; the two
+// observability planes map onto two synthetic processes sharing the
+// virtual-time axis:
+//
+//	pid PlaneSimulated — the predicted target execution; tid = rank.
+//	pid PlaneSimulator — the simulator's own behaviour;  tid = worker.
+const (
+	PlaneSimulated = 1
+	PlaneSimulator = 2
+)
+
+// Phase discriminates trace event kinds, mirroring the Chrome
+// trace_event phases the sinks serialize.
+type Phase byte
+
+// Trace event phases.
+const (
+	PhaseSpan       Phase = 'X' // complete span: ts + dur
+	PhaseInstant    Phase = 'i' // point event
+	PhaseCounter    Phase = 'C' // counter sample (one track per arg key)
+	PhaseFlowStart  Phase = 's' // start of a flow arrow (message edge)
+	PhaseFlowEnd    Phase = 'f' // end of a flow arrow
+	PhaseAsyncBegin Phase = 'b' // async (non-nested) span begin
+	PhaseAsyncEnd   Phase = 'e' // async span end
+	PhaseMeta       Phase = 'M' // metadata: process/thread names
+)
+
+// Arg is one key/value annotation on a trace event. Exactly one of
+// Str/Num is meaningful, selected by IsNum.
+type Arg struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// Num builds a numeric argument.
+func Num(key string, v float64) Arg { return Arg{Key: key, Num: v, IsNum: true} }
+
+// Str builds a string argument.
+func Str(key, v string) Arg { return Arg{Key: key, Str: v} }
+
+// Event is one structured trace record handed to a Sink. Times are in
+// seconds on the virtual (simulated) axis unless the emitting site says
+// otherwise; sinks convert units.
+type Event struct {
+	Phase Phase
+	Pid   int
+	Tid   int
+	Cat   string
+	Name  string
+	Ts    float64 // seconds
+	Dur   float64 // seconds, spans only
+	ID    uint64  // flow/async correlation id
+	Args  []Arg
+}
+
+// Sink consumes trace events. Implementations need not be goroutine
+// safe; the Tracer serializes calls.
+type Sink interface {
+	Event(e *Event) error
+	Close() error
+}
+
+// Tracer serializes trace events into a sink, guarded by an atomic
+// enabled flag so instrumented code can skip event construction
+// entirely when tracing is off. The first sink error latches and stops
+// further emission.
+type Tracer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	sink    Sink
+	err     error
+}
+
+// NewTracer returns an enabled tracer writing to sink.
+func NewTracer(sink Sink) *Tracer {
+	t := &Tracer{sink: sink}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether events are currently recorded. Instrumented
+// hot paths must check it before building events.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SetEnabled switches tracing on or off.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Err returns the first sink error, if any.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes and closes the sink. The tracer is disabled first so
+// concurrent emitters quiesce.
+func (t *Tracer) Close() error {
+	t.enabled.Store(false)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sink == nil {
+		return t.err
+	}
+	err := t.sink.Close()
+	t.sink = nil
+	if t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Emit hands one event to the sink. Safe for concurrent use.
+func (t *Tracer) Emit(e *Event) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil || t.sink == nil {
+		return
+	}
+	if err := t.sink.Event(e); err != nil {
+		t.err = err
+	}
+}
+
+// Meta names a process (tid < 0) or thread track.
+func (t *Tracer) Meta(pid, tid int, name string) {
+	e := Event{Phase: PhaseMeta, Pid: pid, Tid: tid, Name: "thread_name",
+		Args: []Arg{Str("name", name)}}
+	if tid < 0 {
+		e.Tid = 0
+		e.Name = "process_name"
+	}
+	t.Emit(&e)
+}
+
+// Span records a complete [start, start+dur) span.
+func (t *Tracer) Span(pid, tid int, cat, name string, start, dur float64, args ...Arg) {
+	t.Emit(&Event{Phase: PhaseSpan, Pid: pid, Tid: tid, Cat: cat, Name: name,
+		Ts: start, Dur: dur, Args: args})
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(pid, tid int, cat, name string, ts float64, args ...Arg) {
+	t.Emit(&Event{Phase: PhaseInstant, Pid: pid, Tid: tid, Cat: cat, Name: name,
+		Ts: ts, Args: args})
+}
+
+// Counter records a counter sample; each numeric arg becomes a series
+// on the counter track.
+func (t *Tracer) Counter(pid, tid int, name string, ts float64, args ...Arg) {
+	t.Emit(&Event{Phase: PhaseCounter, Pid: pid, Tid: tid, Name: name,
+		Ts: ts, Args: args})
+}
+
+// Flow records a message edge: a flow arrow from (srcTid, sendTs) to
+// (dstTid, recvTs) within pid, annotated with args on both ends.
+func (t *Tracer) Flow(pid int, id uint64, cat, name string,
+	srcTid int, sendTs float64, dstTid int, recvTs float64, args ...Arg) {
+	t.Emit(&Event{Phase: PhaseFlowStart, Pid: pid, Tid: srcTid, Cat: cat,
+		Name: name, Ts: sendTs, ID: id, Args: args})
+	t.Emit(&Event{Phase: PhaseFlowEnd, Pid: pid, Tid: dstTid, Cat: cat,
+		Name: name, Ts: recvTs, ID: id, Args: args})
+}
+
+// Async records a non-nested span as a begin/end pair correlated by id;
+// trace viewers render async spans on their own sub-tracks, so phases
+// that straddle ordinary spans (collectives) stay legible.
+func (t *Tracer) Async(pid, tid int, id uint64, cat, name string, start, end float64, args ...Arg) {
+	t.Emit(&Event{Phase: PhaseAsyncBegin, Pid: pid, Tid: tid, Cat: cat,
+		Name: name, Ts: start, ID: id, Args: args})
+	t.Emit(&Event{Phase: PhaseAsyncEnd, Pid: pid, Tid: tid, Cat: cat,
+		Name: name, Ts: end, ID: id})
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshalling a string cannot fail; keep the sink total anyway.
+		return `"?"`
+	}
+	return string(b)
+}
+
+// jsonFloat renders v compactly with full round-trip precision.
+func jsonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeArgs renders the args object with stable (emission) ordering.
+func writeArgs(w io.Writer, args []Arg) error {
+	if _, err := io.WriteString(w, `"args":{`); err != nil {
+		return err
+	}
+	for i, a := range args {
+		sep := ""
+		if i > 0 {
+			sep = ","
+		}
+		var val string
+		if a.IsNum {
+			val = jsonFloat(a.Num)
+		} else {
+			val = jsonString(a.Str)
+		}
+		if _, err := fmt.Fprintf(w, "%s%s:%s", sep, jsonString(a.Key), val); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}")
+	return err
+}
+
+// ChromeSink streams Chrome trace_event JSON (the "JSON Array Format"):
+// a single array of event objects, loadable by Perfetto and
+// chrome://tracing. Timestamps convert to microseconds as the format
+// requires. Field order is fixed, so output is deterministic for a
+// deterministic event sequence.
+type ChromeSink struct {
+	w     io.Writer
+	wrote bool
+	done  bool
+}
+
+// NewChromeSink returns a sink writing the JSON array to w.
+func NewChromeSink(w io.Writer) *ChromeSink { return &ChromeSink{w: w} }
+
+// Event implements Sink.
+func (s *ChromeSink) Event(e *Event) error {
+	lead := "[\n"
+	if s.wrote {
+		lead = ",\n"
+	}
+	s.wrote = true
+	if _, err := io.WriteString(s.w, lead+"{"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, `"name":%s,"ph":%s,"pid":%d,"tid":%d`,
+		jsonString(e.Name), jsonString(string(rune(e.Phase))), e.Pid, e.Tid); err != nil {
+		return err
+	}
+	if e.Cat != "" {
+		if _, err := fmt.Fprintf(s.w, `,"cat":%s`, jsonString(e.Cat)); err != nil {
+			return err
+		}
+	}
+	if e.Phase != PhaseMeta {
+		if _, err := fmt.Fprintf(s.w, `,"ts":%s`, jsonFloat(e.Ts*1e6)); err != nil {
+			return err
+		}
+	}
+	if e.Phase == PhaseSpan {
+		if _, err := fmt.Fprintf(s.w, `,"dur":%s`, jsonFloat(e.Dur*1e6)); err != nil {
+			return err
+		}
+	}
+	if e.Phase == PhaseInstant {
+		if _, err := io.WriteString(s.w, `,"s":"t"`); err != nil {
+			return err
+		}
+	}
+	switch e.Phase {
+	case PhaseFlowStart, PhaseFlowEnd, PhaseAsyncBegin, PhaseAsyncEnd:
+		if _, err := fmt.Fprintf(s.w, `,"id":"0x%x"`, e.ID); err != nil {
+			return err
+		}
+	}
+	if e.Phase == PhaseFlowEnd {
+		// Bind the arrow head to the enclosing slice, the convention
+		// trace viewers expect for flow termination.
+		if _, err := io.WriteString(s.w, `,"bp":"e"`); err != nil {
+			return err
+		}
+	}
+	if len(e.Args) > 0 {
+		if _, err := io.WriteString(s.w, ","); err != nil {
+			return err
+		}
+		if err := writeArgs(s.w, e.Args); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(s.w, "}")
+	return err
+}
+
+// Close terminates the JSON array.
+func (s *ChromeSink) Close() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	if !s.wrote {
+		_, err := io.WriteString(s.w, "[]\n")
+		return err
+	}
+	_, err := io.WriteString(s.w, "\n]\n")
+	return err
+}
+
+// phaseType names each phase for the JSONL stream.
+func phaseType(p Phase) string {
+	switch p {
+	case PhaseSpan:
+		return "span"
+	case PhaseInstant:
+		return "instant"
+	case PhaseCounter:
+		return "counter"
+	case PhaseFlowStart:
+		return "flow_start"
+	case PhaseFlowEnd:
+		return "flow_end"
+	case PhaseAsyncBegin:
+		return "phase_begin"
+	case PhaseAsyncEnd:
+		return "phase_end"
+	case PhaseMeta:
+		return "meta"
+	}
+	return "unknown"
+}
+
+// JSONLSink streams one self-describing JSON object per line: a compact
+// machine-readable form for downstream analysis (jq, dataframes).
+// Timestamps stay in seconds. Field order is fixed.
+type JSONLSink struct {
+	w io.Writer
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Event implements Sink.
+func (s *JSONLSink) Event(e *Event) error {
+	if _, err := fmt.Fprintf(s.w, `{"type":%s,"pid":%d,"tid":%d`,
+		jsonString(phaseType(e.Phase)), e.Pid, e.Tid); err != nil {
+		return err
+	}
+	if e.Name != "" {
+		if _, err := fmt.Fprintf(s.w, `,"name":%s`, jsonString(e.Name)); err != nil {
+			return err
+		}
+	}
+	if e.Cat != "" {
+		if _, err := fmt.Fprintf(s.w, `,"cat":%s`, jsonString(e.Cat)); err != nil {
+			return err
+		}
+	}
+	if e.Phase != PhaseMeta {
+		if _, err := fmt.Fprintf(s.w, `,"t":%s`, jsonFloat(e.Ts)); err != nil {
+			return err
+		}
+	}
+	if e.Phase == PhaseSpan {
+		if _, err := fmt.Fprintf(s.w, `,"dur":%s`, jsonFloat(e.Dur)); err != nil {
+			return err
+		}
+	}
+	switch e.Phase {
+	case PhaseFlowStart, PhaseFlowEnd, PhaseAsyncBegin, PhaseAsyncEnd:
+		if _, err := fmt.Fprintf(s.w, `,"id":%d`, e.ID); err != nil {
+			return err
+		}
+	}
+	if len(e.Args) > 0 {
+		if _, err := io.WriteString(s.w, ","); err != nil {
+			return err
+		}
+		if err := writeArgs(s.w, e.Args); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(s.w, "}\n")
+	return err
+}
+
+// Close implements Sink; the stream needs no terminator.
+func (s *JSONLSink) Close() error { return nil }

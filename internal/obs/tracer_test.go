@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// emitSample drives the tracer through one of every event kind, in a
+// fixed order, so sink golden files cover the full serialization
+// surface.
+func emitSample(t *Tracer) {
+	t.Meta(PlaneSimulated, -1, "target (virtual time)")
+	t.Meta(PlaneSimulated, 0, "rank 0")
+	t.Span(PlaneSimulated, 0, "activity", "compute", 0, 0.5, Num("ops", 128))
+	t.Instant(PlaneSimulated, 0, "marker", "finish", 1.5)
+	t.Counter(PlaneSimulator, 0, "queue", 0.25, Num("depth", 7))
+	t.Flow(PlaneSimulated, 42, "msg", "p2p", 0, 0.5, 1, 0.75,
+		Num("bytes", 4096), Num("tag", 3), Str("kind", "send"))
+	t.Async(PlaneSimulated, 1, 9, "collective", "bcast", 0.75, 0.9, Num("ranks", 2))
+}
+
+const chromeGolden = `[
+{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"target (virtual time)"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"rank 0"}},
+{"name":"compute","ph":"X","pid":1,"tid":0,"cat":"activity","ts":0,"dur":500000,"args":{"ops":128}},
+{"name":"finish","ph":"i","pid":1,"tid":0,"cat":"marker","ts":1.5e+06,"s":"t"},
+{"name":"queue","ph":"C","pid":2,"tid":0,"ts":250000,"args":{"depth":7}},
+{"name":"p2p","ph":"s","pid":1,"tid":0,"cat":"msg","ts":500000,"id":"0x2a","args":{"bytes":4096,"tag":3,"kind":"send"}},
+{"name":"p2p","ph":"f","pid":1,"tid":1,"cat":"msg","ts":750000,"id":"0x2a","bp":"e","args":{"bytes":4096,"tag":3,"kind":"send"}},
+{"name":"bcast","ph":"b","pid":1,"tid":1,"cat":"collective","ts":750000,"id":"0x9","args":{"ranks":2}},
+{"name":"bcast","ph":"e","pid":1,"tid":1,"cat":"collective","ts":900000,"id":"0x9"}
+]
+`
+
+const jsonlGolden = `{"type":"meta","pid":1,"tid":0,"name":"process_name","args":{"name":"target (virtual time)"}}
+{"type":"meta","pid":1,"tid":0,"name":"thread_name","args":{"name":"rank 0"}}
+{"type":"span","pid":1,"tid":0,"name":"compute","cat":"activity","t":0,"dur":0.5,"args":{"ops":128}}
+{"type":"instant","pid":1,"tid":0,"name":"finish","cat":"marker","t":1.5}
+{"type":"counter","pid":2,"tid":0,"name":"queue","t":0.25,"args":{"depth":7}}
+{"type":"flow_start","pid":1,"tid":0,"name":"p2p","cat":"msg","t":0.5,"id":42,"args":{"bytes":4096,"tag":3,"kind":"send"}}
+{"type":"flow_end","pid":1,"tid":1,"name":"p2p","cat":"msg","t":0.75,"id":42,"args":{"bytes":4096,"tag":3,"kind":"send"}}
+{"type":"phase_begin","pid":1,"tid":1,"name":"bcast","cat":"collective","t":0.75,"id":9,"args":{"ranks":2}}
+{"type":"phase_end","pid":1,"tid":1,"name":"bcast","cat":"collective","t":0.9,"id":9}
+`
+
+func TestChromeSinkGolden(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(NewChromeSink(&sb))
+	emitSample(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !json.Valid([]byte(got)) {
+		t.Fatalf("chrome sink output is not valid JSON:\n%s", got)
+	}
+	if got != chromeGolden {
+		t.Fatalf("chrome output mismatch\n--- got ---\n%s--- want ---\n%s", got, chromeGolden)
+	}
+}
+
+func TestJSONLSinkGolden(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(NewJSONLSink(&sb))
+	emitSample(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for i, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("jsonl line %d is not valid JSON: %s", i+1, line)
+		}
+	}
+	if got != jsonlGolden {
+		t.Fatalf("jsonl output mismatch\n--- got ---\n%s--- want ---\n%s", got, jsonlGolden)
+	}
+}
+
+func TestChromeSinkEmptyTrace(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(NewChromeSink(&sb))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatalf("empty trace is not valid JSON: %q", sb.String())
+	}
+}
+
+func TestDisabledTracerEmitsNothing(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(NewJSONLSink(&sb))
+	tr.SetEnabled(false)
+	emitSample(tr)
+	if sb.Len() != 0 {
+		t.Fatalf("disabled tracer wrote %d bytes", sb.Len())
+	}
+}
+
+// errWriter fails after n bytes, to exercise error latching.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("sink full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestTracerLatchesSinkError(t *testing.T) {
+	tr := NewTracer(NewJSONLSink(&errWriter{n: 10}))
+	emitSample(tr)
+	if tr.Err() == nil {
+		t.Fatal("sink error was not latched")
+	}
+}

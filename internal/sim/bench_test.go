@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"mpisim/internal/obs"
 )
 
 // The BenchmarkKernel* suite measures raw kernel throughput (events/sec)
@@ -64,7 +66,7 @@ func benchKernel(b *testing.B, procs, workers int, proto Protocol, queue QueueKi
 }
 
 func benchKernelBody(b *testing.B, procs, workers int, proto Protocol, queue QueueKind,
-	prog func(n, rounds int, latency Time) func(*Proc)) {
+	prog func(n, rounds int, latency Time) func(*Proc), mutate ...func(*Config)) {
 	const latency = Time(1e-6)
 	rounds := benchEventTarget / procs
 	if rounds < 1 {
@@ -81,6 +83,9 @@ func benchKernelBody(b *testing.B, procs, workers int, proto Protocol, queue Que
 		if workers > 1 {
 			cfg.Lookahead = latency
 			cfg.RealParallel = true
+		}
+		for _, m := range mutate {
+			m(&cfg)
 		}
 		k, err := NewKernel(cfg)
 		if err != nil {
@@ -145,6 +150,29 @@ func BenchmarkKernelQueue(b *testing.B) {
 			benchKernel(b, 256, 1, ProtocolWindow, queue)
 		})
 	}
+}
+
+// BenchmarkKernelObs measures the observability plane's cost on the
+// sequential engine at 256 processes. "off" is the paired baseline
+// (Config.Metrics nil, so every hook is one nil check); "disabled"
+// attaches a registry with recording switched off; "metrics" records.
+// scripts/ci.sh gates off/metrics against each other, and
+// scripts/bench_kernel.sh -check gates "off" against BENCH_kernel.json.
+func BenchmarkKernelObs(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, benchBody)
+	})
+	b.Run("disabled", func(b *testing.B) {
+		reg := obs.NewRegistry(1)
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, benchBody,
+			func(cfg *Config) { cfg.Metrics = reg })
+	})
+	b.Run("metrics", func(b *testing.B) {
+		reg := obs.NewRegistry(1)
+		reg.SetEnabled(true)
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, benchBody,
+			func(cfg *Config) { cfg.Metrics = reg })
+	})
 }
 
 // BenchmarkKernelWorkers sweeps the worker count at a fixed process

@@ -32,6 +32,8 @@ import (
 	"slices"
 	"strings"
 	"sync"
+
+	"mpisim/internal/obs"
 )
 
 // Protocol selects the conservative synchronization protocol of the
@@ -81,6 +83,15 @@ type Config struct {
 	// Queue selects the pending-event queue implementation (default
 	// QueueQuaternary). Results are identical across kinds; see QueueKind.
 	Queue QueueKind
+	// Metrics, when non-nil, receives simulator-plane metrics (event
+	// throughput, pool hit rates, queue depth, ...). Size its shard count
+	// to Workers; see internal/obs. Nil disables instrumentation down to
+	// one pointer check per hook.
+	Metrics *obs.Registry
+	// Tracer, when non-nil and enabled, receives sampled simulator-plane
+	// counter tracks (queue depth, wallclock per virtual second) on
+	// obs.PlaneSimulator. Neither option affects simulation results.
+	Tracer *obs.Tracer
 }
 
 // Result summarizes a completed simulation.
@@ -127,6 +138,9 @@ type worker struct {
 	events     int64
 	delivered  int64
 	cross      int64
+	// obs is nil unless Config.Metrics or Config.Tracer is set; every
+	// instrumentation hook gates on that nil check (obs.go).
+	obs *workerObs
 }
 
 // Kernel drives a set of spawned processes to completion.
@@ -203,6 +217,9 @@ func (k *Kernel) Run() (*Result, error) {
 		}
 	}
 	k.bounds = make([]Time, nw)
+	// Instrumentation attaches before the start events are seeded so the
+	// pool counters see every allocation.
+	ko := k.setupObs()
 	for _, p := range k.procs {
 		p.worker = k.workerOf(p.id)
 		e := p.worker.newEvent()
@@ -220,7 +237,13 @@ func (k *Kernel) Run() (*Result, error) {
 			return nil, err
 		}
 	}
-	return k.finish(res)
+	out, err := k.finish(res)
+	if err != nil {
+		return nil, err
+	}
+	// After finish so the final sample carries the run's end time.
+	k.obsFinish(ko, out)
+	return out, nil
 }
 
 // runParallel executes conservative rounds until no events remain.
@@ -507,6 +530,9 @@ func (w *worker) runLoop(self *Proc) (loopStatus, *Message) {
 		q := w.kernel.procs[e.dst]
 		kind, t, m := e.kind, e.t, e.msg
 		w.freeEvent(e)
+		if w.obs != nil {
+			w.obsTick(t)
+		}
 		switch kind {
 		case evStart:
 			go q.run()
@@ -551,5 +577,8 @@ func (w *worker) batchSameTime(q *Proc, t Time) {
 		w.delivered++
 		q.mailbox = append(q.mailbox, e.msg)
 		w.freeEvent(e)
+		if w.obs != nil {
+			w.obs.batched++
+		}
 	}
 }

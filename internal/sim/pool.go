@@ -39,8 +39,14 @@ func (w *worker) newEvent() *event {
 		e = w.freeEvents[n]
 		w.freeEvents[n] = nil
 		w.freeEvents = w.freeEvents[:n]
+		if w.obs != nil {
+			w.obs.poolEventHit++
+		}
 	} else {
 		e = eventPool.Get().(*event)
+		if w.obs != nil {
+			w.obs.poolEventMiss++
+		}
 	}
 	e.live = true
 	return e
@@ -69,8 +75,14 @@ func (w *worker) newMessage() *Message {
 		m = w.freeMsgs[n]
 		w.freeMsgs[n] = nil
 		w.freeMsgs = w.freeMsgs[:n]
+		if w.obs != nil {
+			w.obs.poolMsgHit++
+		}
 	} else {
 		m = messagePool.Get().(*Message)
+		if w.obs != nil {
+			w.obs.poolMsgMiss++
+		}
 	}
 	m.live = true
 	return m

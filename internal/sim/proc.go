@@ -251,10 +251,17 @@ func (p *Proc) completeRecv(m *Message) {
 // the published predicate: because the mailbox is sorted (see the field
 // doc), that is the first match.
 func (p *Proc) takeMatched() *Message {
+	o := p.worker.obs
+	if o != nil {
+		o.scans++
+	}
 	for i := p.mbHead; i < len(p.mailbox); i++ {
 		m := p.mailbox[i]
 		if !p.matches(m) {
 			continue
+		}
+		if o != nil {
+			o.scanned += int64(i - p.mbHead + 1)
 		}
 		if i == p.mbHead {
 			p.mailbox[i] = nil
@@ -267,6 +274,9 @@ func (p *Proc) takeMatched() *Message {
 			p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
 		}
 		return m
+	}
+	if o != nil {
+		o.scanned += int64(len(p.mailbox) - p.mbHead)
 	}
 	return nil
 }

@@ -93,6 +93,8 @@ func Ablation(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.Metrics = cfg.Metrics
+	r.Tracer = cfg.Tracer
 	if _, err := r.EstimateTaskTimes(ranks, inputs); err != nil {
 		return nil, err
 	}

@@ -46,6 +46,8 @@ func newRunner(prog *ir.Program, m *machine.Model, cfg Config) (*core.Runner, er
 	}
 	r.HostWorkers = cfg.HostWorkers
 	r.RealParallel = cfg.HostWorkers > 1
+	r.Metrics = cfg.Metrics
+	r.Tracer = cfg.Tracer
 	return r, nil
 }
 
@@ -266,6 +268,8 @@ func sampleSweep(cfg Config) (map[string][][4]float64, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.Metrics = cfg.Metrics
+		r.Tracer = cfg.Tracer
 		for _, work := range works {
 			inputs := apps.SampleInputs(pat.id, work, 500, cfg.pick(6, 20), 2, 4)
 			r.TaskTimes = nil

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"mpisim/internal/obs"
 )
 
 // Config controls experiment scale.
@@ -28,6 +30,11 @@ type Config struct {
 	// RankCap, when positive, drops configurations above this many
 	// target ranks; used by the test suite to bound experiment runtime.
 	RankCap int
+	// Metrics / Tracer attach the observability plane (internal/obs) to
+	// every runner the experiments create, so a long sweep's simulator
+	// behaviour can be watched live (cmd/experiments -metrics/-obshttp).
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Point is one (x, y) sample of a series.

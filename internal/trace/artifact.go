@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mpisim/internal/mpi"
+)
+
+// Artifact is the on-disk record of one simulation run, written by the
+// CLIs (-runjson) and consumed by cmd/mpireport to attribute
+// scaling loss between configurations. It carries the full Report plus
+// the identifying metadata the report alone lacks.
+type Artifact struct {
+	// App names the simulated program.
+	App string `json:"app,omitempty"`
+	// Mode is the evaluation mode ("measured", "MPI-SIM-AM", ...).
+	Mode string `json:"mode,omitempty"`
+	// Machine names the target machine model.
+	Machine string `json:"machine,omitempty"`
+	// Ranks is the target process count.
+	Ranks int `json:"ranks"`
+	// Inputs are the problem-size parameters of the run.
+	Inputs map[string]float64 `json:"inputs,omitempty"`
+	// PredictedTime duplicates Report.Time for cheap scanning.
+	PredictedTime float64 `json:"predicted_time"`
+	// TaskLines / TaskHeads anchor condensed-task names (w_i) to the
+	// original program's canonical listing, from compiler.TaskLines.
+	TaskLines map[string]int    `json:"task_lines,omitempty"`
+	TaskHeads map[string]string `json:"task_heads,omitempty"`
+	// Report is the run's full simulation report.
+	Report *mpi.Report `json:"report"`
+}
+
+// WriteArtifact writes a run artifact as indented JSON.
+func WriteArtifact(path string, a *Artifact) error {
+	if a.Report == nil {
+		return fmt.Errorf("trace: artifact has no report")
+	}
+	a.PredictedTime = a.Report.Time
+	a.Ranks = len(a.Report.Ranks)
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadArtifact loads a run artifact written by WriteArtifact.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	if a.Report == nil {
+		return nil, fmt.Errorf("trace: %s: artifact has no report", path)
+	}
+	return &a, nil
+}

@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Scaling-loss attribution: given two run artifacts of the same program
+// at different configurations, decompose the predicted-time delta into
+// where the time went — pure computation, abstracted computation
+// (delays), communication CPU and blocking — per rank and per condensed
+// task / listing line. This is the ScalAna-style answer to "we scaled
+// from P to Q ranks and only got X: why?", computed from predicted
+// executions, before the machine exists.
+
+// RankBreakdown is the exact decomposition of one rank's finish time:
+// Finish = PureCompute + Delay + CommCPU + Blocked, where PureCompute is
+// directly executed computation (ComputeTime net of delays and
+// communication CPU, which the kernel folds into it).
+type RankBreakdown struct {
+	Rank        int     `json:"rank"`
+	Finish      float64 `json:"finish"`
+	PureCompute float64 `json:"pure_compute"`
+	Delay       float64 `json:"delay"`
+	CommCPU     float64 `json:"comm_cpu"`
+	Blocked     float64 `json:"blocked"`
+}
+
+// RankDelta is the per-rank component change between two runs with equal
+// rank counts.
+type RankDelta struct {
+	Rank        int     `json:"rank"`
+	Finish      float64 `json:"finish"`
+	PureCompute float64 `json:"pure_compute"`
+	Delay       float64 `json:"delay"`
+	CommCPU     float64 `json:"comm_cpu"`
+	Blocked     float64 `json:"blocked"`
+}
+
+// TaskDelta is the change in per-rank mean delay seconds attributed to
+// one condensed task, anchored to its listing line when known.
+type TaskDelta struct {
+	Task   string  `json:"task"`
+	Line   int     `json:"line,omitempty"`
+	Head   string  `json:"head,omitempty"`
+	Base   float64 `json:"base_seconds"`
+	Target float64 `json:"target_seconds"`
+	Delta  float64 `json:"delta_seconds"`
+}
+
+// Attribution is the full scaling-loss report between a base and a
+// target configuration.
+type Attribution struct {
+	App         string `json:"app,omitempty"`
+	BaseRanks   int    `json:"base_ranks"`
+	TargetRanks int    `json:"target_ranks"`
+
+	BaseTime   float64 `json:"base_time"`
+	TargetTime float64 `json:"target_time"`
+	// Delta is TargetTime - BaseTime; negative means the target config
+	// is faster.
+	Delta float64 `json:"delta"`
+	// Ideal is the perfectly-scaled expectation BaseTime * BaseRanks /
+	// TargetRanks, and Loss the shortfall TargetTime - Ideal (>0 means
+	// scaling loss).
+	Ideal float64 `json:"ideal"`
+	Loss  float64 `json:"loss"`
+
+	// Base / Target decompose the critical rank (the one whose finish
+	// time is the predicted time) of each run. DeltaCompute etc. are the
+	// component-wise differences; they sum exactly to Delta.
+	Base         RankBreakdown `json:"base"`
+	Target       RankBreakdown `json:"target"`
+	DeltaCompute float64       `json:"delta_compute"`
+	DeltaDelay   float64       `json:"delta_delay"`
+	DeltaCommCPU float64       `json:"delta_comm_cpu"`
+	DeltaBlocked float64       `json:"delta_blocked"`
+
+	// PerRank is populated when both runs have the same rank count.
+	PerRank []RankDelta `json:"per_rank,omitempty"`
+	// Tasks breaks the per-rank mean delay change down per condensed
+	// task, sorted by |Delta| descending. Only populated when at least
+	// one run recorded DelayByTask (simplified-program runs).
+	Tasks []TaskDelta `json:"tasks,omitempty"`
+}
+
+// breakdown decomposes rank i of an artifact's report.
+func breakdown(a *Artifact, i int) RankBreakdown {
+	rs := a.Report.Ranks[i]
+	return RankBreakdown{
+		Rank:        i,
+		Finish:      float64(rs.FinishTime),
+		PureCompute: float64(rs.ComputeTime - rs.DelayTime - rs.CommCPUTime),
+		Delay:       float64(rs.DelayTime),
+		CommCPU:     float64(rs.CommCPUTime),
+		Blocked:     float64(rs.BlockedTime),
+	}
+}
+
+// criticalRank returns the index of the rank whose finish time is the
+// report's predicted time (the first at the maximum).
+func criticalRank(a *Artifact) int {
+	best, bi := -1.0, 0
+	for i := range a.Report.Ranks {
+		if f := float64(a.Report.Ranks[i].FinishTime); f > best {
+			best, bi = f, i
+		}
+	}
+	return bi
+}
+
+// Attribute computes the scaling-loss attribution from base to target.
+// Both artifacts need per-rank statistics (always present); the
+// per-task table additionally needs DelayByTask (simplified runs).
+func Attribute(base, target *Artifact) (*Attribution, error) {
+	if base.Report == nil || target.Report == nil {
+		return nil, fmt.Errorf("trace: attribution needs two artifacts with reports")
+	}
+	if len(base.Report.Ranks) == 0 || len(target.Report.Ranks) == 0 {
+		return nil, fmt.Errorf("trace: attribution needs per-rank statistics")
+	}
+	at := &Attribution{
+		App:         base.App,
+		BaseRanks:   len(base.Report.Ranks),
+		TargetRanks: len(target.Report.Ranks),
+		BaseTime:    base.Report.Time,
+		TargetTime:  target.Report.Time,
+	}
+	at.Delta = at.TargetTime - at.BaseTime
+	if at.TargetRanks > 0 {
+		at.Ideal = at.BaseTime * float64(at.BaseRanks) / float64(at.TargetRanks)
+		at.Loss = at.TargetTime - at.Ideal
+	}
+	at.Base = breakdown(base, criticalRank(base))
+	at.Target = breakdown(target, criticalRank(target))
+	at.DeltaCompute = at.Target.PureCompute - at.Base.PureCompute
+	at.DeltaDelay = at.Target.Delay - at.Base.Delay
+	at.DeltaCommCPU = at.Target.CommCPU - at.Base.CommCPU
+	at.DeltaBlocked = at.Target.Blocked - at.Base.Blocked
+
+	if at.BaseRanks == at.TargetRanks {
+		at.PerRank = make([]RankDelta, at.BaseRanks)
+		for i := 0; i < at.BaseRanks; i++ {
+			b, t := breakdown(base, i), breakdown(target, i)
+			at.PerRank[i] = RankDelta{
+				Rank:        i,
+				Finish:      t.Finish - b.Finish,
+				PureCompute: t.PureCompute - b.PureCompute,
+				Delay:       t.Delay - b.Delay,
+				CommCPU:     t.CommCPU - b.CommCPU,
+				Blocked:     t.Blocked - b.Blocked,
+			}
+		}
+	}
+
+	// Per-task delay attribution, normalized to per-rank means so runs
+	// at different rank counts compare like-for-like.
+	names := map[string]bool{}
+	for task := range base.Report.DelayByTask {
+		names[task] = true
+	}
+	for task := range target.Report.DelayByTask {
+		names[task] = true
+	}
+	for task := range names {
+		td := TaskDelta{
+			Task:   task,
+			Base:   base.Report.DelayByTask[task] / float64(at.BaseRanks),
+			Target: target.Report.DelayByTask[task] / float64(at.TargetRanks),
+		}
+		td.Delta = td.Target - td.Base
+		if line, ok := target.TaskLines[task]; ok {
+			td.Line = line
+			td.Head = target.TaskHeads[task]
+		} else if line, ok := base.TaskLines[task]; ok {
+			td.Line = line
+			td.Head = base.TaskHeads[task]
+		}
+		at.Tasks = append(at.Tasks, td)
+	}
+	sort.Slice(at.Tasks, func(i, j int) bool {
+		di, dj := math.Abs(at.Tasks[i].Delta), math.Abs(at.Tasks[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		return at.Tasks[i].Task < at.Tasks[j].Task
+	})
+	return at, nil
+}
+
+// secs formats a signed duration compactly.
+func secs(v float64) string {
+	return fmt.Sprintf("%+.4gs", v)
+}
+
+// Text renders the attribution as a human-readable report. topN bounds
+// the per-task and per-rank tables (0 = all).
+func (at *Attribution) Text(topN int) string {
+	var sb strings.Builder
+	name := at.App
+	if name == "" {
+		name = "program"
+	}
+	fmt.Fprintf(&sb, "scaling-loss attribution: %s, %d -> %d ranks\n",
+		name, at.BaseRanks, at.TargetRanks)
+	fmt.Fprintf(&sb, "  predicted time %.6gs -> %.6gs (delta %s)\n",
+		at.BaseTime, at.TargetTime, secs(at.Delta))
+	if at.Ideal > 0 && at.TargetRanks != at.BaseRanks {
+		fmt.Fprintf(&sb, "  ideal scaling %.6gs, loss %s\n", at.Ideal, secs(at.Loss))
+	}
+	sb.WriteString("  critical-rank decomposition (component deltas sum to the time delta):\n")
+	fmt.Fprintf(&sb, "    %-14s %12s %12s %12s\n", "component", "base", "target", "delta")
+	row := func(label string, b, t, d float64) {
+		fmt.Fprintf(&sb, "    %-14s %12.6g %12.6g %12s\n", label, b, t, secs(d))
+	}
+	row("pure compute", at.Base.PureCompute, at.Target.PureCompute, at.DeltaCompute)
+	row("delay", at.Base.Delay, at.Target.Delay, at.DeltaDelay)
+	row("comm cpu", at.Base.CommCPU, at.Target.CommCPU, at.DeltaCommCPU)
+	row("blocked", at.Base.Blocked, at.Target.Blocked, at.DeltaBlocked)
+	fmt.Fprintf(&sb, "    (critical rank %d -> %d)\n", at.Base.Rank, at.Target.Rank)
+
+	if len(at.Tasks) > 0 {
+		sb.WriteString("  per-task delay (per-rank mean seconds, by |delta|):\n")
+		n := len(at.Tasks)
+		if topN > 0 && topN < n {
+			n = topN
+		}
+		for _, td := range at.Tasks[:n] {
+			loc := ""
+			if td.Line > 0 {
+				loc = fmt.Sprintf(" (line %d: %s)", td.Line, td.Head)
+			}
+			fmt.Fprintf(&sb, "    %-8s %12.6g -> %12.6g  %s%s\n",
+				td.Task, td.Base, td.Target, secs(td.Delta), loc)
+		}
+		if n < len(at.Tasks) {
+			fmt.Fprintf(&sb, "    ... %d more task(s)\n", len(at.Tasks)-n)
+		}
+	}
+	if len(at.PerRank) > 0 {
+		sb.WriteString("  per-rank deltas (finish = compute + delay + comm + blocked):\n")
+		ranks := make([]RankDelta, len(at.PerRank))
+		copy(ranks, at.PerRank)
+		sort.Slice(ranks, func(i, j int) bool {
+			return math.Abs(ranks[i].Finish) > math.Abs(ranks[j].Finish)
+		})
+		n := len(ranks)
+		if topN > 0 && topN < n {
+			n = topN
+		}
+		for _, rd := range ranks[:n] {
+			fmt.Fprintf(&sb, "    rank %-4d finish %s  compute %s  delay %s  comm %s  blocked %s\n",
+				rd.Rank, secs(rd.Finish), secs(rd.PureCompute), secs(rd.Delay),
+				secs(rd.CommCPU), secs(rd.Blocked))
+		}
+		if n < len(ranks) {
+			fmt.Fprintf(&sb, "    ... %d more rank(s)\n", len(ranks)-n)
+		}
+	}
+	return sb.String()
+}
+
+// WriteJSON writes the attribution as indented JSON.
+func (at *Attribution) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(at)
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mpisim/internal/mpi"
+	"mpisim/internal/sim"
+)
+
+// artifactAt builds an artifact with the given per-rank component times.
+// Each rank's stats satisfy Finish = Compute + Blocked with
+// Compute = pure + delay + commCPU, as the kernel accounts them.
+func artifactAt(app string, ranks []RankBreakdown, delayByTask map[string]float64) *Artifact {
+	rep := &mpi.Report{DelayByTask: delayByTask}
+	for _, rb := range ranks {
+		comp := sim.Time(rb.PureCompute + rb.Delay + rb.CommCPU)
+		fin := comp + sim.Time(rb.Blocked)
+		rep.Ranks = append(rep.Ranks, mpi.RankStats{
+			ProcStats:   sim.ProcStats{ComputeTime: comp, BlockedTime: sim.Time(rb.Blocked), FinishTime: fin},
+			DelayTime:   sim.Time(rb.Delay),
+			CommCPUTime: sim.Time(rb.CommCPU),
+		})
+		if float64(fin) > rep.Time {
+			rep.Time = float64(fin)
+		}
+	}
+	return &Artifact{App: app, Ranks: len(ranks), PredictedTime: rep.Time, Report: rep}
+}
+
+func TestAttributeDecomposesDeltaExactly(t *testing.T) {
+	base := artifactAt("app", []RankBreakdown{
+		{PureCompute: 4, Delay: 2, CommCPU: 0.5, Blocked: 1},   // finish 7.5 (critical)
+		{PureCompute: 3, Delay: 2, CommCPU: 0.5, Blocked: 0.5}, // finish 6
+	}, map[string]float64{"w_1": 3, "w_2": 1})
+	target := artifactAt("app", []RankBreakdown{
+		{PureCompute: 4, Delay: 1, CommCPU: 1, Blocked: 4},   // finish 10 (critical)
+		{PureCompute: 3, Delay: 1, CommCPU: 1, Blocked: 0.5}, // finish 5.5
+	}, map[string]float64{"w_1": 1.5, "w_2": 0.5})
+
+	at, err := Attribute(base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.BaseTime != 7.5 || at.TargetTime != 10 {
+		t.Fatalf("times %g -> %g, want 7.5 -> 10", at.BaseTime, at.TargetTime)
+	}
+	sum := at.DeltaCompute + at.DeltaDelay + at.DeltaCommCPU + at.DeltaBlocked
+	if math.Abs(sum-at.Delta) > 1e-12 {
+		t.Fatalf("component deltas sum to %g, want %g", sum, at.Delta)
+	}
+	if at.DeltaBlocked != 3 {
+		t.Fatalf("DeltaBlocked = %g, want 3", at.DeltaBlocked)
+	}
+	if len(at.PerRank) != 2 {
+		t.Fatalf("PerRank len = %d, want 2 (equal rank counts)", len(at.PerRank))
+	}
+	if at.PerRank[0].Finish != 2.5 || at.PerRank[1].Finish != -0.5 {
+		t.Fatalf("per-rank finish deltas = %+v", at.PerRank)
+	}
+	// Tasks sorted by |delta| descending: w_1 changed by -0.75/rank,
+	// w_2 by -0.25/rank.
+	if len(at.Tasks) != 2 || at.Tasks[0].Task != "w_1" {
+		t.Fatalf("task order = %+v", at.Tasks)
+	}
+	if math.Abs(at.Tasks[0].Delta+0.75) > 1e-12 {
+		t.Fatalf("w_1 delta = %g, want -0.75", at.Tasks[0].Delta)
+	}
+}
+
+func TestAttributeDifferentRankCounts(t *testing.T) {
+	base := artifactAt("app", []RankBreakdown{
+		{PureCompute: 8, Blocked: 0},
+		{PureCompute: 8, Blocked: 0},
+	}, map[string]float64{"w_1": 16})
+	target := artifactAt("app", []RankBreakdown{
+		{PureCompute: 4, Blocked: 2},
+		{PureCompute: 4, Blocked: 2},
+		{PureCompute: 4, Blocked: 2},
+		{PureCompute: 4, Blocked: 2},
+	}, map[string]float64{"w_1": 16})
+
+	at, err := Attribute(base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal: 8 * 2/4 = 4; actual 6 -> loss 2, entirely blocked growth.
+	if at.Ideal != 4 || at.Loss != 2 {
+		t.Fatalf("ideal=%g loss=%g, want 4 and 2", at.Ideal, at.Loss)
+	}
+	if at.PerRank != nil {
+		t.Fatal("PerRank must be empty for unequal rank counts")
+	}
+	// Per-rank mean delay: 16/2=8 base, 16/4=4 target.
+	if at.Tasks[0].Base != 8 || at.Tasks[0].Target != 4 {
+		t.Fatalf("task means = %+v", at.Tasks[0])
+	}
+}
+
+func TestAttributionTextAndJSON(t *testing.T) {
+	base := artifactAt("sweep3d", []RankBreakdown{{PureCompute: 2, Delay: 1, Blocked: 1}}, map[string]float64{"w_1": 1})
+	target := artifactAt("sweep3d", []RankBreakdown{{PureCompute: 2, Delay: 1, Blocked: 3}}, map[string]float64{"w_1": 1})
+	base.TaskLines = map[string]int{"w_1": 5}
+	base.TaskHeads = map[string]string{"w_1": "do i = 1, n"}
+	at, err := Attribute(base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := at.Text(10)
+	for _, want := range []string{"sweep3d", "blocked", "w_1", "line 5", "do i = 1, n"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text report missing %q:\n%s", want, txt)
+		}
+	}
+	var sb strings.Builder
+	if err := at.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"delta_blocked": 2`) {
+		t.Errorf("JSON missing blocked delta:\n%s", sb.String())
+	}
+}
+
+func TestAttributeErrors(t *testing.T) {
+	ok := artifactAt("x", []RankBreakdown{{PureCompute: 1}}, nil)
+	if _, err := Attribute(&Artifact{}, ok); err == nil {
+		t.Fatal("expected error for artifact without report")
+	}
+	if _, err := Attribute(ok, &Artifact{Report: &mpi.Report{}}); err == nil {
+		t.Fatal("expected error for report without ranks")
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"fmt"
+
+	"mpisim/internal/mpi"
+	"mpisim/internal/obs"
+)
+
+// Export writes the simulated plane of a traced report to an obs.Tracer:
+// per-rank activity spans (compute/delay/blocked/comm), message edges as
+// flow events carrying src/dst/tag/bytes, and collective operations as
+// async phase intervals. Together with the kernel's live simulator-plane
+// tracks (sim.Config.Tracer) this yields a two-plane Chrome trace: pid 1
+// is the simulated target on the virtual-time axis, pid 2 the simulator
+// itself on the same axis.
+//
+// The report must have been collected with Config.CollectTrace.
+func Export(t *obs.Tracer, rep *mpi.Report) error {
+	if rep.Traces == nil {
+		return fmt.Errorf("trace: report has no traces (run with CollectTrace)")
+	}
+	t.Meta(obs.PlaneSimulated, -1, "target (virtual time)")
+	for rank := range rep.Traces {
+		t.Meta(obs.PlaneSimulated, rank, fmt.Sprintf("rank %d", rank))
+	}
+	for rank, segs := range rep.Traces {
+		for _, s := range segs {
+			t.Span(obs.PlaneSimulated, rank, "activity", s.Kind.String(),
+				s.Start, s.End-s.Start)
+		}
+	}
+	// Message edges: one flow per received message, from the sender's
+	// issue time to the receiver's arrival. Flow ids only need to be
+	// unique per (s, f) pair, so a running counter suffices.
+	var flowID uint64
+	for rank, evs := range rep.CommEvents {
+		for _, ev := range evs {
+			flowID++
+			t.Flow(obs.PlaneSimulated, flowID, "msg", "p2p",
+				ev.From, ev.SendTime, rank, ev.Arrival,
+				obs.Num("src", float64(ev.From)),
+				obs.Num("dst", float64(rank)),
+				obs.Num("tag", float64(ev.Tag)),
+				obs.Num("bytes", float64(ev.Size)))
+		}
+	}
+	// Collective phases as async intervals: id encodes (rank, ordinal)
+	// so concurrent phases on one rank track never collide.
+	for rank, phases := range rep.CollPhases {
+		for n, ph := range phases {
+			id := uint64(rank)<<20 | uint64(n)
+			t.Async(obs.PlaneSimulated, rank, id, "collective", ph.Name,
+				ph.Start, ph.End)
+		}
+	}
+	return t.Err()
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpisim/internal/mpi"
+	"mpisim/internal/obs"
+	"mpisim/internal/sim"
+)
+
+// handReport builds a minimal deterministic traced report by hand, so
+// export goldens do not depend on machine-model constants.
+func handReport() *mpi.Report {
+	return &mpi.Report{
+		Time: 2,
+		Ranks: []mpi.RankStats{
+			{ProcStats: sim.ProcStats{ComputeTime: 1.5, BlockedTime: 0.5, FinishTime: 2}},
+			{ProcStats: sim.ProcStats{ComputeTime: 1, BlockedTime: 0.75, FinishTime: 1.75}},
+		},
+		Traces: [][]mpi.Segment{
+			{
+				{Start: 0, End: 1, Kind: mpi.SegCompute},
+				{Start: 1, End: 1.5, Kind: mpi.SegDelay},
+				{Start: 1.5, End: 2, Kind: mpi.SegBlocked},
+			},
+			{
+				{Start: 0, End: 1, Kind: mpi.SegCompute},
+				{Start: 1, End: 1.75, Kind: mpi.SegComm},
+			},
+		},
+		CommEvents: [][]mpi.CommEvent{
+			nil,
+			{{From: 0, SendTime: 0.5, Arrival: 1, Complete: 1.25, Size: 4096, Tag: 7}},
+		},
+		CollPhases: [][]mpi.CollPhase{
+			{{Name: "bcast", Start: 0.25, End: 0.5}},
+			{{Name: "bcast", Start: 0.25, End: 0.6}},
+		},
+	}
+}
+
+const exportGolden = `{"type":"meta","pid":1,"tid":0,"name":"process_name","args":{"name":"target (virtual time)"}}
+{"type":"meta","pid":1,"tid":0,"name":"thread_name","args":{"name":"rank 0"}}
+{"type":"meta","pid":1,"tid":1,"name":"thread_name","args":{"name":"rank 1"}}
+{"type":"span","pid":1,"tid":0,"name":"compute","cat":"activity","t":0,"dur":1}
+{"type":"span","pid":1,"tid":0,"name":"delay","cat":"activity","t":1,"dur":0.5}
+{"type":"span","pid":1,"tid":0,"name":"blocked","cat":"activity","t":1.5,"dur":0.5}
+{"type":"span","pid":1,"tid":1,"name":"compute","cat":"activity","t":0,"dur":1}
+{"type":"span","pid":1,"tid":1,"name":"comm","cat":"activity","t":1,"dur":0.75}
+{"type":"flow_start","pid":1,"tid":0,"name":"p2p","cat":"msg","t":0.5,"id":1,"args":{"src":0,"dst":1,"tag":7,"bytes":4096}}
+{"type":"flow_end","pid":1,"tid":1,"name":"p2p","cat":"msg","t":1,"id":1,"args":{"src":0,"dst":1,"tag":7,"bytes":4096}}
+{"type":"phase_begin","pid":1,"tid":0,"name":"bcast","cat":"collective","t":0.25,"id":0}
+{"type":"phase_end","pid":1,"tid":0,"name":"bcast","cat":"collective","t":0.5,"id":0}
+{"type":"phase_begin","pid":1,"tid":1,"name":"bcast","cat":"collective","t":0.25,"id":1048576}
+{"type":"phase_end","pid":1,"tid":1,"name":"bcast","cat":"collective","t":0.6,"id":1048576}
+`
+
+func TestExportJSONLGolden(t *testing.T) {
+	var sb strings.Builder
+	tr := obs.NewTracer(obs.NewJSONLSink(&sb))
+	if err := Export(tr, handReport()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for i, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d invalid JSON: %s", i+1, line)
+		}
+	}
+	if got != exportGolden {
+		t.Fatalf("export mismatch\n--- got ---\n%s--- want ---\n%s", got, exportGolden)
+	}
+}
+
+func TestExportChromeValid(t *testing.T) {
+	var sb strings.Builder
+	tr := obs.NewTracer(obs.NewChromeSink(&sb))
+	if err := Export(tr, handReport()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatalf("chrome export is not valid JSON:\n%s", sb.String())
+	}
+	for _, want := range []string{`"ph":"X"`, `"ph":"s"`, `"ph":"f"`, `"ph":"b"`, `"ph":"M"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("chrome export missing %s", want)
+		}
+	}
+}
+
+func TestExportRequiresTraces(t *testing.T) {
+	tr := obs.NewTracer(obs.NewJSONLSink(&strings.Builder{}))
+	if err := Export(tr, &mpi.Report{}); err == nil {
+		t.Fatal("expected error for untraced report")
+	}
+}
+
+// TestTimelineIncludesFinalEvent is the regression test for the column
+// rounding bug: a segment at the very end of the run must land in the
+// last column instead of being dropped when rounding pushes its start
+// index to == width.
+func TestTimelineIncludesFinalEvent(t *testing.T) {
+	// With Time 0.9 and width 60, scale = 60/0.9 rounds so that the
+	// float one ulp below 0.9 maps to column 60 == width: the final
+	// event used to vanish entirely.
+	end := 0.9
+	start := math.Nextafter(end, 0)
+	rep := &mpi.Report{
+		Time: end,
+		Traces: [][]mpi.Segment{{
+			{Start: 0, End: 0.45, Kind: mpi.SegCompute},
+			{Start: start, End: end, Kind: mpi.SegComm},
+		}},
+	}
+	out, err := Timeline(rep, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	row := lines[len(lines)-1]
+	// The rank row is "   0|..........|": final glyph cell before the
+	// closing bar must carry the comm glyph.
+	bar := strings.LastIndexByte(row, '|')
+	if bar <= 0 || row[bar-1] != '+' {
+		t.Fatalf("final event missing from last column: %q", row)
+	}
+	if !strings.Contains(out, "' ' idle") {
+		t.Errorf("legend missing idle glyph: %q", lines[0])
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	a := &Artifact{
+		App: "tomcatv", Mode: "MPI-SIM-AM", Machine: "ibmsp",
+		Inputs:    map[string]float64{"n": 64},
+		TaskLines: map[string]int{"w_1": 12},
+		TaskHeads: map[string]string{"w_1": "do i = 1, n"},
+		Report:    handReport(),
+	}
+	if err := WriteArtifact(path, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "tomcatv" || got.Ranks != 2 || got.PredictedTime != 2 {
+		t.Fatalf("round trip lost metadata: %+v", got)
+	}
+	if got.Report.Time != 2 || len(got.Report.Ranks) != 2 {
+		t.Fatalf("round trip lost report: %+v", got.Report)
+	}
+	if got.TaskLines["w_1"] != 12 {
+		t.Fatalf("round trip lost task lines: %+v", got.TaskLines)
+	}
+}
+
+func TestReadArtifactErrors(t *testing.T) {
+	if _, err := ReadArtifact(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

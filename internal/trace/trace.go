@@ -38,25 +38,42 @@ func Timeline(rep *mpi.Report, width int) (string, error) {
 		return "", fmt.Errorf("trace: empty simulation")
 	}
 	var sb strings.Builder
-	sb.WriteString("predicted timeline ('#' compute, '=' delay, '+' comm, '.' blocked)\n")
+	sb.WriteString("predicted timeline ('#' compute, '=' delay, '+' comm, '.' blocked, ' ' idle)\n")
 	fmt.Fprintf(&sb, "0s %s %.4gs\n", strings.Repeat("-", width-2), rep.Time)
 	scale := float64(width) / rep.Time
 	for rank, segs := range rep.Traces {
 		// Per-column occupancy per kind.
 		occ := make([][4]float64, width)
 		for _, s := range segs {
+			// Clamp both column indices into [0, width-1]: floating-point
+			// rounding can push a segment ending (or, for the final event,
+			// starting) at rep.Time to column == width, which previously
+			// dropped it from the last column.
 			lo := int(s.Start * scale)
 			hi := int(s.End * scale)
+			if lo >= width {
+				lo = width - 1
+			}
+			if lo < 0 {
+				lo = 0
+			}
 			if hi >= width {
 				hi = width - 1
 			}
+			credited := false
 			for c := lo; c <= hi; c++ {
 				cLo := float64(c) / scale
 				cHi := float64(c+1) / scale
 				overlap := minF(s.End, cHi) - maxF(s.Start, cLo)
 				if overlap > 0 {
 					occ[c][s.Kind] += overlap
+					credited = true
 				}
+			}
+			// An ulp-wide segment at a column boundary can compute zero
+			// overlap everywhere; never let a nonzero segment vanish.
+			if !credited && s.End > s.Start {
+				occ[hi][s.Kind] += s.End - s.Start
 			}
 		}
 		row := make([]byte, width)

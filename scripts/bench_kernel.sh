@@ -3,13 +3,30 @@
 # internal/sim) and record the results as BENCH_kernel.json so the
 # performance trajectory is tracked across PRs.
 #
-# Usage: scripts/bench_kernel.sh [benchtime]   (default 2s)
+# Usage:
+#   scripts/bench_kernel.sh [benchtime]          # record (default 2s)
+#   scripts/bench_kernel.sh -check [benchtime]   # compare, don't record
+#
+# In -check mode the suite runs (default 1s) and tools/benchgate compares
+# events/sec against the recorded BENCH_kernel.json, failing on any
+# regression beyond 10%; the baseline file is left untouched.
 #
 # Each JSON entry holds the sub-benchmark name, iteration count, ns/op,
 # and every custom metric the suite reports (events/sec, allocs/event).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-check" ]; then
+    benchtime="${2:-1s}"
+    bin=$(mktemp -d)
+    trap 'rm -rf "$bin"' EXIT
+    go build -o "$bin/benchgate" ./tools/benchgate
+    go test -bench 'BenchmarkKernel' -benchtime "$benchtime" -run '^$' ./internal/sim/ |
+        "$bin/benchgate" -baseline BENCH_kernel.json -maxregress 0.10
+    exit 0
+fi
+
 benchtime="${1:-2s}"
 out=BENCH_kernel.json
 trap 'rm -f "$out.tmp"' EXIT
@@ -19,6 +36,7 @@ awk '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; iters = $2
+    sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
     line = ""
     # Fields after the iteration count come in (value, unit) pairs.
     for (i = 3; i + 1 <= NF; i += 2) {

@@ -4,9 +4,13 @@
 #   1. gofmt enforcement over the tree
 #   2. tier-1 build + tests (go build ./... && go test ./...)
 #   3. go vet
-#   4. race detector over the concurrent packages (sim kernel, MPI layer)
+#   4. race detector over the concurrent packages (sim kernel, MPI
+#      layer, observability registry)
 #   5. the msgown ownership analyzer via go vet -vettool
 #   6. mpicheck over every registered app and every examples/programs/*.ir
+#   7. golden trace-export tests (Chrome trace_event + JSONL formats)
+#   8. observability overhead gate: the kernel with a disabled metrics
+#      registry attached must stay within 5% of the bare kernel
 #
 # Usage: scripts/ci.sh
 set -eu
@@ -30,8 +34,8 @@ go vet ./...
 echo "== tests"
 go test ./...
 
-echo "== race (sim kernel + MPI layer)"
-go test -race ./internal/sim/ ./internal/mpi/
+echo "== race (sim kernel + MPI layer + observability)"
+go test -race ./internal/sim/ ./internal/mpi/ ./internal/obs/
 
 echo "== msgown ownership analyzer"
 bin=$(mktemp -d)
@@ -47,5 +51,15 @@ echo "== mpicheck: example programs"
 for f in examples/programs/*.ir; do
     "$bin/mpicheck" -file "$f" -inputs N=32,STEPS=2 -min warning
 done
+
+echo "== golden trace exports"
+go test -count=1 -run 'Golden' ./internal/obs/ ./internal/trace/
+
+echo "== observability overhead gate"
+go build -o "$bin/benchgate" ./tools/benchgate
+go test -run '^$' -bench 'BenchmarkKernelObs' -benchtime 0.5s ./internal/sim/ |
+    "$bin/benchgate" \
+        -pair "BenchmarkKernelObs/off,BenchmarkKernelObs/disabled,0.05" \
+        -pair "BenchmarkKernelObs/off,BenchmarkKernelObs/metrics,0.15"
 
 echo "CI OK"

@@ -1,9 +1,10 @@
-// Command msgown is a vet analyzer enforcing the simulator's message
-// pooling ownership rule: once a *sim.Message is passed to Send,
-// SendTag, FreeMessage, or freeMessage, the caller has given it up —
-// the pool may hand it to another rank at any moment — so no later
-// statement in the same function may read it. Violations are exactly
-// the use-after-free class the pooled hot path reintroduced.
+// Command msgown is a vet analyzer enforcing the simulator's pooling
+// ownership rules: once a *sim.Message is passed to Send, SendTag,
+// FreeMessage, or freeMessage — or a *sim.event to freeEvent or
+// sendOut — the caller has given it up; the pool may hand it to another
+// rank (or the queue may deliver and recycle it) at any moment, so no
+// later statement in the same function may read it. Violations are
+// exactly the use-after-free class the pooled hot path reintroduced.
 //
 // The command speaks the `go vet -vettool` unit-checker protocol with
 // the standard library alone, so it works in environments without
@@ -187,14 +188,39 @@ type finding struct {
 	msg string
 }
 
-// consumers are the calls that transfer message ownership away from the
-// caller.
-var consumers = map[string]bool{
-	"Send": true, "SendTag": true, "FreeMessage": true, "freeMessage": true,
+// ownRule describes one pooled kernel type and the calls that transfer
+// its ownership away from the caller.
+type ownRule struct {
+	typeName  string
+	consumers map[string]bool
 }
 
-// analyze reports reads of *sim.Message variables after a consuming
-// call in the same function body.
+// rules cover both pooled kernel types: messages (the public Send API
+// plus the kernel-internal free) and events (kernel-internal only:
+// freeEvent recycles, sendOut hands the event to the queue or another
+// worker's outbox — either way the caller must copy what it needs
+// first).
+var rules = []ownRule{
+	{typeName: "Message", consumers: map[string]bool{
+		"Send": true, "SendTag": true, "FreeMessage": true, "freeMessage": true,
+	}},
+	{typeName: "event", consumers: map[string]bool{
+		"freeEvent": true, "sendOut": true,
+	}},
+}
+
+// ruleFor returns the ownership rule whose consumers include callee.
+func ruleFor(callee string) *ownRule {
+	for i := range rules {
+		if rules[i].consumers[callee] {
+			return &rules[i]
+		}
+	}
+	return nil
+}
+
+// analyze reports reads of pooled-type variables (*sim.Message,
+// *sim.event) after a consuming call in the same function body.
 func analyze(fset *token.FileSet, files []*ast.File, info *types.Info) []finding {
 	var out []finding
 	for _, file := range files {
@@ -222,12 +248,13 @@ func analyzeFunc(fset *token.FileSet, fn *ast.FuncDecl, info *types.Info) []find
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.CallExpr:
-			if !consumers[calleeName(x)] {
+			rule := ruleFor(calleeName(x))
+			if rule == nil {
 				return true
 			}
 			for _, arg := range x.Args {
 				id, ok := arg.(*ast.Ident)
-				if !ok || !isMessagePtr(info.TypeOf(id)) {
+				if !ok || !isOwnedPtr(info.TypeOf(id), rule.typeName) {
 					continue
 				}
 				if obj, ok := info.Uses[id].(*types.Var); ok {
@@ -245,7 +272,7 @@ func analyzeFunc(fset *token.FileSet, fn *ast.FuncDecl, info *types.Info) []find
 				if obj == nil {
 					obj = info.Defs[id] // := definitions
 				}
-				if v, ok := obj.(*types.Var); ok && isMessagePtr(v.Type()) {
+				if v, ok := obj.(*types.Var); ok && isOwned(v.Type()) {
 					killed[v] = append(killed[v], x.End())
 				}
 			}
@@ -304,7 +331,7 @@ func reownedBetween(kills []token.Pos, from, to token.Pos) bool {
 func consumerAt(fn *ast.FuncDecl, info *types.Info, end token.Pos) string {
 	name := "a consuming call"
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		if c, ok := n.(*ast.CallExpr); ok && c.End() == end && consumers[calleeName(c)] {
+		if c, ok := n.(*ast.CallExpr); ok && c.End() == end && ruleFor(calleeName(c)) != nil {
 			name = calleeName(c)
 			return false
 		}
@@ -324,10 +351,10 @@ func calleeName(c *ast.CallExpr) string {
 	return ""
 }
 
-// isMessagePtr reports whether t is *Message of the simulator kernel
-// package (or of a package named sim, so the kernel's own sources are
-// covered while typechecking them from source).
-func isMessagePtr(t types.Type) bool {
+// isOwnedPtr reports whether t is a pointer to the named pooled type of
+// the simulator kernel package (or of a package named sim, so the
+// kernel's own sources are covered while typechecking them from source).
+func isOwnedPtr(t types.Type, typeName string) bool {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
 		return false
@@ -337,8 +364,18 @@ func isMessagePtr(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	if obj.Name() != "Message" || obj.Pkg() == nil {
+	if obj.Name() != typeName || obj.Pkg() == nil {
 		return false
 	}
 	return obj.Pkg().Name() == "sim"
+}
+
+// isOwned reports whether t is a pointer to any pooled kernel type.
+func isOwned(t types.Type) bool {
+	for i := range rules {
+		if isOwnedPtr(t, rules[i].typeName) {
+			return true
+		}
+	}
+	return false
 }

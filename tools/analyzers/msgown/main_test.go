@@ -9,7 +9,7 @@ import (
 	"testing"
 )
 
-// The fixture is its own little "sim" package, so isMessagePtr matches
+// The fixture is its own little "sim" package, so isOwnedPtr matches
 // without needing export data for the real kernel.
 const fixtureHeader = `package sim
 
@@ -18,12 +18,23 @@ type Message struct {
 	Payload interface{}
 }
 
+type event struct {
+	t   float64
+	msg *Message
+}
+
 type Proc struct{}
 
 func (p *Proc) Send(to int, payload interface{}, size int64)    {}
 func (p *Proc) SendTag(to, tag int, payload interface{})        {}
 func (p *Proc) FreeMessage(m *Message)                          {}
 func (p *Proc) RecvSrcTag(src, tag int) *Message                { return nil }
+
+type worker struct{}
+
+func (w *worker) newEvent() *event     { return &event{} }
+func (w *worker) freeEvent(e *event)   {}
+func (w *worker) sendOut(e *event)     {}
 `
 
 func analyzeSource(t *testing.T, body string) []finding {
@@ -126,6 +137,49 @@ func ok(p *Proc, m *note) int {
 `)
 	if len(findings) != 0 {
 		t.Fatalf("non-message type flagged: %v", findings)
+	}
+}
+
+func TestFlagsEventReadAfterFree(t *testing.T) {
+	findings := analyzeSource(t, `
+func bad(w *worker) float64 {
+	e := w.newEvent()
+	w.freeEvent(e)
+	return e.t
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	if !strings.Contains(findings[0].msg, "freeEvent") {
+		t.Errorf("finding does not name the consumer: %s", findings[0].msg)
+	}
+}
+
+func TestFlagsEventReadAfterSendOut(t *testing.T) {
+	findings := analyzeSource(t, `
+func bad(w *worker) *Message {
+	e := w.newEvent()
+	w.sendOut(e)
+	return e.msg
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+}
+
+func TestCleanEventCopyBeforeFree(t *testing.T) {
+	findings := analyzeSource(t, `
+func good(w *worker) (float64, *Message) {
+	e := w.newEvent()
+	t, m := e.t, e.msg
+	w.freeEvent(e)
+	return t, m
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("clean copy-before-free pattern flagged: %v", findings)
 	}
 }
 

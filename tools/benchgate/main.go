@@ -1,0 +1,174 @@
+// Command benchgate guards kernel throughput. It parses `go test -bench`
+// output from stdin and enforces two kinds of gate:
+//
+//   - -baseline BENCH_kernel.json: every benchmark shared with the
+//     recorded baseline must keep at least (1 - maxregress) of its
+//     recorded events/sec. New benchmarks absent from the baseline are
+//     reported but never fail the gate.
+//   - -pair base,other,frac (repeatable): benchmark `other` must reach at
+//     least (1 - frac) of `base`'s events/sec from the same run. This is
+//     the disabled-instrumentation overhead gate: the kernel with an
+//     observability registry attached must stay within a few percent of
+//     the bare kernel measured in the same process.
+//
+// Benchmark names are compared after stripping the -GOMAXPROCS suffix, so
+// "BenchmarkKernelObs/off-8" matches a baseline entry or pair operand
+// named "BenchmarkKernelObs/off".
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkKernel ./internal/sim/ | \
+//	    benchgate -baseline BENCH_kernel.json -maxregress 0.10
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// pairGate is one -pair directive.
+type pairGate struct {
+	base, other string
+	frac        float64
+}
+
+type pairList []pairGate
+
+func (p *pairList) String() string { return fmt.Sprintf("%v", *p) }
+
+func (p *pairList) Set(s string) error {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("want base,other,frac, got %q", s)
+	}
+	frac, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || frac <= 0 || frac >= 1 {
+		return fmt.Errorf("bad fraction in %q", s)
+	}
+	*p = append(*p, pairGate{base: parts[0], other: parts[1], frac: frac})
+	return nil
+}
+
+// baseEntry mirrors one BENCH_kernel.json record.
+type baseEntry struct {
+	Name      string  `json:"name"`
+	EventsSec float64 `json:"events_sec"`
+}
+
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts name -> events/sec from `go test -bench` output.
+func parseBench(lines []string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(f[0], "")
+		for i := 2; i+1 < len(f); i += 2 {
+			if f[i+1] != "events/sec" {
+				continue
+			}
+			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+				out[name] = v
+			}
+		}
+	}
+	return out
+}
+
+func run() error {
+	var (
+		baseline   = flag.String("baseline", "", "BENCH_kernel.json to gate events/sec against")
+		maxRegress = flag.Float64("maxregress", 0.10, "allowed fractional events/sec regression vs the baseline")
+		pairs      pairList
+	)
+	flag.Var(&pairs, "pair", "base,other,frac: `other` must reach (1-frac) of `base`'s events/sec (repeatable)")
+	flag.Parse()
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+		fmt.Println(sc.Text()) // pass the bench output through for the log
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	got := parseBench(lines)
+	if len(got) == 0 {
+		return fmt.Errorf("no benchmark events/sec results on stdin")
+	}
+
+	failures := 0
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			return err
+		}
+		var entries []baseEntry
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("%s: %w", *baseline, err)
+		}
+		for _, e := range entries {
+			name := cpuSuffix.ReplaceAllString(e.Name, "")
+			cur, ok := got[name]
+			if !ok || e.EventsSec <= 0 {
+				continue
+			}
+			change := cur/e.EventsSec - 1
+			status := "ok"
+			if change < -*maxRegress {
+				status = "REGRESSION"
+				failures++
+			}
+			fmt.Printf("benchgate: %-50s %12.0f -> %12.0f events/sec (%+.1f%%) %s\n",
+				name, e.EventsSec, cur, 100*change, status)
+		}
+		for name := range got {
+			found := false
+			for _, e := range entries {
+				if cpuSuffix.ReplaceAllString(e.Name, "") == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Printf("benchgate: %-50s not in baseline (new benchmark, not gated)\n", name)
+			}
+		}
+	}
+	for _, p := range pairs {
+		base, okB := got[p.base]
+		other, okO := got[p.other]
+		if !okB || !okO {
+			return fmt.Errorf("pair %s,%s: benchmark missing from input", p.base, p.other)
+		}
+		change := other/base - 1
+		status := "ok"
+		if other < base*(1-p.frac) {
+			status = "OVERHEAD EXCEEDED"
+			failures++
+		}
+		fmt.Printf("benchgate: %s vs %s: %+.1f%% (allowed -%.0f%%) %s\n",
+			p.other, p.base, 100*change, 100*p.frac, status)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d gate failure(s)", failures)
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	lines := []string{
+		"goos: linux",
+		"BenchmarkKernelObs/off-8    3  102637211 ns/op  0.006273 allocs/event  2556578 events/sec",
+		"BenchmarkKernelObs/disabled-8  3  103826099 ns/op  0.006327 allocs/event  2527303 events/sec",
+		"BenchmarkNoMetric-8  10  12345 ns/op",
+		"PASS",
+	}
+	got := parseBench(lines)
+	if len(got) != 2 {
+		t.Fatalf("parsed %d entries, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkKernelObs/off"] != 2556578 {
+		t.Errorf("off = %g, want 2556578 (cpu suffix must be stripped)", got["BenchmarkKernelObs/off"])
+	}
+	if _, ok := got["BenchmarkNoMetric"]; ok {
+		t.Error("benchmark without events/sec must be ignored")
+	}
+}
+
+func TestPairListSet(t *testing.T) {
+	var p pairList
+	if err := p.Set("a,b,0.05"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || p[0].base != "a" || p[0].other != "b" || p[0].frac != 0.05 {
+		t.Fatalf("parsed pair = %+v", p)
+	}
+	for _, bad := range []string{"a,b", "a,b,x", "a,b,1.5", "a,b,0"} {
+		if err := p.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
