@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"mpisim/internal/trace"
 )
@@ -51,6 +52,14 @@ func run() error {
 		a, err := trace.ReadArtifact(p)
 		if err != nil {
 			return err
+		}
+		if a.Partial {
+			reason := a.AbortReason
+			if i := strings.IndexByte(reason, ':'); i > 0 {
+				reason = reason[:i]
+			}
+			fmt.Fprintf(os.Stderr, "mpireport: warning: %s is a partial run (aborted: %s); its attribution understates the full execution\n",
+				p, reason)
 		}
 		arts[i] = a
 	}

@@ -8,11 +8,19 @@
 //	mpisim -app nassp -mode de -ranks 9 -inputs NX=64,STEPS=10,Q=3
 //	mpisim -app sweep3d -mode am -ranks 64 -tracefile run.json -metrics
 //	mpisim -app sweep3d -mode am -ranks 64 -runjson r64.json   # then mpireport
+//	mpisim -app sweep3d -mode am -ranks 64 -faults loss.json -watchdog 100000
 //
 // Modes: measured (detailed ground truth), de (MPI-SIM-DE, direct
 // execution), am (MPI-SIM-AM, compiler-simplified program with delay
 // calls). AM calibrates w_i automatically at -cal-ranks unless a table is
 // supplied with -tasktimes.
+//
+// Robustness: -faults runs under a deterministic fault-injection
+// scenario (message loss/duplication/delay, link and compute slowdowns,
+// rank crashes; internal/fault). -watchdog, -budget, -timebudget and
+// -walltimeout bound the run; a tripped bound aborts with a per-rank
+// wait-state dump on stderr while still reporting (and, with -runjson,
+// archiving) the partial result.
 package main
 
 import (
@@ -27,9 +35,11 @@ import (
 	"mpisim/internal/cliutil"
 	"mpisim/internal/core"
 	"mpisim/internal/dtg"
+	"mpisim/internal/fault"
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
 	"mpisim/internal/obs"
+	"mpisim/internal/sim"
 	"mpisim/internal/trace"
 )
 
@@ -68,6 +78,13 @@ func run() error {
 		traceFile = flag.String("tracefile", "", "write a structured trace of the run to this file (implies trace collection)")
 		traceFmt  = flag.String("traceformat", "chrome", "trace file format: chrome (trace_event JSON for Perfetto) or jsonl")
 		runJSON   = flag.String("runjson", "", "write the run artifact as JSON (input for mpireport)")
+
+		faultsFile  = flag.String("faults", "", "run under a deterministic fault-injection scenario (JSON, see internal/fault)")
+		faultSeed   = flag.Uint64("seed", 0, "override the fault scenario's RNG seed (0 = keep the file's)")
+		watchdog    = flag.Int64("watchdog", 0, "abort after N events without virtual-time progress, with a per-rank wait-state dump (0 = off)")
+		budget      = flag.Int64("budget", 0, "abort after N simulation events, keeping the partial result (0 = unlimited)")
+		timeBudget  = flag.Float64("timebudget", 0, "abort past this virtual time in seconds (0 = unlimited)")
+		wallTimeout = flag.Duration("walltimeout", 0, "abort after this much host wall-clock time, e.g. 30s (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -125,6 +142,20 @@ func run() error {
 	r.CollectMatrix = *matrix
 	r.CollectTrace = *timeline || *dtgFlag || *traceFile != ""
 	r.SkipChecks = *noCheck
+	if *faultsFile != "" {
+		sc, err := fault.Load(*faultsFile)
+		if err != nil {
+			return err
+		}
+		if *faultSeed != 0 {
+			sc.Seed = *faultSeed
+		}
+		r.Faults = sc
+	}
+	r.MaxEvents = *budget
+	r.MaxVirtualTime = *timeBudget
+	r.StallEvents = *watchdog
+	r.WallTimeout = *wallTimeout
 	var reg *obs.Registry
 	if *metrics {
 		reg = obs.NewRegistry(*hosts)
@@ -179,24 +210,49 @@ func run() error {
 	}
 
 	rep, err := r.Run(mode, *ranks, inputs)
+	var abortErr error
 	if err != nil {
-		return err
+		// Graceful degradation: an aborted run (budget, watchdog,
+		// cancellation, crash starvation) still carries a partial report.
+		// Dump the per-rank wait states, keep reporting what the
+		// simulation established, and exit nonzero at the end.
+		var ae *sim.AbortError
+		if !errors.As(err, &ae) || rep == nil {
+			return err
+		}
+		fmt.Fprint(os.Stderr, ae.Dump())
+		abortErr = fmt.Errorf("run aborted: %s (wait-state dump on stderr, partial results above)", shorten(ae.Reason))
 	}
 
 	fmt.Printf("app=%s mode=%s machine=%s targets=%d inputs=%v\n",
 		*appName, mode, m.Name, *ranks, inputs)
+	if rep.Partial {
+		fmt.Printf("PARTIAL result (aborted: %s)\n", shorten(rep.AbortReason))
+	}
 	fmt.Printf("predicted execution time: %s\n", cliutil.FormatSeconds(rep.Time))
+	if f := rep.Faults; f != nil {
+		fmt.Printf("faults: %d dropped (%d lost), %d retransmissions, %d duplicates, %d delayed, %d crashes, retry wait %s\n",
+			f.Drops, f.Lost, f.Retransmissions, f.Duplicates, f.Delays, f.Crashes,
+			cliutil.FormatSeconds(f.RetryWaitSeconds))
+	}
 	fmt.Printf("target memory: total %s, max rank %s\n",
 		cliutil.FormatBytes(rep.TotalPeakBytes), cliutil.FormatBytes(rep.MaxRankPeakBytes))
 	fmt.Printf("kernel: %d events, %d messages delivered, %d windows\n",
 		rep.Kernel.Events, rep.Kernel.Delivered, rep.Kernel.Windows)
 	if *verbose {
 		for i, rs := range rep.Ranks {
-			fmt.Printf("  rank %4d: compute %-12s delay %-12s blocked %-12s sent %d msgs / %s\n",
+			fmt.Printf("  rank %4d: compute %-12s delay %-12s blocked %-12s sent %d msgs / %s",
 				i, cliutil.FormatSeconds(float64(rs.ComputeTime)),
 				cliutil.FormatSeconds(float64(rs.DelayTime)),
 				cliutil.FormatSeconds(float64(rs.BlockedTime)),
 				rs.MsgsSent, cliutil.FormatBytes(rs.BytesSent))
+			if rs.FaultTime > 0 {
+				fmt.Printf(" fault %s", cliutil.FormatSeconds(float64(rs.FaultTime)))
+			}
+			if rs.Crashed {
+				fmt.Print(" CRASHED")
+			}
+			fmt.Println()
 		}
 	}
 	if *timeline {
@@ -264,5 +320,18 @@ func run() error {
 			fmt.Println()
 		}
 	}
-	return nil
+	return abortErr
+}
+
+// shorten truncates a long abort reason (the deadlock form enumerates
+// every blocked process) for one-line console output; the full text is
+// in the wait-state dump and the run artifact.
+func shorten(s string) string {
+	if i := strings.IndexByte(s, ':'); i > 0 {
+		s = s[:i]
+	}
+	if len(s) > 100 {
+		s = s[:100] + "..."
+	}
+	return s
 }

@@ -18,17 +18,21 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mpisim/internal/check"
 	"mpisim/internal/compiler"
+	"mpisim/internal/fault"
 	"mpisim/internal/interp"
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
 	"mpisim/internal/mpi"
 	"mpisim/internal/obs"
+	"mpisim/internal/sim"
 )
 
 // Mode selects how a program configuration is evaluated.
@@ -103,6 +107,23 @@ type Runner struct {
 	// kept so callers can inspect per-coefficient fit quality
 	// (Calibration.Stats) after the run.
 	LastCalibration *interp.Calibration
+	// Faults injects a deterministic fault scenario (internal/fault) into
+	// evaluation runs. Calibration runs are never faulted: the w_i table
+	// must reflect the healthy machine.
+	Faults *fault.Scenario
+	// MaxEvents / MaxVirtualTime / StallEvents bound evaluation runs
+	// (0 = unlimited): event budget, virtual-time budget, and the
+	// no-progress watchdog threshold (events processed without virtual
+	// time advancing). A tripped budget returns the partial report
+	// alongside a *sim.AbortError.
+	MaxEvents      int64
+	MaxVirtualTime float64
+	StallEvents    int64
+	// WallTimeout bounds each evaluation run's host wall-clock time
+	// (0 = unlimited) via context cancellation; Ctx additionally lets the
+	// caller cancel runs externally.
+	WallTimeout time.Duration
+	Ctx         context.Context
 	// SkipChecks disables the pre-simulation static verification
 	// (internal/check). By default every Run and Calibrate first verifies
 	// the source program at the requested configuration and refuses to
@@ -226,10 +247,23 @@ func (r *Runner) Calibrate(ranks int, inputs map[string]float64) (map[string]flo
 
 // Run evaluates the configuration in the given mode. Unless SkipChecks
 // is set, the configuration is first statically verified and refused
-// (with a CheckError) when verification finds errors.
+// (with a CheckError) when verification finds errors. Fault scenarios
+// and run limits (budgets, watchdog, wall-clock timeout) apply here but
+// not to Calibrate; when a limit trips, the partial report is returned
+// together with the *sim.AbortError describing why.
 func (r *Runner) Run(mode Mode, ranks int, inputs map[string]float64) (*mpi.Report, error) {
 	if err := r.precheck(ranks, inputs); err != nil {
 		return nil, err
+	}
+	ctx := r.Ctx
+	if r.WallTimeout > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(base, r.WallTimeout)
+		defer cancel()
 	}
 	cfg := interp.Config{
 		Ranks: ranks, Machine: r.Machine, Inputs: inputs,
@@ -238,6 +272,13 @@ func (r *Runner) Run(mode Mode, ranks int, inputs map[string]float64) (*mpi.Repo
 		CollectTrace:  r.CollectTrace,
 		Metrics:       r.Metrics,
 		Tracer:        r.Tracer,
+		Faults:        r.Faults,
+		Limits: sim.Limits{
+			MaxEvents:   r.MaxEvents,
+			MaxTime:     sim.Time(r.MaxVirtualTime),
+			StallEvents: r.StallEvents,
+			Ctx:         ctx,
+		},
 	}
 	switch mode {
 	case Measured:

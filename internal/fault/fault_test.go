@@ -1,0 +1,261 @@
+package fault
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRNGDeterminismAndSplit(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+	// Splitting does not consume parent output.
+	p1, p2 := NewRNG(7), NewRNG(7)
+	_ = p1.Split(3)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("Split consumed parent output")
+	}
+	// Distinct labels give distinct streams; equal labels give equal ones.
+	c1, c2, c3 := p2.Split(0), p2.Split(1), p2.Split(0)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling streams with distinct labels coincide")
+	}
+	c1b := c1.Uint64()
+	_ = c3.Uint64() // advance c3 past the first draw
+	if c3.Uint64() != c1b {
+		t.Fatal("equal labels produced different streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+		ok   bool
+	}{
+		{"empty", Scenario{}, true},
+		{"loss ok", Scenario{Loss: []LossSpec{{Prob: 0.5, From: AnyRank, To: AnyRank}}}, true},
+		{"loss bad prob", Scenario{Loss: []LossSpec{{Prob: 1.5, From: AnyRank, To: AnyRank}}}, false},
+		{"loss bad rank", Scenario{Loss: []LossSpec{{Prob: 0.5, From: 9, To: AnyRank}}}, false},
+		{"crash any", Scenario{Crashes: []CrashSpec{{Rank: AnyRank, Time: 1}}}, false},
+		{"crash neg time", Scenario{Crashes: []CrashSpec{{Rank: 0, Time: -1}}}, false},
+		{"link weak", Scenario{Links: []LinkSpec{{From: AnyRank, To: AnyRank, Factor: 0.5}}}, false},
+		{"compute ok", Scenario{Compute: []ComputeSpec{{Rank: AnyRank, Factor: 2, Window: Window{Start: 1, End: 2}}}}, true},
+		{"window empty", Scenario{Compute: []ComputeSpec{{Rank: AnyRank, Factor: 2, Window: Window{Start: 2, End: 1}}}}, false},
+		{"retry bad", Scenario{Retry: &RetryConfig{Timeout: 0}}, false},
+		{"retry ok", Scenario{Retry: &RetryConfig{Timeout: 1e-4}}, true},
+	}
+	for _, c := range cases {
+		err := c.s.Validate(4)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestScenarioJSONRoundTripAndDefaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	s := &Scenario{
+		Seed:  7,
+		Retry: &RetryConfig{Timeout: 2e-4, Backoff: 2, MaxRetries: 8},
+		Loss:  []LossSpec{{Prob: 0.01, From: AnyRank, To: AnyRank}},
+		Links: []LinkSpec{{From: 0, To: 1, Factor: 4, Window: Window{Start: 1, End: 2}}},
+	}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 7 || got.Loss[0].Prob != 0.01 || got.Loss[0].From != AnyRank {
+		t.Fatalf("round trip mangled scenario: %+v", got)
+	}
+	if got.Links[0].Factor != 4 || got.Links[0].Start != 1 {
+		t.Fatalf("round trip mangled link spec: %+v", got.Links[0])
+	}
+}
+
+func TestJSONDefaultsAnyRank(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.json")
+	// from/to omitted: must mean AnyRank, not rank 0.
+	if err := os.WriteFile(path, []byte(`{"seed": 1, "loss": [{"prob": 0.5}], "delay": [{"prob": 1, "extra": 0.1}], "compute": [{"factor": 2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Loss[0].From != AnyRank || s.Loss[0].To != AnyRank {
+		t.Fatalf("omitted loss from/to = (%d, %d), want AnyRank", s.Loss[0].From, s.Loss[0].To)
+	}
+	if s.Delay[0].From != AnyRank || s.Delay[0].To != AnyRank {
+		t.Fatalf("omitted delay from/to = (%d, %d), want AnyRank", s.Delay[0].From, s.Delay[0].To)
+	}
+	if s.Compute[0].Rank != AnyRank {
+		t.Fatalf("omitted compute rank = %d, want AnyRank", s.Compute[0].Rank)
+	}
+}
+
+func TestInjectorLossRate(t *testing.T) {
+	s := &Scenario{Seed: 123, Loss: []LossSpec{{Prob: 0.1, From: AnyRank, To: AnyRank}}}
+	in, err := s.Injector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := in.Rank(0)
+	const n = 20000
+	lost := 0
+	for i := 0; i < n; i++ {
+		if rf.SendFate(1, 0).Lost {
+			lost++
+		}
+	}
+	rate := float64(lost) / n
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Fatalf("loss rate %g, want ~0.1", rate)
+	}
+	if got := in.Stats().Lost; got != int64(lost) {
+		t.Fatalf("stats lost %d != %d", got, lost)
+	}
+}
+
+func TestInjectorRetryModel(t *testing.T) {
+	s := &Scenario{
+		Seed:  5,
+		Retry: &RetryConfig{Timeout: 1e-3, Backoff: 2, MaxRetries: 30},
+		Loss:  []LossSpec{{Prob: 0.5, From: AnyRank, To: AnyRank}},
+	}
+	in, err := s.Injector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := in.Rank(0)
+	sawRetry := false
+	for i := 0; i < 1000; i++ {
+		f := rf.SendFate(1, 0)
+		if f.Lost {
+			t.Fatalf("message lost despite 30 retries at p=0.5 (draw %d)", i)
+		}
+		if f.Retries > 0 {
+			sawRetry = true
+			// RetryWait must be the geometric sum of the first f.Retries waits.
+			want := 0.0
+			w := 1e-3
+			for k := 0; k < f.Retries; k++ {
+				want += w
+				w *= 2
+			}
+			if math.Abs(f.RetryWait-want) > 1e-12 {
+				t.Fatalf("RetryWait %g, want %g for %d retries", f.RetryWait, want, f.Retries)
+			}
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no retransmission in 1000 draws at p=0.5")
+	}
+	st := in.Stats()
+	if st.Retransmissions == 0 || st.RetryWaitSeconds <= 0 {
+		t.Fatalf("retransmission stats empty: %+v", st)
+	}
+}
+
+func TestInjectorWindowsAndSelectors(t *testing.T) {
+	s := &Scenario{
+		Seed: 9,
+		Loss: []LossSpec{{Prob: 1, From: 0, To: 1, Window: Window{Start: 1, End: 2}}},
+		Links: []LinkSpec{
+			{From: 0, To: 2, Factor: 3},
+			{From: AnyRank, To: AnyRank, Factor: 2, Window: Window{Start: 5, End: 6}},
+		},
+		Compute: []ComputeSpec{{Rank: 1, Factor: 4, Window: Window{Start: 0, End: 10}}},
+	}
+	in, err := s.Injector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := in.Rank(0)
+	if f := r0.SendFate(1, 0.5); f.Lost {
+		t.Fatal("loss fired outside its window")
+	}
+	if f := r0.SendFate(1, 1.5); !f.Lost {
+		t.Fatal("certain loss did not fire inside its window")
+	}
+	if f := r0.SendFate(2, 1.5); f.Lost {
+		t.Fatal("loss fired for a non-matching destination")
+	}
+	if f := r0.SendFate(2, 0); f.LinkFactor != 3 {
+		t.Fatalf("link factor %g, want 3", f.LinkFactor)
+	}
+	if f := r0.SendFate(2, 5.5); f.LinkFactor != 3 {
+		t.Fatalf("overlapping links: factor %g, want the strongest (3)", f.LinkFactor)
+	}
+	if f := r0.SendFate(1, 5.5); f.LinkFactor != 2 {
+		t.Fatalf("windowed any-any link: factor %g, want 2", f.LinkFactor)
+	}
+	if got := in.Rank(1).ComputeFactor(3); got != 4 {
+		t.Fatalf("compute factor %g, want 4", got)
+	}
+	if got := in.Rank(0).ComputeFactor(3); got != 1 {
+		t.Fatalf("compute factor leaked to wrong rank: %g", got)
+	}
+	if got := in.Rank(1).ComputeFactor(11); got != 1 {
+		t.Fatalf("compute factor outside window: %g", got)
+	}
+}
+
+func TestInjectorCrash(t *testing.T) {
+	s := &Scenario{Crashes: []CrashSpec{{Rank: 1, Time: 3}, {Rank: 1, Time: 2}}}
+	in, err := s.Injector(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := in.Rank(0).CrashTime(); ok {
+		t.Fatal("rank 0 has a crash scheduled")
+	}
+	ct, ok := in.Rank(1).CrashTime()
+	if !ok || ct != 2 {
+		t.Fatalf("rank 1 crash = (%g, %v), want earliest (2, true)", ct, ok)
+	}
+}
+
+func TestInjectorStreamsIndependent(t *testing.T) {
+	// Rank 1's decisions must not depend on how many draws rank 0 made.
+	mk := func() *Injector {
+		in, err := (&Scenario{Seed: 77, Loss: []LossSpec{{Prob: 0.5, From: AnyRank, To: AnyRank}}}).Injector(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 500; i++ {
+		a.Rank(0).SendFate(1, 0) // extra draws on rank 0 of a only
+	}
+	for i := 0; i < 100; i++ {
+		if a.Rank(1).SendFate(0, 0).Lost != b.Rank(1).SendFate(0, 0).Lost {
+			t.Fatalf("rank 1 stream diverged at draw %d after rank 0 activity", i)
+		}
+	}
+}

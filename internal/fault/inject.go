@@ -1,0 +1,240 @@
+package fault
+
+import "fmt"
+
+// Injector is a Scenario compiled for a concrete world size: one
+// independent decision stream per rank plus precomputed per-rank crash
+// times. It is consulted by the MPI layer on the simulated ranks'
+// goroutines; each RankFaults must only be used from its own rank's
+// body, which keeps every decision deterministic in the rank's program
+// order with no locking.
+type Injector struct {
+	scenario *Scenario
+	ranks    []*RankFaults
+}
+
+// Injector compiles the scenario for a world of the given size.
+func (s *Scenario) Injector(ranks int) (*Injector, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("fault: world size must be positive, got %d", ranks)
+	}
+	if err := s.Validate(ranks); err != nil {
+		return nil, err
+	}
+	master := NewRNG(s.Seed)
+	in := &Injector{scenario: s, ranks: make([]*RankFaults, ranks)}
+	for i := range in.ranks {
+		rf := &RankFaults{
+			inj:  in,
+			rank: i,
+			rng:  master.Split(uint64(i)),
+		}
+		for _, c := range s.Crashes {
+			if c.Rank == i && (!rf.crashes || c.Time < rf.crashTime) {
+				rf.crashes, rf.crashTime = true, c.Time
+			}
+		}
+		in.ranks[i] = rf
+	}
+	return in, nil
+}
+
+// Scenario returns the compiled scenario.
+func (in *Injector) Scenario() *Scenario { return in.scenario }
+
+// Retry returns the scenario's retransmission model (nil = no recovery).
+func (in *Injector) Retry() *RetryConfig { return in.scenario.Retry }
+
+// Rank returns rank i's decision stream and accounting.
+func (in *Injector) Rank(i int) *RankFaults { return in.ranks[i] }
+
+// Stats aggregates the per-rank fault accounting. Only call after the
+// run completed (the per-rank counters are owned by the rank bodies).
+func (in *Injector) Stats() Stats {
+	var t Stats
+	for _, rf := range in.ranks {
+		t.Drops += rf.stats.Drops
+		t.Lost += rf.stats.Lost
+		t.Retransmissions += rf.stats.Retransmissions
+		t.BackoffWaits += rf.stats.BackoffWaits
+		t.Duplicates += rf.stats.Duplicates
+		t.Delays += rf.stats.Delays
+		t.Crashes += rf.stats.Crashes
+		t.RetryWaitSeconds += rf.stats.RetryWaitSeconds
+		t.ExtraDelaySeconds += rf.stats.ExtraDelaySeconds
+	}
+	return t
+}
+
+// Stats is the aggregate fault accounting of a run.
+type Stats struct {
+	// Drops counts dropped transmissions, including dropped
+	// retransmissions; Lost counts messages dropped permanently (retries
+	// disabled or exhausted).
+	Drops int64 `json:"drops"`
+	Lost  int64 `json:"lost,omitempty"`
+	// Retransmissions counts retransmitted copies; BackoffWaits counts
+	// the waits that were exponentially backed off beyond the base
+	// timeout (i.e. second and later retransmissions of one message).
+	Retransmissions int64 `json:"retransmissions"`
+	BackoffWaits    int64 `json:"backoff_waits"`
+	// Duplicates and Delays count messages duplicated / given extra
+	// transit delay.
+	Duplicates int64 `json:"duplicates,omitempty"`
+	Delays     int64 `json:"delays,omitempty"`
+	// Crashes counts ranks that hit their stop-failure.
+	Crashes int64 `json:"crashes,omitempty"`
+	// RetryWaitSeconds / ExtraDelaySeconds are the virtual seconds of
+	// added transit delay from retransmission waits / delay injection.
+	RetryWaitSeconds  float64 `json:"retry_wait_seconds,omitempty"`
+	ExtraDelaySeconds float64 `json:"extra_delay_seconds,omitempty"`
+}
+
+// RankFaults is one rank's view of the injector: a private decision
+// stream plus local accounting. Methods must only be called from the
+// rank's own body goroutine.
+type RankFaults struct {
+	inj  *Injector
+	rank int
+	rng  *RNG
+
+	crashes   bool
+	crashTime float64
+
+	stats Stats
+}
+
+// MsgFate is the injector's verdict on one message transmission.
+type MsgFate struct {
+	// Lost: the message is never delivered (dropped with retries
+	// disabled or exhausted).
+	Lost bool
+	// Retries is the number of retransmitted copies before success; the
+	// receiver sees the arrival delayed by RetryWait seconds of
+	// timeout/backoff waits.
+	Retries   int
+	RetryWait float64
+	// Duplicated: the transport delivered a suppressed duplicate copy,
+	// costing extra sender NIC/CPU occupancy.
+	Duplicated bool
+	// ExtraDelay is injected transit delay in seconds (delay specs).
+	ExtraDelay float64
+	// LinkFactor >= 1 scales transit latency and serialization.
+	LinkFactor float64
+}
+
+// CrashTime returns the rank's stop-failure time, if one is scheduled.
+func (rf *RankFaults) CrashTime() (float64, bool) { return rf.crashTime, rf.crashes }
+
+// RecordCrash accounts the rank's stop-failure (called once by the MPI
+// layer when the crash fires).
+func (rf *RankFaults) RecordCrash() { rf.stats.Crashes++ }
+
+// Stats returns the rank's local accounting.
+func (rf *RankFaults) Stats() Stats { return rf.stats }
+
+// matchMsg reports whether a from/to selector matches this sender and
+// the destination.
+func matchMsg(specFrom, specTo, from, to int) bool {
+	return (specFrom == AnyRank || specFrom == from) &&
+		(specTo == AnyRank || specTo == to)
+}
+
+// SendFate draws the fate of a message this rank sends to dst at
+// virtual time now. Draw order is fixed (loss, retransmissions, dup,
+// per-spec delay), so the rank's decision sequence depends only on its
+// own call order: the fate is deterministic across engines and host
+// worker counts. The loss probability observed at send time is used for
+// every retransmission of the same message.
+func (rf *RankFaults) SendFate(dst int, now float64) MsgFate {
+	f := MsgFate{LinkFactor: 1}
+	s := rf.inj.scenario
+
+	// Combined drop probability of all matching loss specs.
+	keep := 1.0
+	for _, l := range s.Loss {
+		if l.Prob > 0 && matchMsg(l.From, l.To, rf.rank, dst) && l.contains(now) {
+			keep *= 1 - l.Prob
+		}
+	}
+	if p := 1 - keep; p > 0 && rf.rng.Float64() < p {
+		rf.stats.Drops++
+		if rc := s.Retry; rc == nil {
+			f.Lost = true
+			rf.stats.Lost++
+		} else {
+			wait := rc.Timeout
+			bo := rc.backoff()
+			f.Lost = true
+			for i := 1; i <= rc.maxRetries(); i++ {
+				f.RetryWait += wait
+				f.Retries++
+				rf.stats.Retransmissions++
+				if i > 1 {
+					rf.stats.BackoffWaits++
+				}
+				if rf.rng.Float64() >= p {
+					f.Lost = false
+					break
+				}
+				rf.stats.Drops++
+				wait *= bo
+			}
+			if f.Lost {
+				rf.stats.Lost++
+			} else {
+				rf.stats.RetryWaitSeconds += f.RetryWait
+			}
+		}
+	}
+
+	// Duplication (suppressed at the receiver, costs occupancy only).
+	keep = 1.0
+	for _, d := range s.Duplicate {
+		if d.Prob > 0 && matchMsg(d.From, d.To, rf.rank, dst) && d.contains(now) {
+			keep *= 1 - d.Prob
+		}
+	}
+	if p := 1 - keep; p > 0 && rf.rng.Float64() < p {
+		f.Duplicated = true
+		rf.stats.Duplicates++
+	}
+
+	// Extra transit delay, one draw per matching spec.
+	for _, d := range s.Delay {
+		if d.Prob > 0 && matchMsg(d.From, d.To, rf.rank, dst) && d.contains(now) {
+			if rf.rng.Float64() < d.Prob {
+				extra := d.Extra
+				if d.Jitter > 0 {
+					extra += d.Jitter * rf.rng.Float64()
+				}
+				f.ExtraDelay += extra
+				rf.stats.Delays++
+			}
+		}
+	}
+	if !f.Lost {
+		rf.stats.ExtraDelaySeconds += f.ExtraDelay
+	}
+
+	// Link slowdown: deterministic windows, strongest matching factor.
+	for _, l := range s.Links {
+		if matchMsg(l.From, l.To, rf.rank, dst) && l.contains(now) && l.Factor > f.LinkFactor {
+			f.LinkFactor = l.Factor
+		}
+	}
+	return f
+}
+
+// ComputeFactor returns the compute slowdown factor (>= 1) for this
+// rank at virtual time now: the strongest matching transient slowdown.
+// Purely window-driven, no randomness.
+func (rf *RankFaults) ComputeFactor(now float64) float64 {
+	factor := 1.0
+	for _, c := range rf.inj.scenario.Compute {
+		if (c.Rank == AnyRank || c.Rank == rf.rank) && c.contains(now) && c.Factor > factor {
+			factor = c.Factor
+		}
+	}
+	return factor
+}

@@ -1,0 +1,60 @@
+package fault
+
+// Splittable deterministic randomness for fault injection.
+//
+// Every fault decision is drawn from a stream derived from the scenario
+// seed, and streams are split per rank (and per purpose) so that the
+// decision sequence seen by one rank depends only on that rank's own
+// call order — never on host worker count, engine choice, or goroutine
+// interleaving. Identical seeds therefore give byte-identical runs; the
+// determinism regression test in determinism_test.go guards this.
+//
+// The generator is SplitMix64 (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014): a 64-bit counter
+// advanced by the golden-ratio increment with an avalanching finalizer.
+// It is not cryptographic; it is small, allocation-free, and splits
+// cheaply, which is what a simulator needs.
+
+// rngGamma is the golden-ratio increment of SplitMix64.
+const rngGamma = 0x9e3779b97f4a7c15
+
+// RNG is a splittable deterministic generator. The zero value is a
+// valid stream seeded with 0; prefer NewRNG.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a stream seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: mix64(seed)}
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche of its input.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += rngGamma
+	return mix64(r.state)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split derives an independent child stream labeled by label without
+// consuming any output of the parent: children with distinct labels from
+// the same parent, and equal labels from distinct parents, never share a
+// sequence (up to the mixing quality of SplitMix64). Splitting is how
+// per-rank fault streams stay independent of each other's draw counts.
+func (r *RNG) Split(label uint64) *RNG {
+	return &RNG{state: mix64(r.state ^ mix64(label+rngGamma))}
+}

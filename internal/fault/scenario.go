@@ -1,0 +1,390 @@
+// Package fault is the deterministic fault-injection subsystem of the
+// simulator. A Scenario — built in Go or loaded from JSON (the CLI's
+// `-faults scenario.json`) — schedules stop-failures of ranks, message
+// drop/duplication/delay, link slowdown windows, and transient per-node
+// compute slowdown, all on the *virtual*-time axis. Every stochastic
+// decision is drawn from a splittable seeded RNG (rng.go) with one
+// stream per rank, so identical seeds give byte-identical simulations
+// regardless of host worker count or engine, and different seeds give
+// independent perturbations.
+//
+// The scenario also configures the MPI layer's reliability model: a
+// timeout/exponential-backoff retransmission policy under which dropped
+// messages are eventually delivered (their added latency is attributed
+// to a dedicated fault/retransmission component in reports), or — with
+// retries disabled — lost forever, which the kernel watchdog then
+// reports as a per-rank wait-state dump instead of a hang.
+//
+// This makes the simulator a resilience-prediction tool in the spirit of
+// Cornebize & Legrand ("Variability Matters", 2021): platform
+// perturbation is a first-class modelled input, not noise.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// AnyRank selects every rank in a spec's From/To/Rank field.
+const AnyRank = -1
+
+// Window bounds a fault effect on the virtual-time axis, in seconds.
+// The zero value (Start == End == 0) means "the whole run"; otherwise
+// the effect applies to times t with Start <= t < End, where End == 0
+// again means "until the end of the run".
+type Window struct {
+	Start float64 `json:"start,omitempty"`
+	End   float64 `json:"end,omitempty"`
+}
+
+// contains reports whether t falls inside the window.
+func (w Window) contains(t float64) bool {
+	if t < w.Start {
+		return false
+	}
+	return w.End == 0 || t < w.End
+}
+
+// validate reports an impossible window.
+func (w Window) validate() error {
+	if w.Start < 0 || w.End < 0 {
+		return fmt.Errorf("fault: negative window bound [%g, %g)", w.Start, w.End)
+	}
+	if w.End != 0 && w.End <= w.Start {
+		return fmt.Errorf("fault: empty window [%g, %g)", w.Start, w.End)
+	}
+	return nil
+}
+
+// RetryConfig is the MPI layer's reliability model over a lossy
+// transport: a dropped message is retransmitted after Timeout seconds,
+// then Timeout*Backoff, Timeout*Backoff^2, ... up to MaxRetries
+// retransmissions. A nil RetryConfig on the scenario disables recovery:
+// dropped messages are lost forever and the receiver (provably) hangs,
+// which the kernel watchdog turns into a wait-state dump.
+type RetryConfig struct {
+	// Timeout is the wait in virtual seconds before the first
+	// retransmission.
+	Timeout float64 `json:"timeout"`
+	// Backoff multiplies the wait after every failed attempt (>= 1;
+	// 0 defaults to 2, plain exponential backoff).
+	Backoff float64 `json:"backoff,omitempty"`
+	// MaxRetries bounds the number of retransmissions per message
+	// (0 defaults to 16). A message still lost after the final
+	// retransmission is dropped permanently.
+	MaxRetries int `json:"max_retries,omitempty"`
+}
+
+// validate reports configuration errors.
+func (rc *RetryConfig) validate() error {
+	if rc.Timeout <= 0 {
+		return fmt.Errorf("fault: retry timeout must be positive, got %g", rc.Timeout)
+	}
+	if rc.Backoff != 0 && rc.Backoff < 1 {
+		return fmt.Errorf("fault: retry backoff must be >= 1, got %g", rc.Backoff)
+	}
+	if rc.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative max_retries %d", rc.MaxRetries)
+	}
+	return nil
+}
+
+// backoff returns the effective backoff multiplier.
+func (rc *RetryConfig) backoff() float64 {
+	if rc.Backoff == 0 {
+		return 2
+	}
+	return rc.Backoff
+}
+
+// maxRetries returns the effective retransmission bound.
+func (rc *RetryConfig) maxRetries() int {
+	if rc.MaxRetries == 0 {
+		return 16
+	}
+	return rc.MaxRetries
+}
+
+// CrashSpec stops a rank at a virtual time: a fail-stop failure. The
+// rank executes normally until its local clock reaches Time, then ceases
+// all computation and communication (it neither sends nor receives
+// again). Ranks depending on it block; with no application-level
+// recovery the run is caught by the watchdog/deadlock detector, whose
+// dump names the crashed rank.
+type CrashSpec struct {
+	// Rank is the victim (AnyRank is not allowed here: crashes are
+	// targeted).
+	Rank int `json:"rank"`
+	// Time is the virtual time of the stop-failure in seconds.
+	Time float64 `json:"time"`
+}
+
+// LossSpec drops each matching message with probability Prob. From/To
+// restrict the affected sender/receiver (AnyRank = all), Window the
+// affected send times. In JSON, omitted from/to default to AnyRank; Go
+// literals must write AnyRank explicitly.
+type LossSpec struct {
+	Prob float64 `json:"prob"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Window
+}
+
+// UnmarshalJSON defaults omitted from/to to AnyRank.
+func (l *LossSpec) UnmarshalJSON(b []byte) error {
+	type alias LossSpec
+	a := alias{From: AnyRank, To: AnyRank}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*l = LossSpec(a)
+	return nil
+}
+
+// DupSpec duplicates each matching message with probability Prob. Under
+// a reliable MPI transport the duplicate is suppressed at the receiver,
+// so it costs link/NIC occupancy and sender CPU but is delivered once.
+type DupSpec struct {
+	Prob float64 `json:"prob"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Window
+}
+
+// UnmarshalJSON defaults omitted from/to to AnyRank.
+func (d *DupSpec) UnmarshalJSON(b []byte) error {
+	type alias DupSpec
+	a := alias{From: AnyRank, To: AnyRank}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*d = DupSpec(a)
+	return nil
+}
+
+// DelaySpec adds Extra (+ uniform jitter in [0, Jitter)) seconds of
+// transit delay to each matching message with probability Prob.
+type DelaySpec struct {
+	Prob   float64 `json:"prob"`
+	Extra  float64 `json:"extra"`
+	Jitter float64 `json:"jitter,omitempty"`
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Window
+}
+
+// UnmarshalJSON defaults omitted from/to to AnyRank.
+func (d *DelaySpec) UnmarshalJSON(b []byte) error {
+	type alias DelaySpec
+	a := alias{From: AnyRank, To: AnyRank}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*d = DelaySpec(a)
+	return nil
+}
+
+// LinkSpec slows the link From->To during Window: transit latency and
+// serialization time are multiplied by Factor (> 1). Slowdowns only ever
+// increase delays, so the kernel's conservative lookahead (the minimum
+// network latency) remains a valid lower bound.
+type LinkSpec struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Factor float64 `json:"factor"`
+	Window
+}
+
+// UnmarshalJSON defaults omitted from/to to AnyRank.
+func (l *LinkSpec) UnmarshalJSON(b []byte) error {
+	type alias LinkSpec
+	a := alias{From: AnyRank, To: AnyRank}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*l = LinkSpec(a)
+	return nil
+}
+
+// ComputeSpec slows computation (directly executed compute and delay
+// calls) on Rank (AnyRank = all ranks) by Factor during Window: a
+// transient per-node slowdown, modelling OS noise, thermal throttling or
+// a degraded node.
+type ComputeSpec struct {
+	Rank   int     `json:"rank"`
+	Factor float64 `json:"factor"`
+	Window
+}
+
+// UnmarshalJSON defaults an omitted rank to AnyRank.
+func (c *ComputeSpec) UnmarshalJSON(b []byte) error {
+	type alias ComputeSpec
+	a := alias{Rank: AnyRank}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*c = ComputeSpec(a)
+	return nil
+}
+
+// Scenario is a complete fault-injection plan plus the transport
+// reliability model. The zero value injects nothing.
+type Scenario struct {
+	// Seed drives every stochastic decision; identical seeds give
+	// byte-identical runs.
+	Seed uint64 `json:"seed"`
+	// Retry configures the retransmission model; nil disables recovery
+	// from message loss.
+	Retry *RetryConfig `json:"retry,omitempty"`
+
+	Crashes   []CrashSpec   `json:"crashes,omitempty"`
+	Loss      []LossSpec    `json:"loss,omitempty"`
+	Duplicate []DupSpec     `json:"duplicate,omitempty"`
+	Delay     []DelaySpec   `json:"delay,omitempty"`
+	Links     []LinkSpec    `json:"links,omitempty"`
+	Compute   []ComputeSpec `json:"compute,omitempty"`
+}
+
+// Active reports whether the scenario injects any fault at all.
+func (s *Scenario) Active() bool {
+	if s == nil {
+		return false
+	}
+	return len(s.Crashes) > 0 || len(s.Loss) > 0 || len(s.Duplicate) > 0 ||
+		len(s.Delay) > 0 || len(s.Links) > 0 || len(s.Compute) > 0
+}
+
+// Validate reports configuration errors; ranks is the world size the
+// scenario will be applied to (0 skips rank-bound checks, for validating
+// a file before the configuration is known).
+func (s *Scenario) Validate(ranks int) error {
+	checkRank := func(what string, r int) error {
+		if r == AnyRank {
+			return nil
+		}
+		if r < 0 || (ranks > 0 && r >= ranks) {
+			return fmt.Errorf("fault: %s rank %d out of range (world size %d)", what, r, ranks)
+		}
+		return nil
+	}
+	checkProb := func(what string, p float64) error {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("fault: %s probability %g outside [0, 1]", what, p)
+		}
+		return nil
+	}
+	if s.Retry != nil {
+		if err := s.Retry.validate(); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Crashes {
+		if c.Rank == AnyRank {
+			return fmt.Errorf("fault: crash rank must be a concrete rank")
+		}
+		if err := checkRank("crash", c.Rank); err != nil {
+			return err
+		}
+		if c.Time < 0 {
+			return fmt.Errorf("fault: crash time %g negative", c.Time)
+		}
+	}
+	for _, l := range s.Loss {
+		if err := checkProb("loss", l.Prob); err != nil {
+			return err
+		}
+		if err := checkRank("loss from", l.From); err != nil {
+			return err
+		}
+		if err := checkRank("loss to", l.To); err != nil {
+			return err
+		}
+		if err := l.Window.validate(); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Duplicate {
+		if err := checkProb("duplicate", d.Prob); err != nil {
+			return err
+		}
+		if err := checkRank("duplicate from", d.From); err != nil {
+			return err
+		}
+		if err := checkRank("duplicate to", d.To); err != nil {
+			return err
+		}
+		if err := d.Window.validate(); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.Delay {
+		if err := checkProb("delay", d.Prob); err != nil {
+			return err
+		}
+		if d.Extra < 0 || d.Jitter < 0 {
+			return fmt.Errorf("fault: negative delay extra/jitter (%g, %g)", d.Extra, d.Jitter)
+		}
+		if err := checkRank("delay from", d.From); err != nil {
+			return err
+		}
+		if err := checkRank("delay to", d.To); err != nil {
+			return err
+		}
+		if err := d.Window.validate(); err != nil {
+			return err
+		}
+	}
+	for _, l := range s.Links {
+		if l.Factor < 1 {
+			return fmt.Errorf("fault: link slowdown factor %g < 1", l.Factor)
+		}
+		if err := checkRank("link from", l.From); err != nil {
+			return err
+		}
+		if err := checkRank("link to", l.To); err != nil {
+			return err
+		}
+		if err := l.Window.validate(); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Compute {
+		if c.Factor < 1 {
+			return fmt.Errorf("fault: compute slowdown factor %g < 1", c.Factor)
+		}
+		if err := checkRank("compute", c.Rank); err != nil {
+			return err
+		}
+		if err := c.Window.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads and validates a scenario file written as JSON.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	if err := s.Validate(0); err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Save writes the scenario as indented JSON.
+func (s *Scenario) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

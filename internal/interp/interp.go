@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"mpisim/internal/fault"
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
 	"mpisim/internal/mpi"
@@ -60,6 +61,13 @@ type Config struct {
 	// kernel (see mpi.Config and internal/obs).
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Faults injects a deterministic fault scenario into the run (see
+	// internal/fault and mpi.Config.Faults).
+	Faults *fault.Scenario
+	// Limits bounds the run: event/virtual-time budgets, the no-progress
+	// watchdog and context cancellation (see sim.Limits). A tripped limit
+	// aborts with a partial report.
+	Limits sim.Limits
 }
 
 // Run executes the program and returns the simulation report.
@@ -85,6 +93,8 @@ func Run(p *ir.Program, cfg Config) (*mpi.Report, error) {
 		CollectTrace:  cfg.CollectTrace,
 		Metrics:       cfg.Metrics,
 		Tracer:        cfg.Tracer,
+		Faults:        cfg.Faults,
+		Limits:        cfg.Limits,
 	})
 	if err != nil {
 		return nil, err

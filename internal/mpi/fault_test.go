@@ -1,0 +1,266 @@
+package mpi
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"mpisim/internal/fault"
+	"mpisim/internal/machine"
+	"mpisim/internal/sim"
+)
+
+// sweepBody is a wavefront-style exchange: each rank computes, then
+// shifts a message to the next rank, rounds times.
+func sweepBody(rounds int) func(*Rank) {
+	return func(r *Rank) {
+		p := r.Size()
+		for i := 0; i < rounds; i++ {
+			r.Delay(1e-4)
+			next, prev := (r.Rank()+1)%p, (r.Rank()-1+p)%p
+			r.Send(next, 1, 1024, nil)
+			r.Recv(prev, 1)
+		}
+	}
+}
+
+func lossScenario(seed uint64, prob float64, retry bool) *fault.Scenario {
+	s := &fault.Scenario{
+		Seed: seed,
+		Loss: []fault.LossSpec{{Prob: prob, From: fault.AnyRank, To: fault.AnyRank}},
+	}
+	if retry {
+		s.Retry = &fault.RetryConfig{Timeout: 5e-4, Backoff: 2, MaxRetries: 16}
+	}
+	return s
+}
+
+// TestLossWithRetriesCompletes is the acceptance scenario: 1% message
+// loss on a 64-rank sweep completes under the retry model, runs slower
+// than the healthy run, and the fault component sums exactly into the
+// decomposition.
+func TestLossWithRetriesCompletes(t *testing.T) {
+	cfg := testConfig(64)
+	healthy := mustRun(t, cfg, sweepBody(40))
+
+	cfg.Faults = lossScenario(42, 0.01, true)
+	rep := mustRun(t, cfg, sweepBody(40))
+	if rep.Partial {
+		t.Fatal("faulted run should complete, not abort")
+	}
+	if rep.Faults == nil || rep.Faults.Retransmissions == 0 {
+		t.Fatalf("expected retransmissions, got %+v", rep.Faults)
+	}
+	if rep.Time <= healthy.Time {
+		t.Fatalf("faulted time %g not slower than healthy %g", rep.Time, healthy.Time)
+	}
+	// Exact decomposition per rank: Finish = PureCompute + Delay +
+	// CommCPU + GenuineWait + Fault, where PureCompute excludes the
+	// fault CPU and GenuineWait excludes the fault-explained wait.
+	for i, rs := range rep.Ranks {
+		faultCPU := rs.FaultTime - rs.FaultBlocked
+		pure := rs.ComputeTime - rs.DelayTime - rs.CommCPUTime - faultCPU
+		wait := rs.BlockedTime - rs.FaultBlocked
+		sum := pure + rs.DelayTime + rs.CommCPUTime + wait + rs.FaultTime
+		if math.Abs(float64(sum-rs.FinishTime)) > 1e-9*math.Max(1, float64(rs.FinishTime)) {
+			t.Fatalf("rank %d: components sum to %g, finish %g", i, float64(sum), float64(rs.FinishTime))
+		}
+		if rs.FaultBlocked < 0 || rs.FaultBlocked > rs.BlockedTime {
+			t.Fatalf("rank %d: FaultBlocked %g outside [0, BlockedTime=%g]",
+				i, float64(rs.FaultBlocked), float64(rs.BlockedTime))
+		}
+	}
+}
+
+// TestLossWithoutRetriesCaughtByWatchdog: the same scenario with
+// recovery disabled loses messages for good; the receivers hang and the
+// watchdog (or deadlock detector) must catch it with a wait-state dump.
+func TestLossWithoutRetriesCaughtByWatchdog(t *testing.T) {
+	cfg := testConfig(64)
+	cfg.Faults = lossScenario(42, 0.01, false)
+	cfg.Limits = sim.Limits{StallEvents: 50_000}
+	rep, err := Run(cfg, sweepBody(40))
+	var ae *sim.AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *sim.AbortError, got %v", err)
+	}
+	if len(ae.States) != 64 {
+		t.Fatalf("wait-state dump has %d entries, want 64", len(ae.States))
+	}
+	blocked := 0
+	for _, s := range ae.States {
+		if s.State == "blocked" {
+			blocked++
+			if !strings.Contains(s.Waiting, "recv") {
+				t.Fatalf("blocked rank %d wait detail missing: %+v", s.Proc, s)
+			}
+		}
+	}
+	if blocked == 0 {
+		t.Fatal("no blocked ranks in the dump")
+	}
+	if rep == nil || !rep.Partial || rep.AbortReason == "" {
+		t.Fatalf("want partial report with abort reason, got %+v", rep)
+	}
+	if rep.Faults == nil || rep.Faults.Lost == 0 {
+		t.Fatalf("expected lost messages, got %+v", rep.Faults)
+	}
+}
+
+// TestFaultDeterminism: same seed, byte-identical reports; different
+// seed, different outcome.
+func TestFaultDeterminism(t *testing.T) {
+	run := func(seed uint64, workers int) []byte {
+		cfg := testConfig(32)
+		cfg.Faults = lossScenario(seed, 0.05, true)
+		cfg.Faults.Delay = []fault.DelaySpec{{Prob: 0.1, Extra: 1e-4, Jitter: 1e-4, From: fault.AnyRank, To: fault.AnyRank}}
+		cfg.HostWorkers = workers
+		rep := mustRun(t, cfg, sweepBody(20))
+		// The kernel meta-result (windows, cross-worker routing) depends
+		// on the host configuration by design; the simulation payload
+		// must not.
+		rep.Kernel = nil
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(7, 1), run(7, 1)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different reports")
+	}
+	if c := run(7, 4); string(a) != string(c) {
+		t.Fatal("host worker count changed the faulted result")
+	}
+	if d := run(8, 1); string(a) == string(d) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+func TestCrashStopsRankAndIsReported(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Faults = &fault.Scenario{
+		Crashes: []fault.CrashSpec{{Rank: 2, Time: 0.002}},
+	}
+	cfg.Limits = sim.Limits{StallEvents: 10_000}
+	rep, err := Run(cfg, func(r *Rank) {
+		// Independent work plus a self-contained neighbor exchange that
+		// rank 2's crash will starve.
+		for i := 0; i < 100; i++ {
+			r.Compute(1e-4)
+			if r.Rank() == 3 {
+				r.Recv(2, 9)
+			}
+			if r.Rank() == 2 {
+				r.Send(3, 9, 64, nil)
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("expected abort: rank 3 starves after rank 2 crashes")
+	}
+	if rep == nil {
+		t.Fatal("expected partial report")
+	}
+	if !rep.Ranks[2].Crashed {
+		t.Fatal("rank 2 not marked crashed")
+	}
+	if got := float64(rep.Ranks[2].FinishTime); got > 0.002+1e-9 {
+		t.Fatalf("crashed rank finished at %g, want <= crash time 0.002", got)
+	}
+	if rep.Faults == nil || rep.Faults.Crashes != 1 {
+		t.Fatalf("crash not accounted: %+v", rep.Faults)
+	}
+}
+
+func TestComputeSlowdownWindow(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Faults = &fault.Scenario{
+		Compute: []fault.ComputeSpec{{Rank: 0, Factor: 3, Window: fault.Window{Start: 0, End: 1}}},
+	}
+	rep := mustRun(t, cfg, func(r *Rank) {
+		r.Compute(0.01)
+	})
+	r0, r1 := rep.Ranks[0], rep.Ranks[1]
+	if math.Abs(float64(r0.FinishTime)-0.03) > 1e-12 {
+		t.Fatalf("slowed rank finished at %g, want 0.03", float64(r0.FinishTime))
+	}
+	if math.Abs(float64(r0.FaultTime)-0.02) > 1e-12 {
+		t.Fatalf("fault time %g, want 0.02 (the slowdown excess)", float64(r0.FaultTime))
+	}
+	if r1.FaultTime != 0 || math.Abs(float64(r1.FinishTime)-0.01) > 1e-12 {
+		t.Fatalf("unaffected rank wrong: %+v", r1)
+	}
+}
+
+func TestLinkSlowdownDelaysAndAttributes(t *testing.T) {
+	cfg := testConfig(2)
+	base := mustRun(t, cfg, pingOnce)
+	cfg.Faults = &fault.Scenario{
+		Links: []fault.LinkSpec{{From: 0, To: 1, Factor: 10}},
+	}
+	rep := mustRun(t, cfg, pingOnce)
+	if rep.Time <= base.Time {
+		t.Fatalf("link slowdown did not slow the run: %g vs %g", rep.Time, base.Time)
+	}
+	if rep.Ranks[1].FaultBlocked <= 0 {
+		t.Fatal("receiver's extra wait not attributed to the fault")
+	}
+}
+
+func pingOnce(r *Rank) {
+	if r.Rank() == 0 {
+		r.Send(1, 1, 1<<16, nil)
+	} else {
+		r.Recv(0, 1)
+	}
+}
+
+func TestFaultsIgnoredUnderAbstractComm(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.Comm = AbstractComm
+	cfg.Faults = lossScenario(1, 0.5, false)
+	rep := mustRun(t, cfg, func(r *Rank) {
+		r.Delay(1e-3)
+		r.Send((r.Rank()+1)%r.Size(), 1, 128, nil)
+		r.RecvSized((r.Rank()-1+r.Size())%r.Size(), 1, 128)
+	})
+	if rep.Faults != nil {
+		t.Fatalf("AbstractComm should not inject faults, got %+v", rep.Faults)
+	}
+}
+
+func TestHealthyRunUnchangedByInactiveScenario(t *testing.T) {
+	cfg := testConfig(16)
+	a := mustRun(t, cfg, sweepBody(10))
+	cfg.Faults = &fault.Scenario{Seed: 99} // no specs: inactive
+	b := mustRun(t, cfg, sweepBody(10))
+	if a.Time != b.Time {
+		t.Fatalf("inactive scenario changed the result: %g vs %g", a.Time, b.Time)
+	}
+	if b.Faults != nil {
+		t.Fatal("inactive scenario should not produce fault stats")
+	}
+}
+
+// BenchmarkFaultOverhead measures the events/sec cost of the fault layer
+// in its two states; ci.sh gates "off" (scenario absent) against the
+// seed kernel benchmark and "off" vs "on" documents the enabled cost.
+func BenchmarkFaultOverhead(b *testing.B) {
+	bench := func(b *testing.B, faults *fault.Scenario) {
+		cfg := Config{Ranks: 16, Machine: machine.IBMSP(), Comm: Analytic, Faults: faults}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(cfg, sweepBody(50))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.Kernel.Events), "events/op")
+		}
+	}
+	b.Run("off", func(b *testing.B) { bench(b, nil) })
+	b.Run("on", func(b *testing.B) { bench(b, lossScenario(3, 0.01, true)) })
+}

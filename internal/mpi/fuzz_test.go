@@ -1,0 +1,149 @@
+package mpi
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mpisim/internal/fault"
+	"mpisim/internal/machine"
+	"mpisim/internal/sim"
+)
+
+// FuzzFaultSchedules drives the kernel and MPI layer with randomized
+// fault scenarios over program shapes modeled on the four benchmark
+// apps (ring shift + allreduce like tomcatv, wavefront like sweep3d,
+// phased alltoall like the NAS SP transpose, collective-heavy). The
+// invariants: the simulator never panics (the pools' double-free guards
+// panic on a freed-event delivery, so that is covered implicitly), a
+// run either completes or aborts with a structured *sim.AbortError, and
+// the per-rank accounting stays consistent (non-negative times bounded
+// by the run time, fault-explained wait within blocked time, exact
+// component decomposition on complete runs).
+func FuzzFaultSchedules(f *testing.F) {
+	// Seed corpus: one entry per app shape, healthy and faulted.
+	f.Add(uint64(1), uint8(8), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), true)    // tomcatv shape, healthy
+	f.Add(uint64(2), uint8(8), uint8(1), uint8(5), uint8(0), uint8(0), uint8(0), true)    // sweep3d shape, loss+retry
+	f.Add(uint64(3), uint8(9), uint8(2), uint8(5), uint8(5), uint8(5), uint8(0), true)    // SP shape, loss+dup+delay
+	f.Add(uint64(4), uint8(6), uint8(3), uint8(0), uint8(0), uint8(0), uint8(3), false)   // collectives + crash
+	f.Add(uint64(5), uint8(12), uint8(1), uint8(20), uint8(0), uint8(0), uint8(0), false) // heavy loss, no retry -> hang caught
+
+	f.Fuzz(func(t *testing.T, seed uint64, ranksB, bodyB, lossB, dupB, delayB, crashB uint8, retry bool) {
+		ranks := 2 + int(ranksB)%11 // 2..12
+		sc := &fault.Scenario{Seed: seed}
+		if lossB > 0 {
+			sc.Loss = []fault.LossSpec{{Prob: float64(lossB) / 512, From: fault.AnyRank, To: fault.AnyRank}}
+		}
+		if dupB > 0 {
+			sc.Duplicate = []fault.DupSpec{{Prob: float64(dupB) / 512, From: fault.AnyRank, To: fault.AnyRank}}
+		}
+		if delayB > 0 {
+			sc.Delay = []fault.DelaySpec{{
+				Prob: float64(delayB) / 512, Extra: 1e-4, Jitter: 1e-4,
+				From: fault.AnyRank, To: fault.AnyRank,
+			}}
+		}
+		if crashB > 0 {
+			sc.Crashes = []fault.CrashSpec{{Rank: int(crashB) % ranks, Time: float64(crashB) * 5e-5}}
+		}
+		if retry {
+			sc.Retry = &fault.RetryConfig{Timeout: 5e-4, Backoff: 2, MaxRetries: 8}
+		}
+		cfg := Config{
+			Ranks: ranks, Machine: machine.IBMSP(), Comm: Analytic,
+			Faults: sc,
+			// Lost messages without retries hang receivers by design; the
+			// watchdog and event budget keep every input terminating.
+			Limits: sim.Limits{StallEvents: 20_000, MaxEvents: 300_000},
+		}
+		body := fuzzBodies[int(bodyB)%len(fuzzBodies)]
+		rep, err := Run(cfg, body)
+		if err != nil {
+			var ae *sim.AbortError
+			if !errors.As(err, &ae) {
+				t.Fatalf("run failed with a non-abort error: %v", err)
+			}
+		}
+		if rep == nil {
+			if err == nil {
+				t.Fatal("nil report without error")
+			}
+			return
+		}
+		if rep.Time < 0 || math.IsNaN(rep.Time) || math.IsInf(rep.Time, 0) {
+			t.Fatalf("bad run time %g", rep.Time)
+		}
+		for i, rs := range rep.Ranks {
+			if rs.FinishTime < 0 || float64(rs.FinishTime) > rep.Time+1e-9 {
+				t.Fatalf("rank %d finish %g outside [0, %g]", i, float64(rs.FinishTime), rep.Time)
+			}
+			if rs.FaultBlocked < 0 || rs.FaultBlocked > rs.BlockedTime+1e-12 {
+				t.Fatalf("rank %d FaultBlocked %g outside [0, BlockedTime=%g]",
+					i, float64(rs.FaultBlocked), float64(rs.BlockedTime))
+			}
+			if rs.FaultTime < rs.FaultBlocked-1e-12 {
+				t.Fatalf("rank %d FaultTime %g < FaultBlocked %g",
+					i, float64(rs.FaultTime), float64(rs.FaultBlocked))
+			}
+			if !rep.Partial {
+				faultCPU := rs.FaultTime - rs.FaultBlocked
+				pure := rs.ComputeTime - rs.DelayTime - rs.CommCPUTime - faultCPU
+				sum := pure + rs.DelayTime + rs.CommCPUTime +
+					(rs.BlockedTime - rs.FaultBlocked) + rs.FaultTime
+				if math.Abs(float64(sum-rs.FinishTime)) > 1e-9*math.Max(1, float64(rs.FinishTime)) {
+					t.Fatalf("rank %d components sum %g != finish %g",
+						i, float64(sum), float64(rs.FinishTime))
+				}
+			}
+		}
+	})
+}
+
+// fuzzBodies are the program shapes the fuzzer exercises, modeled on
+// the repo's benchmark applications. Crashed ranks abandon their part
+// of the pattern, so peers may starve — that must surface as a clean
+// watchdog/deadlock abort, never a hang or panic.
+var fuzzBodies = []func(*Rank){
+	// tomcatv shape: ring shift then a residual allreduce per iteration.
+	func(r *Rank) {
+		p := r.Size()
+		for i := 0; i < 4; i++ {
+			r.Delay(1e-4)
+			r.Send((r.Rank()+1)%p, 1, 512, nil)
+			r.Recv((r.Rank()-1+p)%p, 1)
+			r.Allreduce([]float64{float64(r.Rank())}, 8, OpSum)
+		}
+	},
+	// sweep3d shape: wavefront — wait upstream, compute, push downstream.
+	func(r *Rank) {
+		for i := 0; i < 4; i++ {
+			if r.Rank() > 0 {
+				r.Recv(r.Rank()-1, 2)
+			}
+			r.Compute(5e-5)
+			if r.Rank() < r.Size()-1 {
+				r.Send(r.Rank()+1, 2, 256, nil)
+			}
+		}
+	},
+	// NAS SP shape: compute phases separated by transposes (alltoall).
+	func(r *Rank) {
+		chunks := make([][]float64, r.Size())
+		for i := range chunks {
+			chunks[i] = []float64{1}
+		}
+		for i := 0; i < 3; i++ {
+			r.Compute(1e-4)
+			r.Alltoall(chunks, 64)
+		}
+	},
+	// Collective-heavy: bcast/reduce/barrier rounds.
+	func(r *Rank) {
+		for i := 0; i < 3; i++ {
+			r.Bcast(0, []float64{1, 2}, 16)
+			r.Compute(5e-5)
+			r.Reduce(0, []float64{float64(r.Rank())}, 8, OpMax)
+			r.Barrier()
+		}
+	},
+}

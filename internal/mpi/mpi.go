@@ -18,9 +18,11 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"mpisim/internal/fault"
 	"mpisim/internal/machine"
 	"mpisim/internal/obs"
 	"mpisim/internal/sim"
@@ -110,6 +112,16 @@ type Config struct {
 	// spans, message flows, collective phases) is exported separately
 	// from the Report by internal/trace.Export.
 	Tracer *obs.Tracer
+	// Faults, when non-nil and active, injects the scenario's faults
+	// (crashes, loss, duplication, delay, link and compute slowdown)
+	// into the run, deterministically per scenario seed. Ignored under
+	// AbstractComm, which simulates no messages to inject into.
+	Faults *fault.Scenario
+	// Limits bounds the kernel run: event/virtual-time budgets, the
+	// no-progress watchdog and context cancellation (sim.Limits). On a
+	// trip, Run returns a partial Report together with the
+	// *sim.AbortError.
+	Limits sim.Limits
 }
 
 // SegKind classifies a trace segment.
@@ -125,6 +137,10 @@ const (
 	SegBlocked
 	// SegComm is CPU time in communication calls.
 	SegComm
+	// SegFault is time attributable to injected faults: retransmission
+	// CPU and waits, duplicate handling, compute-slowdown excess, and the
+	// portion of blocked time caused by fault-delayed messages.
+	SegFault
 )
 
 // String implements fmt.Stringer.
@@ -138,6 +154,8 @@ func (k SegKind) String() string {
 		return "blocked"
 	case SegComm:
 		return "comm"
+	case SegFault:
+		return "fault"
 	}
 	return "unknown"
 }
@@ -191,6 +209,17 @@ type RankStats struct {
 	CurBytes int64
 	// Collectives counts collective operations completed.
 	Collectives int64
+	// FaultTime is simulated time this rank lost to injected faults:
+	// retransmission CPU, duplicate handling, compute-slowdown excess,
+	// plus the FaultBlocked portion below. Zero without fault injection.
+	FaultTime sim.Time
+	// FaultBlocked is the portion of BlockedTime attributable to
+	// fault-delayed messages (FaultTime includes it); the remainder of
+	// BlockedTime is genuine wait the healthy machine would also see.
+	FaultBlocked sim.Time
+	// Crashed reports that the rank hit an injected stop-failure and
+	// terminated at FinishTime.
+	Crashed bool
 }
 
 // Report is the outcome of a World run.
@@ -224,13 +253,22 @@ type Report struct {
 	// DelayByTask aggregates delay seconds per condensed-task name over
 	// all ranks (populated by simplified-program runs).
 	DelayByTask map[string]float64
+	// Faults aggregates the injected-fault accounting when Config.Faults
+	// was active; nil otherwise.
+	Faults *fault.Stats
+	// Partial marks a report assembled from an aborted run (watchdog,
+	// budget, cancellation): every figure covers only the simulated work
+	// up to the abort. AbortReason carries the guard's root cause.
+	Partial     bool
+	AbortReason string
 }
 
 // World runs a target program of Config.Ranks ranks.
 type World struct {
-	cfg    Config
-	kernel *sim.Kernel
-	ranks  []*Rank
+	cfg      Config
+	kernel   *sim.Kernel
+	ranks    []*Rank
+	injector *fault.Injector // nil without fault injection
 
 	memMu   sync.Mutex
 	memUsed int64
@@ -259,23 +297,55 @@ func NewWorld(cfg Config) (*World, error) {
 		Queue:        cfg.Queue,
 		Metrics:      cfg.Metrics,
 		Tracer:       cfg.Tracer,
+		Limits:       cfg.Limits,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &World{cfg: cfg, kernel: k}, nil
+	w := &World{cfg: cfg, kernel: k}
+	if cfg.Faults != nil && cfg.Faults.Active() && cfg.Comm != AbstractComm {
+		// Every fault effect only *increases* message delays, so the
+		// kernel's conservative lookahead (the healthy minimum latency)
+		// remains a valid lower bound under injection.
+		inj, err := cfg.Faults.Injector(cfg.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		w.injector = inj
+	}
+	return w, nil
 }
 
 // Run executes body once per rank and returns the report. The error
-// reports deadlocks, panics in the target program, or exceeding the
-// simulated memory limit.
+// reports deadlocks, panics in the target program, exceeding the
+// simulated memory limit, or a guard abort (*sim.AbortError). On abort
+// the partial report is returned alongside the error (Report.Partial),
+// so long sweeps degrade to partial artifacts instead of losing the run.
 func (w *World) Run(body func(*Rank)) (*Report, error) {
 	w.ranks = make([]*Rank, w.cfg.Ranks)
 	for i := 0; i < w.cfg.Ranks; i++ {
 		r := &Rank{world: w, rank: i}
+		if w.injector != nil {
+			r.faults = w.injector.Rank(i)
+			if ct, ok := r.faults.CrashTime(); ok {
+				r.hasCrash = true
+				r.crashDeadline = sim.Time(ct)
+			}
+		}
 		w.ranks[i] = r
 		w.kernel.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
 			r.proc = p
+			defer func() {
+				if rec := recover(); rec != nil {
+					if rec != errRankCrash {
+						panic(rec)
+					}
+					// Injected stop-failure: the rank's body ends here and
+					// its proc finishes at the crash time; peers waiting on
+					// it block until retries, the watchdog or a deadlock
+					// resolve the run.
+				}
+			}()
 			body(r)
 		})
 	}
@@ -283,19 +353,30 @@ func (w *World) Run(body func(*Rank)) (*Report, error) {
 	if w.memErr != nil {
 		return nil, w.memErr
 	}
-	if err != nil {
+	if err != nil && res == nil {
 		return nil, err
 	}
 	rep := &Report{Time: float64(res.EndTime), Kernel: res}
+	var abort *sim.AbortError
+	if err != nil {
+		if !errors.As(err, &abort) {
+			return nil, err
+		}
+		rep.Partial = true
+		rep.AbortReason = abort.Reason
+	}
 	rep.Ranks = make([]RankStats, w.cfg.Ranks)
 	for i, r := range w.ranks {
 		rs := RankStats{
-			ProcStats:   res.Procs[i],
-			DelayTime:   r.delayTime,
-			CommCPUTime: r.commCPU,
-			PeakBytes:   r.peakBytes,
-			CurBytes:    r.curBytes,
-			Collectives: r.collectives,
+			ProcStats:    res.Procs[i],
+			DelayTime:    r.delayTime,
+			CommCPUTime:  r.commCPU,
+			PeakBytes:    r.peakBytes,
+			CurBytes:     r.curBytes,
+			Collectives:  r.collectives,
+			FaultTime:    r.faultCPU + r.faultBlocked,
+			FaultBlocked: r.faultBlocked,
+			Crashed:      r.crashed,
 		}
 		rep.Ranks[i] = rs
 		rep.TotalPeakBytes += r.peakBytes
@@ -332,7 +413,28 @@ func (w *World) Run(body func(*Rank)) (*Report, error) {
 			rep.DelayByTask[task] += secs
 		}
 	}
-	return rep, nil
+	if w.injector != nil {
+		st := w.injector.Stats()
+		rep.Faults = &st
+		w.publishFaultMetrics(&st)
+	}
+	return rep, err
+}
+
+// publishFaultMetrics flushes the injector's aggregate accounting into
+// the metrics registry, alongside the kernel's simulator-plane counters.
+func (w *World) publishFaultMetrics(st *fault.Stats) {
+	reg := w.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("fault_drops_total", "message transmissions dropped by fault injection").Add(0, st.Drops)
+	reg.Counter("fault_lost_total", "messages permanently lost (retries disabled or exhausted)").Add(0, st.Lost)
+	reg.Counter("fault_retransmissions_total", "retransmitted message copies").Add(0, st.Retransmissions)
+	reg.Counter("fault_backoff_waits_total", "retransmission waits beyond the base timeout (exponential backoff)").Add(0, st.BackoffWaits)
+	reg.Counter("fault_duplicates_total", "duplicate message copies delivered and suppressed").Add(0, st.Duplicates)
+	reg.Counter("fault_delays_total", "messages given injected extra transit delay").Add(0, st.Delays)
+	reg.Counter("fault_crashes_total", "ranks stopped by injected crash failures").Add(0, st.Crashes)
 }
 
 // Run is a convenience wrapper: build a world and run body on every rank.

@@ -1,11 +1,17 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
+	"mpisim/internal/fault"
 	"mpisim/internal/machine"
 	"mpisim/internal/sim"
 )
+
+// errRankCrash unwinds a rank body at an injected stop-failure; the
+// World.Run body wrapper recovers it, ending the rank at its crash time.
+var errRankCrash = errors.New("mpi: injected rank crash")
 
 // Rank is one target MPI process. All methods must be called from the
 // rank's own body function.
@@ -39,6 +45,17 @@ type Rank struct {
 	collPhases []CollPhase
 	// Delay seconds per condensed task name.
 	delayByTask map[string]float64
+
+	// Fault injection (nil / zero without an active scenario). faultCPU
+	// is fault time consumed through Advance (retransmission CPU,
+	// duplicate handling, compute-slowdown excess); faultBlocked is the
+	// portion of kernel BlockedTime caused by fault-delayed messages.
+	faults        *fault.RankFaults
+	hasCrash      bool
+	crashDeadline sim.Time
+	crashed       bool
+	faultCPU      sim.Time
+	faultBlocked  sim.Time
 }
 
 // segment appends a trace segment when tracing is enabled; zero-length
@@ -62,14 +79,68 @@ func (r *Rank) Now() float64 { return float64(r.proc.Now()) }
 // Machine returns the target machine model.
 func (r *Rank) Machine() *machine.Model { return r.world.cfg.Machine }
 
+// checkCrash fires the rank's injected stop-failure once its local clock
+// has reached the crash time. Crashes are detected at MPI-call
+// boundaries (and mid-work by advanceWork); a rank blocked forever in
+// Recv past its crash time is resolved by the watchdog or the deadlock
+// detector instead.
+func (r *Rank) checkCrash() {
+	if r.hasCrash && !r.crashed && r.proc.Now() >= r.crashDeadline {
+		r.crash()
+	}
+}
+
+// crash records the stop-failure and unwinds the body.
+func (r *Rank) crash() {
+	r.crashed = true
+	r.faults.RecordCrash()
+	panic(errRankCrash)
+}
+
+// advanceWork advances local work of the given base duration, applying
+// any transient compute slowdown (the factor sampled at the start of the
+// work item applies to the whole item) and stopping at an injected
+// crash. It returns the base seconds actually performed and whether the
+// rank crashed mid-work; the caller accounts the work, then must call
+// crash() when crashed is true.
+func (r *Rank) advanceWork(seconds float64, kind SegKind) (done float64, crashed bool) {
+	if r.faults == nil {
+		r.segment(r.Now(), r.Now()+seconds, kind)
+		r.proc.Advance(sim.Time(seconds))
+		return seconds, false
+	}
+	r.checkCrash()
+	now := r.Now()
+	factor := r.faults.ComputeFactor(now)
+	total := seconds * factor
+	done = seconds
+	if r.hasCrash && sim.Time(now+total) >= r.crashDeadline {
+		total = float64(r.crashDeadline) - now
+		if total < 0 {
+			total = 0
+		}
+		done = total / factor
+		crashed = true
+	}
+	r.segment(now, now+done, kind)
+	if excess := total - done; excess > 0 {
+		r.segment(now+done, now+total, SegFault)
+		r.faultCPU += sim.Time(excess)
+	}
+	r.proc.Advance(sim.Time(total))
+	return done, crashed
+}
+
 // Compute directly executes local computation costing the given seconds
 // of target time (MPI-Sim's direct execution of sequential code blocks).
 func (r *Rank) Compute(seconds float64) {
 	if seconds < 0 {
 		panic(fmt.Sprintf("mpi: negative Compute(%g)", seconds))
 	}
-	r.segment(r.Now(), r.Now()+seconds, SegCompute)
-	r.proc.Advance(sim.Time(seconds))
+	_, crashed := r.advanceWork(seconds, SegCompute)
+	if crashed {
+		r.crash()
+	}
 }
 
 // Delay is the simulator-provided delay function of the paper: it simply
@@ -86,15 +157,17 @@ func (r *Rank) DelayTask(task string, seconds float64) {
 		// (empty) iteration spaces; clamp as the runtime library would.
 		seconds = 0
 	}
-	r.delayTime += sim.Time(seconds)
+	done, crashed := r.advanceWork(seconds, SegDelay)
+	r.delayTime += sim.Time(done)
 	if task != "" {
 		if r.delayByTask == nil {
 			r.delayByTask = map[string]float64{}
 		}
-		r.delayByTask[task] += seconds
+		r.delayByTask[task] += done
 	}
-	r.segment(r.Now(), r.Now()+seconds, SegDelay)
-	r.proc.Advance(sim.Time(seconds))
+	if crashed {
+		r.crash()
+	}
 }
 
 // ReadTaskTime returns the measured w_i parameter with the given name
@@ -132,8 +205,12 @@ func (r *Rank) TrackFree(n int64) {
 }
 
 // sendTimes computes (cpuOverhead, arrivalTime) for a message of size
-// bytes issued now, under the configured communication model.
-func (r *Rank) sendTimes(dst int, size int64) (cpu sim.Time, arrival sim.Time) {
+// bytes issued now, under the configured communication model. faultDelay
+// is injected transit delay (retransmission waits, delay injection, link
+// slowdown excess); it joins the arrival before the non-overtaking clamp
+// so later messages on the same pair can never overtake a fault-delayed
+// one.
+func (r *Rank) sendTimes(dst int, size int64, faultDelay sim.Time) (cpu sim.Time, arrival sim.Time) {
 	n := &r.world.cfg.Machine.Net
 	now := r.proc.Now()
 	if dst == r.rank {
@@ -152,10 +229,10 @@ func (r *Rank) sendTimes(dst int, size int64) (cpu sim.Time, arrival sim.Time) {
 		occupancy := sim.Time(n.SendOverhead + float64(size)*n.GapPerByte)
 		r.nicSendFree = start + occupancy
 		cpu = sim.Time(n.SendOverhead)
-		arrival = start + occupancy + sim.Time(n.Latency+float64(size)/n.Bandwidth)
+		arrival = start + occupancy + sim.Time(n.Latency+float64(size)/n.Bandwidth) + faultDelay
 	default: // Analytic
 		cpu = sim.Time(n.SendOverhead)
-		arrival = now + cpu + sim.Time(n.Latency+float64(size)/n.Bandwidth)
+		arrival = now + cpu + sim.Time(n.Latency+float64(size)/n.Bandwidth) + faultDelay
 	}
 	// MPI non-overtaking: messages between the same pair are delivered in
 	// send order.
@@ -173,6 +250,9 @@ func (r *Rank) sendTimes(dst int, size int64) (cpu sim.Time, arrival sim.Time) {
 func (r *Rank) send(dst, tag int, size int64, data interface{}) {
 	if dst < 0 || dst >= r.Size() {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", dst, r.Size()))
+	}
+	if r.faults != nil {
+		r.checkCrash()
 	}
 	if r.world.cfg.CollectMatrix {
 		if r.msgMatrix == nil {
@@ -192,11 +272,48 @@ func (r *Rank) send(dst, tag int, size int64, data interface{}) {
 		r.abstractBytes += size
 		return
 	}
-	cpu, arrival := r.sendTimes(dst, size)
-	r.proc.SendTag(dst, tag, data, size, arrival)
+	var fate fault.MsgFate
+	var faultDelay sim.Time
+	if r.faults != nil && dst != r.rank {
+		n := &r.world.cfg.Machine.Net
+		fate = r.faults.SendFate(dst, r.Now())
+		if fate.Lost {
+			// Dropped with retries disabled or exhausted: no message is
+			// issued. The sender still pays its overheads — the original
+			// attempt as communication CPU, the retransmissions as fault
+			// CPU — and the receiver provably hangs until the watchdog,
+			// deadlock detector or an any-source match resolves it.
+			cpu := sim.Time(n.SendOverhead)
+			r.commCPU += cpu
+			r.segment(r.Now(), r.Now()+float64(cpu), SegComm)
+			r.proc.Advance(cpu)
+			if retry := sim.Time(float64(fate.Retries) * n.SendOverhead); retry > 0 {
+				r.faultCPU += retry
+				r.segment(r.Now(), r.Now()+float64(retry), SegFault)
+				r.proc.Advance(retry)
+			}
+			return
+		}
+		faultDelay = sim.Time(fate.RetryWait + fate.ExtraDelay +
+			(fate.LinkFactor-1)*(n.Latency+float64(size)/n.Bandwidth))
+	}
+	cpu, arrival := r.sendTimes(dst, size, faultDelay)
+	r.proc.SendTagFault(dst, tag, data, size, arrival, faultDelay)
 	r.commCPU += cpu
 	r.segment(r.Now(), r.Now()+float64(cpu), SegComm)
 	r.proc.Advance(cpu)
+	if fate.Retries > 0 || fate.Duplicated {
+		// Sender CPU for each retransmitted copy plus one for handling
+		// the suppressed duplicate.
+		n := &r.world.cfg.Machine.Net
+		extra := sim.Time(float64(fate.Retries) * n.SendOverhead)
+		if fate.Duplicated {
+			extra += sim.Time(n.SendOverhead)
+		}
+		r.faultCPU += extra
+		r.segment(r.Now(), r.Now()+float64(extra), SegFault)
+		r.proc.Advance(extra)
+	}
 }
 
 // Send is a blocking standard-mode send of size bytes with the given tag.
@@ -234,9 +351,26 @@ func (r *Rank) RecvSized(src, tag int, expect int64) (int64, interface{}) {
 		r.proc.Advance(cost)
 		return expect, nil
 	}
+	if r.faults != nil {
+		r.checkCrash()
+	}
 	t0 := r.Now()
 	m := r.proc.RecvSrcTag(src, tag)
-	r.segment(t0, r.Now(), SegBlocked)
+	now := r.Now()
+	// Attribute to faults the part of the wait the message's FaultDelay
+	// explains: had the machine been healthy, the message would have
+	// arrived that much earlier, capped by how long we actually waited.
+	fb := float64(m.FaultDelay)
+	if fb > now-t0 {
+		fb = now - t0
+	}
+	if r.faults != nil && fb > 0 {
+		r.faultBlocked += sim.Time(fb)
+		r.segment(t0, now-fb, SegBlocked)
+		r.segment(now-fb, now, SegFault)
+	} else {
+		r.segment(t0, now, SegBlocked)
+	}
 	return r.finishRecv(m)
 }
 

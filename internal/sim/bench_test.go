@@ -175,6 +175,25 @@ func BenchmarkKernelObs(b *testing.B) {
 	})
 }
 
+// BenchmarkKernelGuard measures the run-limit guard's cost on the
+// sequential engine at 256 processes. "off" is the fault/guard layer
+// disabled (Config.Limits zero, so the hot loop pays two nil checks per
+// event); "armed" arms the watchdog and an unreachable event budget, so
+// guardTick runs on every event without ever tripping. scripts/ci.sh
+// gates "off" against the recorded BENCH_kernel.json at 2% and "armed"
+// against "off" in the same process.
+func BenchmarkKernelGuard(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, benchBody)
+	})
+	b.Run("armed", func(b *testing.B) {
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, benchBody,
+			func(cfg *Config) {
+				cfg.Limits = Limits{MaxEvents: 1 << 60, StallEvents: 1 << 40}
+			})
+	})
+}
+
 // BenchmarkKernelWorkers sweeps the worker count at a fixed process
 // count, exercising the O(W) safeBounds and the sorted outbox merge.
 func BenchmarkKernelWorkers(b *testing.B) {

@@ -92,6 +92,11 @@ type Config struct {
 	// counter tracks (queue depth, wallclock per virtual second) on
 	// obs.PlaneSimulator. Neither option affects simulation results.
 	Tracer *obs.Tracer
+	// Limits bounds the run: event/virtual-time budgets, the no-progress
+	// watchdog, and context cancellation (guard.go). The zero value
+	// disables the guard; an aborted run returns a partial Result and an
+	// *AbortError.
+	Limits Limits
 }
 
 // Result summarizes a completed simulation.
@@ -141,6 +146,9 @@ type worker struct {
 	// obs is nil unless Config.Metrics or Config.Tracer is set; every
 	// instrumentation hook gates on that nil check (obs.go).
 	obs *workerObs
+	// guard is nil unless Config.Limits is active; same nil-check
+	// discipline (guard.go).
+	guard *guardState
 }
 
 // Kernel drives a set of spawned processes to completion.
@@ -149,6 +157,11 @@ type Kernel struct {
 	procs   []*Proc
 	workers []*worker
 	started bool
+	// guard is non-nil when Config.Limits is active (guard.go); teardown
+	// is set by terminateBlocked so unblocked processes know a nil resume
+	// means "exit", not a wake.
+	guard    *kernelGuard
+	teardown bool
 	// Per-round scratch buffers, reused so rounds do not allocate.
 	bounds     []Time
 	mergeHeads []outCursor
@@ -193,8 +206,12 @@ func (k *Kernel) workerOf(proc int) *worker {
 }
 
 // Run executes the simulation to completion and returns the result. It
-// returns an error if any process panicked or if the program deadlocks
-// (every process blocked with no messages in flight).
+// returns an error if any process panicked (*PanicError), if the program
+// deadlocks (every process blocked with no messages in flight), or if a
+// configured limit tripped (*AbortError in the latter two cases). On
+// error the Result is still returned when the kernel got far enough to
+// assemble one: a partial result covering the work done before the
+// abort, for graceful degradation.
 func (k *Kernel) Run() (*Result, error) {
 	if k.started {
 		return nil, fmt.Errorf("sim: Run called twice")
@@ -220,6 +237,8 @@ func (k *Kernel) Run() (*Result, error) {
 	// Instrumentation attaches before the start events are seeded so the
 	// pool counters see every allocation.
 	ko := k.setupObs()
+	k.setupGuard()
+	defer k.watchCtx()()
 	for _, p := range k.procs {
 		p.worker = k.workerOf(p.id)
 		e := p.worker.newEvent()
@@ -233,27 +252,27 @@ func (k *Kernel) Run() (*Result, error) {
 		k.workers[0].processWindow(Infinity)
 		res.Windows = 1
 	} else {
-		if err := k.runParallel(res); err != nil {
-			return nil, err
-		}
+		k.runParallel(res)
 	}
 	out, err := k.finish(res)
-	if err != nil {
-		return nil, err
-	}
-	// After finish so the final sample carries the run's end time.
+	// After finish so the final sample carries the run's end time (or the
+	// partial result's, on abort).
 	k.obsFinish(ko, out)
-	return out, nil
+	return out, err
 }
 
-// runParallel executes conservative rounds until no events remain.
-func (k *Kernel) runParallel(res *Result) error {
+// runParallel executes conservative rounds until no events remain or the
+// guard trips.
+func (k *Kernel) runParallel(res *Result) {
 	for {
 		// Barrier: route cross-worker messages produced in the last round.
 		k.mergeOutboxes()
+		if k.guard != nil && k.guard.tripped() {
+			return
+		}
 		bounds, any := k.safeBounds()
 		if !any {
-			return nil
+			return
 		}
 		res.Windows++
 		if k.cfg.RealParallel {
@@ -422,24 +441,37 @@ func (k *Kernel) safeBounds() ([]Time, bool) {
 }
 
 // finish validates terminal state, tears down blocked processes and
-// assembles the result.
+// assembles the (possibly partial) result. On abort or deadlock the
+// wait-state dump is captured before teardown, so it reflects what every
+// process was doing when the run stopped.
 func (k *Kernel) finish(res *Result) (*Result, error) {
+	aborted := k.guard != nil && k.guard.tripped()
 	var blocked []string
 	for _, p := range k.procs {
 		if p.state == stBlocked {
 			blocked = append(blocked, fmt.Sprintf("%d(%s)@%g", p.id, p.name, float64(p.now)))
 		}
 	}
-	if len(blocked) > 0 {
+	var abortErr *AbortError
+	if aborted || len(blocked) > 0 {
+		states := k.waitStates()
+		reason := ""
+		if aborted {
+			reason = k.guard.why()
+		} else {
+			reason = fmt.Sprintf("deadlock, %d blocked processes: %s",
+				len(blocked), strings.Join(blocked, ", "))
+		}
+		abortErr = &AbortError{Reason: reason, States: states}
+		if k.guard != nil {
+			abortErr.Snapshot = k.snapshot(reason, states)
+		}
 		k.terminateBlocked()
-		return nil, fmt.Errorf("sim: deadlock, %d blocked processes: %s",
-			len(blocked), strings.Join(blocked, ", "))
 	}
+	// Assemble statistics after teardown so finish times are final; on
+	// abort this is the partial result.
 	res.Procs = make([]ProcStats, len(k.procs))
 	for i, p := range k.procs {
-		if p.err != nil {
-			return nil, p.err
-		}
 		res.Procs[i] = p.stats
 		if p.stats.FinishTime > res.EndTime {
 			res.EndTime = p.stats.FinishTime
@@ -450,15 +482,32 @@ func (k *Kernel) finish(res *Result) (*Result, error) {
 		res.Delivered += w.delivered
 		res.CrossWorker += w.cross
 	}
+	// A body panic is the most specific failure: report it over the
+	// generic abort, with the snapshot attached when the guard was live.
+	for _, p := range k.procs {
+		if p.err == nil {
+			continue
+		}
+		if pe, ok := p.err.(*PanicError); ok && abortErr != nil && abortErr.Snapshot != nil {
+			pe.Snapshot = abortErr.Snapshot
+		}
+		return res, p.err
+	}
+	if abortErr != nil {
+		return res, abortErr
+	}
 	return res, nil
 }
 
-// terminateBlocked unblocks deadlocked processes so their goroutines can
-// exit (their bodies observe a nil message and panic, which is captured).
-// At teardown every queue is empty, so each resumed goroutine's loop
-// finds no work and parks immediately; pooled events cannot be
-// double-freed because none are outstanding.
+// terminateBlocked unblocks stuck processes so their goroutines can exit
+// (their bodies observe the teardown and panic errTeardown, which run
+// swallows). On a deadlock every queue is empty, so each resumed
+// goroutine's loop finds no work and parks immediately; on a guard abort
+// the queues may still hold events, but the abort flag makes runLoop
+// return without popping any, so the same invariant holds: no pooled
+// event is touched after teardown.
 func (k *Kernel) terminateBlocked() {
+	k.teardown = true
 	for _, p := range k.procs {
 		if p.state != stBlocked {
 			continue
@@ -521,6 +570,12 @@ func (w *worker) processWindow(end Time) {
 // two (resume + park), and zero when the next event resumes self.
 func (w *worker) runLoop(self *Proc) (loopStatus, *Message) {
 	for {
+		// Guard abort: stop popping. This is also what makes teardown with
+		// non-empty queues safe — resumed goroutines park without touching
+		// another event.
+		if w.guard != nil && w.guard.g.abort.Load() {
+			return loopWindowDone, nil
+		}
 		top := w.queue.peek()
 		if top == nil || top.t >= w.end {
 			return loopWindowDone, nil
@@ -529,9 +584,13 @@ func (w *worker) runLoop(self *Proc) (loopStatus, *Message) {
 		w.events++
 		q := w.kernel.procs[e.dst]
 		kind, t, m := e.kind, e.t, e.msg
+		src, dst := e.proc, e.dst
 		w.freeEvent(e)
 		if w.obs != nil {
 			w.obsTick(t)
+		}
+		if w.guard != nil {
+			w.guardTick(t, kind, src, dst)
 		}
 		switch kind {
 		case evStart:

@@ -1,6 +1,15 @@
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// errTeardown is the panic value used to unwind a process goroutine that
+// the kernel unblocked during teardown (deadlock or guard abort). It is
+// compared by identity in run's recover and never reaches p.err: a
+// torn-down process is not a failed one.
+var errTeardown = errors.New("sim: process terminated by kernel teardown")
 
 // Time is simulated time in seconds.
 type Time float64
@@ -26,10 +35,15 @@ type Message struct {
 	Tag      int  // mpi-layer tag, matched by RecvSrcTag
 	SendTime Time // sender's local time when the send was issued
 	Arrival  Time // timestamp at which the message reaches the receiver
-	Size     int64
-	Payload  interface{}
-	seq      uint64 // sender-side sequence, part of the deterministic order
-	live     bool   // pool liveness guard (detects double-free)
+	// FaultDelay is the portion of the transit time attributable to
+	// injected faults (retransmission waits, delay injection, link
+	// slowdown): Arrival would have been FaultDelay earlier on a healthy
+	// machine. Receivers use it to attribute blocked time to faults.
+	FaultDelay Time
+	Size       int64
+	Payload    interface{}
+	seq        uint64 // sender-side sequence, part of the deterministic order
+	live       bool   // pool liveness guard (detects double-free)
 }
 
 // procState tracks where a process is in its lifecycle.
@@ -142,6 +156,14 @@ func (p *Proc) Send(to int, payload interface{}, size int64, arrival Time) {
 
 // SendTag is Send with an explicit tag for RecvSrcTag matching.
 func (p *Proc) SendTag(to, tag int, payload interface{}, size int64, arrival Time) {
+	p.SendTagFault(to, tag, payload, size, arrival, 0)
+}
+
+// SendTagFault is SendTag with a fault-delay component: faultDelay
+// seconds of the transit time (already included in arrival) are
+// attributable to injected faults and are carried to the receiver in
+// Message.FaultDelay.
+func (p *Proc) SendTagFault(to, tag int, payload interface{}, size int64, arrival, faultDelay Time) {
 	if to < 0 || to >= len(p.kernel.procs) {
 		panic(fmt.Sprintf("sim: Send to unknown proc %d", to))
 	}
@@ -152,6 +174,7 @@ func (p *Proc) SendTag(to, tag int, payload interface{}, size int64, arrival Tim
 	m := w.newMessage()
 	m.From, m.To, m.Tag = p.id, to, tag
 	m.SendTime, m.Arrival = p.now, arrival
+	m.FaultDelay = faultDelay
 	m.Size, m.Payload = size, payload
 	m.seq = p.nextSeq()
 	p.stats.MsgsSent++
@@ -210,9 +233,10 @@ func (p *Proc) recvMatched() *Message {
 	p.matchMode = matchNone
 	p.state = stRunnable
 	if m == nil {
-		// Deadlock teardown: the kernel unblocks us so the goroutine can
-		// exit; the panic is captured by run and reported via the kernel.
-		panic("terminated while blocked in Recv (deadlock teardown)")
+		// Teardown (deadlock or guard abort): the kernel unblocks us so
+		// the goroutine can exit; run recognizes the sentinel and exits
+		// without recording an error.
+		panic(errTeardown)
 	}
 	p.completeRecv(m)
 	return m
@@ -327,6 +351,11 @@ func (p *Proc) Sleep(until Time) {
 	w.queue.push(e)
 	p.state = stBlocked // matchMode is matchNone: arrivals queue in the mailbox
 	p.yield()
+	if p.kernel.teardown {
+		// A guard abort can tear down a sleeper (its wake event is still
+		// queued); the nil resume is an exit request, not the wake.
+		panic(errTeardown)
+	}
 	p.state = stRunnable
 	if until > p.now {
 		p.now = until
@@ -338,12 +367,33 @@ func (p *Proc) Sleep(until Time) {
 // the event loop until it can hand off or the window is done.
 func (p *Proc) run() {
 	defer func() {
-		if r := recover(); r != nil {
-			p.err = fmt.Errorf("sim: proc %d (%s) panicked: %v", p.id, p.name, r)
+		if r := recover(); r != nil && r != errTeardown {
+			p.err = &PanicError{Proc: p.id, Name: p.name, Value: r}
+			if g := p.kernel.guard; g != nil {
+				g.trip(tripPanic, fmt.Sprintf("proc %d (%s) panicked: %v", p.id, p.name, r))
+			}
 		}
 		p.state = stDone
 		p.stats.FinishTime = p.now
-		if st, _ := p.worker.runLoop(nil); st == loopWindowDone {
+		st := loopWindowDone
+		func() {
+			defer func() {
+				if rr := recover(); rr != nil {
+					// The trailing event loop itself failed (corrupted
+					// queue, panicking predicate). With the guard live,
+					// abort and fall through to park so the driver
+					// survives; without it, preserve the hard crash — a
+					// silent infinite window would be worse.
+					g := p.kernel.guard
+					if g == nil {
+						panic(rr)
+					}
+					g.trip(tripPanic, fmt.Sprintf("event loop on proc %d (%s): %v", p.id, p.name, rr))
+				}
+			}()
+			st, _ = p.worker.runLoop(nil)
+		}()
+		if st == loopWindowDone {
 			p.worker.parked <- struct{}{}
 		}
 	}()

@@ -25,6 +25,12 @@ type Artifact struct {
 	Inputs map[string]float64 `json:"inputs,omitempty"`
 	// PredictedTime duplicates Report.Time for cheap scanning.
 	PredictedTime float64 `json:"predicted_time"`
+	// Partial / AbortReason duplicate the report's graceful-degradation
+	// status: a run stopped by a budget, watchdog, cancellation or crash
+	// still writes its artifact, flagged so downstream tools can tell a
+	// truncated prediction from a completed one.
+	Partial     bool   `json:"partial,omitempty"`
+	AbortReason string `json:"abort_reason,omitempty"`
 	// TaskLines / TaskHeads anchor condensed-task names (w_i) to the
 	// original program's canonical listing, from compiler.TaskLines.
 	TaskLines map[string]int    `json:"task_lines,omitempty"`
@@ -40,6 +46,8 @@ func WriteArtifact(path string, a *Artifact) error {
 	}
 	a.PredictedTime = a.Report.Time
 	a.Ranks = len(a.Report.Ranks)
+	a.Partial = a.Report.Partial
+	a.AbortReason = a.Report.AbortReason
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		return err

@@ -18,9 +18,12 @@ import (
 // executions, before the machine exists.
 
 // RankBreakdown is the exact decomposition of one rank's finish time:
-// Finish = PureCompute + Delay + CommCPU + Blocked, where PureCompute is
-// directly executed computation (ComputeTime net of delays and
-// communication CPU, which the kernel folds into it).
+// Finish = PureCompute + Delay + CommCPU + Blocked + Fault, where
+// PureCompute is directly executed computation (ComputeTime net of
+// delays, communication CPU and fault CPU, which the kernel folds into
+// it), Blocked is genuine waiting net of the fault-explained portion,
+// and Fault is all time attributed to injected faults (retransmission
+// CPU and waits, compute-slowdown excess, fault-delayed arrivals).
 type RankBreakdown struct {
 	Rank        int     `json:"rank"`
 	Finish      float64 `json:"finish"`
@@ -28,6 +31,7 @@ type RankBreakdown struct {
 	Delay       float64 `json:"delay"`
 	CommCPU     float64 `json:"comm_cpu"`
 	Blocked     float64 `json:"blocked"`
+	Fault       float64 `json:"fault,omitempty"`
 }
 
 // RankDelta is the per-rank component change between two runs with equal
@@ -39,6 +43,7 @@ type RankDelta struct {
 	Delay       float64 `json:"delay"`
 	CommCPU     float64 `json:"comm_cpu"`
 	Blocked     float64 `json:"blocked"`
+	Fault       float64 `json:"fault,omitempty"`
 }
 
 // TaskDelta is the change in per-rank mean delay seconds attributed to
@@ -79,6 +84,7 @@ type Attribution struct {
 	DeltaDelay   float64       `json:"delta_delay"`
 	DeltaCommCPU float64       `json:"delta_comm_cpu"`
 	DeltaBlocked float64       `json:"delta_blocked"`
+	DeltaFault   float64       `json:"delta_fault,omitempty"`
 
 	// PerRank is populated when both runs have the same rank count.
 	PerRank []RankDelta `json:"per_rank,omitempty"`
@@ -88,16 +94,21 @@ type Attribution struct {
 	Tasks []TaskDelta `json:"tasks,omitempty"`
 }
 
-// breakdown decomposes rank i of an artifact's report.
+// breakdown decomposes rank i of an artifact's report. The fault CPU
+// (FaultTime net of its blocked portion) is folded into ComputeTime by
+// the kernel and the fault-explained wait into BlockedTime, so both are
+// subtracted out to keep the components disjoint and exactly summing.
 func breakdown(a *Artifact, i int) RankBreakdown {
 	rs := a.Report.Ranks[i]
+	faultCPU := rs.FaultTime - rs.FaultBlocked
 	return RankBreakdown{
 		Rank:        i,
 		Finish:      float64(rs.FinishTime),
-		PureCompute: float64(rs.ComputeTime - rs.DelayTime - rs.CommCPUTime),
+		PureCompute: float64(rs.ComputeTime - rs.DelayTime - rs.CommCPUTime - faultCPU),
 		Delay:       float64(rs.DelayTime),
 		CommCPU:     float64(rs.CommCPUTime),
-		Blocked:     float64(rs.BlockedTime),
+		Blocked:     float64(rs.BlockedTime - rs.FaultBlocked),
+		Fault:       float64(rs.FaultTime),
 	}
 }
 
@@ -141,6 +152,7 @@ func Attribute(base, target *Artifact) (*Attribution, error) {
 	at.DeltaDelay = at.Target.Delay - at.Base.Delay
 	at.DeltaCommCPU = at.Target.CommCPU - at.Base.CommCPU
 	at.DeltaBlocked = at.Target.Blocked - at.Base.Blocked
+	at.DeltaFault = at.Target.Fault - at.Base.Fault
 
 	if at.BaseRanks == at.TargetRanks {
 		at.PerRank = make([]RankDelta, at.BaseRanks)
@@ -153,6 +165,7 @@ func Attribute(base, target *Artifact) (*Attribution, error) {
 				Delay:       t.Delay - b.Delay,
 				CommCPU:     t.CommCPU - b.CommCPU,
 				Blocked:     t.Blocked - b.Blocked,
+				Fault:       t.Fault - b.Fault,
 			}
 		}
 	}
@@ -221,6 +234,9 @@ func (at *Attribution) Text(topN int) string {
 	row("delay", at.Base.Delay, at.Target.Delay, at.DeltaDelay)
 	row("comm cpu", at.Base.CommCPU, at.Target.CommCPU, at.DeltaCommCPU)
 	row("blocked", at.Base.Blocked, at.Target.Blocked, at.DeltaBlocked)
+	if at.Base.Fault != 0 || at.Target.Fault != 0 {
+		row("fault", at.Base.Fault, at.Target.Fault, at.DeltaFault)
+	}
 	fmt.Fprintf(&sb, "    (critical rank %d -> %d)\n", at.Base.Rank, at.Target.Rank)
 
 	if len(at.Tasks) > 0 {
@@ -242,7 +258,7 @@ func (at *Attribution) Text(topN int) string {
 		}
 	}
 	if len(at.PerRank) > 0 {
-		sb.WriteString("  per-rank deltas (finish = compute + delay + comm + blocked):\n")
+		sb.WriteString("  per-rank deltas (finish = compute + delay + comm + blocked + fault):\n")
 		ranks := make([]RankDelta, len(at.PerRank))
 		copy(ranks, at.PerRank)
 		sort.Slice(ranks, func(i, j int) bool {
@@ -253,9 +269,13 @@ func (at *Attribution) Text(topN int) string {
 			n = topN
 		}
 		for _, rd := range ranks[:n] {
-			fmt.Fprintf(&sb, "    rank %-4d finish %s  compute %s  delay %s  comm %s  blocked %s\n",
+			fmt.Fprintf(&sb, "    rank %-4d finish %s  compute %s  delay %s  comm %s  blocked %s",
 				rd.Rank, secs(rd.Finish), secs(rd.PureCompute), secs(rd.Delay),
 				secs(rd.CommCPU), secs(rd.Blocked))
+			if rd.Fault != 0 {
+				fmt.Fprintf(&sb, "  fault %s", secs(rd.Fault))
+			}
+			sb.WriteByte('\n')
 		}
 		if n < len(ranks) {
 			fmt.Fprintf(&sb, "    ... %d more rank(s)\n", len(ranks)-n)

@@ -22,6 +22,19 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseBenchBestOfN(t *testing.T) {
+	// `go test -count N` repeats each benchmark; the best run wins.
+	lines := []string{
+		"BenchmarkKernelGuard/off-8  3  110000000 ns/op  2400000 events/sec",
+		"BenchmarkKernelGuard/off-8  3  100000000 ns/op  2600000 events/sec",
+		"BenchmarkKernelGuard/off-8  3  105000000 ns/op  2500000 events/sec",
+	}
+	got := parseBench(lines)
+	if got["BenchmarkKernelGuard/off"] != 2600000 {
+		t.Errorf("off = %g, want best-of-3 2600000", got["BenchmarkKernelGuard/off"])
+	}
+}
+
 func TestPairListSet(t *testing.T) {
 	var p pairList
 	if err := p.Set("a,b,0.05"); err != nil {
