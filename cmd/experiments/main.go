@@ -42,6 +42,8 @@ func run() error {
 		id      = flag.String("id", "", "run a single experiment (fig3..fig16, table1); default all")
 		full    = flag.Bool("full", false, "use paper-scale configurations (slow)")
 		hosts   = flag.Int("hosts", 1, "host processors for the simulation engine")
+		topo    = flag.String("topology", "", "interconnect topology override for every machine (flat, bus, torus:dims=..., fattree:k=..., graph:PATH)")
+		place   = flag.String("placement", "", "rank placement override: block, roundrobin, random:SEED")
 		rankCap = flag.Int("rankcap", 0, "drop configurations above this many target ranks")
 		outdir  = flag.String("outdir", "", "also write one file per experiment into this directory")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -79,7 +81,8 @@ func run() error {
 		}()
 	}
 
-	cfg := tables.Config{Full: *full, HostWorkers: *hosts, RankCap: *rankCap}
+	cfg := tables.Config{Full: *full, HostWorkers: *hosts, RankCap: *rankCap,
+		Topology: *topo, Placement: *place}
 	var reg *obs.Registry
 	if *metrics || *obsHTTP != "" {
 		reg = obs.NewRegistry(*hosts)

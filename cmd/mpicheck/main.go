@@ -10,6 +10,8 @@
 //	mpicheck -file prog.ir -ranks 8 -inputs N=1024
 //	mpicheck -all -json
 //	mpicheck -list
+//	mpicheck -app sweep3d -ranks 16 -topology fattree:k=4 -placement block
+//	mpicheck -app sweep3d -ranks 16 -netjson examples/networks/dumbbell.json
 //
 // Exit status: 0 when every checked program is free of error-severity
 // findings (warnings allowed), 1 when errors were found, 2 on usage or
@@ -26,6 +28,7 @@ import (
 	"mpisim/internal/check"
 	"mpisim/internal/cliutil"
 	"mpisim/internal/ir"
+	"mpisim/internal/machine"
 )
 
 func main() {
@@ -50,6 +53,10 @@ func run() int {
 		minStr    = flag.String("min", "info", "lowest severity to print: info, warning, error")
 		maxOps    = flag.Int("max-ops", 0, "per-rank abstract-execution budget (0 = default)")
 		list      = flag.Bool("list", false, "list the registered passes and exit")
+		machName  = flag.String("machine", "", "machine model for the netconfig pass: "+strings.Join(machine.Names(), ", ")+" (empty = skip)")
+		topology  = flag.String("topology", "", "interconnect topology to validate (implies -machine ibmsp if unset)")
+		placement = flag.String("placement", "", "rank placement to validate: block, roundrobin, random:SEED")
+		netJSON   = flag.String("netjson", "", "arbitrary-graph topology config file (shorthand for -topology graph:PATH)")
 	)
 	flag.Parse()
 
@@ -88,6 +95,28 @@ func run() int {
 	if err != nil {
 		return usage("%v", err)
 	}
+	if *netJSON != "" {
+		if *topology != "" {
+			return usage("-netjson and -topology are mutually exclusive")
+		}
+		*topology = "graph:" + *netJSON
+	}
+	if *machName == "" && (*topology != "" || *placement != "") {
+		*machName = "ibmsp"
+	}
+	var mach *machine.Model
+	if *machName != "" {
+		mach, err = machine.ByName(*machName)
+		if err != nil {
+			return usage("%v", err)
+		}
+		if *topology != "" {
+			mach.Topology = *topology
+		}
+		if *placement != "" {
+			mach.Placement = *placement
+		}
+	}
 
 	targets, rc := collectTargets(*appName, *file, *all, *ranks, over)
 	if rc != 0 {
@@ -98,6 +127,7 @@ func run() int {
 	for _, tg := range targets {
 		res, err := check.Run(tg.prog, check.Options{
 			Ranks: *ranks, Inputs: tg.inputs, Passes: passes, MaxOps: *maxOps,
+			Machine: mach,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mpicheck:", err)

@@ -88,5 +88,25 @@ func run() error {
 		}
 		fmt.Print(at.Text(*topN))
 	}
+	// Topology-mode artifacts additionally get their congestion-hotspot
+	// sections: the per-link and per-rank detail behind the 'net'
+	// attribution component.
+	for _, a := range arts {
+		if s := trace.Congestion(a.Report, *topN); s != "" {
+			fmt.Printf("\n[%s, %d ranks]\n%s", artifactName(a), a.Ranks, s)
+		}
+	}
 	return nil
+}
+
+// artifactName labels a congestion section with the run's identity.
+func artifactName(a *trace.Artifact) string {
+	name := a.App
+	if name == "" {
+		name = "program"
+	}
+	if a.Machine != "" {
+		name += " on " + a.Machine
+	}
+	return name
 }

@@ -63,7 +63,11 @@ func run() error {
 		modeName  = flag.String("mode", "am", "evaluation mode: measured, de, am")
 		ranks     = flag.Int("ranks", 4, "number of target processors")
 		inputsStr = flag.String("inputs", "", "program inputs as key=value,... (defaults per app)")
-		machName  = flag.String("machine", "ibmsp", "target machine: ibmsp, origin2000")
+		machName  = flag.String("machine", "ibmsp", "target machine: "+strings.Join(machine.Names(), ", "))
+		listMach  = flag.Bool("listmachines", false, "list the machine model presets and exit")
+		topology  = flag.String("topology", "", "interconnect topology: flat, bus[:hosts=N], torus:dims=4x4, fattree:k=4, graph:PATH (empty = machine default)")
+		placement = flag.String("placement", "", "rank placement onto hosts: block, roundrobin, random:SEED (empty = machine default)")
+		netJSON   = flag.String("netjson", "", "arbitrary-graph topology config file (shorthand for -topology graph:PATH)")
 		hosts     = flag.Int("hosts", 1, "host processors for the simulation engine")
 		calRanks  = flag.Int("cal-ranks", 0, "calibration rank count for AM (default: min(ranks,16))")
 		ttFile    = flag.String("tasktimes", "", "read w_i table from file instead of calibrating")
@@ -87,6 +91,18 @@ func run() error {
 		wallTimeout = flag.Duration("walltimeout", 0, "abort after this much host wall-clock time, e.g. 30s (0 = unlimited)")
 	)
 	flag.Parse()
+
+	if *listMach {
+		for _, m := range machine.Presets() {
+			topo := m.Topology
+			if topo == "" {
+				topo = "flat"
+			}
+			fmt.Printf("%-12s %3d MB/s, %6.3g s latency, topology %s\n",
+				m.Name, int(m.Net.Bandwidth/1e6), m.Net.Latency, topo)
+		}
+		return nil
+	}
 
 	var prog *ir.Program
 	var defaults func(int) map[string]float64
@@ -112,6 +128,18 @@ func run() error {
 	m, err := machine.ByName(*machName)
 	if err != nil {
 		return err
+	}
+	if *netJSON != "" {
+		if *topology != "" {
+			return fmt.Errorf("-netjson and -topology are mutually exclusive")
+		}
+		*topology = "graph:" + *netJSON
+	}
+	if *topology != "" {
+		m.Topology = *topology
+	}
+	if *placement != "" {
+		m.Placement = *placement
 	}
 	inputs := defaults(*ranks)
 	over, err := cliutil.ParseInputs(*inputsStr)
@@ -234,6 +262,14 @@ func run() error {
 		fmt.Printf("faults: %d dropped (%d lost), %d retransmissions, %d duplicates, %d delayed, %d crashes, retry wait %s\n",
 			f.Drops, f.Lost, f.Retransmissions, f.Duplicates, f.Delays, f.Crashes,
 			cliutil.FormatSeconds(f.RetryWaitSeconds))
+	}
+	if st := rep.Net; st != nil {
+		fmt.Printf("network: %s placement=%s, routed %d msgs (%s), node-local %d msgs, contention wait %s\n",
+			st.Topology, st.Placement, st.InterMsgs, cliutil.FormatBytes(st.InterBytes),
+			st.IntraMsgs, cliutil.FormatSeconds(st.Wait))
+		if *verbose {
+			fmt.Print(trace.Congestion(rep, 5))
+		}
 	}
 	fmt.Printf("target memory: total %s, max rank %s\n",
 		cliutil.FormatBytes(rep.TotalPeakBytes), cliutil.FormatBytes(rep.MaxRankPeakBytes))

@@ -6,7 +6,7 @@
 // The paper's premise is that the compiler can statically recover the
 // parallel structure of an MPI program (STG synthesis, slicing, symbolic
 // process sets, §3.1–3.3); this package verifies that structure instead
-// of trusting it. Five passes ship by default:
+// of trusting it. Six passes ship by default:
 //
 //	sendrecv   - resolve symbolic process sets and comm-edge mappings;
 //	             flag unmatched sends/recvs, out-of-range peers,
@@ -26,6 +26,10 @@
 //	             must be closed under def/use dependencies, and the
 //	             emitted simplified program must not use a variable the
 //	             slicer dropped.
+//	netconfig  - validates the machine model's interconnect topology and
+//	             rank placement at the checked rank count (spec syntax,
+//	             graph connectivity, positive link parameters), so a bad
+//	             -topology/-netjson fails at check time.
 //
 // Analyses run at a concrete configuration (rank count + program inputs),
 // resolving the symbolic structure exactly where possible and degrading
@@ -42,6 +46,7 @@ import (
 
 	"mpisim/internal/compiler"
 	"mpisim/internal/ir"
+	"mpisim/internal/machine"
 	"mpisim/internal/stg"
 )
 
@@ -138,6 +143,7 @@ func Passes() []Pass {
 		{"collective", "verify all ranks reach the same collectives in the same order", passCollective},
 		{"bounds", "check sections and indices against declared dimensions and the dummy buffer", passBounds},
 		{"slice", "audit the program slice for dropped dependencies", passSlice},
+		{"netconfig", "validate the machine model's topology and placement configuration", passNetConfig},
 	}
 }
 
@@ -155,6 +161,10 @@ type Options struct {
 	// visits); 0 means the default of 1<<20. Exceeding it truncates the
 	// trace and downgrades trace-dependent passes to a warning.
 	MaxOps int
+	// Machine optionally supplies the target machine model so the
+	// netconfig pass can validate its topology/placement configuration
+	// at this rank count. Nil skips the pass.
+	Machine *machine.Model
 }
 
 // Context is the shared state handed to every pass.

@@ -1,0 +1,96 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"mpisim/internal/apps"
+	"mpisim/internal/machine"
+)
+
+// runNetConfig checks tomcatv at 8 ranks with the given network
+// configuration, running only the netconfig pass.
+func runNetConfig(t *testing.T, topo, place string) *Result {
+	t.Helper()
+	m := machine.IBMSP()
+	m.Topology = topo
+	m.Placement = place
+	spec := apps.Registry()["tomcatv"]
+	res, err := Run(spec.Build(), Options{
+		Ranks: 8, Inputs: spec.Default(8), Passes: []string{"netconfig"}, Machine: m,
+	})
+	if err != nil {
+		t.Fatalf("check.Run: %v", err)
+	}
+	return res
+}
+
+func TestNetConfigValid(t *testing.T) {
+	for _, topo := range []string{"", "flat", "bus", "torus:dims=2x4", "fattree:k=4"} {
+		if res := runNetConfig(t, topo, ""); res.HasErrors() {
+			t.Errorf("topology %q: unexpected errors:\n%s", topo, res.Text(Error))
+		}
+	}
+}
+
+func TestNetConfigRejectsBadSpecs(t *testing.T) {
+	for _, topo := range []string{
+		"mesh", "torus", "torus:dims=1x4", "fattree:k=3",
+		"bus:lat=-2", "graph:/nonexistent/net.json",
+	} {
+		res := runNetConfig(t, topo, "")
+		if !res.HasErrors() {
+			t.Errorf("topology %q: expected a netconfig error", topo)
+		}
+		found := false
+		for _, d := range res.Diags {
+			if d.Pass == "netconfig" && d.Severity == Error {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("topology %q: error not attributed to the netconfig pass:\n%s",
+				topo, res.Text(Info))
+		}
+	}
+	if res := runNetConfig(t, "torus:dims=2x2", "nearest"); !res.HasErrors() {
+		t.Error("unknown placement: expected a netconfig error")
+	}
+}
+
+func TestNetConfigWarnsIdleHosts(t *testing.T) {
+	// 8 ranks on a 16-host fat-tree: half the machine is idle.
+	res := runNetConfig(t, "fattree:k=4", "")
+	if res.HasErrors() {
+		t.Fatalf("unexpected errors:\n%s", res.Text(Error))
+	}
+	if !strings.Contains(res.Text(Warning), "idle") {
+		t.Errorf("expected an idle-hosts warning, got:\n%s", res.Text(Info))
+	}
+}
+
+func TestNetConfigNotesMultiRankHosts(t *testing.T) {
+	// 8 ranks packed onto a 2x2 torus: co-resident ranks bypass the fabric.
+	res := runNetConfig(t, "torus:dims=2x2", "")
+	if res.HasErrors() {
+		t.Fatalf("unexpected errors:\n%s", res.Text(Error))
+	}
+	if !strings.Contains(res.Text(Info), "node-locally") {
+		t.Errorf("expected a multi-rank info note, got:\n%s", res.Text(Info))
+	}
+}
+
+func TestNetConfigInertWithoutMachine(t *testing.T) {
+	spec := apps.Registry()["tomcatv"]
+	res, err := Run(spec.Build(), Options{
+		Ranks: 8, Inputs: spec.Default(8), Passes: []string{"netconfig"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diags {
+		if d.Pass == "netconfig" {
+			t.Errorf("netconfig should be inert without a machine: %v", d)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
 	"mpisim/internal/mpi"
+	"mpisim/internal/net"
 	"mpisim/internal/obs"
 	"mpisim/internal/sim"
 )
@@ -134,6 +135,9 @@ type Runner struct {
 
 	// checkCache memoizes verification per (ranks, inputs) configuration.
 	checkCache map[string]*check.Result
+	// lookahead caches the (machine-dependent, rank-independent) kernel
+	// lookahead computed by Lookahead.
+	lookahead float64
 }
 
 // CheckError is returned when pre-simulation verification refuses a
@@ -167,7 +171,7 @@ func (r *Runner) Check(ranks int, inputs map[string]float64) (*check.Result, err
 	if res, ok := r.checkCache[key]; ok {
 		return res, nil
 	}
-	res, err := check.Run(r.Program, check.Options{Ranks: ranks, Inputs: inputs})
+	res, err := check.Run(r.Program, check.Options{Ranks: ranks, Inputs: inputs, Machine: r.Machine})
 	if err != nil {
 		return nil, err
 	}
@@ -390,6 +394,20 @@ func (r *Runner) AMMemory(ranks int, inputs map[string]float64) (int64, error) {
 	return interp.MemoryEstimate(r.Compiled.Simplified, ranks, inputs)
 }
 
-// Lookahead returns the conservative lookahead (the machine's minimum
-// network latency), used by the host-cost model.
-func (r *Runner) Lookahead() float64 { return r.Machine.Net.Latency }
+// Lookahead returns the conservative lookahead used by the host-cost
+// model: the machine's network latency for the flat analytic model, or
+// the topology's claim-leg latency when the machine names a non-flat
+// interconnect (see net.Network.Lookahead). The multi-rank intra-node
+// bound depends on the placement at the actual rank count and is
+// applied by the mpi layer itself; this estimate uses the
+// one-rank-per-host value.
+func (r *Runner) Lookahead() float64 {
+	if r.lookahead > 0 {
+		return r.lookahead
+	}
+	r.lookahead = r.Machine.Net.Latency
+	if nw, err := net.Build(r.Machine, 1); err == nil && nw != nil {
+		r.lookahead = nw.ClaimLatency()
+	}
+	return r.lookahead
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpisim/internal/apps"
+	"mpisim/internal/ir"
+	"mpisim/internal/machine"
+)
+
+// flatInputs are small per-app configurations for the flat-topology
+// regression runs: big enough to communicate, small enough to keep the
+// measured-mode runs cheap.
+func flatInputs(app string, ranks int) map[string]float64 {
+	gx, gy := apps.ProcGrid(ranks)
+	switch app {
+	case "tomcatv":
+		return apps.TomcatvInputs(64, 2)
+	case "sweep3d":
+		return apps.Sweep3DInputs(4, 4, 8, 2, gx, gy)
+	case "nassp":
+		return apps.NASSPInputs(16, 2, 2)
+	case "sample":
+		return apps.SampleInputs(apps.PatternWavefront, 500, 256, 4, gx, gy)
+	}
+	return nil
+}
+
+// runFlat runs a program in measured mode at 4 ranks under the given
+// topology spec and returns the report as canonical JSON (kernel
+// meta-result dropped: it is host-configuration-dependent by design).
+func runFlat(t *testing.T, prog *ir.Program, inputs map[string]float64, topo string) string {
+	t.Helper()
+	m := machine.IBMSP()
+	m.Topology = topo
+	r, err := NewRunner(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CollectMatrix = true
+	r.CollectTrace = true
+	rep, err := r.Run(Measured, 4, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Kernel = nil
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestNetFlatRegressionApps pins the tentpole's compatibility promise on
+// every registered application: a machine with Topology "flat" predicts
+// byte-for-byte the same report as the seed analytic model.
+func TestNetFlatRegressionApps(t *testing.T) {
+	for _, name := range apps.Names() {
+		spec := apps.Registry()[name]
+		inputs := flatInputs(name, 4)
+		if inputs == nil {
+			t.Fatalf("no flat-regression inputs for app %q", name)
+		}
+		seed := runFlat(t, spec.Build(), inputs, "")
+		flat := runFlat(t, spec.Build(), inputs, "flat")
+		if seed != flat {
+			t.Errorf("%s: flat topology diverged from the seed analytic model", name)
+		}
+	}
+}
+
+// TestNetFlatRegressionExamples extends the pin to the example
+// pseudocode programs shipped in examples/programs.
+func TestNetFlatRegressionExamples(t *testing.T) {
+	files, err := filepath.Glob("../../examples/programs/*.ir")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	inputs := map[string]float64{"N": 32, "STEPS": 2}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := ir.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		seed := runFlat(t, prog, inputs, "")
+		prog2, _ := ir.Parse(string(src))
+		flat := runFlat(t, prog2, inputs, "flat")
+		if seed != flat {
+			t.Errorf("%s: flat topology diverged from the seed analytic model", filepath.Base(f))
+		}
+	}
+}

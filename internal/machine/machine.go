@@ -14,6 +14,7 @@ package machine
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // CacheLevel maps a working-set size bound to a slowdown factor relative
@@ -54,6 +55,15 @@ func (n *Network) Validate() error {
 	if n.Bandwidth <= 0 {
 		return fmt.Errorf("machine: network bandwidth must be positive")
 	}
+	if n.SendOverhead < 0 {
+		return fmt.Errorf("machine: network send overhead must not be negative")
+	}
+	if n.RecvOverhead < 0 {
+		return fmt.Errorf("machine: network receive overhead must not be negative")
+	}
+	if n.GapPerByte < 0 {
+		return fmt.Errorf("machine: network gap per byte must not be negative")
+	}
 	return nil
 }
 
@@ -76,6 +86,15 @@ type Model struct {
 	// "memory requirements of the direct execution model restricted the
 	// largest target architecture that could be simulated").
 	MemoryPerHost int64
+	// Topology selects the interconnect topology simulated by
+	// internal/net ("flat", "bus", "torus:dims=4x4", "fattree:k=4",
+	// "graph:cfg.json"). Empty or "flat" keeps the analytic network
+	// model, byte-identical to a build without topology support.
+	Topology string
+	// Placement selects the rank→host placement policy used with a
+	// non-flat Topology ("block", "roundrobin", "random:SEED"); empty
+	// means block.
+	Placement string
 }
 
 // Validate reports configuration errors.
@@ -212,6 +231,15 @@ func Cluster() *Model {
 	}
 }
 
+// Names lists the preset model names accepted by ByName, in display
+// order (canonical name first in each row of Presets).
+func Names() []string { return []string{"ibmsp", "origin2000", "cluster"} }
+
+// Presets returns one instance of every preset model, in Names order.
+func Presets() []*Model {
+	return []*Model{IBMSP(), Origin2000(), Cluster()}
+}
+
 // ByName returns a preset model.
 func ByName(name string) (*Model, error) {
 	switch name {
@@ -222,5 +250,6 @@ func ByName(name string) (*Model, error) {
 	case "cluster", "beowulf", "Beowulf-Cluster":
 		return Cluster(), nil
 	}
-	return nil, fmt.Errorf("machine: unknown model %q", name)
+	return nil, fmt.Errorf("machine: unknown model %q (available: %s)",
+		name, strings.Join(Names(), ", "))
 }

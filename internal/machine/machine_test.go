@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -97,11 +98,40 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 			Net:    Network{Latency: 1, Bandwidth: 1}},
 		{Name: "no-latency", OpTime: 1, MemFactor: 1, Net: Network{Bandwidth: 1}},
 		{Name: "no-bandwidth", OpTime: 1, MemFactor: 1, Net: Network{Latency: 1}},
+		{Name: "neg-send-overhead", OpTime: 1, MemFactor: 1,
+			Net: Network{Latency: 1, Bandwidth: 1, SendOverhead: -1e-6}},
+		{Name: "neg-recv-overhead", OpTime: 1, MemFactor: 1,
+			Net: Network{Latency: 1, Bandwidth: 1, RecvOverhead: -1e-6}},
+		{Name: "neg-gap", OpTime: 1, MemFactor: 1,
+			Net: Network{Latency: 1, Bandwidth: 1, GapPerByte: -1e-9}},
 	}
 	for _, m := range cases {
 		m := m
 		if err := m.Validate(); err == nil {
 			t.Errorf("%s: expected validation error", m.Name)
+		}
+	}
+}
+
+func TestByNameErrorListsPresets(t *testing.T) {
+	_, err := ByName("cray-t3e")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-machine error should list %q: %v", name, err)
+		}
+	}
+	if len(Presets()) != len(Names()) {
+		t.Fatalf("Presets has %d entries, Names %d", len(Presets()), len(Names()))
+	}
+	for i, m := range Presets() {
+		if m.Name == "" {
+			t.Errorf("preset %d has no name", i)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("preset %s: %v", m.Name, err)
 		}
 	}
 }

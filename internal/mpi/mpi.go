@@ -24,6 +24,7 @@ import (
 
 	"mpisim/internal/fault"
 	"mpisim/internal/machine"
+	"mpisim/internal/net"
 	"mpisim/internal/obs"
 	"mpisim/internal/sim"
 )
@@ -141,6 +142,10 @@ const (
 	// CPU and waits, duplicate handling, compute-slowdown excess, and the
 	// portion of blocked time caused by fault-delayed messages.
 	SegFault
+	// SegNet is the portion of blocked time caused by interconnect
+	// contention (messages queued on busy links), under a non-flat
+	// topology.
+	SegNet
 )
 
 // String implements fmt.Stringer.
@@ -156,6 +161,8 @@ func (k SegKind) String() string {
 		return "comm"
 	case SegFault:
 		return "fault"
+	case SegNet:
+		return "net"
 	}
 	return "unknown"
 }
@@ -182,6 +189,12 @@ type CommEvent struct {
 	Size int64
 	// Tag is the MPI tag (negative for internal collective traffic).
 	Tag int
+	// Hops is the number of interconnect links the message traversed
+	// (zero under the flat network model and for node-local transfers).
+	Hops int `json:",omitempty"`
+	// NetWait is the transit time the message spent queued on busy
+	// links (zero under the flat network model).
+	NetWait float64 `json:",omitempty"`
 }
 
 // CollPhase is one collective operation interval on a rank, collected
@@ -217,6 +230,10 @@ type RankStats struct {
 	// fault-delayed messages (FaultTime includes it); the remainder of
 	// BlockedTime is genuine wait the healthy machine would also see.
 	FaultBlocked sim.Time
+	// NetBlocked is the portion of BlockedTime attributable to
+	// interconnect contention: the received messages' link-queueing
+	// delays, capped by the actual wait. Zero under the flat model.
+	NetBlocked sim.Time
 	// Crashed reports that the rank hit an injected stop-failure and
 	// terminated at FinishTime.
 	Crashed bool
@@ -256,6 +273,11 @@ type Report struct {
 	// Faults aggregates the injected-fault accounting when Config.Faults
 	// was active; nil otherwise.
 	Faults *fault.Stats
+	// Net summarizes the interconnect when the machine model named a
+	// non-flat topology: placement, intra/inter-node traffic split,
+	// total contention wait and the per-link hotspot list. Nil under the
+	// flat model.
+	Net *net.Stats
 	// Partial marks a report assembled from an aborted run (watchdog,
 	// budget, cancellation): every figure covers only the simulated work
 	// up to the abort. AbortReason carries the guard's root cause.
@@ -269,6 +291,13 @@ type World struct {
 	kernel   *sim.Kernel
 	ranks    []*Rank
 	injector *fault.Injector // nil without fault injection
+
+	// Topology mode (nil/zero under the flat network model): the built
+	// interconnect, its mutable occupancy state, and the fabric process
+	// id (== Ranks; the fabric is spawned after the rank procs).
+	net     *net.Network
+	fabric  *net.Fabric
+	netProc int
 
 	memMu   sync.Mutex
 	memUsed int64
@@ -289,9 +318,26 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.HostWorkers <= 0 {
 		cfg.HostWorkers = 1
 	}
+	// Resolve the machine's topology. Flat (or empty) yields nil and the
+	// seed analytic path; a real topology lowers the lookahead to the
+	// minimum delay it can produce (claim leg / intra-node transfer).
+	nw, err := net.Build(cfg.Machine, cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	lookahead := sim.Time(cfg.Machine.Net.Latency)
+	if cfg.Comm == AbstractComm {
+		// AbstractComm simulates no messages at all, so there is no
+		// traffic to route or congest; like fault injection, the
+		// topology is validated above but otherwise ignored.
+		nw = nil
+	}
+	if nw != nil {
+		lookahead = sim.Time(nw.Lookahead())
+	}
 	k, err := sim.NewKernel(sim.Config{
 		Workers:      cfg.HostWorkers,
-		Lookahead:    sim.Time(cfg.Machine.Net.Latency),
+		Lookahead:    lookahead,
 		RealParallel: cfg.RealParallel,
 		Protocol:     cfg.Protocol,
 		Queue:        cfg.Queue,
@@ -303,6 +349,11 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, err
 	}
 	w := &World{cfg: cfg, kernel: k}
+	if nw != nil {
+		w.net = nw
+		w.fabric = net.NewFabric(nw)
+		w.netProc = cfg.Ranks
+	}
 	if cfg.Faults != nil && cfg.Faults.Active() && cfg.Comm != AbstractComm {
 		// Every fault effect only *increases* message delays, so the
 		// kernel's conservative lookahead (the healthy minimum latency)
@@ -345,9 +396,18 @@ func (w *World) Run(body func(*Rank)) (*Report, error) {
 					// it block until retries, the watchdog or a deadlock
 					// resolve the run.
 				}
+				if w.net != nil {
+					// Retire with the fabric (also after an injected
+					// crash); kernel teardown re-panicked above and never
+					// reaches this send.
+					r.sendNetDone()
+				}
 			}()
 			body(r)
 		})
+	}
+	if w.net != nil {
+		w.kernel.Spawn("fabric", w.runFabric)
 	}
 	res, err := w.kernel.Run()
 	if w.memErr != nil {
@@ -356,7 +416,18 @@ func (w *World) Run(body func(*Rank)) (*Report, error) {
 	if err != nil && res == nil {
 		return nil, err
 	}
-	rep := &Report{Time: float64(res.EndTime), Kernel: res}
+	endTime := res.EndTime
+	if w.net != nil {
+		// The fabric proc finishes after the last rank's done-claim; the
+		// predicted program time is the maximum over the ranks only.
+		endTime = 0
+		for i := 0; i < w.cfg.Ranks && i < len(res.Procs); i++ {
+			if ft := res.Procs[i].FinishTime; ft > endTime {
+				endTime = ft
+			}
+		}
+	}
+	rep := &Report{Time: float64(endTime), Kernel: res}
 	var abort *sim.AbortError
 	if err != nil {
 		if !errors.As(err, &abort) {
@@ -376,6 +447,7 @@ func (w *World) Run(body func(*Rank)) (*Report, error) {
 			Collectives:  r.collectives,
 			FaultTime:    r.faultCPU + r.faultBlocked,
 			FaultBlocked: r.faultBlocked,
+			NetBlocked:   r.netBlocked,
 			Crashed:      r.crashed,
 		}
 		rep.Ranks[i] = rs
@@ -417,6 +489,10 @@ func (w *World) Run(body func(*Rank)) (*Report, error) {
 		st := w.injector.Stats()
 		rep.Faults = &st
 		w.publishFaultMetrics(&st)
+	}
+	if w.net != nil {
+		rep.Net = w.netStats(rep.Time)
+		w.publishNetMetrics(rep.Net)
 	}
 	return rep, err
 }

@@ -1,0 +1,326 @@
+package mpi
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mpisim/internal/fault"
+	"mpisim/internal/machine"
+	"mpisim/internal/sim"
+)
+
+func netConfig(ranks int, topo, place string) Config {
+	m := machine.IBMSP()
+	m.Topology = topo
+	m.Placement = place
+	return Config{Ranks: ranks, Machine: m, Comm: Analytic}
+}
+
+// reportJSON marshals a report with the kernel meta-result dropped: the
+// kernel's window/cross-worker accounting depends on the host
+// configuration by design; the simulation payload must not.
+func reportJSON(t *testing.T, rep *Report) string {
+	t.Helper()
+	rep.Kernel = nil
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestNetFlatByteIdentical pins the tentpole's zero-cost guarantee: a
+// machine with Topology "flat" (or unset) produces a byte-identical
+// report to the seed analytic model, including traces and matrices.
+func TestNetFlatByteIdentical(t *testing.T) {
+	run := func(topo string) string {
+		cfg := netConfig(16, topo, "")
+		cfg.CollectMatrix = true
+		cfg.CollectTrace = true
+		return reportJSON(t, mustRun(t, cfg, sweepBody(20)))
+	}
+	if run("") != run("flat") {
+		t.Fatal("flat topology diverged from the seed analytic model")
+	}
+}
+
+// TestNetDeterminism is the topology analogue of TestFaultDeterminism:
+// torus, fat-tree and bus runs must be byte-identical across host
+// worker counts and repeated runs.
+func TestNetDeterminism(t *testing.T) {
+	for _, topo := range []string{"bus", "torus:dims=4x4", "fattree:k=4"} {
+		run := func(workers int, place string) string {
+			cfg := netConfig(16, topo, place)
+			cfg.HostWorkers = workers
+			cfg.CollectMatrix = true
+			cfg.CollectTrace = true
+			return reportJSON(t, mustRun(t, cfg, sweepBody(20)))
+		}
+		a := run(1, "")
+		if b := run(1, ""); a != b {
+			t.Fatalf("%s: repeated run diverged", topo)
+		}
+		for _, workers := range []int{2, 8} {
+			if c := run(workers, ""); a != c {
+				t.Fatalf("%s: %d host workers changed the result", topo, workers)
+			}
+		}
+		if d := run(1, "roundrobin"); a == d {
+			t.Fatalf("%s: placement change did not change the result", topo)
+		}
+		if d1, d2 := run(2, "random:7"), run(8, "random:7"); d1 != d2 {
+			t.Fatalf("%s: random placement not deterministic across workers", topo)
+		}
+	}
+}
+
+// TestNetRealParallelDeterminism runs the torus under the real-parallel
+// engine and both conservative protocols: same payload as sequential.
+func TestNetRealParallelDeterminism(t *testing.T) {
+	run := func(workers int, real bool, proto sim.Protocol) string {
+		cfg := netConfig(16, "torus:dims=4x4", "")
+		cfg.HostWorkers = workers
+		cfg.RealParallel = real
+		cfg.Protocol = proto
+		cfg.CollectTrace = true
+		return reportJSON(t, mustRun(t, cfg, sweepBody(20)))
+	}
+	a := run(1, false, sim.ProtocolWindow)
+	if b := run(4, true, sim.ProtocolWindow); a != b {
+		t.Fatal("real-parallel window run diverged from sequential")
+	}
+	if c := run(4, true, sim.ProtocolNullMessage); a != c {
+		t.Fatal("real-parallel null-message run diverged from sequential")
+	}
+}
+
+// TestNetBusSlowerThanFatTree is the contention sanity anchor: the same
+// all-to-all traffic must predict strictly more time on one shared bus
+// than on a fat-tree with its multiplicity of paths.
+func TestNetBusSlowerThanFatTree(t *testing.T) {
+	body := func(r *Rank) {
+		for i := 0; i < 3; i++ {
+			r.Alltoall(nil, 64<<10)
+		}
+	}
+	run := func(topo string) *Report {
+		return mustRun(t, netConfig(16, topo, ""), body)
+	}
+	bus, ft := run("bus"), run("fattree:k=4")
+	if bus.Time <= ft.Time {
+		t.Fatalf("all-to-all on bus (%g s) not slower than fat-tree (%g s)", bus.Time, ft.Time)
+	}
+	if bus.Net == nil || bus.Net.Wait <= 0 {
+		t.Fatalf("bus all-to-all should report contention wait, got %+v", bus.Net)
+	}
+}
+
+// TestNetContentionAttribution drives a fan-in hotspot over the bus and
+// checks the congestion accounting: positive link wait, NetBlocked
+// folded into (and bounded by) the kernel's BlockedTime, and the link
+// hotspot list populated.
+func TestNetContentionAttribution(t *testing.T) {
+	cfg := netConfig(8, "bus", "")
+	cfg.CollectTrace = true
+	rep := mustRun(t, cfg, func(r *Rank) {
+		const msgs = 4
+		if r.Rank() == 0 {
+			for i := 0; i < msgs*(r.Size()-1); i++ {
+				r.Recv(AnySource, 3)
+			}
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			r.Send(0, 3, 128<<10, nil)
+		}
+	})
+	if rep.Net == nil {
+		t.Fatal("topology run missing Report.Net")
+	}
+	if rep.Net.Wait <= 0 {
+		t.Fatalf("fan-in over one bus must contend, got wait %g", rep.Net.Wait)
+	}
+	if len(rep.Net.Links) == 0 || rep.Net.Links[0].Name != "bus" {
+		t.Fatalf("hotspot list should lead with the bus link, got %+v", rep.Net.Links)
+	}
+	if got := rep.Net.InterMsgs; got != 4*7 {
+		t.Fatalf("routed message count = %d, want %d", got, 4*7)
+	}
+	var netBlocked sim.Time
+	for i, rs := range rep.Ranks {
+		if rs.NetBlocked < 0 || rs.NetBlocked > rs.BlockedTime {
+			t.Fatalf("rank %d: NetBlocked %g outside [0, BlockedTime %g]",
+				i, float64(rs.NetBlocked), float64(rs.BlockedTime))
+		}
+		netBlocked += rs.NetBlocked
+	}
+	if netBlocked <= 0 {
+		t.Fatal("receiver should attribute blocked time to contention")
+	}
+	// The receiver's observed contention cannot exceed what the fabric
+	// accumulated (caps only shrink it).
+	if float64(netBlocked) > rep.Net.Wait+1e-12 {
+		t.Fatalf("NetBlocked sum %g exceeds fabric wait %g", float64(netBlocked), rep.Net.Wait)
+	}
+}
+
+// TestNetIntraNode places 8 ranks on a 2x2 torus (two ranks per host,
+// block placement): neighbour traffic splits into node-local transfers
+// that bypass the fabric and routed inter-host transfers.
+func TestNetIntraNode(t *testing.T) {
+	cfg := netConfig(8, "torus:dims=2x2", "block")
+	cfg.CollectTrace = true
+	rep := mustRun(t, cfg, sweepBody(5))
+	if rep.Net == nil {
+		t.Fatal("missing Report.Net")
+	}
+	if rep.Net.IntraMsgs == 0 {
+		t.Fatal("block placement with 2 ranks/host must produce intra-node traffic")
+	}
+	if rep.Net.InterMsgs == 0 {
+		t.Fatal("ring over 4 hosts must produce inter-host traffic")
+	}
+	// Hop annotation: routed messages carry hops, node-local ones none.
+	var withHops, without int
+	for _, evs := range rep.CommEvents {
+		for _, ev := range evs {
+			if ev.Hops > 0 {
+				withHops++
+			} else {
+				without++
+			}
+		}
+	}
+	if withHops == 0 || without == 0 {
+		t.Fatalf("expected both routed (%d) and node-local (%d) receive events", withHops, without)
+	}
+}
+
+// TestNetFaultCompose injects loss/retry and a rank-pair link slowdown
+// under a torus: the run completes, prices the slowdown against the
+// topology path, and stays deterministic across worker counts.
+func TestNetFaultCompose(t *testing.T) {
+	run := func(workers int) (*Report, string) {
+		cfg := netConfig(16, "torus:dims=4x4", "")
+		cfg.HostWorkers = workers
+		cfg.Faults = lossScenario(11, 0.02, true)
+		cfg.Faults.Links = []fault.LinkSpec{{From: 0, To: 1, Factor: 8}}
+		rep := mustRun(t, cfg, sweepBody(20))
+		return rep, reportJSON(t, rep)
+	}
+	rep, a := run(1)
+	if rep.Faults == nil || rep.Faults.Retransmissions == 0 {
+		t.Fatalf("expected retransmissions under loss, got %+v", rep.Faults)
+	}
+	var faultBlocked sim.Time
+	for _, rs := range rep.Ranks {
+		faultBlocked += rs.FaultBlocked
+	}
+	if faultBlocked <= 0 {
+		t.Fatal("link slowdown through the topology should produce fault-blocked time")
+	}
+	if _, b := run(4); a != b {
+		t.Fatal("faulted topology run not deterministic across workers")
+	}
+}
+
+// TestNetCrashRetiresFabric crashes a rank mid-run under a topology:
+// the crashed rank must still retire with the fabric so the run
+// completes instead of hanging on the fabric process.
+func TestNetCrashRetiresFabric(t *testing.T) {
+	cfg := netConfig(4, "torus:dims=2x2", "roundrobin")
+	cfg.Faults = &fault.Scenario{Crashes: []fault.CrashSpec{{Rank: 2, Time: 0.001}}}
+	rep := mustRun(t, cfg, func(r *Rank) {
+		// All communication finishes well before the crash fires.
+		next := (r.Rank() + 1) % r.Size()
+		prev := (r.Rank() - 1 + r.Size()) % r.Size()
+		r.Send(next, 1, 1024, nil)
+		r.Recv(prev, 1)
+		r.Compute(0.01) // rank 2 crashes in here
+	})
+	if !rep.Ranks[2].Crashed {
+		t.Fatal("rank 2 should have crashed")
+	}
+	if rep.Partial {
+		t.Fatal("run should complete: no one waits on rank 2 after its crash")
+	}
+}
+
+// TestNetAbstractCommIgnoresTopology: AbstractComm simulates no
+// messages, so a topology changes nothing (but is still validated).
+func TestNetAbstractCommIgnoresTopology(t *testing.T) {
+	run := func(topo string) string {
+		cfg := netConfig(8, topo, "")
+		cfg.Comm = AbstractComm
+		return reportJSON(t, mustRun(t, cfg, sweepBody(10)))
+	}
+	if run("") != run("bus") {
+		t.Fatal("AbstractComm result changed under a topology")
+	}
+	cfg := netConfig(8, "torus:dims=1x4", "")
+	cfg.Comm = AbstractComm
+	if _, err := NewWorld(cfg); err == nil {
+		t.Fatal("invalid topology must be rejected even under AbstractComm")
+	}
+}
+
+// TestNetBadTopologyRejected: construction-time validation surfaces
+// before any simulation runs.
+func TestNetBadTopologyRejected(t *testing.T) {
+	for _, topo := range []string{
+		"mesh",                  // unknown kind
+		"torus",                 // missing dims
+		"torus:dims=1x4",        // dimension < 2
+		"fattree:k=3",           // odd k
+		"fattree",               // missing k
+		"bus:hosts=0",           // no hosts
+		"bus:lat=-1",            // negative latency
+		"torus:dims=4x4,typo=1", // unknown option
+		"graph:/nonexistent/cfg.json",
+	} {
+		if _, err := NewWorld(netConfig(8, topo, "")); err == nil {
+			t.Errorf("topology %q: expected error", topo)
+		}
+	}
+	if _, err := NewWorld(netConfig(8, "bus", "nearest")); err == nil {
+		t.Error("unknown placement: expected error")
+	}
+}
+
+// TestNetDetailedCommModel: the Detailed (NIC occupancy) model composes
+// with a topology and stays deterministic.
+func TestNetDetailedCommModel(t *testing.T) {
+	run := func(workers int) string {
+		cfg := netConfig(16, "fattree:k=4", "")
+		cfg.Comm = Detailed
+		cfg.HostWorkers = workers
+		return reportJSON(t, mustRun(t, cfg, sweepBody(10)))
+	}
+	if run(1) != run(4) {
+		t.Fatal("Detailed+topology run not deterministic across workers")
+	}
+}
+
+// BenchmarkKernelNet measures the events/sec cost of the network layer
+// across topologies; ci.sh gates "off" vs "flat" (<2%: flat must compile
+// to the seed fast path) and the torus/fat-tree entries document the
+// cost of full contention modeling.
+func BenchmarkKernelNet(b *testing.B) {
+	bench := func(b *testing.B, topo string) {
+		cfg := netConfig(16, topo, "")
+		b.ReportAllocs()
+		var events int64
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(cfg, sweepBody(50))
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += rep.Kernel.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	}
+	b.Run("off", func(b *testing.B) { bench(b, "") })
+	b.Run("flat", func(b *testing.B) { bench(b, "flat") })
+	b.Run("torus", func(b *testing.B) { bench(b, "torus:dims=4x4") })
+	b.Run("fattree", func(b *testing.B) { bench(b, "fattree:k=4") })
+}

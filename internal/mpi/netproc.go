@@ -1,0 +1,177 @@
+package mpi
+
+import (
+	"mpisim/internal/fault"
+	"mpisim/internal/net"
+	"mpisim/internal/sim"
+)
+
+// Topology-mode communication: when the machine model names a non-flat
+// topology, the world spawns one extra simulated process — the fabric —
+// that owns the interconnect's per-link busy-until state. Senders do not
+// compute arrival times themselves (link occupancy depends on every
+// other rank's traffic); they send a *claim* to the fabric carrying the
+// final destination, and the fabric resolves the route, serializes the
+// message across each link's horizon, and re-issues it to the true
+// destination with the original sender envelope.
+//
+// Determinism: claims reach the fabric through the kernel, so it
+// processes them in the kernel's global (arrival, sender, sequence)
+// order — the same order under every engine and host worker count. The
+// busy-until state therefore replays identically, and so do all
+// contention delays. The conservative lookahead stays valid because the
+// claim leg costs exactly ClaimLatency = MinHopLat/2 and the forward leg
+// at least the path latency ≥ MinHopLat, i.e. ≥ ClaimLatency beyond the
+// claim; intra-node transfers bypass the fabric and bound the lookahead
+// by IntraLat instead (see net.Network.Lookahead).
+
+// netDone is the RelayDst sentinel of a rank's end-of-traffic claim: the
+// fabric exits once every rank has retired.
+const netDone = -1
+
+// runFabric is the fabric process body.
+func (w *World) runFabric(p *sim.Proc) {
+	fab := w.fabric
+	nw := w.net
+	claimLat := sim.Time(nw.ClaimLatency())
+	// MPI non-overtaking across the fabric: per (src,dst) pair, a
+	// fault-delayed message must not be overtaken by a later one. (The
+	// pure contention model is FIFO per route by construction.)
+	last := make(map[int64]sim.Time)
+	remaining := w.cfg.Ranks
+	for remaining > 0 {
+		m := p.RecvSrcTag(sim.Any, sim.Any)
+		if m.RelayDst != netDone {
+			relayClaim(p, fab, nw, claimLat, last, m)
+			continue
+		}
+		// End-of-traffic claim: the message carries no payload to relay.
+		// (Freed last in the loop body so every read of m provably
+		// precedes it — the msgown analyzer checks by position.)
+		remaining--
+		p.FreeMessage(m)
+	}
+}
+
+// relayClaim prices one fabric claim and re-issues the message to its
+// true destination, envelope preserved.
+func relayClaim(p *sim.Proc, fab *net.Fabric, nw *net.Network,
+	claimLat sim.Time, last map[int64]sim.Time, m *sim.Message) {
+	src, dst := m.From, m.RelayDst
+	srcHost, dstHost := nw.RankHost[src], nw.RankHost[dst]
+	// The claim leg cost exactly claimLat, so the sender handed the
+	// message to the network at Arrival - claimLat; link occupancy
+	// starts there.
+	inject := float64(m.Arrival - claimLat)
+	at, wait := fab.Claim(srcHost, dstHost, m.Size, inject)
+	arrival := sim.Time(at) + m.FaultDelay
+	key := int64(src)<<32 | int64(dst)
+	if l := last[key]; arrival < l {
+		arrival = l
+	}
+	last[key] = arrival
+	m.NetWait = sim.Time(wait)
+	m.Hops = len(nw.Route(srcHost, dstHost).Links)
+	p.Forward(m, dst, arrival)
+}
+
+// sendNet issues a message under a non-flat topology: node-local
+// transfers go directly (uncontended memory copy), inter-host transfers
+// go through the fabric claim protocol. The sender-side CPU cost is the
+// same LogGP overhead as the flat model.
+func (r *Rank) sendNet(dst, tag int, size int64, data interface{}, fate fault.MsgFate) {
+	w := r.world
+	nw := w.net
+	n := &w.cfg.Machine.Net
+	now := r.proc.Now()
+	srcHost, dstHost := nw.RankHost[r.rank], nw.RankHost[dst]
+	cpu := sim.Time(n.SendOverhead)
+	inject := now + cpu
+	if w.cfg.Comm == Detailed {
+		// NIC occupancy serializes injection exactly as in the flat model.
+		start := now
+		if r.nicSendFree > start {
+			start = r.nicSendFree
+		}
+		occupancy := sim.Time(n.SendOverhead + float64(size)*n.GapPerByte)
+		r.nicSendFree = start + occupancy
+		inject = start + occupancy
+	}
+	var faultDelay sim.Time
+	if r.faults != nil {
+		// Link-slowdown factors price against the real topology path
+		// (the uncontended route delay), not the flat analytic scalar.
+		faultDelay = sim.Time(fate.RetryWait + fate.ExtraDelay +
+			(fate.LinkFactor-1)*nw.UncontendedDelay(srcHost, dstHost, size))
+	}
+	if srcHost == dstHost {
+		// Intra-node: never routed; clamped sender-side for
+		// non-overtaking, like the flat model.
+		arrival := inject + sim.Time(nw.IntraDelay(size)) + faultDelay
+		if r.lastArrival == nil {
+			r.lastArrival = make(map[int]sim.Time)
+		}
+		if l := r.lastArrival[dst]; arrival < l {
+			arrival = l
+		}
+		r.lastArrival[dst] = arrival
+		r.proc.SendTagFault(dst, tag, data, size, arrival, faultDelay)
+		r.netIntraMsgs++
+		r.netIntraBytes += size
+	} else {
+		claim := inject + sim.Time(nw.ClaimLatency())
+		r.proc.SendVia(w.netProc, dst, tag, data, size, claim, faultDelay)
+	}
+	r.commCPU += cpu
+	r.segment(r.Now(), r.Now()+float64(cpu), SegComm)
+	r.proc.Advance(cpu)
+}
+
+// sendNetDone retires this rank with the fabric. Called when the rank's
+// body returns (normally or at an injected crash), after which the rank
+// issues no further claims.
+func (r *Rank) sendNetDone() {
+	w := r.world
+	arrival := r.proc.Now() + sim.Time(w.net.ClaimLatency())
+	r.proc.SendVia(w.netProc, netDone, 0, nil, 0, arrival, 0)
+}
+
+// netStats assembles the run's network summary.
+func (w *World) netStats(runTime float64) *net.Stats {
+	st := &net.Stats{
+		Topology:   w.net.Spec,
+		Placement:  w.net.Placement,
+		Hosts:      w.net.Hosts,
+		LinkCount:  len(w.net.Links),
+		InterMsgs:  w.fabric.Msgs,
+		InterBytes: w.fabric.Bytes,
+		Wait:       w.fabric.Wait,
+		Links:      w.fabric.Summary(runTime),
+	}
+	for _, r := range w.ranks {
+		st.IntraMsgs += r.netIntraMsgs
+		st.IntraBytes += r.netIntraBytes
+	}
+	return st
+}
+
+// publishNetMetrics flushes the network summary into the metrics
+// registry, alongside the kernel's simulator-plane counters. Per-link
+// detail lives in Report.Net (and the mpireport congestion section);
+// here the aggregate and the worst link are exposed.
+func (w *World) publishNetMetrics(st *net.Stats) {
+	reg := w.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("net_msgs_routed_total", "messages routed through the interconnect fabric").Add(0, st.InterMsgs)
+	reg.Counter("net_bytes_routed_total", "payload bytes routed through the interconnect fabric").Add(0, st.InterBytes)
+	reg.Counter("net_msgs_intranode_total", "node-local messages that bypassed the fabric").Add(0, st.IntraMsgs)
+	reg.Counter("net_contention_wait_us_total", "virtual microseconds messages queued on busy links").Add(0, int64(st.Wait*1e6))
+	reg.Counter("net_links_used_total", "links that carried at least one message").Add(0, int64(len(st.Links)))
+	if len(st.Links) > 0 {
+		top := st.Links[0]
+		reg.Gauge("net_top_link_wait_us", "contention wait on the most contended link (virtual microseconds)").Set(0, int64(top.Wait*1e6))
+		reg.Gauge("net_top_link_utilization_ppm", "utilization of the most contended link (parts per million of the run)").Set(0, int64(top.Utilization*1e6))
+	}
+}

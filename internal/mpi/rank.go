@@ -56,6 +56,14 @@ type Rank struct {
 	crashed       bool
 	faultCPU      sim.Time
 	faultBlocked  sim.Time
+
+	// Topology-mode accounting (zero under the flat network model):
+	// netBlocked is the portion of kernel BlockedTime caused by link
+	// contention; netIntraMsgs/netIntraBytes count node-local transfers
+	// that bypassed the fabric.
+	netBlocked    sim.Time
+	netIntraMsgs  int64
+	netIntraBytes int64
 }
 
 // segment appends a trace segment when tracing is enabled; zero-length
@@ -294,14 +302,23 @@ func (r *Rank) send(dst, tag int, size int64, data interface{}) {
 			}
 			return
 		}
-		faultDelay = sim.Time(fate.RetryWait + fate.ExtraDelay +
-			(fate.LinkFactor-1)*(n.Latency+float64(size)/n.Bandwidth))
 	}
-	cpu, arrival := r.sendTimes(dst, size, faultDelay)
-	r.proc.SendTagFault(dst, tag, data, size, arrival, faultDelay)
-	r.commCPU += cpu
-	r.segment(r.Now(), r.Now()+float64(cpu), SegComm)
-	r.proc.Advance(cpu)
+	if r.world.net != nil && dst != r.rank {
+		// Non-flat topology: route through the interconnect model (the
+		// fabric computes faultDelay against the real path there).
+		r.sendNet(dst, tag, size, data, fate)
+	} else {
+		if r.faults != nil && dst != r.rank {
+			n := &r.world.cfg.Machine.Net
+			faultDelay = sim.Time(fate.RetryWait + fate.ExtraDelay +
+				(fate.LinkFactor-1)*(n.Latency+float64(size)/n.Bandwidth))
+		}
+		cpu, arrival := r.sendTimes(dst, size, faultDelay)
+		r.proc.SendTagFault(dst, tag, data, size, arrival, faultDelay)
+		r.commCPU += cpu
+		r.segment(r.Now(), r.Now()+float64(cpu), SegComm)
+		r.proc.Advance(cpu)
+	}
 	if fate.Retries > 0 || fate.Duplicated {
 		// Sender CPU for each retransmitted copy plus one for handling
 		// the suppressed duplicate.
@@ -360,16 +377,27 @@ func (r *Rank) RecvSized(src, tag int, expect int64) (int64, interface{}) {
 	// Attribute to faults the part of the wait the message's FaultDelay
 	// explains: had the machine been healthy, the message would have
 	// arrived that much earlier, capped by how long we actually waited.
+	// The message's link-contention wait (NetWait) is attributed the same
+	// way, capped by the wait the fault share has not already claimed.
 	fb := float64(m.FaultDelay)
 	if fb > now-t0 {
 		fb = now - t0
 	}
-	if r.faults != nil && fb > 0 {
+	if r.faults == nil {
+		fb = 0
+	}
+	nb := float64(m.NetWait)
+	if nb > now-t0-fb {
+		nb = now - t0 - fb
+	}
+	r.segment(t0, now-fb-nb, SegBlocked)
+	if nb > 0 {
+		r.netBlocked += sim.Time(nb)
+		r.segment(now-fb-nb, now-fb, SegNet)
+	}
+	if fb > 0 {
 		r.faultBlocked += sim.Time(fb)
-		r.segment(t0, now-fb, SegBlocked)
 		r.segment(now-fb, now, SegFault)
-	} else {
-		r.segment(t0, now, SegBlocked)
 	}
 	return r.finishRecv(m)
 }
@@ -399,6 +427,7 @@ func (r *Rank) finishRecv(m *sim.Message) (int64, interface{}) {
 			From: m.From, SendTime: float64(m.SendTime),
 			Arrival: float64(m.Arrival), Complete: r.Now(),
 			Size: m.Size, Tag: m.Tag,
+			Hops: m.Hops, NetWait: float64(m.NetWait),
 		})
 	}
 	r.proc.Advance(cpu)

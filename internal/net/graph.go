@@ -1,0 +1,164 @@
+package net
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// GraphConfig is the JSON schema of a graph topology file
+// (-topology graph:PATH, or the -netjson shorthand):
+//
+//	{
+//	  "hosts": 4,
+//	  "links": [
+//	    {"from": 0, "to": 1, "latency": 1e-5, "bandwidth": 1e8},
+//	    {"from": 1, "to": 2, "latency": 1e-5, "bandwidth": 1e8,
+//	     "name": "uplink", "duplex": false}
+//	  ]
+//	}
+//
+// Node indices 0..hosts-1 are hosts; larger indices may be used freely
+// as internal switches. A link is full-duplex by default (two directed
+// channels with independent occupancy); "duplex": false makes it a
+// single shared half-duplex channel claimed by both directions.
+type GraphConfig struct {
+	Hosts int         `json:"hosts"`
+	Links []GraphLink `json:"links"`
+}
+
+// GraphLink is one JSON-declared adjacency.
+type GraphLink struct {
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Latency   float64 `json:"latency"`
+	Bandwidth float64 `json:"bandwidth"`
+	Name      string  `json:"name,omitempty"`
+	Duplex    *bool   `json:"duplex,omitempty"` // default true
+}
+
+// buildGraph loads a GraphConfig and routes it with Dijkstra
+// (latency-weighted, deterministic tie-breaks: the lowest-id node and
+// lowest-id link win ties, so routes are independent of map iteration
+// and host parallelism).
+func (n *Network) buildGraph(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("net: reading topology config: %v", err)
+	}
+	var cfg GraphConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("net: parsing topology config %s: %v", path, err)
+	}
+	return n.buildGraphConfig(&cfg, path)
+}
+
+func (n *Network) buildGraphConfig(cfg *GraphConfig, path string) error {
+	if cfg.Hosts < 1 {
+		return fmt.Errorf("net: %s: hosts must be >= 1, got %d", path, cfg.Hosts)
+	}
+	if len(cfg.Links) == 0 {
+		return fmt.Errorf("net: %s: no links declared", path)
+	}
+	n.Hosts = cfg.Hosts
+	// Node ids may exceed hosts (switches); size the adjacency to the
+	// largest mentioned id.
+	nodes := cfg.Hosts
+	for i, l := range cfg.Links {
+		if l.From < 0 || l.To < 0 {
+			return fmt.Errorf("net: %s: link %d: negative node index", path, i)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("net: %s: link %d: self-loop on node %d", path, i, l.From)
+		}
+		if l.Latency <= 0 {
+			return fmt.Errorf("net: %s: link %d (%d->%d): latency must be positive, got %g", path, i, l.From, l.To, l.Latency)
+		}
+		if l.Bandwidth <= 0 {
+			return fmt.Errorf("net: %s: link %d (%d->%d): bandwidth must be positive, got %g", path, i, l.From, l.To, l.Bandwidth)
+		}
+		if l.From >= nodes {
+			nodes = l.From + 1
+		}
+		if l.To >= nodes {
+			nodes = l.To + 1
+		}
+	}
+
+	// adjacency: per node, outgoing (neighbour, linkID) in declaration
+	// order. Half-duplex links appear in both directions under one id.
+	type edge struct {
+		to   int
+		link int32
+	}
+	adj := make([][]edge, nodes)
+	hostOf := func(v int) int {
+		if v < cfg.Hosts {
+			return v
+		}
+		return -1
+	}
+	for _, l := range cfg.Links {
+		name := l.Name
+		if name == "" {
+			name = fmt.Sprintf("link[%d-%d]", l.From, l.To)
+		}
+		id := n.addLink(hostOf(l.From), hostOf(l.To), name, l.Latency, l.Bandwidth)
+		adj[l.From] = append(adj[l.From], edge{l.To, id})
+		if l.Duplex == nil || *l.Duplex {
+			rev := n.addLink(hostOf(l.To), hostOf(l.From), name+"~", l.Latency, l.Bandwidth)
+			adj[l.To] = append(adj[l.To], edge{l.From, rev})
+		} else {
+			adj[l.To] = append(adj[l.To], edge{l.From, id})
+		}
+	}
+
+	// Dijkstra from every host. Node counts here are small (config
+	// files); the O(V²) scan keeps tie-breaking trivially deterministic.
+	const inf = 1e308
+	n.routes = make([]Route, cfg.Hosts*cfg.Hosts)
+	for src := 0; src < cfg.Hosts; src++ {
+		dist := make([]float64, nodes)
+		prevLink := make([]int32, nodes)
+		prevNode := make([]int, nodes)
+		done := make([]bool, nodes)
+		for v := range dist {
+			dist[v], prevLink[v], prevNode[v] = inf, -1, -1
+		}
+		dist[src] = 0
+		for {
+			u, best := -1, inf
+			for v := 0; v < nodes; v++ {
+				if !done[v] && dist[v] < best {
+					u, best = v, dist[v]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			done[u] = true
+			for _, e := range adj[u] {
+				if d := dist[u] + n.Links[e.link].Latency; d < dist[e.to] {
+					dist[e.to] = d
+					prevLink[e.to], prevNode[e.to] = e.link, u
+				}
+			}
+		}
+		for dst := 0; dst < cfg.Hosts; dst++ {
+			if dst == src || dist[dst] == inf {
+				continue
+			}
+			var rev []int32
+			for v := dst; v != src; v = prevNode[v] {
+				rev = append(rev, prevLink[v])
+			}
+			links := make([]int32, len(rev))
+			for i, l := range rev {
+				links[len(rev)-1-i] = l
+			}
+			n.routes[src*cfg.Hosts+dst] = Route{Links: links}
+		}
+	}
+	n.finishRoutes()
+	return nil
+}

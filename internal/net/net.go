@@ -1,0 +1,363 @@
+// Package net models the target machine's interconnect as an explicit
+// topology: hosts joined by directed links, rank→host placement, and
+// per-link contention. It replaces the single analytic scalar delay
+// (machine.Network.AnalyticDelay) with routed, store-and-forward
+// transfers whose hops serialize on shared links — the congestion the
+// IBM SP's omega switch and the Origin 2000's mesh really exhibit.
+//
+// Five topology kinds are supported (see Build):
+//
+//   - flat: no topology at all. Build returns nil and the mpi layer runs
+//     the seed analytic path, byte-identical to a build without -topology.
+//   - bus: one shared half-duplex medium every inter-host message
+//     serializes through.
+//   - torus: a k-dimensional torus with dimension-order routing, the
+//     shorter wraparound direction chosen per dimension.
+//   - fattree: a k-ary fat-tree (k pods, (k/2)² core switches, k³/4
+//     hosts) with deterministic D-mod-k up/down routing.
+//   - graph: an arbitrary directed graph loaded from JSON, routed by
+//     Dijkstra with deterministic tie-breaks.
+//
+// Everything built here is immutable after Build: routes are precomputed
+// for all host pairs, so concurrent rank goroutines may query them
+// freely. The only mutable state — per-link busy-until horizons — lives
+// in Fabric, which is owned by a single simulated process (the mpi
+// layer's fabric proc) and therefore needs no locking; determinism of
+// the contention model is argued in DESIGN.md "Network model".
+package net
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mpisim/internal/machine"
+)
+
+// Link is one directed channel of the interconnect. Shared-medium links
+// (the bus, half-duplex graph links) appear once and are claimed by
+// traffic in both directions.
+type Link struct {
+	// ID is the link's index in Network.Links.
+	ID int
+	// From and To are host indices; -1 marks an endpoint that is not a
+	// host (a switch, or the shared bus medium).
+	From, To int
+	// Name identifies the link in reports and fault selectors.
+	Name string
+	// Latency is the traversal time in seconds after serialization.
+	Latency float64
+	// Bandwidth is the link's serialization rate in bytes/second.
+	Bandwidth float64
+}
+
+// Route is the precomputed path between one ordered host pair:
+// the link IDs in traversal order plus the closed-form uncontended
+// delay coefficients (delay = Latency + size·InvBW under
+// store-and-forward with empty links).
+type Route struct {
+	Links []int32
+	Lat   float64 // sum of link latencies along the path
+	InvBW float64 // sum of 1/bandwidth along the path
+}
+
+// Delay returns the uncontended store-and-forward transfer time for a
+// message of the given size along this route.
+func (r *Route) Delay(size int64) float64 {
+	return r.Lat + float64(size)*r.InvBW
+}
+
+// Network is a built interconnect: topology, links, all-pairs routes and
+// the rank→host placement. Immutable after Build.
+type Network struct {
+	// Kind is the topology kind ("bus", "torus", "fattree", "graph").
+	Kind string
+	// Spec is the original -topology specification string.
+	Spec string
+	// Hosts is the number of hosts (not switches) in the topology.
+	Hosts int
+	// Links holds every link; switch-to-switch links are included.
+	Links []Link
+	// RankHost maps each rank to its host index.
+	RankHost []int
+	// Placement names the placement policy that produced RankHost.
+	Placement string
+	// MinHopLat is the minimum link latency over all links; half of it
+	// is the claim-leg latency that bounds the kernel lookahead.
+	MinHopLat float64
+	// IntraLat and IntraBW model transfers between ranks placed on the
+	// same host (node-local memory copies): delay = IntraLat +
+	// size/IntraBW, never routed through the fabric.
+	IntraLat float64
+	IntraBW  float64
+
+	routes []Route // Hosts×Hosts, row-major
+}
+
+// Route returns the precomputed route from srcHost to dstHost. The two
+// hosts must differ; same-host transfers use IntraDelay.
+func (n *Network) Route(srcHost, dstHost int) *Route {
+	return &n.routes[srcHost*n.Hosts+dstHost]
+}
+
+// UncontendedDelay is the closed-form transfer time between two hosts on
+// an empty network, including the same-host (intra-node) case. Fault
+// injection scales this to price link-slowdown factors against the real
+// path, and the AbstractComm model could consume it as its oracle.
+func (n *Network) UncontendedDelay(srcHost, dstHost int, size int64) float64 {
+	if srcHost == dstHost {
+		return n.IntraDelay(size)
+	}
+	return n.Route(srcHost, dstHost).Delay(size)
+}
+
+// IntraDelay is the node-local transfer time between two ranks sharing a
+// host.
+func (n *Network) IntraDelay(size int64) float64 {
+	return n.IntraLat + float64(size)/n.IntraBW
+}
+
+// ClaimLatency is the fixed latency of the sender→fabric claim leg. It
+// is half the minimum hop latency, so the forward leg retains at least
+// the other half: every path's latency is ≥ MinHopLat, hence a relayed
+// message always arrives ≥ ClaimLatency after its claim. Both legs
+// therefore respect a kernel lookahead of ClaimLatency.
+func (n *Network) ClaimLatency() float64 { return n.MinHopLat / 2 }
+
+// Lookahead is the conservative kernel lookahead valid for this network:
+// the claim-leg latency, further bounded by the intra-node latency when
+// any host carries more than one rank (intra-node messages bypass the
+// fabric and arrive after IntraLat at the earliest).
+func (n *Network) Lookahead() float64 {
+	l := n.ClaimLatency()
+	if n.MultiRankHosts() && n.IntraLat < l {
+		l = n.IntraLat
+	}
+	return l
+}
+
+// MultiRankHosts reports whether any host carries more than one rank.
+func (n *Network) MultiRankHosts() bool {
+	return len(n.RankHost) > n.Hosts || hasDuplicate(n.RankHost)
+}
+
+func hasDuplicate(hosts []int) bool {
+	seen := make(map[int]bool, len(hosts))
+	for _, h := range hosts {
+		if seen[h] {
+			return true
+		}
+		seen[h] = true
+	}
+	return false
+}
+
+// Spec is a parsed -topology specification:
+//
+//	flat
+//	bus[:hosts=N][,lat=S][,bw=B]
+//	torus:dims=4x4[,lat=S][,bw=B]
+//	fattree:k=4[,lat=S][,bw=B]
+//	graph:PATH
+//
+// All kinds additionally accept intralat=S and intrabw=B overriding the
+// node-local transfer parameters. Link defaults come from the machine
+// model: lat defaults to Net.Latency, bw to Net.Bandwidth, intralat to
+// Net.Latency/4 and intrabw to 4·Net.Bandwidth.
+type Spec struct {
+	Kind   string
+	Path   string            // graph: the JSON file path
+	Params map[string]string // remaining key=value options
+}
+
+// ParseSpec parses a -topology string. An empty string and "flat" both
+// yield the flat spec.
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		s = "flat"
+	}
+	kind, rest, _ := strings.Cut(s, ":")
+	sp := &Spec{Kind: kind, Params: map[string]string{}}
+	switch kind {
+	case "flat", "bus", "torus", "fattree":
+	case "graph":
+		if rest == "" {
+			return nil, fmt.Errorf("net: graph topology needs a path (graph:cfg.json)")
+		}
+		sp.Path = rest
+		return sp, nil
+	default:
+		return nil, fmt.Errorf("net: unknown topology kind %q (want flat, bus, torus, fattree or graph)", kind)
+	}
+	if rest == "" {
+		return sp, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("net: malformed topology option %q (want key=value)", kv)
+		}
+		sp.Params[k] = v
+	}
+	return sp, nil
+}
+
+// param consumption helpers: each builder takes what it understands and
+// Build rejects leftovers, so typos fail instead of silently defaulting.
+
+func (sp *Spec) floatParam(key string, def float64) (float64, error) {
+	v, ok := sp.Params[key]
+	if !ok {
+		return def, nil
+	}
+	delete(sp.Params, key)
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f <= 0 {
+		return 0, fmt.Errorf("net: topology option %s=%s must be a positive number", key, v)
+	}
+	return f, nil
+}
+
+func (sp *Spec) intParam(key string, def int) (int, error) {
+	v, ok := sp.Params[key]
+	if !ok {
+		return def, nil
+	}
+	delete(sp.Params, key)
+	i, err := strconv.Atoi(v)
+	if err != nil || i <= 0 {
+		return 0, fmt.Errorf("net: topology option %s=%s must be a positive integer", key, v)
+	}
+	return i, nil
+}
+
+// Build resolves m.Topology and m.Placement into a Network for the given
+// rank count. A flat (or empty) topology returns (nil, nil): the caller
+// keeps the analytic fast path.
+func Build(m *machine.Model, ranks int) (*Network, error) {
+	sp, err := ParseSpec(m.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Kind == "flat" {
+		if len(sp.Params) > 0 {
+			return nil, fmt.Errorf("net: flat topology takes no options")
+		}
+		return nil, nil
+	}
+	if ranks <= 0 {
+		return nil, fmt.Errorf("net: rank count must be positive, got %d", ranks)
+	}
+	defLat, defBW := m.Net.Latency, m.Net.Bandwidth
+	lat, err := sp.floatParam("lat", defLat)
+	if err != nil {
+		return nil, err
+	}
+	bw, err := sp.floatParam("bw", defBW)
+	if err != nil {
+		return nil, err
+	}
+	intraLat, err := sp.floatParam("intralat", defLat/4)
+	if err != nil {
+		return nil, err
+	}
+	intraBW, err := sp.floatParam("intrabw", 4*defBW)
+	if err != nil {
+		return nil, err
+	}
+
+	n := &Network{Kind: sp.Kind, Spec: m.Topology, IntraLat: intraLat, IntraBW: intraBW}
+	switch sp.Kind {
+	case "bus":
+		err = n.buildBus(sp, ranks, lat, bw)
+	case "torus":
+		err = n.buildTorus(sp, lat, bw)
+	case "fattree":
+		err = n.buildFatTree(sp, lat, bw)
+	case "graph":
+		err = n.buildGraph(sp.Path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(sp.Params) > 0 {
+		keys := make([]string, 0, len(sp.Params))
+		for k := range sp.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return nil, fmt.Errorf("net: unknown %s topology option(s): %s", sp.Kind, strings.Join(keys, ", "))
+	}
+	if err := n.validate(); err != nil {
+		return nil, err
+	}
+	n.MinHopLat = n.Links[0].Latency
+	for _, l := range n.Links[1:] {
+		if l.Latency < n.MinHopLat {
+			n.MinHopLat = l.Latency
+		}
+	}
+	if n.RankHost, err = Place(m.Placement, ranks, n.Hosts); err != nil {
+		return nil, err
+	}
+	n.Placement = placementName(m.Placement)
+	return n, nil
+}
+
+// validate checks the structural invariants every topology builder must
+// provide: at least one host, positive link parameters, and (via the
+// route table) a path between every host pair.
+func (n *Network) validate() error {
+	if n.Hosts < 1 {
+		return fmt.Errorf("net: %s topology has no hosts", n.Kind)
+	}
+	if len(n.Links) == 0 {
+		return fmt.Errorf("net: %s topology has no links", n.Kind)
+	}
+	for _, l := range n.Links {
+		if l.Latency <= 0 {
+			return fmt.Errorf("net: link %s: latency must be positive, got %g", l.Name, l.Latency)
+		}
+		if l.Bandwidth <= 0 {
+			return fmt.Errorf("net: link %s: bandwidth must be positive, got %g", l.Name, l.Bandwidth)
+		}
+	}
+	if len(n.routes) != n.Hosts*n.Hosts {
+		return fmt.Errorf("net: internal error: route table has %d entries, want %d", len(n.routes), n.Hosts*n.Hosts)
+	}
+	for s := 0; s < n.Hosts; s++ {
+		for d := 0; d < n.Hosts; d++ {
+			if s == d {
+				continue
+			}
+			r := n.Route(s, d)
+			if len(r.Links) == 0 {
+				return fmt.Errorf("net: %s topology: no route from host %d to host %d (disconnected graph)", n.Kind, s, d)
+			}
+		}
+	}
+	return nil
+}
+
+// finishRoutes fills each route's closed-form delay coefficients from
+// its link sequence.
+func (n *Network) finishRoutes() {
+	for i := range n.routes {
+		r := &n.routes[i]
+		r.Lat, r.InvBW = 0, 0
+		for _, id := range r.Links {
+			l := &n.Links[id]
+			r.Lat += l.Latency
+			r.InvBW += 1 / l.Bandwidth
+		}
+	}
+}
+
+// addLink appends a link and returns its id.
+func (n *Network) addLink(from, to int, name string, lat, bw float64) int32 {
+	id := len(n.Links)
+	n.Links = append(n.Links, Link{ID: id, From: from, To: to, Name: name, Latency: lat, Bandwidth: bw})
+	return int32(id)
+}

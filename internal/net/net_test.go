@@ -1,0 +1,448 @@
+package net
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpisim/internal/machine"
+)
+
+func build(t *testing.T, topo, place string, ranks int) *Network {
+	t.Helper()
+	m := machine.IBMSP()
+	m.Topology = topo
+	m.Placement = place
+	n, err := Build(m, ranks)
+	if err != nil {
+		t.Fatalf("Build(%q, %q, %d): %v", topo, place, ranks, err)
+	}
+	if n == nil {
+		t.Fatalf("Build(%q): unexpected flat network", topo)
+	}
+	return n
+}
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec("torus:dims=4x4,lat=1e-6")
+	if err != nil || sp.Kind != "torus" || sp.Params["dims"] != "4x4" || sp.Params["lat"] != "1e-6" {
+		t.Fatalf("got %+v, %v", sp, err)
+	}
+	sp, err = ParseSpec("graph:cfg/net.json")
+	if err != nil || sp.Kind != "graph" || sp.Path != "cfg/net.json" {
+		t.Fatalf("got %+v, %v", sp, err)
+	}
+	for _, s := range []string{"", "flat"} {
+		sp, err = ParseSpec(s)
+		if err != nil || sp.Kind != "flat" {
+			t.Fatalf("ParseSpec(%q) = %+v, %v", s, sp, err)
+		}
+	}
+	for _, s := range []string{"mesh", "graph", "bus:hosts", "bus:=4", "torus:dims=4x4,=x"} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", s)
+		}
+	}
+}
+
+func TestFlatReturnsNil(t *testing.T) {
+	for _, topo := range []string{"", "flat"} {
+		m := machine.IBMSP()
+		m.Topology = topo
+		n, err := Build(m, 8)
+		if err != nil || n != nil {
+			t.Fatalf("Build(%q) = %v, %v; want nil, nil", topo, n, err)
+		}
+	}
+}
+
+// checkHostChain verifies a route is a contiguous walk from s to d over
+// the link From/To endpoints, treating -1 (switch) ends as wildcards.
+func checkHostChain(t *testing.T, n *Network, s, d int) {
+	t.Helper()
+	r := n.Route(s, d)
+	if len(r.Links) == 0 {
+		t.Fatalf("no route %d->%d", s, d)
+	}
+	cur := s
+	for _, id := range r.Links {
+		l := n.Links[id]
+		if l.From != -1 && l.From != cur {
+			t.Fatalf("route %d->%d: link %s starts at %d, walk is at %d", s, d, l.Name, l.From, cur)
+		}
+		if l.To != -1 {
+			cur = l.To
+		} else {
+			cur = -1
+		}
+	}
+	if cur != d && cur != -1 {
+		t.Fatalf("route %d->%d ends at %d", s, d, cur)
+	}
+	last := n.Links[r.Links[len(r.Links)-1]]
+	if last.To != -1 && last.To != d {
+		t.Fatalf("route %d->%d: final link %s lands on %d", s, d, last.Name, last.To)
+	}
+}
+
+// TestTorusRouting checks, for every ordered pair on a 4x3x2 torus, that
+// the route walks host-to-host from source to destination and its length
+// equals the closed form: the sum over dimensions of the minimal
+// wraparound distance.
+func TestTorusRouting(t *testing.T) {
+	dims := []int{4, 3, 2}
+	n := build(t, "torus:dims=4x3x2", "", 24)
+	if n.Hosts != 24 {
+		t.Fatalf("hosts = %d, want 24", n.Hosts)
+	}
+	coord := func(h int) []int {
+		c := make([]int, len(dims))
+		for i, d := range dims {
+			c[i] = h % d
+			h /= d
+		}
+		return c
+	}
+	for s := 0; s < n.Hosts; s++ {
+		for d := 0; d < n.Hosts; d++ {
+			if s == d {
+				continue
+			}
+			checkHostChain(t, n, s, d)
+			want := 0
+			cs, cd := coord(s), coord(d)
+			for i, sz := range dims {
+				fwd := (cd[i] - cs[i] + sz) % sz
+				if fwd > sz-fwd {
+					fwd = sz - fwd
+				}
+				want += fwd
+			}
+			if got := len(n.Route(s, d).Links); got != want {
+				t.Fatalf("torus route %d->%d has %d hops, closed form %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+// TestFatTreeRouting checks every pair on a k=4 fat-tree: routes start
+// and end at the right hosts and path lengths match the 2/4/6 closed
+// form for same-edge, same-pod and cross-pod pairs.
+func TestFatTreeRouting(t *testing.T) {
+	const k = 4
+	half := k / 2
+	n := build(t, "fattree:k=4", "", k*half*half)
+	if n.Hosts != k*half*half {
+		t.Fatalf("hosts = %d, want %d", n.Hosts, k*half*half)
+	}
+	for s := 0; s < n.Hosts; s++ {
+		for d := 0; d < n.Hosts; d++ {
+			if s == d {
+				continue
+			}
+			checkHostChain(t, n, s, d)
+			want := 6
+			switch {
+			case s/half == d/half:
+				want = 2
+			case s/(half*half) == d/(half*half):
+				want = 4
+			}
+			if got := len(n.Route(s, d).Links); got != want {
+				t.Fatalf("fattree route %d->%d has %d hops, want %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+// TestFatTreeUplinkSharing: routes to the same destination from
+// different source pods descend through the same core and aggregation
+// links (D-mod-k funnels by destination), which is what makes the
+// routing deterministic and hotspot analysis meaningful.
+func TestFatTreeUplinkSharing(t *testing.T) {
+	n := build(t, "fattree:k=4", "", 16)
+	// Hosts 4 and 8 are in different pods than 0 and than each other.
+	r1, r2 := n.Route(4, 0), n.Route(8, 0)
+	// Final two links (agg->edge descent, edge->host) must coincide.
+	l1, l2 := r1.Links[len(r1.Links)-2:], r2.Links[len(r2.Links)-2:]
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatalf("descents into host 0 differ: %v vs %v", l1, l2)
+	}
+}
+
+func TestBusRoutes(t *testing.T) {
+	n := build(t, "bus:hosts=5", "", 5)
+	if len(n.Links) != 1 || n.Links[0].Name != "bus" {
+		t.Fatalf("bus should have exactly one link, got %+v", n.Links)
+	}
+	for s := 0; s < 5; s++ {
+		for d := 0; d < 5; d++ {
+			if s == d {
+				continue
+			}
+			if r := n.Route(s, d); len(r.Links) != 1 || r.Links[0] != 0 {
+				t.Fatalf("bus route %d->%d = %+v", s, d, r)
+			}
+		}
+	}
+}
+
+// TestBuildDeterminism: building the same topology twice yields
+// identical links and routes (the foundation of cross-worker
+// reproducibility; the kernel-level gate lives in internal/mpi).
+func TestBuildDeterminism(t *testing.T) {
+	for _, topo := range []string{"torus:dims=4x4", "fattree:k=4", "bus"} {
+		a := build(t, topo, "random:7", 16)
+		b := build(t, topo, "random:7", 16)
+		if !reflect.DeepEqual(a.Links, b.Links) {
+			t.Fatalf("%s: links differ between builds", topo)
+		}
+		if !reflect.DeepEqual(a.routes, b.routes) {
+			t.Fatalf("%s: routes differ between builds", topo)
+		}
+		if !reflect.DeepEqual(a.RankHost, b.RankHost) {
+			t.Fatalf("%s: random placement differs between builds", topo)
+		}
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	check := func(policy string, ranks, hosts int) []int {
+		t.Helper()
+		m, err := Place(policy, ranks, hosts)
+		if err != nil {
+			t.Fatalf("Place(%q): %v", policy, err)
+		}
+		counts := make([]int, hosts)
+		for r, h := range m {
+			if h < 0 || h >= hosts {
+				t.Fatalf("Place(%q): rank %d on host %d", policy, r, h)
+			}
+			counts[h]++
+		}
+		lo, hi := ranks/hosts, (ranks+hosts-1)/hosts
+		for h, c := range counts {
+			if c < lo || c > hi {
+				t.Fatalf("Place(%q): host %d carries %d ranks, want %d..%d", policy, h, c, lo, hi)
+			}
+		}
+		return m
+	}
+	if m := check("block", 10, 4); m[0] != 0 || m[2] != 0 || m[3] != 1 || m[9] != 3 {
+		t.Fatalf("block: %v", m)
+	}
+	if m := check("roundrobin", 10, 4); m[0] != 0 || m[1] != 1 || m[4] != 0 || m[9] != 1 {
+		t.Fatalf("roundrobin: %v", m)
+	}
+	r1 := check("random:42", 16, 4)
+	r2 := check("random:42", 16, 4)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("random placement not deterministic for a fixed seed")
+	}
+	r3 := check("random:43", 16, 4)
+	if reflect.DeepEqual(r1, r3) {
+		t.Fatal("different random seeds produced identical placements")
+	}
+	check("random", 7, 3) // default seed
+	for _, p := range []string{"nearest", "block:2", "roundrobin:x", "random:abc"} {
+		if _, err := Place(p, 8, 4); err == nil {
+			t.Errorf("Place(%q): expected error", p)
+		}
+	}
+}
+
+func TestLookahead(t *testing.T) {
+	// One rank per host: lookahead is half the minimum hop latency.
+	n := build(t, "torus:dims=4x4", "", 16)
+	if n.MultiRankHosts() {
+		t.Fatal("16 ranks on 16 hosts should be single-rank")
+	}
+	if got := n.Lookahead(); got != n.MinHopLat/2 {
+		t.Fatalf("lookahead = %g, want MinHopLat/2 = %g", got, n.MinHopLat/2)
+	}
+	// Multi-rank hosts with a small intra latency bound it further.
+	n = build(t, "torus:dims=2x2,intralat=1e-9", "", 8)
+	if !n.MultiRankHosts() {
+		t.Fatal("8 ranks on 4 hosts must be multi-rank")
+	}
+	if got := n.Lookahead(); got != 1e-9 {
+		t.Fatalf("lookahead = %g, want intralat 1e-9", got)
+	}
+}
+
+func TestUncontendedDelay(t *testing.T) {
+	n := build(t, "bus:hosts=4,lat=1e-5,bw=1e8,intralat=1e-6,intrabw=1e9", "", 8)
+	if got, want := n.UncontendedDelay(0, 1, 1000), 1e-5+1000/1e8; got != want {
+		t.Fatalf("inter delay = %g, want %g", got, want)
+	}
+	if got, want := n.UncontendedDelay(2, 2, 1000), 1e-6+1000/1e9; got != want {
+		t.Fatalf("intra delay = %g, want %g", got, want)
+	}
+}
+
+func TestFabricContention(t *testing.T) {
+	n := build(t, "bus:hosts=4,lat=1e-5,bw=1e8", "", 4)
+	fab := NewFabric(n)
+	// Two simultaneous claims on the shared bus: the second serializes
+	// behind the first's transmission.
+	ser := 1e4 / 1e8 // 10 KB at 100 MB/s
+	a1, w1 := fab.Claim(0, 1, 1e4, 0)
+	a2, w2 := fab.Claim(2, 3, 1e4, 0)
+	if w1 != 0 || a1 != ser+1e-5 {
+		t.Fatalf("first claim: arrival %g wait %g", a1, w1)
+	}
+	if w2 != ser || a2 != 2*ser+1e-5 {
+		t.Fatalf("second claim should queue one serialization: arrival %g wait %g", a2, w2)
+	}
+	if fab.Wait != ser || fab.Msgs != 2 {
+		t.Fatalf("fabric totals: %+v", fab)
+	}
+	sum := fab.Summary(1)
+	if len(sum) != 1 || sum[0].Name != "bus" || sum[0].Msgs != 2 || sum[0].Wait != ser {
+		t.Fatalf("summary: %+v", sum)
+	}
+}
+
+func writeGraph(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "net.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestGraphTopology loads a dumbbell: two 2-host clusters joined by one
+// slow cross link through two switches (nodes 4 and 5).
+func TestGraphTopology(t *testing.T) {
+	p := writeGraph(t, `{
+		"hosts": 4,
+		"links": [
+			{"from": 0, "to": 4, "latency": 1e-6, "bandwidth": 1e9},
+			{"from": 1, "to": 4, "latency": 1e-6, "bandwidth": 1e9},
+			{"from": 2, "to": 5, "latency": 1e-6, "bandwidth": 1e9},
+			{"from": 3, "to": 5, "latency": 1e-6, "bandwidth": 1e9},
+			{"from": 4, "to": 5, "latency": 1e-5, "bandwidth": 1e8, "name": "trunk"}
+		]
+	}`)
+	n := build(t, "graph:"+p, "", 4)
+	if n.Hosts != 4 {
+		t.Fatalf("hosts = %d", n.Hosts)
+	}
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if s != d {
+				checkHostChain(t, n, s, d)
+			}
+		}
+	}
+	// Same cluster: 2 hops. Cross cluster: 3 hops through the trunk.
+	if got := len(n.Route(0, 1).Links); got != 2 {
+		t.Fatalf("intra-cluster route has %d links, want 2", got)
+	}
+	r := n.Route(0, 2)
+	if got := len(r.Links); got != 3 {
+		t.Fatalf("cross-cluster route has %d links, want 3", got)
+	}
+	if name := n.Links[r.Links[1]].Name; name != "trunk" {
+		t.Fatalf("cross-cluster middle link is %q, want trunk", name)
+	}
+	// The reverse of the duplex trunk exists with the derived name.
+	rev := n.Route(2, 0)
+	if name := n.Links[rev.Links[1]].Name; name != "trunk~" {
+		t.Fatalf("reverse trunk link is %q, want trunk~", name)
+	}
+}
+
+func TestGraphHalfDuplexShared(t *testing.T) {
+	p := writeGraph(t, `{
+		"hosts": 2,
+		"links": [{"from": 0, "to": 1, "latency": 1e-6, "bandwidth": 1e9, "duplex": false}]
+	}`)
+	n := build(t, "graph:"+p, "", 2)
+	if len(n.Links) != 1 {
+		t.Fatalf("half-duplex link should appear once, got %d links", len(n.Links))
+	}
+	if n.Route(0, 1).Links[0] != n.Route(1, 0).Links[0] {
+		t.Fatal("both directions must share the half-duplex link")
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"disconnected": `{"hosts": 3, "links": [{"from": 0, "to": 1, "latency": 1e-6, "bandwidth": 1e9}]}`,
+		"self loop":    `{"hosts": 2, "links": [{"from": 0, "to": 0, "latency": 1e-6, "bandwidth": 1e9}]}`,
+		"bad latency":  `{"hosts": 2, "links": [{"from": 0, "to": 1, "latency": -1, "bandwidth": 1e9}]}`,
+		"no hosts":     `{"hosts": 0, "links": [{"from": 0, "to": 1, "latency": 1e-6, "bandwidth": 1e9}]}`,
+		"bad index":    `{"hosts": 2, "links": [{"from": -2, "to": 1, "latency": 1e-6, "bandwidth": 1e9}]}`,
+	}
+	for name, body := range cases {
+		m := machine.IBMSP()
+		m.Topology = "graph:" + writeGraph(t, body)
+		if _, err := Build(m, 2); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	m := machine.IBMSP()
+	m.Topology = "graph:" + filepath.Join(t.TempDir(), "missing.json")
+	if _, err := Build(m, 2); err == nil {
+		t.Error("missing file: expected error")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	for _, topo := range []string{
+		"flat:x=1", "torus", "torus:dims=0x4", "torus:dims=axb",
+		"fattree:k=5", "fattree:k=0", "bus:hosts=-1", "bus:lat=0",
+		"torus:dims=4x4,bogus=1",
+	} {
+		m := machine.IBMSP()
+		m.Topology = topo
+		if _, err := Build(m, 8); err == nil {
+			t.Errorf("Build(%q): expected error", topo)
+		}
+	}
+	// Unknown-option errors name the offending keys.
+	m := machine.IBMSP()
+	m.Topology = "bus:zzz=1,aaa=2"
+	_, err := Build(m, 4)
+	if err == nil || !strings.Contains(err.Error(), "aaa, zzz") {
+		t.Fatalf("leftover options error should list keys sorted, got %v", err)
+	}
+}
+
+// BenchmarkNetRoute measures the per-message routing + claim cost that
+// the fabric pays on the hot path.
+func BenchmarkNetRoute(b *testing.B) {
+	for _, topo := range []string{"bus", "torus:dims=8x8", "fattree:k=8"} {
+		name, _, _ := strings.Cut(topo, ":")
+		b.Run(name, func(b *testing.B) {
+			m := machine.IBMSP()
+			m.Topology = topo
+			n, err := Build(m, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fab := NewFabric(n)
+			b.ReportAllocs()
+			var t float64
+			for i := 0; i < b.N; i++ {
+				s, d := i%n.Hosts, (i*7+3)%n.Hosts
+				if s == d {
+					d = (d + 1) % n.Hosts
+				}
+				at, _ := fab.Claim(s, d, 1024, t)
+				t = at - n.Route(s, d).Lat
+			}
+		})
+	}
+}
+
+func ExampleParseSpec() {
+	sp, _ := ParseSpec("fattree:k=4,lat=5e-6")
+	fmt.Println(sp.Kind, sp.Params["k"], sp.Params["lat"])
+	// Output: fattree 4 5e-6
+}

@@ -1,0 +1,96 @@
+package net
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Place resolves a -placement policy string into a rank→host map:
+//
+//	block            contiguous rank blocks per host (default)
+//	roundrobin       rank r on host r mod hosts
+//	random:SEED      a seeded deterministic shuffle of the block map
+//
+// Every policy balances ranks across hosts to within one: with R ranks
+// on H hosts, each host carries ⌊R/H⌋ or ⌈R/H⌉ ranks. More ranks than
+// hosts therefore yields multi-rank nodes whose internal traffic is
+// intra-node (never routed through the fabric).
+func Place(policy string, ranks, hosts int) ([]int, error) {
+	if policy == "" {
+		policy = "block"
+	}
+	kind, arg, hasArg := strings.Cut(policy, ":")
+	hostOf := make([]int, ranks)
+	switch kind {
+	case "block":
+		if hasArg {
+			return nil, fmt.Errorf("net: block placement takes no argument")
+		}
+		blockPlace(hostOf, hosts)
+	case "roundrobin":
+		if hasArg {
+			return nil, fmt.Errorf("net: roundrobin placement takes no argument")
+		}
+		for r := range hostOf {
+			hostOf[r] = r % hosts
+		}
+	case "random":
+		seed := uint64(1)
+		if hasArg {
+			v, err := strconv.ParseUint(arg, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("net: random placement seed %q must be an unsigned integer", arg)
+			}
+			seed = v
+		}
+		blockPlace(hostOf, hosts)
+		shuffle(hostOf, seed)
+	default:
+		return nil, fmt.Errorf("net: unknown placement %q (want block, roundrobin or random:SEED)", policy)
+	}
+	return hostOf, nil
+}
+
+// placementName normalizes an empty policy to its default for reports.
+func placementName(policy string) string {
+	if policy == "" {
+		return "block"
+	}
+	return policy
+}
+
+// blockPlace fills hostOf with contiguous blocks: the first R mod H
+// hosts carry one extra rank.
+func blockPlace(hostOf []int, hosts int) {
+	ranks := len(hostOf)
+	q, rem := ranks/hosts, ranks%hosts
+	r := 0
+	for h := 0; h < hosts && r < ranks; h++ {
+		sz := q
+		if h < rem {
+			sz++
+		}
+		for i := 0; i < sz; i++ {
+			hostOf[r] = h
+			r++
+		}
+	}
+}
+
+// shuffle is a Fisher-Yates permutation driven by a local SplitMix64, so
+// random placement is identical across platforms and Go releases.
+func shuffle(a []int, seed uint64) {
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := len(a) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		a[i], a[j] = a[j], a[i]
+	}
+}

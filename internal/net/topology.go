@@ -1,0 +1,212 @@
+package net
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// buildBus models one shared half-duplex medium: a single link that
+// every inter-host transfer serializes through, in either direction.
+// It is the worst case for all-to-all traffic and the sanity anchor for
+// the contention model (a bus must predict more time than a fat-tree on
+// the same traffic).
+func (n *Network) buildBus(sp *Spec, ranks int, lat, bw float64) error {
+	hosts, err := sp.intParam("hosts", ranks)
+	if err != nil {
+		return err
+	}
+	n.Hosts = hosts
+	bus := n.addLink(-1, -1, "bus", lat, bw)
+	n.routes = make([]Route, hosts*hosts)
+	for s := 0; s < hosts; s++ {
+		for d := 0; d < hosts; d++ {
+			if s != d {
+				n.routes[s*hosts+d] = Route{Links: []int32{bus}}
+			}
+		}
+	}
+	n.finishRoutes()
+	return nil
+}
+
+// buildTorus models a k-dimensional torus (dims=AxBx...) with one host
+// per node and a full-duplex link pair between wraparound neighbours in
+// each dimension. Routing is dimension-order: the message corrects
+// dimension 0 first, then 1, and so on, moving in whichever wraparound
+// direction is shorter (ties go in the positive direction), so every
+// route is unique and deterministic.
+func (n *Network) buildTorus(sp *Spec, lat, bw float64) error {
+	spec, ok := sp.Params["dims"]
+	if !ok {
+		return fmt.Errorf("net: torus topology needs dims (torus:dims=4x4)")
+	}
+	delete(sp.Params, "dims")
+	var dims []int
+	hosts := 1
+	for _, d := range strings.Split(spec, "x") {
+		v, err := strconv.Atoi(d)
+		if err != nil || v < 2 {
+			return fmt.Errorf("net: torus dims %q: each dimension must be an integer >= 2", spec)
+		}
+		dims = append(dims, v)
+		hosts *= v
+	}
+	n.Hosts = hosts
+
+	// coord <-> host id conversion, dimension 0 fastest-varying.
+	coord := func(h int) []int {
+		c := make([]int, len(dims))
+		for i, d := range dims {
+			c[i] = h % d
+			h /= d
+		}
+		return c
+	}
+	index := func(c []int) int {
+		h, stride := 0, 1
+		for i, d := range dims {
+			h += c[i] * stride
+			stride *= d
+		}
+		return h
+	}
+
+	// One directed link per (node, dimension, direction). A dimension of
+	// size 2 has coincident +1/-1 neighbours; both directed links are
+	// still created (they model the two channels of the cable).
+	linkID := make(map[[3]int]int32) // (from, dim, dir01) -> link
+	for h := 0; h < hosts; h++ {
+		c := coord(h)
+		for dim, sz := range dims {
+			for dirIdx, dir := range []int{+1, -1} {
+				nc := append([]int(nil), c...)
+				nc[dim] = (nc[dim] + dir + sz) % sz
+				to := index(nc)
+				name := fmt.Sprintf("torus[%d.d%d%+d]", h, dim, dir)
+				linkID[[3]int{h, dim, dirIdx}] = n.addLink(h, to, name, lat, bw)
+			}
+		}
+	}
+
+	n.routes = make([]Route, hosts*hosts)
+	for s := 0; s < hosts; s++ {
+		for d := 0; d < hosts; d++ {
+			if s == d {
+				continue
+			}
+			var links []int32
+			c, dc := coord(s), coord(d)
+			for dim, sz := range dims {
+				for c[dim] != dc[dim] {
+					// Shorter wraparound direction; exact halves positive.
+					fwd := (dc[dim] - c[dim] + sz) % sz
+					dirIdx, dir := 0, +1
+					if fwd > sz-fwd {
+						dirIdx, dir = 1, -1
+					}
+					links = append(links, linkID[[3]int{index(c), dim, dirIdx}])
+					c[dim] = (c[dim] + dir + sz) % sz
+				}
+			}
+			n.routes[s*hosts+d] = Route{Links: links}
+		}
+	}
+	n.finishRoutes()
+	return nil
+}
+
+// buildFatTree models a k-ary fat-tree (k even): k pods of k/2 edge and
+// k/2 aggregation switches, (k/2)² core switches, k/2 hosts per edge
+// switch — k³/4 hosts in total. Every adjacency is a full-duplex link
+// pair. Routing is D-mod-k up/down: the uplink taken at each level is
+// selected by the destination host id modulo the k/2 uplinks, so the
+// upward path is a deterministic function of the destination and the
+// downward path is the unique tree descent.
+func (n *Network) buildFatTree(sp *Spec, lat, bw float64) error {
+	k, err := sp.intParam("k", 0)
+	if err != nil {
+		return err
+	}
+	if k < 2 || k%2 != 0 {
+		return fmt.Errorf("net: fattree topology needs an even k >= 2 (fattree:k=4)")
+	}
+	half := k / 2
+	hosts := k * half * half // k pods * k/2 edges * k/2 hosts
+	n.Hosts = hosts
+
+	// Link tables indexed by position; "up" and "dn" are the two
+	// directions of each full-duplex adjacency.
+	hostUp := make([]int32, hosts)
+	hostDn := make([]int32, hosts)
+	edgeUp := make([][]int32, k*half) // [edge global][agg index in pod]
+	edgeDn := make([][]int32, k*half)
+	aggUp := make([][]int32, k*half) // [agg global][core index among its k/2]
+	aggDn := make([][]int32, k*half)
+
+	edgeOf := func(h int) int { return h / half } // global edge switch index
+	for h := 0; h < hosts; h++ {
+		e := edgeOf(h)
+		hostUp[h] = n.addLink(h, -1, fmt.Sprintf("ft[h%d-e%d]", h, e), lat, bw)
+		hostDn[h] = n.addLink(-1, h, fmt.Sprintf("ft[e%d-h%d]", e, h), lat, bw)
+	}
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			ge := p*half + e
+			edgeUp[ge] = make([]int32, half)
+			edgeDn[ge] = make([]int32, half)
+			for a := 0; a < half; a++ {
+				ga := p*half + a
+				edgeUp[ge][a] = n.addLink(-1, -1, fmt.Sprintf("ft[e%d-a%d]", ge, ga), lat, bw)
+				edgeDn[ge][a] = n.addLink(-1, -1, fmt.Sprintf("ft[a%d-e%d]", ga, ge), lat, bw)
+			}
+		}
+		for a := 0; a < half; a++ {
+			ga := p*half + a
+			aggUp[ga] = make([]int32, half)
+			aggDn[ga] = make([]int32, half)
+			for c := 0; c < half; c++ {
+				// Aggregation switch a of every pod connects to core
+				// switches a*half..a*half+half-1 (the standard grouping).
+				core := a*half + c
+				aggUp[ga][c] = n.addLink(-1, -1, fmt.Sprintf("ft[a%d-c%d]", ga, core), lat, bw)
+				aggDn[ga][c] = n.addLink(-1, -1, fmt.Sprintf("ft[c%d-a%d]", core, ga), lat, bw)
+			}
+		}
+	}
+
+	podOf := func(h int) int { return h / (half * half) }
+	n.routes = make([]Route, hosts*hosts)
+	for s := 0; s < hosts; s++ {
+		for d := 0; d < hosts; d++ {
+			if s == d {
+				continue
+			}
+			var links []int32
+			se, de := edgeOf(s), edgeOf(d)
+			links = append(links, hostUp[s])
+			switch {
+			case se == de:
+				// Same edge switch: up to the edge and straight down.
+			case podOf(s) == podOf(d):
+				// Same pod: up to the D-mod-k aggregation switch, down to
+				// the destination's edge switch.
+				a := d % half
+				links = append(links, edgeUp[se][a], edgeDn[de][a])
+			default:
+				// Cross-pod: up via agg d%half and core (d/half)%half,
+				// then the unique descent into d's pod.
+				a := d % half
+				c := (d / half) % half
+				links = append(links, edgeUp[se][a])
+				links = append(links, aggUp[podOf(s)*half+a][c])
+				links = append(links, aggDn[podOf(d)*half+a][c])
+				links = append(links, edgeDn[de][a])
+			}
+			links = append(links, hostDn[d])
+			n.routes[s*hosts+d] = Route{Links: links}
+		}
+	}
+	n.finishRoutes()
+	return nil
+}

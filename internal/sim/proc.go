@@ -40,10 +40,22 @@ type Message struct {
 	// slowdown): Arrival would have been FaultDelay earlier on a healthy
 	// machine. Receivers use it to attribute blocked time to faults.
 	FaultDelay Time
-	Size       int64
-	Payload    interface{}
-	seq        uint64 // sender-side sequence, part of the deterministic order
-	live       bool   // pool liveness guard (detects double-free)
+	// NetWait is the portion of the transit time spent queued on busy
+	// interconnect links, set by a relay that models link contention
+	// (zero on direct sends). Receivers use it to attribute blocked time
+	// to network congestion.
+	NetWait Time
+	// Hops is the number of interconnect links the message traversed
+	// (zero on direct sends); carried for trace annotation.
+	Hops int
+	// RelayDst is the final destination of a message sent to a relay
+	// with SendVia; the relay re-issues it there with Forward. Meaningful
+	// only on relay-addressed messages.
+	RelayDst int
+	Size     int64
+	Payload  interface{}
+	seq      uint64 // sender-side sequence, part of the deterministic order
+	live     bool   // pool liveness guard (detects double-free)
 }
 
 // procState tracks where a process is in its lifecycle.
@@ -175,6 +187,7 @@ func (p *Proc) SendTagFault(to, tag int, payload interface{}, size int64, arriva
 	m.From, m.To, m.Tag = p.id, to, tag
 	m.SendTime, m.Arrival = p.now, arrival
 	m.FaultDelay = faultDelay
+	m.NetWait, m.Hops, m.RelayDst = 0, 0, 0 // pooled: clear relay state
 	m.Size, m.Payload = size, payload
 	m.seq = p.nextSeq()
 	p.stats.MsgsSent++
@@ -182,6 +195,63 @@ func (p *Proc) SendTagFault(to, tag int, payload interface{}, size int64, arriva
 	e := w.newEvent()
 	e.t, e.proc, e.seq = arrival, p.id, m.seq
 	e.kind, e.dst, e.msg = evDeliver, to, m
+	w.sendOut(e)
+}
+
+// SendVia addresses a message to a relay process (the mpi layer's
+// interconnect fabric) while naming its final destination: the relay
+// receives it like any message, with Message.RelayDst = dst, and
+// re-issues it to dst with Forward once the interconnect model has
+// resolved the true arrival time. dst may be any caller-chosen sentinel
+// (e.g. negative for control traffic); it is validated by Forward, not
+// here. Sender statistics count only real traffic (dst >= 0).
+func (p *Proc) SendVia(relay, dst, tag int, payload interface{}, size int64, arrival, faultDelay Time) {
+	if relay < 0 || relay >= len(p.kernel.procs) {
+		panic(fmt.Sprintf("sim: SendVia through unknown proc %d", relay))
+	}
+	if arrival < p.now {
+		panic(fmt.Sprintf("sim: SendVia arrival %v before local time %v", arrival, p.now))
+	}
+	w := p.worker
+	m := w.newMessage()
+	m.From, m.To, m.Tag = p.id, relay, tag
+	m.SendTime, m.Arrival = p.now, arrival
+	m.FaultDelay = faultDelay
+	m.NetWait, m.Hops, m.RelayDst = 0, 0, dst
+	m.Size, m.Payload = size, payload
+	m.seq = p.nextSeq()
+	if dst >= 0 {
+		p.stats.MsgsSent++
+		p.stats.BytesSent += size
+	}
+	e := w.newEvent()
+	e.t, e.proc, e.seq = arrival, p.id, m.seq
+	e.kind, e.dst, e.msg = evDeliver, relay, m
+	w.sendOut(e)
+}
+
+// Forward re-issues a message this process received to another process
+// with a new arrival time, preserving the original sender envelope
+// (From, Tag, SendTime, Size, Payload, FaultDelay): the receiver
+// matches it exactly as if the original sender had sent it directly.
+// Ownership of m passes back to the kernel — the caller must not touch
+// or FreeMessage it afterwards. The caller should set NetWait/Hops
+// before forwarding; receiver statistics are counted at delivery as
+// usual, and the forwarding process's own send counters are untouched.
+func (p *Proc) Forward(m *Message, dst int, arrival Time) {
+	if dst < 0 || dst >= len(p.kernel.procs) {
+		panic(fmt.Sprintf("sim: Forward to unknown proc %d", dst))
+	}
+	if arrival < p.now {
+		panic(fmt.Sprintf("sim: Forward arrival %v before local time %v", arrival, p.now))
+	}
+	w := p.worker
+	m.To = dst
+	m.Arrival = arrival
+	m.seq = p.nextSeq()
+	e := w.newEvent()
+	e.t, e.proc, e.seq = arrival, p.id, m.seq
+	e.kind, e.dst, e.msg = evDeliver, dst, m
 	w.sendOut(e)
 }
 

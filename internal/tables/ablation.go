@@ -20,7 +20,7 @@ func Ablation(cfg Config) (*Table, error) {
 	n := cfg.pick(160, 512)
 	inputs := apps.TomcatvInputs(n, 2)
 	const ranks = 4
-	m := machine.IBMSP()
+	m := machineFor(machine.IBMSP(), cfg)
 	prog := apps.Tomcatv()
 
 	meas, err := interp.Run(prog, interp.Config{

@@ -38,9 +38,21 @@ func (cfg Config) pick(scaled, full int) int {
 	return scaled
 }
 
+// machineFor applies the experiment-wide topology/placement overrides
+// to a freshly constructed machine model.
+func machineFor(m *machine.Model, cfg Config) *machine.Model {
+	if cfg.Topology != "" {
+		m.Topology = cfg.Topology
+	}
+	if cfg.Placement != "" {
+		m.Placement = cfg.Placement
+	}
+	return m
+}
+
 // newRunner builds a calibrated-capable runner.
 func newRunner(prog *ir.Program, m *machine.Model, cfg Config) (*core.Runner, error) {
-	r, err := core.NewRunner(prog, m)
+	r, err := core.NewRunner(prog, machineFor(m, cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +265,7 @@ func Figure7(cfg Config) (*Figure, error) {
 // sampleSweep runs the SAMPLE kernel over a computation-granularity
 // sweep and returns, per pattern, (ratio, measured, predicted, %diff).
 func sampleSweep(cfg Config) (map[string][][4]float64, error) {
-	m := machine.Origin2000()
+	m := machineFor(machine.Origin2000(), cfg)
 	ranks := 8
 	works := []int{200, 1000, 5000, 20000, 100000, 400000}
 	if cfg.Full {

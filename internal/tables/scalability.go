@@ -55,7 +55,7 @@ func Table1(cfg Config) (*Table, error) {
 	}
 	reg := apps.Registry()
 	for _, rw := range rows {
-		r, err := core.NewRunner(reg[rw.prog].Build(), machine.IBMSP())
+		r, err := core.NewRunner(reg[rw.prog].Build(), machineFor(machine.IBMSP(), cfg))
 		if err != nil {
 			return nil, err
 		}

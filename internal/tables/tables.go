@@ -35,6 +35,11 @@ type Config struct {
 	// behaviour can be watched live (cmd/experiments -metrics/-obshttp).
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Topology / Placement override the interconnect model of every
+	// machine the experiments construct (cmd/experiments
+	// -topology/-placement); empty keeps each preset's flat default.
+	Topology  string
+	Placement string
 }
 
 // Point is one (x, y) sample of a series.

@@ -18,12 +18,14 @@ import (
 // executions, before the machine exists.
 
 // RankBreakdown is the exact decomposition of one rank's finish time:
-// Finish = PureCompute + Delay + CommCPU + Blocked + Fault, where
+// Finish = PureCompute + Delay + CommCPU + Blocked + Fault + Net, where
 // PureCompute is directly executed computation (ComputeTime net of
 // delays, communication CPU and fault CPU, which the kernel folds into
-// it), Blocked is genuine waiting net of the fault-explained portion,
-// and Fault is all time attributed to injected faults (retransmission
-// CPU and waits, compute-slowdown excess, fault-delayed arrivals).
+// it), Blocked is genuine waiting net of the fault- and
+// contention-explained portions, Fault is all time attributed to
+// injected faults (retransmission CPU and waits, compute-slowdown
+// excess, fault-delayed arrivals), and Net is receive wait explained by
+// interconnect contention (topology runs only).
 type RankBreakdown struct {
 	Rank        int     `json:"rank"`
 	Finish      float64 `json:"finish"`
@@ -32,6 +34,7 @@ type RankBreakdown struct {
 	CommCPU     float64 `json:"comm_cpu"`
 	Blocked     float64 `json:"blocked"`
 	Fault       float64 `json:"fault,omitempty"`
+	Net         float64 `json:"net,omitempty"`
 }
 
 // RankDelta is the per-rank component change between two runs with equal
@@ -44,6 +47,7 @@ type RankDelta struct {
 	CommCPU     float64 `json:"comm_cpu"`
 	Blocked     float64 `json:"blocked"`
 	Fault       float64 `json:"fault,omitempty"`
+	Net         float64 `json:"net,omitempty"`
 }
 
 // TaskDelta is the change in per-rank mean delay seconds attributed to
@@ -85,6 +89,7 @@ type Attribution struct {
 	DeltaCommCPU float64       `json:"delta_comm_cpu"`
 	DeltaBlocked float64       `json:"delta_blocked"`
 	DeltaFault   float64       `json:"delta_fault,omitempty"`
+	DeltaNet     float64       `json:"delta_net,omitempty"`
 
 	// PerRank is populated when both runs have the same rank count.
 	PerRank []RankDelta `json:"per_rank,omitempty"`
@@ -96,8 +101,9 @@ type Attribution struct {
 
 // breakdown decomposes rank i of an artifact's report. The fault CPU
 // (FaultTime net of its blocked portion) is folded into ComputeTime by
-// the kernel and the fault-explained wait into BlockedTime, so both are
-// subtracted out to keep the components disjoint and exactly summing.
+// the kernel, and the fault- and contention-explained waits into
+// BlockedTime, so all three are subtracted out to keep the components
+// disjoint and exactly summing.
 func breakdown(a *Artifact, i int) RankBreakdown {
 	rs := a.Report.Ranks[i]
 	faultCPU := rs.FaultTime - rs.FaultBlocked
@@ -107,8 +113,9 @@ func breakdown(a *Artifact, i int) RankBreakdown {
 		PureCompute: float64(rs.ComputeTime - rs.DelayTime - rs.CommCPUTime - faultCPU),
 		Delay:       float64(rs.DelayTime),
 		CommCPU:     float64(rs.CommCPUTime),
-		Blocked:     float64(rs.BlockedTime - rs.FaultBlocked),
+		Blocked:     float64(rs.BlockedTime - rs.FaultBlocked - rs.NetBlocked),
 		Fault:       float64(rs.FaultTime),
+		Net:         float64(rs.NetBlocked),
 	}
 }
 
@@ -153,6 +160,7 @@ func Attribute(base, target *Artifact) (*Attribution, error) {
 	at.DeltaCommCPU = at.Target.CommCPU - at.Base.CommCPU
 	at.DeltaBlocked = at.Target.Blocked - at.Base.Blocked
 	at.DeltaFault = at.Target.Fault - at.Base.Fault
+	at.DeltaNet = at.Target.Net - at.Base.Net
 
 	if at.BaseRanks == at.TargetRanks {
 		at.PerRank = make([]RankDelta, at.BaseRanks)
@@ -166,6 +174,7 @@ func Attribute(base, target *Artifact) (*Attribution, error) {
 				CommCPU:     t.CommCPU - b.CommCPU,
 				Blocked:     t.Blocked - b.Blocked,
 				Fault:       t.Fault - b.Fault,
+				Net:         t.Net - b.Net,
 			}
 		}
 	}
@@ -237,6 +246,9 @@ func (at *Attribution) Text(topN int) string {
 	if at.Base.Fault != 0 || at.Target.Fault != 0 {
 		row("fault", at.Base.Fault, at.Target.Fault, at.DeltaFault)
 	}
+	if at.Base.Net != 0 || at.Target.Net != 0 {
+		row("net contention", at.Base.Net, at.Target.Net, at.DeltaNet)
+	}
 	fmt.Fprintf(&sb, "    (critical rank %d -> %d)\n", at.Base.Rank, at.Target.Rank)
 
 	if len(at.Tasks) > 0 {
@@ -258,7 +270,7 @@ func (at *Attribution) Text(topN int) string {
 		}
 	}
 	if len(at.PerRank) > 0 {
-		sb.WriteString("  per-rank deltas (finish = compute + delay + comm + blocked + fault):\n")
+		sb.WriteString("  per-rank deltas (finish = compute + delay + comm + blocked + fault + net):\n")
 		ranks := make([]RankDelta, len(at.PerRank))
 		copy(ranks, at.PerRank)
 		sort.Slice(ranks, func(i, j int) bool {
@@ -274,6 +286,9 @@ func (at *Attribution) Text(topN int) string {
 				secs(rd.CommCPU), secs(rd.Blocked))
 			if rd.Fault != 0 {
 				fmt.Fprintf(&sb, "  fault %s", secs(rd.Fault))
+			}
+			if rd.Net != 0 {
+				fmt.Fprintf(&sb, "  net %s", secs(rd.Net))
 			}
 			sb.WriteByte('\n')
 		}

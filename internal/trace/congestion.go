@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpisim/internal/mpi"
+)
+
+// Congestion renders the network-hotspot section of a topology-mode
+// report: the run's topology and placement, aggregate routed/node-local
+// traffic, the most contended links (already sorted by contention wait
+// in Report.Net), and the ranks that spent the most receive time blocked
+// on contention — the NetBlocked figure the attribution identity folds
+// out of Blocked. topN bounds both tables (0 = all). Returns "" for flat
+// runs (Report.Net == nil).
+func Congestion(rep *mpi.Report, topN int) string {
+	st := rep.Net
+	if st == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "network congestion: %s, placement %s (%d hosts, %d links)\n",
+		st.Topology, st.Placement, st.Hosts, st.LinkCount)
+	fmt.Fprintf(&sb, "  routed %d msgs / %d bytes, node-local %d msgs / %d bytes, total contention wait %.4gs\n",
+		st.InterMsgs, st.InterBytes, st.IntraMsgs, st.IntraBytes, st.Wait)
+
+	if len(st.Links) > 0 {
+		sb.WriteString("  hottest links (by contention wait):\n")
+		fmt.Fprintf(&sb, "    %-18s %8s %12s %10s %10s %6s\n",
+			"link", "msgs", "bytes", "busy", "wait", "util")
+		n := len(st.Links)
+		if topN > 0 && topN < n {
+			n = topN
+		}
+		for _, l := range st.Links[:n] {
+			fmt.Fprintf(&sb, "    %-18s %8d %12d %10.4g %10.4g %5.1f%%\n",
+				l.Name, l.Msgs, l.Bytes, l.Busy, l.Wait, 100*l.Utilization)
+		}
+		if n < len(st.Links) {
+			fmt.Fprintf(&sb, "    ... %d more link(s)\n", len(st.Links)-n)
+		}
+	}
+
+	type rankWait struct {
+		rank int
+		wait float64
+	}
+	var rw []rankWait
+	for i, rs := range rep.Ranks {
+		if rs.NetBlocked > 0 {
+			rw = append(rw, rankWait{i, float64(rs.NetBlocked)})
+		}
+	}
+	if len(rw) > 0 {
+		sort.Slice(rw, func(i, j int) bool {
+			if rw[i].wait != rw[j].wait {
+				return rw[i].wait > rw[j].wait
+			}
+			return rw[i].rank < rw[j].rank
+		})
+		sb.WriteString("  ranks blocked on contention (the 'net' attribution component):\n")
+		n := len(rw)
+		if topN > 0 && topN < n {
+			n = topN
+		}
+		for _, e := range rw[:n] {
+			fmt.Fprintf(&sb, "    rank %-4d %.4gs\n", e.rank, e.wait)
+		}
+		if n < len(rw) {
+			fmt.Fprintf(&sb, "    ... %d more rank(s)\n", len(rw)-n)
+		}
+	}
+	return sb.String()
+}

@@ -37,12 +37,21 @@ func Export(t *obs.Tracer, rep *mpi.Report) error {
 	for rank, evs := range rep.CommEvents {
 		for _, ev := range evs {
 			flowID++
-			t.Flow(obs.PlaneSimulated, flowID, "msg", "p2p",
-				ev.From, ev.SendTime, rank, ev.Arrival,
+			args := []obs.Arg{
 				obs.Num("src", float64(ev.From)),
 				obs.Num("dst", float64(rank)),
 				obs.Num("tag", float64(ev.Tag)),
-				obs.Num("bytes", float64(ev.Size)))
+				obs.Num("bytes", float64(ev.Size)),
+			}
+			// Topology runs annotate routed messages with their hop count
+			// and contention wait; flat runs emit the seed args unchanged.
+			if ev.Hops > 0 {
+				args = append(args,
+					obs.Num("hops", float64(ev.Hops)),
+					obs.Num("net_wait", ev.NetWait))
+			}
+			t.Flow(obs.PlaneSimulated, flowID, "msg", "p2p",
+				ev.From, ev.SendTime, rank, ev.Arrival, args...)
 		}
 	}
 	// Collective phases as async intervals: id encodes (rank, ordinal)

@@ -22,13 +22,14 @@ var glyphs = [...]byte{
 	mpi.SegBlocked: '.',
 	mpi.SegComm:    '+',
 	mpi.SegFault:   '!',
+	mpi.SegNet:     '~',
 }
 
 // Timeline renders each rank's activity over [0, rep.Time] as a row of
 // width columns: '#' executed computation, '=' abstracted computation
 // (delays), '+' communication CPU, '.' blocked, '!' fault-attributed
-// time, ' ' idle/untraced. The glyph for a column is the kind occupying
-// the largest share of it.
+// time, '~' waiting on network contention, ' ' idle/untraced. The glyph
+// for a column is the kind occupying the largest share of it.
 func Timeline(rep *mpi.Report, width int) (string, error) {
 	if rep.Traces == nil {
 		return "", fmt.Errorf("trace: report has no traces (run with CollectTrace)")
@@ -40,12 +41,12 @@ func Timeline(rep *mpi.Report, width int) (string, error) {
 		return "", fmt.Errorf("trace: empty simulation")
 	}
 	var sb strings.Builder
-	sb.WriteString("predicted timeline ('#' compute, '=' delay, '+' comm, '.' blocked, '!' fault, ' ' idle)\n")
+	sb.WriteString("predicted timeline ('#' compute, '=' delay, '+' comm, '.' blocked, '!' fault, '~' net, ' ' idle)\n")
 	fmt.Fprintf(&sb, "0s %s %.4gs\n", strings.Repeat("-", width-2), rep.Time)
 	scale := float64(width) / rep.Time
 	for rank, segs := range rep.Traces {
 		// Per-column occupancy per kind.
-		occ := make([][5]float64, width)
+		occ := make([][6]float64, width)
 		for _, s := range segs {
 			// Clamp both column indices into [0, width-1]: floating-point
 			// rounding can push a segment ending (or, for the final event,

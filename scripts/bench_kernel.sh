@@ -1,7 +1,8 @@
 #!/bin/sh
 # bench_kernel.sh — run the kernel throughput suite (BenchmarkKernel* in
-# internal/sim) and record the results as BENCH_kernel.json so the
-# performance trajectory is tracked across PRs.
+# internal/sim plus the network-layer BenchmarkKernelNet in internal/mpi)
+# and record the results as BENCH_kernel.json so the performance
+# trajectory is tracked across PRs.
 #
 # Usage:
 #   scripts/bench_kernel.sh [benchtime]          # record (default 2s)
@@ -22,8 +23,9 @@ if [ "${1:-}" = "-check" ]; then
     bin=$(mktemp -d)
     trap 'rm -rf "$bin"' EXIT
     go build -o "$bin/benchgate" ./tools/benchgate
-    go test -bench 'BenchmarkKernel' -benchtime "$benchtime" -run '^$' ./internal/sim/ |
-        "$bin/benchgate" -baseline BENCH_kernel.json -maxregress 0.10
+    { go test -bench 'BenchmarkKernel' -benchtime "$benchtime" -run '^$' ./internal/sim/
+      go test -bench 'BenchmarkKernelNet' -benchtime "$benchtime" -run '^$' ./internal/mpi/
+    } | "$bin/benchgate" -baseline BENCH_kernel.json -maxregress 0.10
     exit 0
 fi
 
@@ -31,7 +33,9 @@ benchtime="${1:-2s}"
 out=BENCH_kernel.json
 trap 'rm -f "$out.tmp"' EXIT
 
-go test -bench 'BenchmarkKernel' -benchtime "$benchtime" -run '^$' ./internal/sim/ |
+{ go test -bench 'BenchmarkKernel' -benchtime "$benchtime" -run '^$' ./internal/sim/
+  go test -bench 'BenchmarkKernelNet' -benchtime "$benchtime" -run '^$' ./internal/mpi/
+} |
 awk '
 BEGIN { n = 0 }
 /^Benchmark/ {

@@ -19,6 +19,13 @@
 #      kernel must stay within 2% events/sec of the recorded
 #      BENCH_kernel.json; with the watchdog armed, within 15% of the
 #      disabled kernel measured in the same run
+#  12. network determinism gate: topology-aware runs (bus, torus,
+#      fat-tree) are byte-identical across host worker counts
+#  13. example network configs: every examples/networks/*.json passes
+#      the mpicheck netconfig pass
+#  14. network overhead gate: flat topology (the seed-compatible fast
+#      path) must stay within 2% events/sec of topology-off, and the
+#      suite must hold the recorded BENCH_kernel.json baseline
 #
 # Usage: scripts/ci.sh
 set -eu
@@ -42,8 +49,8 @@ go vet ./...
 echo "== tests"
 go test ./...
 
-echo "== race (sim kernel + MPI layer + observability + fault injection)"
-go test -race ./internal/sim/ ./internal/mpi/ ./internal/obs/ ./internal/fault/
+echo "== race (sim kernel + MPI layer + observability + fault injection + network)"
+go test -race ./internal/sim/ ./internal/mpi/ ./internal/obs/ ./internal/fault/ ./internal/net/
 
 echo "== msgown ownership analyzer"
 bin=$(mktemp -d)
@@ -80,6 +87,15 @@ done; } |
 echo "== fault determinism gate"
 go test -count=1 -run 'TestFaultDeterminism' ./internal/mpi/
 
+echo "== network determinism gate"
+go test -count=1 -run 'TestNetDeterminism|TestNetRealParallelDeterminism' ./internal/mpi/
+
+echo "== example network configs"
+for f in examples/networks/*.json; do
+    "$bin/mpicheck" -file examples/programs/ring.ir -inputs N=32,STEPS=2 \
+        -ranks 8 -netjson "$f" -min warning
+done
+
 echo "== fuzz smoke (randomized fault schedules)"
 go test -fuzz 'FuzzFaultSchedules' -fuzztime 10s -run '^$' ./internal/mpi/
 
@@ -90,5 +106,13 @@ done; } |
     "$bin/benchgate" \
         -baseline BENCH_kernel.json -maxregress 0.02 \
         -pair "BenchmarkKernelGuard/off,BenchmarkKernelGuard/armed,0.15"
+
+echo "== network overhead gate"
+{ for i in 1 2 3; do
+    go test -run '^$' -bench 'BenchmarkKernelNet' -benchtime 0.5s ./internal/mpi/
+done; } |
+    "$bin/benchgate" \
+        -baseline BENCH_kernel.json -maxregress 0.10 \
+        -pair "BenchmarkKernelNet/off,BenchmarkKernelNet/flat,0.02"
 
 echo "CI OK"
