@@ -84,6 +84,10 @@ type Runner struct {
 	// HostWorkers configures the simulation engine for subsequent runs.
 	HostWorkers  int
 	RealParallel bool
+	// ForceGoroutine routes the kernel's continuation processes through
+	// the classic goroutine scheduler (byte-identical results; used by the
+	// scheduler-equivalence tests).
+	ForceGoroutine bool
 	// MemoryLimit bounds simulated target memory for DE/measured runs
 	// (0 = unlimited). AM runs are never limited: their footprint is the
 	// point of the technique.
@@ -272,11 +276,12 @@ func (r *Runner) Run(mode Mode, ranks int, inputs map[string]float64) (*mpi.Repo
 	cfg := interp.Config{
 		Ranks: ranks, Machine: r.Machine, Inputs: inputs,
 		HostWorkers: r.HostWorkers, RealParallel: r.RealParallel,
-		CollectMatrix: r.CollectMatrix,
-		CollectTrace:  r.CollectTrace,
-		Metrics:       r.Metrics,
-		Tracer:        r.Tracer,
-		Faults:        r.Faults,
+		ForceGoroutine: r.ForceGoroutine,
+		CollectMatrix:  r.CollectMatrix,
+		CollectTrace:   r.CollectTrace,
+		Metrics:        r.Metrics,
+		Tracer:         r.Tracer,
+		Faults:         r.Faults,
 		Limits: sim.Limits{
 			MaxEvents:   r.MaxEvents,
 			MaxTime:     sim.Time(r.MaxVirtualTime),

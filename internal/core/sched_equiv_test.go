@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpisim/internal/apps"
+	"mpisim/internal/fault"
+	"mpisim/internal/ir"
+	"mpisim/internal/machine"
+	"mpisim/internal/obs"
+	"mpisim/internal/trace"
+)
+
+// Scheduler-equivalence property tests: the continuation scheduler
+// (sim/cont.go) must be invisible in every simulation artifact. Each
+// program runs under the native inline path and under ForceGoroutine
+// (the classic carrier-goroutine path), across worker counts — the full
+// report AND the exported simulated-plane trace artifact must be
+// byte-identical in every cell of the matrix.
+
+// schedVariants is the worker-count x scheduling-path matrix.
+var schedVariants = []struct {
+	workers int
+	force   bool
+}{
+	{1, false}, {1, true},
+	{2, false}, {2, true},
+	{8, false}, {8, true},
+}
+
+// runSched runs prog in measured mode at 4 ranks and returns the
+// canonical report JSON (kernel meta-result dropped, as in the flat
+// regression tests) plus the exported trace artifact.
+func runSched(t *testing.T, prog *ir.Program, inputs map[string]float64,
+	topo string, faults *fault.Scenario, workers int, force bool) (string, string) {
+	t.Helper()
+	m := machine.IBMSP()
+	m.Topology = topo
+	r, err := NewRunner(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.HostWorkers = workers
+	r.RealParallel = workers > 1
+	r.ForceGoroutine = force
+	r.CollectMatrix = true
+	r.CollectTrace = true
+	r.Faults = faults
+	rep, err := r.Run(Measured, 4, inputs)
+	if err != nil {
+		t.Fatalf("workers=%d force=%v: %v", workers, force, err)
+	}
+	rep.Kernel = nil
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tr := obs.NewTracer(obs.NewJSONLSink(&sb))
+	if err := trace.Export(tr, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return string(b), sb.String()
+}
+
+// checkSchedMatrix runs the full variant matrix for one program and
+// asserts every cell equals the workers=1 native-path reference.
+func checkSchedMatrix(t *testing.T, name string, build func() *ir.Program,
+	inputs map[string]float64, topo string, faults *fault.Scenario) {
+	t.Helper()
+	refRep, refTrace := runSched(t, build(), inputs, topo, faults, 1, false)
+	for _, v := range schedVariants[1:] {
+		rep, tr := runSched(t, build(), inputs, topo, faults, v.workers, v.force)
+		label := fmt.Sprintf("%s workers=%d force=%v", name, v.workers, v.force)
+		if rep != refRep {
+			t.Errorf("%s: report diverged from workers=1 continuation path", label)
+		}
+		if tr != refTrace {
+			t.Errorf("%s: trace artifact diverged from workers=1 continuation path", label)
+		}
+	}
+}
+
+// TestSchedEquivalenceApps covers every registered application on the
+// flat model.
+func TestSchedEquivalenceApps(t *testing.T) {
+	for _, name := range apps.Names() {
+		spec := apps.Registry()[name]
+		inputs := flatInputs(name, 4)
+		if inputs == nil {
+			t.Fatalf("no inputs for app %q", name)
+		}
+		checkSchedMatrix(t, name, spec.Build, inputs, "", nil)
+	}
+}
+
+// TestSchedEquivalenceExamples covers the example pseudocode programs.
+func TestSchedEquivalenceExamples(t *testing.T) {
+	files, err := filepath.Glob("../../examples/programs/*.ir")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	inputs := map[string]float64{"N": 32, "STEPS": 2}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		build := func() *ir.Program {
+			prog, err := ir.Parse(string(src))
+			if err != nil {
+				t.Fatalf("%s: %v", f, err)
+			}
+			return prog
+		}
+		checkSchedMatrix(t, filepath.Base(f), build, inputs, "", nil)
+	}
+}
+
+// TestSchedEquivalenceTopology drives the interconnect fabric — itself a
+// continuation process now — through both scheduling paths under a
+// contended torus.
+func TestSchedEquivalenceTopology(t *testing.T) {
+	spec := apps.Registry()["sample"]
+	checkSchedMatrix(t, "sample/torus", spec.Build, flatInputs("sample", 4),
+		"torus:dims=2x2", nil)
+}
+
+// TestSchedEquivalenceFaults arms a deterministic fault scenario (loss
+// with retries, delay injection) so the retransmission machinery runs
+// identically under both scheduling paths.
+func TestSchedEquivalenceFaults(t *testing.T) {
+	spec := apps.Registry()["sample"]
+	faults := &fault.Scenario{
+		Seed:  42,
+		Loss:  []fault.LossSpec{{Prob: 0.02, From: fault.AnyRank, To: fault.AnyRank}},
+		Retry: &fault.RetryConfig{Timeout: 5e-4, Backoff: 2, MaxRetries: 16},
+	}
+	checkSchedMatrix(t, "sample/faults", spec.Build, flatInputs("sample", 4), "", faults)
+}

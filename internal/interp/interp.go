@@ -32,12 +32,13 @@ type Config struct {
 	// Comm selects the communication model (Detailed = "measured" ground
 	// truth, Analytic = the simulator's model).
 	Comm mpi.CommModel
-	// HostWorkers / RealParallel / Protocol / Queue configure the
-	// simulation engine.
-	HostWorkers  int
-	RealParallel bool
-	Protocol     sim.Protocol
-	Queue        sim.QueueKind
+	// HostWorkers / RealParallel / ForceGoroutine / Protocol / Queue
+	// configure the simulation engine.
+	HostWorkers    int
+	RealParallel   bool
+	ForceGoroutine bool
+	Protocol       sim.Protocol
+	Queue          sim.QueueKind
 	// MemoryLimit bounds total simulated target memory (0 = unlimited).
 	MemoryLimit int64
 	// Inputs supplies the program's ReadInput values (problem sizes).
@@ -80,21 +81,22 @@ func Run(p *ir.Program, cfg Config) (*mpi.Report, error) {
 		return nil, err
 	}
 	world, err := mpi.NewWorld(mpi.Config{
-		Ranks:         cfg.Ranks,
-		Machine:       cfg.Machine,
-		Comm:          cfg.Comm,
-		HostWorkers:   cfg.HostWorkers,
-		RealParallel:  cfg.RealParallel,
-		Protocol:      cfg.Protocol,
-		Queue:         cfg.Queue,
-		TaskTimes:     cfg.TaskTimes,
-		MemoryLimit:   cfg.MemoryLimit,
-		CollectMatrix: cfg.CollectMatrix,
-		CollectTrace:  cfg.CollectTrace,
-		Metrics:       cfg.Metrics,
-		Tracer:        cfg.Tracer,
-		Faults:        cfg.Faults,
-		Limits:        cfg.Limits,
+		Ranks:          cfg.Ranks,
+		Machine:        cfg.Machine,
+		Comm:           cfg.Comm,
+		HostWorkers:    cfg.HostWorkers,
+		RealParallel:   cfg.RealParallel,
+		ForceGoroutine: cfg.ForceGoroutine,
+		Protocol:       cfg.Protocol,
+		Queue:          cfg.Queue,
+		TaskTimes:      cfg.TaskTimes,
+		MemoryLimit:    cfg.MemoryLimit,
+		CollectMatrix:  cfg.CollectMatrix,
+		CollectTrace:   cfg.CollectTrace,
+		Metrics:        cfg.Metrics,
+		Tracer:         cfg.Tracer,
+		Faults:         cfg.Faults,
+		Limits:         cfg.Limits,
 	})
 	if err != nil {
 		return nil, err

@@ -81,6 +81,10 @@ type Config struct {
 	HostWorkers int
 	// RealParallel runs host workers on separate goroutines.
 	RealParallel bool
+	// ForceGoroutine routes the kernel's continuation processes (e.g. the
+	// interconnect fabric) through the classic goroutine path. Results
+	// are byte-identical; used by the scheduler-equivalence tests.
+	ForceGoroutine bool
 	// Protocol selects the conservative synchronization protocol of the
 	// parallel engine (window or null-message).
 	Protocol sim.Protocol
@@ -336,14 +340,15 @@ func NewWorld(cfg Config) (*World, error) {
 		lookahead = sim.Time(nw.Lookahead())
 	}
 	k, err := sim.NewKernel(sim.Config{
-		Workers:      cfg.HostWorkers,
-		Lookahead:    lookahead,
-		RealParallel: cfg.RealParallel,
-		Protocol:     cfg.Protocol,
-		Queue:        cfg.Queue,
-		Metrics:      cfg.Metrics,
-		Tracer:       cfg.Tracer,
-		Limits:       cfg.Limits,
+		Workers:        cfg.HostWorkers,
+		Lookahead:      lookahead,
+		RealParallel:   cfg.RealParallel,
+		ForceGoroutine: cfg.ForceGoroutine,
+		Protocol:       cfg.Protocol,
+		Queue:          cfg.Queue,
+		Metrics:        cfg.Metrics,
+		Tracer:         cfg.Tracer,
+		Limits:         cfg.Limits,
 	})
 	if err != nil {
 		return nil, err
@@ -407,7 +412,7 @@ func (w *World) Run(body func(*Rank)) (*Report, error) {
 		})
 	}
 	if w.net != nil {
-		w.kernel.Spawn("fabric", w.runFabric)
+		w.kernel.SpawnCont("fabric", w.fabricCont())
 	}
 	res, err := w.kernel.Run()
 	if w.memErr != nil {

@@ -29,8 +29,14 @@ import (
 // fabric exits once every rank has retired.
 const netDone = -1
 
-// runFabric is the fabric process body.
-func (w *World) runFabric(p *sim.Proc) {
+// fabricCont builds the fabric's continuation chain (sim.SpawnCont):
+// the fabric is pure event-reactive state — per-link busy-until, the
+// non-overtaking clamp, a retirement count — so it runs inline on its
+// worker's goroutine instead of occupying a blocked goroutine between
+// claims. The handler is a single self-referencing closure, allocated
+// once at spawn; each claim is priced and forwarded without any host
+// scheduling at all.
+func (w *World) fabricCont() sim.Cont {
 	fab := w.fabric
 	nw := w.net
 	claimLat := sim.Time(nw.ClaimLatency())
@@ -39,18 +45,26 @@ func (w *World) runFabric(p *sim.Proc) {
 	// pure contention model is FIFO per route by construction.)
 	last := make(map[int64]sim.Time)
 	remaining := w.cfg.Ranks
-	for remaining > 0 {
-		m := p.RecvSrcTag(sim.Any, sim.Any)
-		if m.RelayDst != netDone {
-			relayClaim(p, fab, nw, claimLat, last, m)
-			continue
+	var onClaim sim.Cont
+	onClaim = func(p *sim.Proc, m *sim.Message) sim.Cont {
+		if m != nil {
+			if m.RelayDst != netDone {
+				relayClaim(p, fab, nw, claimLat, last, m)
+			} else {
+				// End-of-traffic claim: the message carries no payload to
+				// relay. (Freed after its last read — the msgown analyzer
+				// checks by position.)
+				remaining--
+				p.FreeMessage(m)
+				if remaining == 0 {
+					return nil
+				}
+			}
 		}
-		// End-of-traffic claim: the message carries no payload to relay.
-		// (Freed last in the loop body so every read of m provably
-		// precedes it — the msgown analyzer checks by position.)
-		remaining--
-		p.FreeMessage(m)
+		p.WaitRecv(sim.Any, sim.Any)
+		return onClaim
 	}
+	return onClaim
 }
 
 // relayClaim prices one fabric claim and re-issues the message to its

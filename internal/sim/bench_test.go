@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 
@@ -10,15 +11,58 @@ import (
 
 // The BenchmarkKernel* suite measures raw kernel throughput (events/sec)
 // and steady-state allocation behaviour (allocs/event) across the
-// engine, protocol and queue axes at 16/256/4096 target processes.
-// scripts/bench_kernel.sh runs it and records the results in
-// BENCH_kernel.json so the performance trajectory is tracked across PRs.
+// engine, protocol, queue and scheduler axes at 16 to 65536 target
+// processes (the top row is gated behind MPISIM_BENCH_LARGE so routine
+// runs stay fast). scripts/bench_kernel.sh runs it and records the
+// results in BENCH_kernel.json so the performance trajectory is tracked
+// across PRs.
+//
+// The workloads run as continuation processes — the kernel's native
+// scheduling path (cont.go) — with the classic goroutine path kept
+// head-to-head in BenchmarkKernelSched. Continuation and classic bodies
+// generate identical event streams, so events/sec is comparable across
+// the axis.
 
-// benchBody is a neighbour-exchange workload: every process alternates
-// local computation, a send to its successor and a receive, recycling
-// each received message. Fully deterministic, communication-dominated —
-// the kernel hot path is the entire cost.
-func benchBody(n, rounds int, latency Time) func(*Proc) {
+// benchSpawner populates a kernel with the workload's processes.
+type benchSpawner func(k *Kernel, procs, rounds int, latency Time)
+
+// contExch is a neighbour-exchange process: every round it does local
+// computation, sends to its successor and waits for its predecessor,
+// recycling each received message. Fully deterministic,
+// communication-dominated — the kernel hot path is the entire cost.
+// The bound handler is cached in self so returning it allocates nothing.
+type contExch struct {
+	n, rounds, r int
+	latency      Time
+	self         Cont
+}
+
+func (c *contExch) step(p *Proc, m *Message) Cont {
+	if m != nil {
+		p.FreeMessage(m)
+		c.r++
+		if c.r == c.rounds {
+			return nil
+		}
+	}
+	p.Advance(1e-7)
+	p.Send((p.ID()+1)%c.n, nil, 64, p.Now()+c.latency)
+	p.WaitRecv(Any, Any)
+	return c.self
+}
+
+func spawnExch(k *Kernel, procs, rounds int, latency Time) {
+	for j := 0; j < procs; j++ {
+		c := &contExch{n: procs, rounds: rounds, latency: latency}
+		c.self = c.step
+		k.SpawnCont("p", c.self)
+	}
+}
+
+// classicExch is the goroutine-path twin of contExch: same kernel calls,
+// same event stream, but an arbitrary blocking body on a carrier
+// goroutine. BenchmarkKernelSched races the two.
+func classicExch(n, rounds int, latency Time) func(*Proc) {
 	return func(p *Proc) {
 		next := (p.ID() + 1) % n
 		for r := 0; r < rounds; r++ {
@@ -29,31 +73,63 @@ func benchBody(n, rounds int, latency Time) func(*Proc) {
 	}
 }
 
-// benchFanIn is a same-time gather: every round, all senders deliver to
+func spawnClassicExch(k *Kernel, procs, rounds int, latency Time) {
+	for j := 0; j < procs; j++ {
+		k.Spawn("p", classicExch(procs, rounds, latency))
+	}
+}
+
+// Fan-in: a same-time gather where, every round, all senders deliver to
 // one receiver at an identical timestamp. This is the same-time wake
-// batching fast path: the first matching delivery wakes the receiver
-// with a single handoff and the rest of the batch goes straight to its
-// mailbox, so subsequent receives complete without yielding. The
-// receiver is the highest process id because batching only absorbs
-// senders ordered at or before the receiver in the deterministic
-// (time, proc, seq) order.
-func benchFanIn(n, rounds int, latency Time) func(*Proc) {
-	recv := n - 1
-	return func(p *Proc) {
-		if p.ID() != recv {
-			for r := 0; r < rounds; r++ {
-				t := Time(r) * 1e-3
-				p.Sleep(t) // pace the rounds: bounded in-flight messages
-				p.Send(recv, nil, 8, t+latency)
-			}
-			return
-		}
-		for r := 0; r < rounds; r++ {
-			for s := 0; s < n-1; s++ {
-				p.FreeMessage(p.RecvSrcTag(Any, Any))
-			}
+// batching fast path: the first matching delivery resumes the receiver
+// and the rest of the batch goes straight to its mailbox, so subsequent
+// receives complete inline. The receiver is the highest process id
+// because batching only absorbs senders ordered at or before the
+// receiver in the deterministic (time, proc, seq) order.
+
+type contFanSend struct {
+	recv, rounds, r int
+	latency         Time
+	self            Cont
+}
+
+func (c *contFanSend) step(p *Proc, _ *Message) Cont {
+	t := Time(c.r) * 1e-3 // pace the rounds: bounded in-flight messages
+	p.Send(c.recv, nil, 8, t+c.latency)
+	c.r++
+	if c.r == c.rounds {
+		return nil
+	}
+	p.WaitSleep(Time(c.r) * 1e-3)
+	return c.self
+}
+
+type contFanRecv struct {
+	remaining int
+	self      Cont
+}
+
+func (c *contFanRecv) step(p *Proc, m *Message) Cont {
+	if m != nil {
+		p.FreeMessage(m)
+		c.remaining--
+		if c.remaining == 0 {
+			return nil
 		}
 	}
+	p.WaitRecv(Any, Any)
+	return c.self
+}
+
+func spawnFanIn(k *Kernel, procs, rounds int, latency Time) {
+	for j := 0; j < procs-1; j++ {
+		c := &contFanSend{recv: procs - 1, rounds: rounds, latency: latency}
+		c.self = c.step
+		k.SpawnCont("p", c.self)
+	}
+	r := &contFanRecv{remaining: (procs - 1) * rounds}
+	r.self = r.step
+	k.SpawnCont("p", r.self)
 }
 
 // benchEventTarget is the approximate number of kernel events per
@@ -61,12 +137,24 @@ func benchFanIn(n, rounds int, latency Time) func(*Proc) {
 // so every configuration does comparable work.
 const benchEventTarget = 1 << 18
 
+// benchAllocCeiling asserts the allocation budget: steady-state event
+// processing must stay essentially allocation-free, with a per-process
+// term covering per-run setup (Proc handles, workload state, slot and
+// slab sizing, pool warm-up) that amortizes away as rounds grow.
+func benchAllocCeiling(b *testing.B, allocs uint64, events int64, procs int) {
+	ceiling := 0.05*float64(events) + 24*float64(procs)*float64(b.N)
+	if float64(allocs) > ceiling {
+		b.Errorf("allocs = %d over ceiling %.0f (events=%d procs=%d N=%d)",
+			allocs, ceiling, events, procs, b.N)
+	}
+}
+
 func benchKernel(b *testing.B, procs, workers int, proto Protocol, queue QueueKind) {
-	benchKernelBody(b, procs, workers, proto, queue, benchBody)
+	benchKernelBody(b, procs, workers, proto, queue, spawnExch)
 }
 
 func benchKernelBody(b *testing.B, procs, workers int, proto Protocol, queue QueueKind,
-	prog func(n, rounds int, latency Time) func(*Proc), mutate ...func(*Config)) {
+	spawn benchSpawner, mutate ...func(*Config)) {
 	const latency = Time(1e-6)
 	rounds := benchEventTarget / procs
 	if rounds < 1 {
@@ -91,9 +179,7 @@ func benchKernelBody(b *testing.B, procs, workers int, proto Protocol, queue Que
 		if err != nil {
 			b.Fatal(err)
 		}
-		for j := 0; j < procs; j++ {
-			k.Spawn("p", prog(procs, rounds, latency))
-		}
+		spawn(k, procs, rounds, latency)
 		res, err := k.Run()
 		if err != nil {
 			b.Fatal(err)
@@ -103,15 +189,28 @@ func benchKernelBody(b *testing.B, procs, workers int, proto Protocol, queue Que
 	b.StopTimer()
 	runtime.ReadMemStats(&ms)
 	// Mallocs delta over the whole measured region: includes per-run
-	// setup (Spawn, goroutines), so this is an honest upper bound on the
-	// steady-state allocation rate.
+	// setup (Spawn, workload state), so this is an honest upper bound on
+	// the steady-state allocation rate.
 	allocs := ms.Mallocs - startMallocs
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(allocs)/float64(events), "allocs/event")
+	benchAllocCeiling(b, allocs, events, procs)
+}
+
+// benchProcCounts returns the process-count axis. The 65536 row models
+// the 100k-rank regime and takes long enough that it only runs when
+// MPISIM_BENCH_LARGE is set (scripts/bench_kernel.sh sets it when
+// recording; CI leaves it unset on the short path).
+func benchProcCounts() []int {
+	sizes := []int{16, 256, 4096, 16384}
+	if os.Getenv("MPISIM_BENCH_LARGE") != "" {
+		sizes = append(sizes, 65536)
+	}
+	return sizes
 }
 
 func benchSizes(b *testing.B, workers int, proto Protocol) {
-	for _, procs := range []int{16, 256, 4096} {
+	for _, procs := range benchProcCounts() {
 		procs := procs
 		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
 			benchKernel(b, procs, workers, proto, QueueQuaternary)
@@ -123,12 +222,12 @@ func benchSizes(b *testing.B, workers int, proto Protocol) {
 func BenchmarkKernelSequential(b *testing.B) { benchSizes(b, 1, ProtocolWindow) }
 
 // BenchmarkKernelFanIn: the sequential engine on the same-time gather
-// workload (see benchFanIn), where same-time wake batching applies.
+// workload, where same-time wake batching applies.
 func BenchmarkKernelFanIn(b *testing.B) {
-	for _, procs := range []int{16, 256, 4096} {
+	for _, procs := range benchProcCounts() {
 		procs := procs
 		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
-			benchKernelBody(b, procs, 1, ProtocolWindow, QueueQuaternary, benchFanIn)
+			benchKernelBody(b, procs, 1, ProtocolWindow, QueueQuaternary, spawnFanIn)
 		})
 	}
 }
@@ -140,6 +239,25 @@ func BenchmarkKernelWindow(b *testing.B) { benchSizes(b, 4, ProtocolWindow) }
 // BenchmarkKernelNullMessage: null-message protocol, 4 workers on real
 // goroutines.
 func BenchmarkKernelNullMessage(b *testing.B) { benchSizes(b, 4, ProtocolNullMessage) }
+
+// BenchmarkKernelSched races the two scheduling paths on the identical
+// neighbour-exchange event stream at 4096 processes: "cont" runs the
+// handlers inline on the worker goroutine, "goroutine" the same
+// continuation processes forced through the classic carrier-goroutine
+// path, and "classic" a hand-written blocking body. The cont/goroutine
+// gap is the direct cost of goroutine scheduling and channel handoffs.
+func BenchmarkKernelSched(b *testing.B) {
+	b.Run("cont", func(b *testing.B) {
+		benchKernelBody(b, 4096, 1, ProtocolWindow, QueueQuaternary, spawnExch)
+	})
+	b.Run("goroutine", func(b *testing.B) {
+		benchKernelBody(b, 4096, 1, ProtocolWindow, QueueQuaternary, spawnExch,
+			func(cfg *Config) { cfg.ForceGoroutine = true })
+	})
+	b.Run("classic", func(b *testing.B) {
+		benchKernelBody(b, 4096, 1, ProtocolWindow, QueueQuaternary, spawnClassicExch)
+	})
+}
 
 // BenchmarkKernelQueue compares the event-queue implementations
 // head-to-head on the sequential engine at 256 processes.
@@ -160,17 +278,17 @@ func BenchmarkKernelQueue(b *testing.B) {
 // scripts/bench_kernel.sh -check gates "off" against BENCH_kernel.json.
 func BenchmarkKernelObs(b *testing.B) {
 	b.Run("off", func(b *testing.B) {
-		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, benchBody)
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, spawnExch)
 	})
 	b.Run("disabled", func(b *testing.B) {
 		reg := obs.NewRegistry(1)
-		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, benchBody,
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, spawnExch,
 			func(cfg *Config) { cfg.Metrics = reg })
 	})
 	b.Run("metrics", func(b *testing.B) {
 		reg := obs.NewRegistry(1)
 		reg.SetEnabled(true)
-		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, benchBody,
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, spawnExch,
 			func(cfg *Config) { cfg.Metrics = reg })
 	})
 }
@@ -184,10 +302,10 @@ func BenchmarkKernelObs(b *testing.B) {
 // against "off" in the same process.
 func BenchmarkKernelGuard(b *testing.B) {
 	b.Run("off", func(b *testing.B) {
-		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, benchBody)
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, spawnExch)
 	})
 	b.Run("armed", func(b *testing.B) {
-		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, benchBody,
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, spawnExch,
 			func(cfg *Config) {
 				cfg.Limits = Limits{MaxEvents: 1 << 60, StallEvents: 1 << 40}
 			})

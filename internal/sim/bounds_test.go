@@ -74,7 +74,7 @@ func boundsKernel(tops []Time, lookahead Time, proto Protocol) *Kernel {
 	for i := range k.workers {
 		w := &worker{id: i, kernel: k, queue: newEventQueue(QueueQuaternary)}
 		if tops[i] < Infinity {
-			w.queue.push(&event{t: tops[i], proc: i})
+			w.queue.push(event{t: tops[i], proc: i})
 		}
 		k.workers[i] = w
 	}

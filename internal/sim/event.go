@@ -1,5 +1,7 @@
 package sim
 
+import "unsafe"
+
 // eventKind discriminates kernel events.
 type eventKind uint8
 
@@ -11,20 +13,26 @@ const (
 
 // event is a kernel-internal scheduled occurrence. Events are totally
 // ordered by (time, proc, seq) so that simulation results are independent
-// of engine choice and host processor count. Events are pooled (see
-// pool.go): the kernel owns every event from allocation in Send/Sleep/Run
-// until it is popped and freed by the worker loop; nothing outside the
-// kernel may retain one.
+// of engine choice and host processor count. Events are plain values:
+// they live inside the per-worker queue and outbox slabs and are copied,
+// never pointed to across operations, so scheduling allocates nothing and
+// the pending set is one contiguous block of memory per worker instead of
+// a pointer heap over scattered pool objects.
 type event struct {
 	t    Time
-	proc int    // tie-break: originating process id
 	seq  uint64 // tie-break: per-process sequence number
-	kind eventKind
-	dst  int // destination process id
 	msg  *Message
-	live bool // pool liveness guard (detects double-free)
+	proc int // tie-break: originating process id
+	dst  int // destination process id
+	kind eventKind
 }
 
+// eventBytes is the slab footprint of one event, reported by the
+// sim_xworker_batch_bytes counter.
+var eventBytes = int64(unsafe.Sizeof(event{}))
+
+// eventLess orders events by (time, proc, seq). It takes pointers (into
+// the queue and outbox slabs) so the comparison copies no event values.
 func eventLess(a, b *event) bool {
 	if a.t != b.t {
 		return a.t < b.t
@@ -38,7 +46,7 @@ func eventLess(a, b *event) bool {
 // eventCmp is eventLess as a three-way comparison for slices.SortFunc.
 // The (time, proc, seq) order is strict, so 0 is never returned for
 // distinct events.
-func eventCmp(a, b *event) int {
+func eventCmp(a, b event) int {
 	if a.t != b.t {
 		if a.t < b.t {
 			return -1
@@ -88,7 +96,7 @@ func (q QueueKind) String() string {
 	return "quaternary"
 }
 
-// eventQueue is a min-heap of pending events, popping in ascending
+// eventQueue is a min-heap of pending event values, popping in ascending
 // (time, proc, seq) order. It is a concrete type — not an interface —
 // so the hot-path push/pop/peek calls dispatch directly and peek
 // inlines; the kind branch inside push/pop is perfectly predicted.
@@ -97,7 +105,7 @@ func (q QueueKind) String() string {
 // sorted runs) sifts at most one level.
 type eventQueue struct {
 	kind QueueKind
-	a    []*event
+	a    []event
 }
 
 // newEventQueue constructs the queue implementation selected by kind.
@@ -105,16 +113,28 @@ func newEventQueue(kind QueueKind) eventQueue {
 	return eventQueue{kind: kind}
 }
 
+// grow preallocates capacity for n pending events so steady-state pushes
+// never reallocate the slab.
+func (h *eventQueue) grow(n int) {
+	if cap(h.a)-len(h.a) < n {
+		a := make([]event, len(h.a), len(h.a)+n)
+		copy(a, h.a)
+		h.a = a
+	}
+}
+
 func (h *eventQueue) len() int { return len(h.a) }
 
+// peek returns a pointer to the earliest pending event, valid until the
+// next push or pop, or nil when the queue is empty.
 func (h *eventQueue) peek() *event {
 	if len(h.a) == 0 {
 		return nil
 	}
-	return h.a[0]
+	return &h.a[0]
 }
 
-func (h *eventQueue) push(e *event) {
+func (h *eventQueue) push(e event) {
 	if h.kind == QueueBinary {
 		h.pushBin(e)
 	} else {
@@ -122,19 +142,19 @@ func (h *eventQueue) push(e *event) {
 	}
 }
 
-func (h *eventQueue) pop() *event {
+func (h *eventQueue) pop() event {
 	if h.kind == QueueBinary {
 		return h.popBin()
 	}
 	return h.popQuad()
 }
 
-func (h *eventQueue) pushBin(e *event) {
+func (h *eventQueue) pushBin(e event) {
 	a := append(h.a, e)
 	i := len(a) - 1
 	for i > 0 {
 		par := (i - 1) / 2
-		if !eventLess(e, a[par]) {
+		if !eventLess(&e, &a[par]) {
 			break
 		}
 		a[i] = a[par]
@@ -144,12 +164,12 @@ func (h *eventQueue) pushBin(e *event) {
 	h.a = a
 }
 
-func (h *eventQueue) popBin() *event {
+func (h *eventQueue) popBin() event {
 	a := h.a
 	top := a[0]
 	n := len(a) - 1
 	last := a[n]
-	a[n] = nil
+	a[n] = event{} // drop the stale message pointer for the collector
 	h.a = a[:n]
 	if n > 0 {
 		i := 0
@@ -158,10 +178,10 @@ func (h *eventQueue) popBin() *event {
 			if c >= n {
 				break
 			}
-			if c+1 < n && eventLess(a[c+1], a[c]) {
+			if c+1 < n && eventLess(&a[c+1], &a[c]) {
 				c++
 			}
-			if !eventLess(a[c], last) {
+			if !eventLess(&a[c], &last) {
 				break
 			}
 			a[i] = a[c]
@@ -174,12 +194,12 @@ func (h *eventQueue) popBin() *event {
 
 // Quaternary heap: children of node i are 4i+1..4i+4.
 
-func (h *eventQueue) pushQuad(e *event) {
+func (h *eventQueue) pushQuad(e event) {
 	a := append(h.a, e)
 	i := len(a) - 1
 	for i > 0 {
 		par := (i - 1) / 4
-		if !eventLess(e, a[par]) {
+		if !eventLess(&e, &a[par]) {
 			break
 		}
 		a[i] = a[par]
@@ -189,12 +209,12 @@ func (h *eventQueue) pushQuad(e *event) {
 	h.a = a
 }
 
-func (h *eventQueue) popQuad() *event {
+func (h *eventQueue) popQuad() event {
 	a := h.a
 	top := a[0]
 	n := len(a) - 1
 	last := a[n]
-	a[n] = nil
+	a[n] = event{} // drop the stale message pointer for the collector
 	h.a = a[:n]
 	if n > 0 {
 		i := 0
@@ -209,11 +229,11 @@ func (h *eventQueue) popQuad() *event {
 			}
 			min := c
 			for j := c + 1; j < end; j++ {
-				if eventLess(a[j], a[min]) {
+				if eventLess(&a[j], &a[min]) {
 					min = j
 				}
 			}
-			if !eventLess(a[min], last) {
+			if !eventLess(&a[min], &last) {
 				break
 			}
 			a[i] = a[min]

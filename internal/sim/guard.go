@@ -300,15 +300,16 @@ func anyStr(v int) string {
 func (k *Kernel) waitStates() []ProcWaitState {
 	states := make([]ProcWaitState, len(k.procs))
 	for i, p := range k.procs {
+		sl := p.slot
 		s := ProcWaitState{
 			Proc:    p.id,
 			Name:    p.name,
-			Now:     p.now,
-			Mailbox: len(p.mailbox) - p.mbHead,
-			Sent:    p.stats.MsgsSent,
-			Recvd:   p.stats.MsgsRecvd,
+			Now:     sl.now,
+			Mailbox: len(sl.mailbox) - sl.mbHead,
+			Sent:    sl.stats.MsgsSent,
+			Recvd:   sl.stats.MsgsRecvd,
 		}
-		switch p.state {
+		switch sl.state {
 		case stNew:
 			s.State = "new"
 		case stRunnable:
@@ -317,9 +318,9 @@ func (k *Kernel) waitStates() []ProcWaitState {
 			s.State = "done"
 		case stBlocked:
 			s.State = "blocked"
-			switch p.matchMode {
+			switch sl.matchMode {
 			case matchSrcTag:
-				s.Waiting = fmt.Sprintf("recv(src=%s, tag=%s)", anyStr(p.matchSrc), anyStr(p.matchTag))
+				s.Waiting = fmt.Sprintf("recv(src=%s, tag=%s)", anyStr(sl.matchSrc), anyStr(sl.matchTag))
 			case matchFunc:
 				s.Waiting = "recv(predicate)"
 			default:

@@ -1,7 +1,12 @@
 // Package sim is the discrete-event simulation kernel underlying the
-// MPI-Sim reproduction. It is process-oriented: each simulated process
-// (a target MPI rank) runs its body on a goroutine and interacts with
-// simulated time through kernel calls (Advance, Send, Recv, Sleep).
+// MPI-Sim reproduction. It is process-oriented with two execution
+// styles: a classic process runs an arbitrary blocking body on a
+// (pooled) goroutine and interacts with simulated time through kernel
+// calls (Advance, Send, Recv, Sleep); a continuation process (SpawnCont)
+// runs resumable run-to-completion handlers inline on its worker's own
+// goroutine, arming waits (WaitRecv, WaitSleep) instead of blocking —
+// the scalable path for 100k+ simulated ranks, since it needs no
+// goroutine, no channel operations and no per-process stack.
 //
 // Two engines are provided, mirroring MPI-Sim's sequential and
 // conservative parallel simulation protocols:
@@ -15,15 +20,18 @@
 //     incurs at least Lookahead of network delay and therefore cannot be
 //     received inside the window it was sent in.
 //
-// Simulation results are bit-identical across engines, worker counts and
-// queue implementations; the kernel is deterministic by construction
+// Simulation results are bit-identical across engines, worker counts,
+// queue implementations and execution styles (continuation vs. forced
+// goroutine fallback); the kernel is deterministic by construction
 // (total event order (time, proc, seq), deterministic mailbox matching).
 //
-// The hot path is allocation-free in steady state: events and messages
-// are pooled (pool.go), and a wake costs a single channel operation —
-// the goroutine that yields runs the worker's event loop itself and
-// hands control directly to the next process (zero channel operations
-// when that process is itself).
+// The hot path is allocation-free in steady state: events are plain
+// values in per-worker slabs, messages are pooled (pool.go), per-process
+// hot state lives in one flat slot array (proc.go), and a classic wake
+// costs a single channel operation — the goroutine that yields runs the
+// worker's event loop itself and hands control directly to the next
+// process (zero channel operations when that process is itself, and none
+// at all for continuation processes).
 package sim
 
 import (
@@ -31,7 +39,6 @@ import (
 	"runtime"
 	"slices"
 	"strings"
-	"sync"
 
 	"mpisim/internal/obs"
 )
@@ -83,10 +90,16 @@ type Config struct {
 	// Queue selects the pending-event queue implementation (default
 	// QueueQuaternary). Results are identical across kinds; see QueueKind.
 	Queue QueueKind
+	// ForceGoroutine runs continuation processes (SpawnCont) through the
+	// classic blocking-body goroutine path instead of inline continuation
+	// scheduling. Results are byte-identical by construction — the knob
+	// exists for the scheduler-equivalence tests and as an escape hatch;
+	// it does not affect classic processes.
+	ForceGoroutine bool
 	// Metrics, when non-nil, receives simulator-plane metrics (event
-	// throughput, pool hit rates, queue depth, ...). Size its shard count
-	// to Workers; see internal/obs. Nil disables instrumentation down to
-	// one pointer check per hook.
+	// throughput, pool hit rates, queue depth, scheduler counters, ...).
+	// Size its shard count to Workers; see internal/obs. Nil disables
+	// instrumentation down to one pointer check per hook.
 	Metrics *obs.Registry
 	// Tracer, when non-nil and enabled, receives sampled simulator-plane
 	// counter tracks (queue depth, wallclock per virtual second) on
@@ -128,6 +141,15 @@ func (r *Result) MaxProcTime(f func(ProcStats) Time) Time {
 	return m
 }
 
+// gworker is a pooled carrier goroutine for classic (blocking) process
+// bodies: instead of spawning a fresh goroutine per evStart, the worker
+// hands the process to a parked carrier over its buffered channel. The
+// stack stays warm across bodies and per-start allocation drops to zero
+// once the pool has grown to the worker's concurrency watermark.
+type gworker struct {
+	runq chan *Proc
+}
+
 // worker owns a partition of the processes and their pending events.
 type worker struct {
 	id     int
@@ -135,14 +157,28 @@ type worker struct {
 	queue  eventQueue
 	parked chan struct{} // window-completion signal to the driver
 	end    Time          // current window bound, written by the driver
-	outbox []*event      // cross-worker sends buffered until the barrier
-	// Free lists for pooled events/messages (pool.go). Only touched by
-	// goroutines holding this worker's run token.
-	freeEvents []*event
-	freeMsgs   []*Message
-	events     int64
-	delivered  int64
-	cross      int64
+	outbox []event       // cross-worker sends buffered until the barrier
+	// Pooled message free list (pool.go) and its bound, sized from this
+	// worker's share of the processes. Only touched by goroutines
+	// holding this worker's run token.
+	freeMsgs []*Message
+	msgCap   int
+	// Pooled carrier goroutines for classic bodies. freeG holds parked
+	// carriers (LIFO: warmest stack first); allG tracks every carrier
+	// ever created so Run can retire them. Token-owned, like freeMsgs.
+	freeG []*gworker
+	allG  []*gworker
+	// Persistent window-driver channels, created only under
+	// RealParallel: the driver publishes each round's bound on winStart
+	// instead of spawning a goroutine per worker per window.
+	winStart  chan Time
+	winDone   chan struct{}
+	events    int64
+	delivered int64
+	cross     int64
+	// contWaiting counts continuation processes of this worker parked in
+	// an armed wait — the "continuation queue" depth sampled by obs.
+	contWaiting int64
 	// obs is nil unless Config.Metrics or Config.Tracer is set; every
 	// instrumentation hook gates on that nil check (obs.go).
 	obs *workerObs
@@ -155,6 +191,7 @@ type worker struct {
 type Kernel struct {
 	cfg     Config
 	procs   []*Proc
+	slots   []procSlot // flat per-process hot state, indexed by proc id
 	workers []*worker
 	started bool
 	// guard is non-nil when Config.Limits is active (guard.go); teardown
@@ -162,6 +199,10 @@ type Kernel struct {
 	// means "exit", not a wake.
 	guard    *kernelGuard
 	teardown bool
+	// kobs is the resolved metric-handle set (nil when observability is
+	// off); kept on the kernel for barrier-side hooks like the
+	// cross-worker batch-bytes counter.
+	kobs *kernelObs
 	// Per-round scratch buffers, reused so rounds do not allocate.
 	bounds     []Time
 	mergeHeads []outCursor
@@ -178,8 +219,9 @@ func NewKernel(cfg Config) (*Kernel, error) {
 	return &Kernel{cfg: cfg}, nil
 }
 
-// Spawn registers a process with the given body. All processes must be
-// spawned before Run. The returned process id equals the spawn order.
+// Spawn registers a classic process with the given blocking body. All
+// processes must be spawned before Run. The returned process id equals
+// the spawn order. For the goroutine-free fast path, see SpawnCont.
 func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 	if k.started {
 		panic("sim: Spawn after Run")
@@ -189,7 +231,6 @@ func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
 		name:   name,
 		kernel: k,
 		body:   body,
-		resume: make(chan *Message),
 	}
 	k.procs = append(k.procs, p)
 	return p
@@ -220,9 +261,10 @@ func (k *Kernel) Run() (*Result, error) {
 	if len(k.procs) == 0 {
 		return &Result{}, nil
 	}
+	n := len(k.procs)
 	nw := k.cfg.Workers
-	if nw > len(k.procs) {
-		nw = len(k.procs)
+	if nw > n {
+		nw = n
 	}
 	k.workers = make([]*worker, nw)
 	for i := range k.workers {
@@ -234,17 +276,44 @@ func (k *Kernel) Run() (*Result, error) {
 		}
 	}
 	k.bounds = make([]Time, nw)
-	// Instrumentation attaches before the start events are seeded so the
-	// pool counters see every allocation.
-	ko := k.setupObs()
-	k.setupGuard()
-	defer k.watchCtx()()
+	// Flatten per-process state and size the per-worker slabs up front
+	// from Workers×procs, so the steady state never grows a slab: the
+	// slot array, each worker's queue capacity (every proc contributes at
+	// most one pending start/wake plus in-flight deliveries), and the
+	// message free-list bound.
+	k.slots = make([]procSlot, n)
+	shares := make([]int, nw)
 	for _, p := range k.procs {
 		p.worker = k.workerOf(p.id)
-		e := p.worker.newEvent()
-		e.t, e.proc, e.seq = 0, p.id, 0
-		e.kind, e.dst, e.msg = evStart, p.id, nil
-		p.worker.queue.push(e)
+		p.slot = &k.slots[p.id]
+		p.slot.wid = p.worker.id
+		shares[p.worker.id]++
+	}
+	for i, w := range k.workers {
+		w.queue.grow(2*shares[i] + 64)
+		w.msgCap = max(minFreeList, 2*shares[i])
+		w.freeMsgs = make([]*Message, 0, min(2*shares[i]+64, w.msgCap))
+	}
+	// Instrumentation attaches before the start events are seeded so the
+	// counters see every event from the first start on.
+	k.kobs = k.setupObs()
+	k.setupGuard()
+	defer k.watchCtx()()
+	defer k.stopGWorkers()
+	for _, p := range k.procs {
+		switch {
+		case p.cont0 == nil:
+			// Classic body: blocks on its carrier goroutine.
+			p.resume = make(chan *Message)
+		case k.cfg.ForceGoroutine:
+			// Old-path semantics: drive the continuation chain with the
+			// blocking primitives on a carrier goroutine.
+			p.body = contDriver(p.cont0)
+			p.resume = make(chan *Message)
+		default:
+			p.slot.cont = p.cont0
+		}
+		p.worker.queue.push(event{t: 0, proc: p.id, seq: 0, kind: evStart, dst: p.id})
 	}
 
 	res := &Result{}
@@ -257,13 +326,65 @@ func (k *Kernel) Run() (*Result, error) {
 	out, err := k.finish(res)
 	// After finish so the final sample carries the run's end time (or the
 	// partial result's, on abort).
-	k.obsFinish(ko, out)
+	k.obsFinish(k.kobs, out)
 	return out, err
 }
 
+// stopGWorkers retires every pooled carrier goroutine. Run defers it
+// after finish: by then all carriers are parked on (or heading back to)
+// their run queues, and closing the queue ends their loop.
+func (k *Kernel) stopGWorkers() {
+	for _, w := range k.workers {
+		for _, g := range w.allG {
+			close(g.runq)
+		}
+		w.allG, w.freeG = nil, nil
+	}
+}
+
+// takeG pops a parked carrier goroutine, growing the pool on demand.
+// Called with the worker's run token held.
+func (w *worker) takeG() *gworker {
+	if n := len(w.freeG) - 1; n >= 0 {
+		g := w.freeG[n]
+		w.freeG[n] = nil
+		w.freeG = w.freeG[:n]
+		return g
+	}
+	g := &gworker{runq: make(chan *Proc, 1)}
+	w.allG = append(w.allG, g)
+	go func() {
+		for p := range g.runq {
+			p.run(g)
+		}
+	}()
+	return g
+}
+
 // runParallel executes conservative rounds until no events remain or the
-// guard trips.
+// guard trips. Under RealParallel each worker gets one persistent driver
+// goroutine for the whole run (created here, retired on return): the
+// per-round cost is two channel operations per worker instead of a
+// goroutine spawn, which is what kept the parallel engine's allocation
+// rate above zero per event.
 func (k *Kernel) runParallel(res *Result) {
+	if k.cfg.RealParallel {
+		for _, w := range k.workers {
+			w.winStart = make(chan Time)
+			w.winDone = make(chan struct{})
+			go func(w *worker) {
+				for end := range w.winStart {
+					w.processWindow(end)
+					w.winDone <- struct{}{}
+				}
+			}(w)
+		}
+		defer func() {
+			for _, w := range k.workers {
+				close(w.winStart)
+			}
+		}()
+	}
 	for {
 		// Barrier: route cross-worker messages produced in the last round.
 		k.mergeOutboxes()
@@ -276,15 +397,12 @@ func (k *Kernel) runParallel(res *Result) {
 		}
 		res.Windows++
 		if k.cfg.RealParallel {
-			var wg sync.WaitGroup
 			for i, w := range k.workers {
-				wg.Add(1)
-				go func(w *worker, end Time) {
-					defer wg.Done()
-					w.processWindow(end)
-				}(w, bounds[i])
+				w.winStart <- bounds[i]
 			}
-			wg.Wait()
+			for _, w := range k.workers {
+				<-w.winDone
+			}
 		} else {
 			for i, w := range k.workers {
 				w.processWindow(bounds[i])
@@ -300,18 +418,21 @@ type outCursor struct {
 }
 
 // mergeOutboxes routes every cross-worker event produced in the last
-// round into its destination worker's queue. Each outbox was sorted at
-// window end (inside the worker's parallel section), so a k-way merge
-// yields the events in global (time, proc, seq) order; inserting an
-// ascending sequence into an implicit heap sifts at most one level, so
-// the per-event insertion cost is effectively O(1). The seed kernel
-// instead concatenated all outboxes and re-sorted the whole pending
-// slice every barrier.
+// round into its destination worker's queue. Each outbox is one sorted
+// value slab (sorted at window end, inside the worker's parallel
+// section), so a k-way merge yields the events in global (time, proc,
+// seq) order; inserting an ascending sequence into an implicit heap
+// sifts at most one level, so the per-event insertion cost is
+// effectively O(1). The seed kernel instead concatenated all outboxes
+// and re-sorted the whole pending slice every barrier.
 func (k *Kernel) mergeOutboxes() {
 	heads := k.mergeHeads[:0]
 	for _, w := range k.workers {
 		if len(w.outbox) > 0 {
 			heads = append(heads, outCursor{w: w, idx: 0})
+			if k.kobs != nil {
+				k.kobs.xbatchBytes.Add(0, int64(len(w.outbox))*eventBytes)
+			}
 		}
 	}
 	switch len(heads) {
@@ -319,14 +440,15 @@ func (k *Kernel) mergeOutboxes() {
 	case 1:
 		// Common case: only one worker sent cross-worker this round.
 		w := heads[0].w
-		for _, e := range w.outbox {
-			k.procs[e.dst].worker.queue.push(e)
+		for i := range w.outbox {
+			e := w.outbox[i]
+			k.workers[k.slots[e.dst].wid].queue.push(e)
 		}
 		clearOutbox(w)
 	default:
 		// Binary min-heap of cursors keyed by their head event.
 		less := func(a, b outCursor) bool {
-			return eventLess(a.w.outbox[a.idx], b.w.outbox[b.idx])
+			return eventLess(&a.w.outbox[a.idx], &b.w.outbox[b.idx])
 		}
 		for i := len(heads)/2 - 1; i >= 0; i-- {
 			siftCursor(heads, i, less)
@@ -334,7 +456,7 @@ func (k *Kernel) mergeOutboxes() {
 		for len(heads) > 0 {
 			c := heads[0]
 			e := c.w.outbox[c.idx]
-			k.procs[e.dst].worker.queue.push(e)
+			k.workers[k.slots[e.dst].wid].queue.push(e)
 			if c.idx+1 < len(c.w.outbox) {
 				heads[0].idx++
 			} else {
@@ -368,11 +490,10 @@ func siftCursor(h []outCursor, i int, less func(a, b outCursor) bool) {
 	}
 }
 
-// clearOutbox resets a drained outbox, dropping stale event pointers.
+// clearOutbox resets a drained outbox slab, dropping stale message
+// pointers held in the value slack.
 func clearOutbox(w *worker) {
-	for i := range w.outbox {
-		w.outbox[i] = nil
-	}
+	clear(w.outbox)
 	w.outbox = w.outbox[:0]
 }
 
@@ -448,8 +569,8 @@ func (k *Kernel) finish(res *Result) (*Result, error) {
 	aborted := k.guard != nil && k.guard.tripped()
 	var blocked []string
 	for _, p := range k.procs {
-		if p.state == stBlocked {
-			blocked = append(blocked, fmt.Sprintf("%d(%s)@%g", p.id, p.name, float64(p.now)))
+		if p.slot.state == stBlocked {
+			blocked = append(blocked, fmt.Sprintf("%d(%s)@%g", p.id, p.name, float64(p.slot.now)))
 		}
 	}
 	var abortErr *AbortError
@@ -471,10 +592,10 @@ func (k *Kernel) finish(res *Result) (*Result, error) {
 	// Assemble statistics after teardown so finish times are final; on
 	// abort this is the partial result.
 	res.Procs = make([]ProcStats, len(k.procs))
-	for i, p := range k.procs {
-		res.Procs[i] = p.stats
-		if p.stats.FinishTime > res.EndTime {
-			res.EndTime = p.stats.FinishTime
+	for i := range k.slots {
+		res.Procs[i] = k.slots[i].stats
+		if st := k.slots[i].stats.FinishTime; st > res.EndTime {
+			res.EndTime = st
 		}
 	}
 	for _, w := range k.workers {
@@ -499,17 +620,28 @@ func (k *Kernel) finish(res *Result) (*Result, error) {
 	return res, nil
 }
 
-// terminateBlocked unblocks stuck processes so their goroutines can exit
-// (their bodies observe the teardown and panic errTeardown, which run
-// swallows). On a deadlock every queue is empty, so each resumed
-// goroutine's loop finds no work and parks immediately; on a guard abort
-// the queues may still hold events, but the abort flag makes runLoop
-// return without popping any, so the same invariant holds: no pooled
-// event is touched after teardown.
+// terminateBlocked unblocks stuck processes. Classic bodies are resumed
+// with a nil message so their goroutines can exit (they observe the
+// teardown and panic errTeardown, which run swallows); continuation
+// processes have no goroutine to unwind — their pending handler is
+// dropped and they are retired in place, with the same terminal state
+// the classic teardown produces. On a deadlock every queue is empty, so
+// each resumed goroutine's loop finds no work and parks immediately; on
+// a guard abort the queues may still hold events, but the abort flag
+// makes runLoop return without popping any, so the same invariant holds:
+// no event is touched after teardown.
 func (k *Kernel) terminateBlocked() {
 	k.teardown = true
 	for _, p := range k.procs {
-		if p.state != stBlocked {
+		s := p.slot
+		if s.state != stBlocked {
+			continue
+		}
+		if s.cont != nil {
+			s.cont = nil
+			s.matchMode, s.matchFn = matchNone, nil
+			s.state = stDone
+			s.stats.FinishTime = s.now
 			continue
 		}
 		w := p.worker
@@ -522,9 +654,10 @@ func (k *Kernel) terminateBlocked() {
 
 // sendOut routes a delivery event: same-worker events are inserted
 // directly (they cannot fall inside the current window, see package doc);
-// cross-worker events are buffered until the window barrier.
-func (w *worker) sendOut(e *event) {
-	if w.kernel.procs[e.dst].worker != w {
+// cross-worker events are appended to the outbox slab until the window
+// barrier.
+func (w *worker) sendOut(e event) {
+	if w.kernel.slots[e.dst].wid != w.id {
 		w.cross++
 		w.outbox = append(w.outbox, e)
 		return
@@ -562,12 +695,15 @@ func (w *worker) processWindow(end Time) {
 }
 
 // runLoop pops and handles events with time < w.end in (time, proc, seq)
-// order. self names the process whose goroutine is executing the loop
-// (nil when the worker driver runs it): the kernel is process-oriented
-// but the event loop is not tied to one goroutine — whichever goroutine
-// last yielded donates itself to the loop, so waking the next process is
-// a direct handoff costing one channel operation instead of the seed's
-// two (resume + park), and zero when the next event resumes self.
+// order. self names the classic process whose goroutine is executing the
+// loop (nil when the worker driver runs it): the kernel is
+// process-oriented but the event loop is not tied to one goroutine —
+// whichever goroutine last yielded donates itself to the loop, so waking
+// the next classic process is a direct handoff costing one channel
+// operation instead of the seed's two (resume + park), and zero when the
+// next event resumes self. Continuation processes never take the token
+// at all: their handlers run inline right here (runCont) and the loop
+// continues to the next event.
 func (w *worker) runLoop(self *Proc) (loopStatus, *Message) {
 	for {
 		// Guard abort: stop popping. This is also what makes teardown with
@@ -584,19 +720,29 @@ func (w *worker) runLoop(self *Proc) (loopStatus, *Message) {
 		w.events++
 		q := w.kernel.procs[e.dst]
 		kind, t, m := e.kind, e.t, e.msg
-		src, dst := e.proc, e.dst
-		w.freeEvent(e)
 		if w.obs != nil {
 			w.obsTick(t)
 		}
 		if w.guard != nil {
-			w.guardTick(t, kind, src, dst)
+			w.guardTick(t, kind, e.proc, e.dst)
 		}
 		switch kind {
 		case evStart:
-			go q.run()
+			if q.slot.cont != nil {
+				w.runCont(q, nil)
+				continue
+			}
+			if w.obs != nil {
+				w.obs.fallbacks++
+			}
+			g := w.takeG()
+			g.runq <- q
 			return loopHandoff, nil
 		case evWake:
+			if q.slot.cont != nil {
+				w.runCont(q, nil)
+				continue
+			}
 			if q == self {
 				return loopSelf, nil
 			}
@@ -604,15 +750,20 @@ func (w *worker) runLoop(self *Proc) (loopStatus, *Message) {
 			return loopHandoff, nil
 		default: // evDeliver
 			w.delivered++
-			if q.state == stBlocked && q.matches(m) {
+			s := q.slot
+			if s.state == stBlocked && q.matches(m) {
 				w.batchSameTime(q, t)
+				if s.cont != nil {
+					w.runCont(q, m)
+					continue
+				}
 				if q == self {
 					return loopSelf, m
 				}
 				q.resume <- m
 				return loopHandoff, nil
 			}
-			q.mailbox = append(q.mailbox, m)
+			s.mailbox = append(s.mailbox, m)
 		}
 	}
 }
@@ -625,6 +776,7 @@ func (w *worker) runLoop(self *Proc) (loopStatus, *Message) {
 // the processing order is exactly what the unbatched kernel would have
 // produced and results stay bit-identical.
 func (w *worker) batchSameTime(q *Proc, t Time) {
+	s := q.slot
 	for {
 		top := w.queue.peek()
 		if top == nil || top.t != t || top.kind != evDeliver ||
@@ -634,8 +786,7 @@ func (w *worker) batchSameTime(q *Proc, t Time) {
 		e := w.queue.pop()
 		w.events++
 		w.delivered++
-		q.mailbox = append(q.mailbox, e.msg)
-		w.freeEvent(e)
+		s.mailbox = append(s.mailbox, e.msg)
 		if w.obs != nil {
 			w.obs.batched++
 		}

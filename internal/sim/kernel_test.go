@@ -648,7 +648,7 @@ func TestEventQueueOrderQuick(t *testing.T) {
 				}
 				h := newEventQueue(kind)
 				for i := 0; i < n; i++ {
-					h.push(&event{t: Time(times[i]), proc: int(procs[i]), seq: uint64(i)})
+					h.push(event{t: Time(times[i]), proc: int(procs[i]), seq: uint64(i)})
 				}
 				if h.len() != n {
 					return false
@@ -659,7 +659,7 @@ func TestEventQueueOrderQuick(t *testing.T) {
 						return false
 					}
 					cur := h.pop()
-					if eventLess(cur, prev) {
+					if eventLess(&cur, &prev) {
 						return false
 					}
 					prev = cur

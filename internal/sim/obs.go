@@ -39,17 +39,23 @@ type kernelObs struct {
 	cross     *obs.Counter
 	windows   *obs.Counter
 
-	poolEventHit  *obs.Counter
-	poolEventMiss *obs.Counter
-	poolMsgHit    *obs.Counter
-	poolMsgMiss   *obs.Counter
+	poolMsgHit  *obs.Counter
+	poolMsgMiss *obs.Counter
 
 	mailboxScans   *obs.Counter
 	mailboxScanned *obs.Counter
 	wakeBatched    *obs.Counter
 
+	// Scheduler counters (cont.go): handler invocations, classic-path
+	// starts that needed a carrier goroutine, and the bytes shipped across
+	// workers in barrier batches (counted in mergeOutboxes).
+	conts       *obs.Counter
+	fallbacks   *obs.Counter
+	xbatchBytes *obs.Counter
+
 	queueDepth     *obs.Gauge
 	queueDepthHist *obs.Histogram
+	contWaitDepth  *obs.Gauge
 	wallPerVirtual *obs.Gauge
 }
 
@@ -65,13 +71,13 @@ type workerObs struct {
 	haveWall bool
 
 	// Accumulators flushed to the sharded counters at sample points.
-	poolEventHit  int64
-	poolEventMiss int64
-	poolMsgHit    int64
-	poolMsgMiss   int64
-	scans         int64
-	scanned       int64
-	batched       int64
+	poolMsgHit  int64
+	poolMsgMiss int64
+	scans       int64
+	scanned     int64
+	batched     int64
+	conts       int64
+	fallbacks   int64
 
 	// High-water marks of the worker totals already flushed.
 	syncedEvents    int64
@@ -102,17 +108,20 @@ func (k *Kernel) setupObs() *kernelObs {
 		cross:     reg.Counter("sim_cross_worker_total", "messages routed across host workers"),
 		windows:   reg.Counter("sim_windows_total", "conservative windows executed"),
 
-		poolEventHit:  reg.Counter("sim_pool_event_hit_total", "event allocations served by a worker free list"),
-		poolEventMiss: reg.Counter("sim_pool_event_miss_total", "event allocations falling through to the shared pool"),
-		poolMsgHit:    reg.Counter("sim_pool_msg_hit_total", "message allocations served by a worker free list"),
-		poolMsgMiss:   reg.Counter("sim_pool_msg_miss_total", "message allocations falling through to the shared pool"),
+		poolMsgHit:  reg.Counter("sim_pool_msg_hit_total", "message allocations served by a worker free list"),
+		poolMsgMiss: reg.Counter("sim_pool_msg_miss_total", "message allocations falling through to the shared pool"),
 
 		mailboxScans:   reg.Counter("sim_mailbox_scans_total", "mailbox scans performed by receives"),
 		mailboxScanned: reg.Counter("sim_mailbox_scanned_total", "mailbox entries examined across all scans"),
 		wakeBatched:    reg.Counter("sim_wake_batched_total", "same-time deliveries batched without a wake"),
 
+		conts:       reg.Counter("sim_continuations_total", "continuation handlers invoked inline on worker goroutines"),
+		fallbacks:   reg.Counter("sim_goroutine_fallbacks_total", "process starts that required a carrier goroutine (classic blocking bodies)"),
+		xbatchBytes: reg.Counter("sim_xworker_batch_bytes", "event bytes shipped across workers in barrier batches"),
+
 		queueDepth:     reg.Gauge("sim_queue_depth", "pending-event queue depth, sampled per worker"),
 		queueDepthHist: reg.Histogram("sim_queue_depth_hist", "sampled pending-event queue depth distribution", []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}),
+		contWaitDepth:  reg.Gauge("sim_cont_wait_depth", "continuation processes parked in an armed wait, sampled per worker"),
 		wallPerVirtual: reg.Gauge("sim_wall_ns_per_virtual_s", "host nanoseconds spent per simulated second, sampled per worker"),
 	}
 	// Seeding the wallclock baseline here means even a run shorter than
@@ -155,6 +164,7 @@ func (w *worker) obsSample(now Time) {
 	depth := int64(w.queue.len())
 	k.queueDepth.Set(w.id, depth)
 	k.queueDepthHist.Observe(w.id, float64(depth))
+	k.contWaitDepth.Set(w.id, w.contWaiting)
 
 	wall := time.Now()
 	var nsPerVs float64
@@ -169,6 +179,8 @@ func (w *worker) obsSample(now Time) {
 	if k.tr != nil && k.tr.Enabled() {
 		k.tr.Counter(obs.PlaneSimulator, w.id, "queue_depth", float64(now),
 			obs.Num("events", float64(depth)))
+		k.tr.Counter(obs.PlaneSimulator, w.id, "cont_wait_depth", float64(now),
+			obs.Num("procs", float64(w.contWaiting)))
 		if haveRate {
 			k.tr.Counter(obs.PlaneSimulator, w.id, "wall_ns_per_virtual_s", float64(now),
 				obs.Num("ns", nsPerVs))
@@ -195,14 +207,6 @@ func (w *worker) obsFlushCounters() {
 		k.cross.Add(w.id, d)
 		o.syncedCross = w.cross
 	}
-	if o.poolEventHit > 0 {
-		k.poolEventHit.Add(w.id, o.poolEventHit)
-		o.poolEventHit = 0
-	}
-	if o.poolEventMiss > 0 {
-		k.poolEventMiss.Add(w.id, o.poolEventMiss)
-		o.poolEventMiss = 0
-	}
 	if o.poolMsgHit > 0 {
 		k.poolMsgHit.Add(w.id, o.poolMsgHit)
 		o.poolMsgHit = 0
@@ -222,6 +226,14 @@ func (w *worker) obsFlushCounters() {
 	if o.batched > 0 {
 		k.wakeBatched.Add(w.id, o.batched)
 		o.batched = 0
+	}
+	if o.conts > 0 {
+		k.conts.Add(w.id, o.conts)
+		o.conts = 0
+	}
+	if o.fallbacks > 0 {
+		k.fallbacks.Add(w.id, o.fallbacks)
+		o.fallbacks = 0
 	}
 }
 

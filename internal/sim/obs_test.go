@@ -36,10 +36,24 @@ func TestObsTotalsMatchResult(t *testing.T) {
 			t.Errorf("%s = %d, want %d", name, got[name], w)
 		}
 	}
-	// Every pooled allocation is either a free-list hit or a pool miss.
-	allocs := got["sim_pool_event_hit_total"] + got["sim_pool_event_miss_total"]
-	if allocs != res.Events {
-		t.Errorf("pool hits+misses = %d, want %d events", allocs, res.Events)
+	// Every pooled message allocation is either a free-list hit or a pool
+	// miss; the ring program sends one message per delivery.
+	allocs := got["sim_pool_msg_hit_total"] + got["sim_pool_msg_miss_total"]
+	if allocs != res.Delivered {
+		t.Errorf("message pool hits+misses = %d, want %d delivered", allocs, res.Delivered)
+	}
+	// The ring bodies are classic blocking procs: every start is a
+	// goroutine fallback, and no continuation handlers run.
+	if got["sim_goroutine_fallbacks_total"] != 8 {
+		t.Errorf("sim_goroutine_fallbacks_total = %d, want 8", got["sim_goroutine_fallbacks_total"])
+	}
+	if got["sim_continuations_total"] != 0 {
+		t.Errorf("sim_continuations_total = %d, want 0", got["sim_continuations_total"])
+	}
+	// Cross-worker traffic went through barrier batches: the byte counter
+	// must account for exactly the cross-worker events.
+	if wantB := res.CrossWorker * eventBytes; got["sim_xworker_batch_bytes"] != wantB {
+		t.Errorf("sim_xworker_batch_bytes = %d, want %d", got["sim_xworker_batch_bytes"], wantB)
 	}
 }
 

@@ -2,70 +2,31 @@ package sim
 
 import "sync"
 
-// Object pooling for the two hot-path allocations, *event and *Message,
-// so steady-state simulation is allocation-free.
+// Message pooling, so steady-state simulation is allocation-free.
+// (Events used to be pooled too; they are plain values inside per-worker
+// slabs now — see event.go — so the only pooled type left is *Message.)
 //
 // Ownership rules (see also DESIGN.md "Kernel performance"):
 //
-//   - events are kernel-internal: allocated by Send/Sleep/Run, freed by
-//     the worker loop the moment they are popped. Cross-worker events are
-//     allocated from the sender's worker and freed into the destination
-//     worker's list.
 //   - messages are allocated by Send and handed to the receiver by Recv.
 //     The receiver owns the message from then on and MAY return it with
 //     FreeMessage once it is done with every field (including Payload);
 //     freeing is optional — unfreed messages fall to the garbage
 //     collector — and freeing twice panics.
 //
-// Each worker keeps private free lists. They are only touched by
+// Each worker keeps a private free list, sized from its share of the
+// spawned processes at Run (see Kernel.Run). It is only touched by
 // goroutines holding that worker's run token (the driver or the single
-// running process), so no locking is needed; the shared sync.Pools
-// backstop them, absorbing cross-worker and cross-window imbalance and
+// running process), so no locking is needed; the shared sync.Pool
+// backstops it, absorbing cross-worker and cross-window imbalance and
 // letting idle windows shed memory under GC pressure.
-
-var eventPool = sync.Pool{New: func() interface{} { return new(event) }}
 
 var messagePool = sync.Pool{New: func() interface{} { return new(Message) }}
 
-// maxFreeList bounds each worker-local free list; overflow spills to the
-// shared pools.
-const maxFreeList = 1 << 12
-
-// newEvent returns a live event. All fields except live are stale; the
-// caller must assign every one it relies on.
-func (w *worker) newEvent() *event {
-	var e *event
-	if n := len(w.freeEvents) - 1; n >= 0 {
-		e = w.freeEvents[n]
-		w.freeEvents[n] = nil
-		w.freeEvents = w.freeEvents[:n]
-		if w.obs != nil {
-			w.obs.poolEventHit++
-		}
-	} else {
-		e = eventPool.Get().(*event)
-		if w.obs != nil {
-			w.obs.poolEventMiss++
-		}
-	}
-	e.live = true
-	return e
-}
-
-// freeEvent recycles a popped event. Double-freeing panics: it would let
-// one event sit in two queues and silently corrupt the simulation.
-func (w *worker) freeEvent(e *event) {
-	if !e.live {
-		panic("sim: event double-free")
-	}
-	e.live = false
-	e.msg = nil
-	if len(w.freeEvents) < maxFreeList {
-		w.freeEvents = append(w.freeEvents, e)
-		return
-	}
-	eventPool.Put(e)
-}
+// minFreeList is the free-list bound floor; workers owning more
+// processes scale the bound with their share (msgCap) so fan-heavy
+// workloads at large rank counts stay inside the worker-local list.
+const minFreeList = 1 << 12
 
 // newMessage returns a live message. All exported fields are stale; Send
 // assigns every one.
@@ -95,7 +56,7 @@ func (w *worker) freeMessage(m *Message) {
 	}
 	m.live = false
 	m.Payload = nil // drop the payload reference for the garbage collector
-	if len(w.freeMsgs) < maxFreeList {
+	if len(w.freeMsgs) < w.msgCap {
 		w.freeMsgs = append(w.freeMsgs, m)
 		return
 	}

@@ -89,22 +89,26 @@ type ProcStats struct {
 	FinishTime  Time // local clock when the body returned
 }
 
-// Proc is a simulated process (one target MPI rank, in this system).
-// Its body function runs on its own goroutine; kernel calls (Advance,
-// Send, Recv, Sleep) coordinate it with simulated time. Methods on Proc
-// must only be called from the body function.
-type Proc struct {
-	id     int
-	name   string
-	kernel *Kernel
-	worker *worker
-
+// procSlot is the hot per-process state, flattened into one
+// index-addressed, worker-owned array (Kernel.slots): delivering to or
+// waking process i touches the contiguous cache lines of slots[i]
+// instead of chasing a pointer to a heap-scattered struct. Every field
+// is owned by the process's worker (only goroutines holding that
+// worker's run token touch it).
+type procSlot struct {
 	now   Time
-	state procState
 	seq   uint64
-
-	body   func(*Proc)
-	resume chan *Message // handoff into a blocked process: matched message or wake (nil)
+	state procState
+	// Receive predicate, valid while state == stBlocked.
+	matchMode matchMode
+	// Continuation bookkeeping (cont.go): the armed wait of the handler
+	// currently running, and whether a handler is on the stack (so the
+	// blocking primitives can reject misuse).
+	armKind   armKind
+	inHandler bool
+	wid       int // owning worker id
+	matchSrc  int
+	matchTag  int
 	// mailbox[mbHead:] holds arrived, unmatched messages. Deliveries are
 	// appended in event pop order, which is exactly the deterministic
 	// (arrival, sender, sequence) order of messageLess, so the mailbox is
@@ -112,15 +116,33 @@ type Proc struct {
 	// common take-from-the-front is O(1) via the head index.
 	mailbox []*Message
 	mbHead  int
+	// cont is the pending continuation of a continuation process (nil
+	// for classic bodies and while a handler is running).
+	cont       Cont
+	sleepUntil Time
+	matchFn    func(*Message) bool
+	stats      ProcStats
+}
 
-	// Receive predicate, valid while state == stBlocked.
-	matchMode matchMode
-	matchFn   func(*Message) bool
-	matchSrc  int
-	matchTag  int
+// Proc is a simulated process (one target MPI rank, in this system). A
+// classic process runs its body function on a (pooled) goroutine; a
+// continuation process (SpawnCont) runs its handlers inline on its
+// worker's goroutine. Kernel calls (Advance, Send, Recv, Sleep, Wait*)
+// coordinate it with simulated time and must only be called from the
+// body or handler. Proc is the stable public handle; the hot state lives
+// in the kernel's flat slot array (procSlot).
+type Proc struct {
+	id     int
+	name   string
+	kernel *Kernel
+	worker *worker
+	slot   *procSlot
 
-	err   error // panic captured from the body
-	stats ProcStats
+	body   func(*Proc)   // classic blocking body (nil for continuation procs)
+	cont0  Cont          // start handler of a continuation proc (nil for classic)
+	resume chan *Message // handoff into a blocked classic process: matched message or wake (nil)
+
+	err error // panic captured from the body or a handler
 }
 
 // ID returns the process identifier (0..N-1 in spawn order).
@@ -130,10 +152,10 @@ func (p *Proc) ID() int { return p.id }
 func (p *Proc) Name() string { return p.name }
 
 // Now returns the process's local virtual time.
-func (p *Proc) Now() Time { return p.now }
+func (p *Proc) Now() Time { return p.slot.now }
 
 // Stats returns a snapshot of the process's accounting.
-func (p *Proc) Stats() ProcStats { return p.stats }
+func (p *Proc) Stats() ProcStats { return p.slot.stats }
 
 // Advance consumes d seconds of simulated local time. This is the
 // mechanism behind both direct execution of computational code and the
@@ -146,15 +168,16 @@ func (p *Proc) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative Advance(%v) on proc %d", d, p.id))
 	}
-	p.now += d
-	p.stats.ComputeTime += d
+	s := p.slot
+	s.now += d
+	s.stats.ComputeTime += d
 }
 
 // nextSeq returns the per-process monotone sequence used for
 // deterministic event ordering.
 func (p *Proc) nextSeq() uint64 {
-	p.seq++
-	return p.seq
+	p.slot.seq++
+	return p.slot.seq
 }
 
 // Send schedules delivery of payload to process `to` at the given
@@ -179,23 +202,21 @@ func (p *Proc) SendTagFault(to, tag int, payload interface{}, size int64, arriva
 	if to < 0 || to >= len(p.kernel.procs) {
 		panic(fmt.Sprintf("sim: Send to unknown proc %d", to))
 	}
-	if arrival < p.now {
-		panic(fmt.Sprintf("sim: Send arrival %v before local time %v", arrival, p.now))
+	s := p.slot
+	if arrival < s.now {
+		panic(fmt.Sprintf("sim: Send arrival %v before local time %v", arrival, s.now))
 	}
 	w := p.worker
 	m := w.newMessage()
 	m.From, m.To, m.Tag = p.id, to, tag
-	m.SendTime, m.Arrival = p.now, arrival
+	m.SendTime, m.Arrival = s.now, arrival
 	m.FaultDelay = faultDelay
 	m.NetWait, m.Hops, m.RelayDst = 0, 0, 0 // pooled: clear relay state
 	m.Size, m.Payload = size, payload
 	m.seq = p.nextSeq()
-	p.stats.MsgsSent++
-	p.stats.BytesSent += size
-	e := w.newEvent()
-	e.t, e.proc, e.seq = arrival, p.id, m.seq
-	e.kind, e.dst, e.msg = evDeliver, to, m
-	w.sendOut(e)
+	s.stats.MsgsSent++
+	s.stats.BytesSent += size
+	w.sendOut(event{t: arrival, proc: p.id, seq: m.seq, kind: evDeliver, dst: to, msg: m})
 }
 
 // SendVia addresses a message to a relay process (the mpi layer's
@@ -209,25 +230,23 @@ func (p *Proc) SendVia(relay, dst, tag int, payload interface{}, size int64, arr
 	if relay < 0 || relay >= len(p.kernel.procs) {
 		panic(fmt.Sprintf("sim: SendVia through unknown proc %d", relay))
 	}
-	if arrival < p.now {
-		panic(fmt.Sprintf("sim: SendVia arrival %v before local time %v", arrival, p.now))
+	s := p.slot
+	if arrival < s.now {
+		panic(fmt.Sprintf("sim: SendVia arrival %v before local time %v", arrival, s.now))
 	}
 	w := p.worker
 	m := w.newMessage()
 	m.From, m.To, m.Tag = p.id, relay, tag
-	m.SendTime, m.Arrival = p.now, arrival
+	m.SendTime, m.Arrival = s.now, arrival
 	m.FaultDelay = faultDelay
 	m.NetWait, m.Hops, m.RelayDst = 0, 0, dst
 	m.Size, m.Payload = size, payload
 	m.seq = p.nextSeq()
 	if dst >= 0 {
-		p.stats.MsgsSent++
-		p.stats.BytesSent += size
+		s.stats.MsgsSent++
+		s.stats.BytesSent += size
 	}
-	e := w.newEvent()
-	e.t, e.proc, e.seq = arrival, p.id, m.seq
-	e.kind, e.dst, e.msg = evDeliver, relay, m
-	w.sendOut(e)
+	w.sendOut(event{t: arrival, proc: p.id, seq: m.seq, kind: evDeliver, dst: relay, msg: m})
 }
 
 // Forward re-issues a message this process received to another process
@@ -242,28 +261,28 @@ func (p *Proc) Forward(m *Message, dst int, arrival Time) {
 	if dst < 0 || dst >= len(p.kernel.procs) {
 		panic(fmt.Sprintf("sim: Forward to unknown proc %d", dst))
 	}
-	if arrival < p.now {
-		panic(fmt.Sprintf("sim: Forward arrival %v before local time %v", arrival, p.now))
+	if arrival < p.slot.now {
+		panic(fmt.Sprintf("sim: Forward arrival %v before local time %v", arrival, p.slot.now))
 	}
 	w := p.worker
 	m.To = dst
 	m.Arrival = arrival
 	m.seq = p.nextSeq()
-	e := w.newEvent()
-	e.t, e.proc, e.seq = arrival, p.id, m.seq
-	e.kind, e.dst, e.msg = evDeliver, dst, m
-	w.sendOut(e)
+	w.sendOut(event{t: arrival, proc: p.id, seq: m.seq, kind: evDeliver, dst: dst, msg: m})
 }
 
 // Recv blocks until a message satisfying match has arrived, removes it
 // from the mailbox and returns it. The local clock advances to the
 // message's arrival time if that is later than Now(). When several
 // messages match, the earliest in the deterministic (arrival, sender,
-// sequence) order is returned.
+// sequence) order is returned. Continuation handlers must arm
+// WaitRecvFn instead.
 func (p *Proc) Recv(match func(*Message) bool) *Message {
-	p.matchMode, p.matchFn = matchFunc, match
+	s := p.slot
+	p.checkBlockingCall("Recv")
+	s.matchMode, s.matchFn = matchFunc, match
 	m := p.recvMatched()
-	p.matchFn = nil // do not retain the closure past the call
+	s.matchFn = nil // do not retain the closure past the call
 	return m
 }
 
@@ -272,18 +291,30 @@ func (p *Proc) Recv(match func(*Message) bool) *Message {
 // value or are the wildcard Any. Unlike Recv it needs no per-call
 // closure, so the mpi receive path stays allocation-free.
 func (p *Proc) RecvSrcTag(src, tag int) *Message {
-	p.matchMode, p.matchSrc, p.matchTag = matchSrcTag, src, tag
+	s := p.slot
+	p.checkBlockingCall("RecvSrcTag")
+	s.matchMode, s.matchSrc, s.matchTag = matchSrcTag, src, tag
 	return p.recvMatched()
+}
+
+// checkBlockingCall rejects blocking primitives inside a continuation
+// handler: a handler runs on the worker's event-loop goroutine and must
+// arm a wait instead of blocking.
+func (p *Proc) checkBlockingCall(what string) {
+	if p.slot.inHandler && p.body == nil {
+		panic(fmt.Sprintf("sim: %s inside a continuation handler on proc %d (arm WaitRecv/WaitRecvFn/WaitSleep instead)", what, p.id))
+	}
 }
 
 // matches evaluates the published receive predicate against m.
 func (p *Proc) matches(m *Message) bool {
-	switch p.matchMode {
+	s := p.slot
+	switch s.matchMode {
 	case matchFunc:
-		return p.matchFn(m)
+		return s.matchFn(m)
 	case matchSrcTag:
-		return (p.matchSrc == Any || m.From == p.matchSrc) &&
-			(p.matchTag == Any || m.Tag == p.matchTag)
+		return (s.matchSrc == Any || m.From == s.matchSrc) &&
+			(s.matchTag == Any || m.Tag == s.matchTag)
 	default:
 		return false
 	}
@@ -293,15 +324,16 @@ func (p *Proc) matches(m *Message) bool {
 // the match fields: take an already-arrived match if any, otherwise
 // block until the kernel hands one over.
 func (p *Proc) recvMatched() *Message {
+	s := p.slot
 	if m := p.takeMatched(); m != nil {
-		p.matchMode = matchNone
+		s.matchMode = matchNone
 		p.completeRecv(m)
 		return m
 	}
-	p.state = stBlocked
+	s.state = stBlocked
 	m := p.yield()
-	p.matchMode = matchNone
-	p.state = stRunnable
+	s.matchMode = matchNone
+	s.state = stRunnable
 	if m == nil {
 		// Teardown (deadlock or guard abort): the kernel unblocks us so
 		// the goroutine can exit; run recognizes the sentinel and exits
@@ -333,44 +365,46 @@ func (p *Proc) yield() *Message {
 // completeRecv advances the clock past the message arrival and accounts
 // for blocking time.
 func (p *Proc) completeRecv(m *Message) {
-	if m.Arrival > p.now {
-		p.stats.BlockedTime += m.Arrival - p.now
-		p.now = m.Arrival
+	s := p.slot
+	if m.Arrival > s.now {
+		s.stats.BlockedTime += m.Arrival - s.now
+		s.now = m.Arrival
 	}
-	p.stats.MsgsRecvd++
-	p.stats.BytesRecvd += m.Size
+	s.stats.MsgsRecvd++
+	s.stats.BytesRecvd += m.Size
 }
 
 // takeMatched removes and returns the earliest mailbox message matching
 // the published predicate: because the mailbox is sorted (see the field
 // doc), that is the first match.
 func (p *Proc) takeMatched() *Message {
+	s := p.slot
 	o := p.worker.obs
 	if o != nil {
 		o.scans++
 	}
-	for i := p.mbHead; i < len(p.mailbox); i++ {
-		m := p.mailbox[i]
+	for i := s.mbHead; i < len(s.mailbox); i++ {
+		m := s.mailbox[i]
 		if !p.matches(m) {
 			continue
 		}
 		if o != nil {
-			o.scanned += int64(i - p.mbHead + 1)
+			o.scanned += int64(i - s.mbHead + 1)
 		}
-		if i == p.mbHead {
-			p.mailbox[i] = nil
-			p.mbHead++
-			if p.mbHead == len(p.mailbox) {
-				p.mailbox = p.mailbox[:0]
-				p.mbHead = 0
+		if i == s.mbHead {
+			s.mailbox[i] = nil
+			s.mbHead++
+			if s.mbHead == len(s.mailbox) {
+				s.mailbox = s.mailbox[:0]
+				s.mbHead = 0
 			}
 		} else {
-			p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
+			s.mailbox = append(s.mailbox[:i], s.mailbox[i+1:]...)
 		}
 		return m
 	}
 	if o != nil {
-		o.scanned += int64(len(p.mailbox) - p.mbHead)
+		o.scanned += int64(len(s.mailbox) - s.mbHead)
 	}
 	return nil
 }
@@ -380,7 +414,8 @@ func (p *Proc) takeMatched() *Message {
 // does not imply no such message will arrive (conservatively, callers
 // must still Recv).
 func (p *Proc) HasMatch(match func(*Message) bool) bool {
-	for _, m := range p.mailbox[p.mbHead:] {
+	s := p.slot
+	for _, m := range s.mailbox[s.mbHead:] {
 		if match(m) {
 			return true
 		}
@@ -409,33 +444,36 @@ func messageLess(a, b *Message) bool {
 // Sleep suspends the process until the given absolute simulated time,
 // yielding to the kernel. Unlike Advance it allows other processes'
 // messages to be matched first; it exists for test scenarios and
-// time-driven workloads. Sleeping into the past is a no-op.
+// time-driven workloads. Sleeping into the past is a no-op. Continuation
+// handlers must arm WaitSleep instead.
 func (p *Proc) Sleep(until Time) {
-	if until <= p.now {
+	s := p.slot
+	if until <= s.now {
 		return
 	}
+	p.checkBlockingCall("Sleep")
 	w := p.worker
-	e := w.newEvent()
-	e.t, e.proc, e.seq = until, p.id, p.nextSeq()
-	e.kind, e.dst, e.msg = evWake, p.id, nil
-	w.queue.push(e)
-	p.state = stBlocked // matchMode is matchNone: arrivals queue in the mailbox
+	w.queue.push(event{t: until, proc: p.id, seq: p.nextSeq(), kind: evWake, dst: p.id})
+	s.state = stBlocked // matchMode is matchNone: arrivals queue in the mailbox
 	p.yield()
 	if p.kernel.teardown {
 		// A guard abort can tear down a sleeper (its wake event is still
 		// queued); the nil resume is an exit request, not the wake.
 		panic(errTeardown)
 	}
-	p.state = stRunnable
-	if until > p.now {
-		p.now = until
+	s.state = stRunnable
+	if until > s.now {
+		s.now = until
 	}
 }
 
-// run executes the process body, capturing panics as errors. On return
-// the goroutine still holds the worker's run token, so it keeps driving
-// the event loop until it can hand off or the window is done.
-func (p *Proc) run() {
+// run executes the process body on the pooled carrier goroutine g,
+// capturing panics as errors. On return the goroutine still holds the
+// worker's run token: it releases g back to the worker's pool (so a
+// start event popped by the trailing loop can reuse the warm goroutine)
+// and keeps driving the event loop until it can hand off or the window
+// is done.
+func (p *Proc) run(g *gworker) {
 	defer func() {
 		if r := recover(); r != nil && r != errTeardown {
 			p.err = &PanicError{Proc: p.id, Name: p.name, Value: r}
@@ -443,8 +481,11 @@ func (p *Proc) run() {
 				g.trip(tripPanic, fmt.Sprintf("proc %d (%s) panicked: %v", p.id, p.name, r))
 			}
 		}
-		p.state = stDone
-		p.stats.FinishTime = p.now
+		s := p.slot
+		s.state = stDone
+		s.stats.FinishTime = s.now
+		w := p.worker
+		w.freeG = append(w.freeG, g)
 		st := loopWindowDone
 		func() {
 			defer func() {
@@ -461,12 +502,12 @@ func (p *Proc) run() {
 					g.trip(tripPanic, fmt.Sprintf("event loop on proc %d (%s): %v", p.id, p.name, rr))
 				}
 			}()
-			st, _ = p.worker.runLoop(nil)
+			st, _ = w.runLoop(nil)
 		}()
 		if st == loopWindowDone {
-			p.worker.parked <- struct{}{}
+			w.parked <- struct{}{}
 		}
 	}()
-	p.state = stRunnable
+	p.slot.state = stRunnable
 	p.body(p)
 }

@@ -1,10 +1,12 @@
 // Command msgown is a vet analyzer enforcing the simulator's pooling
-// ownership rules: once a *sim.Message is passed to Send, SendTag,
-// FreeMessage, or freeMessage — or a *sim.event to freeEvent or
-// sendOut — the caller has given it up; the pool may hand it to another
-// rank (or the queue may deliver and recycle it) at any moment, so no
-// later statement in the same function may read it. Violations are
-// exactly the use-after-free class the pooled hot path reintroduced.
+// ownership rule: once a *sim.Message is passed to Send, SendTag,
+// Forward, FreeMessage, or freeMessage, the caller has given it up; the
+// pool may hand it to another rank (or the kernel may deliver and
+// recycle it) at any moment, so no later statement in the same function
+// may read it. Violations are exactly the use-after-free class the
+// pooled hot path reintroduced. (Kernel events used to be pooled too and
+// carried their own rule; they are plain values in per-worker slabs now,
+// with nothing to use after free.)
 //
 // The command speaks the `go vet -vettool` unit-checker protocol with
 // the standard library alone, so it works in environments without
@@ -195,17 +197,14 @@ type ownRule struct {
 	consumers map[string]bool
 }
 
-// rules cover both pooled kernel types: messages (the public Send API
-// plus the kernel-internal free) and events (kernel-internal only:
-// freeEvent recycles, sendOut hands the event to the queue or another
-// worker's outbox — either way the caller must copy what it needs
-// first).
+// rules cover the one pooled kernel type left: messages, consumed by the
+// public send/forward API plus the kernel-internal free. Forward is a
+// consumer because it re-issues the received message to another process
+// — the kernel owns it again the moment the call returns.
 var rules = []ownRule{
 	{typeName: "Message", consumers: map[string]bool{
-		"Send": true, "SendTag": true, "FreeMessage": true, "freeMessage": true,
-	}},
-	{typeName: "event", consumers: map[string]bool{
-		"freeEvent": true, "sendOut": true,
+		"Send": true, "SendTag": true, "Forward": true,
+		"FreeMessage": true, "freeMessage": true,
 	}},
 }
 
@@ -219,8 +218,8 @@ func ruleFor(callee string) *ownRule {
 	return nil
 }
 
-// analyze reports reads of pooled-type variables (*sim.Message,
-// *sim.event) after a consuming call in the same function body.
+// analyze reports reads of pooled-type variables (*sim.Message) after a
+// consuming call in the same function body.
 func analyze(fset *token.FileSet, files []*ast.File, info *types.Info) []finding {
 	var out []finding
 	for _, file := range files {

@@ -18,23 +18,13 @@ type Message struct {
 	Payload interface{}
 }
 
-type event struct {
-	t   float64
-	msg *Message
-}
-
 type Proc struct{}
 
-func (p *Proc) Send(to int, payload interface{}, size int64)    {}
-func (p *Proc) SendTag(to, tag int, payload interface{})        {}
-func (p *Proc) FreeMessage(m *Message)                          {}
-func (p *Proc) RecvSrcTag(src, tag int) *Message                { return nil }
-
-type worker struct{}
-
-func (w *worker) newEvent() *event     { return &event{} }
-func (w *worker) freeEvent(e *event)   {}
-func (w *worker) sendOut(e *event)     {}
+func (p *Proc) Send(to int, payload interface{}, size int64) {}
+func (p *Proc) SendTag(to, tag int, payload interface{})     {}
+func (p *Proc) Forward(m *Message, to, tag int)              {}
+func (p *Proc) FreeMessage(m *Message)                       {}
+func (p *Proc) RecvSrcTag(src, tag int) *Message             { return nil }
 `
 
 func analyzeSource(t *testing.T, body string) []finding {
@@ -140,46 +130,32 @@ func ok(p *Proc, m *note) int {
 	}
 }
 
-func TestFlagsEventReadAfterFree(t *testing.T) {
+func TestFlagsReadAfterForward(t *testing.T) {
 	findings := analyzeSource(t, `
-func bad(w *worker) float64 {
-	e := w.newEvent()
-	w.freeEvent(e)
-	return e.t
+func bad(p *Proc, m *Message) int64 {
+	p.Forward(m, 1, 0)
+	return m.Size
 }
 `)
 	if len(findings) != 1 {
 		t.Fatalf("want 1 finding, got %v", findings)
 	}
-	if !strings.Contains(findings[0].msg, "freeEvent") {
+	if !strings.Contains(findings[0].msg, "Forward") {
 		t.Errorf("finding does not name the consumer: %s", findings[0].msg)
 	}
 }
 
-func TestFlagsEventReadAfterSendOut(t *testing.T) {
+func TestCleanReadBeforeForward(t *testing.T) {
 	findings := analyzeSource(t, `
-func bad(w *worker) *Message {
-	e := w.newEvent()
-	w.sendOut(e)
-	return e.msg
-}
-`)
-	if len(findings) != 1 {
-		t.Fatalf("want 1 finding, got %v", findings)
-	}
-}
-
-func TestCleanEventCopyBeforeFree(t *testing.T) {
-	findings := analyzeSource(t, `
-func good(w *worker) (float64, *Message) {
-	e := w.newEvent()
-	t, m := e.t, e.msg
-	w.freeEvent(e)
-	return t, m
+func good(p *Proc) int64 {
+	m := p.RecvSrcTag(0, 1)
+	size := m.Size
+	p.Forward(m, 1, 0)
+	return size
 }
 `)
 	if len(findings) != 0 {
-		t.Fatalf("clean copy-before-free pattern flagged: %v", findings)
+		t.Fatalf("clean read-before-forward pattern flagged: %v", findings)
 	}
 }
 

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseBench(t *testing.T) {
 	lines := []string{
@@ -47,5 +50,33 @@ func TestPairListSet(t *testing.T) {
 		if err := p.Set(bad); err == nil {
 			t.Errorf("Set(%q) accepted", bad)
 		}
+	}
+}
+
+func TestGateBaselineMissingRowsInformational(t *testing.T) {
+	// The input ran a subset of the recorded rows (the env-gated
+	// large-rank rows were skipped) plus one new row: neither direction
+	// of mismatch may fail the gate; only a real regression does.
+	got := map[string]float64{
+		"BenchmarkKernelSequential/procs=4096": 900000,  // regressed
+		"BenchmarkKernelSched/cont":            5000000, // new, not recorded
+	}
+	entries := []baseEntry{
+		{Name: "BenchmarkKernelSequential/procs=4096", EventsSec: 1000000},
+		{Name: "BenchmarkKernelSequential/procs=65536", EventsSec: 2000000}, // not run
+	}
+	var sb strings.Builder
+	if f := gateBaseline(&sb, got, entries, 0.20); f != 0 {
+		t.Fatalf("failures = %d, want 0 (missing rows are informational):\n%s", f, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "procs=65536") || !strings.Contains(out, "not run (informational)") {
+		t.Errorf("missing informational line for the unrun baseline row:\n%s", out)
+	}
+	if !strings.Contains(out, "not in baseline (new benchmark, not gated)") {
+		t.Errorf("missing informational line for the new benchmark:\n%s", out)
+	}
+	if f := gateBaseline(&sb, got, entries, 0.05); f != 1 {
+		t.Fatalf("failures = %d, want 1 at the 5%% threshold", f)
 	}
 }
