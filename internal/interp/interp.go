@@ -324,6 +324,7 @@ func newFrame(cp *compiled, r *mpi.Rank, cfg *Config) *frame {
 	// Fortran binds its parameter constants before declarations.
 	f.scalars[cp.slotP] = float64(r.Size())
 	f.scalars[cp.slotMyID] = float64(r.Rank())
+	//simvet:allow maprange each input binds its own scalar slot; order-independent
 	for name, v := range cfg.Inputs {
 		if slot, ok := cp.slots[name]; ok {
 			f.scalars[slot] = v

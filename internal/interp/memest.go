@@ -23,6 +23,7 @@ func MemoryEstimate(p *ir.Program, ranks int, inputs map[string]float64) (int64,
 	for rank := 0; rank < ranks; rank++ {
 		f.scalars[cp.slotP] = float64(ranks)
 		f.scalars[cp.slotMyID] = float64(rank)
+		//simvet:allow maprange each input binds its own scalar slot; order-independent
 		for name, v := range inputs {
 			if slot, ok := cp.slots[name]; ok {
 				f.scalars[slot] = v

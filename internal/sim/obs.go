@@ -126,7 +126,7 @@ func (k *Kernel) setupObs() *kernelObs {
 	}
 	// Seeding the wallclock baseline here means even a run shorter than
 	// one sample interval gets a final wall-per-virtual-second sample.
-	start := time.Now()
+	start := time.Now() //simvet:allow wallclock observability baseline; never feeds virtual time
 	for _, w := range k.workers {
 		w.obs = &workerObs{k: o, countdown: obsSampleEvery, lastWall: start, haveWall: true}
 	}
@@ -166,7 +166,7 @@ func (w *worker) obsSample(now Time) {
 	k.queueDepthHist.Observe(w.id, float64(depth))
 	k.contWaitDepth.Set(w.id, w.contWaiting)
 
-	wall := time.Now()
+	wall := time.Now() //simvet:allow wallclock wall-per-virtual-second metric; never feeds virtual time
 	var nsPerVs float64
 	haveRate := false
 	if o.haveWall && now > o.lastVirt {

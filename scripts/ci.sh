@@ -5,8 +5,11 @@
 #   2. tier-1 build + tests (go build ./... && go test ./...)
 #   3. go vet
 #   4. race detector over the concurrent packages (sim kernel, MPI
-#      layer, observability registry)
-#   5. the msgown ownership analyzer via go vet -vettool
+#      layer, observability registry, kernel core, interpreter)
+#   5. simvet self-check: the simulator's own static-analysis suite
+#      (contsafe, detpure, slabref, msgown) — unit + golden corpus
+#      tests for the analyzers, then the suite over ./... with zero
+#      non-suppressed diagnostics required and a per-rule count summary
 #   6. mpicheck over every registered app and every examples/programs/*.ir
 #   7. golden trace-export tests (Chrome trace_event + JSONL formats)
 #   8. observability overhead gate: the kernel with a disabled metrics
@@ -57,14 +60,31 @@ go vet ./...
 echo "== tests"
 go test ./...
 
-echo "== race (sim kernel + MPI layer + observability + fault injection + network)"
-go test -race ./internal/sim/ ./internal/mpi/ ./internal/obs/ ./internal/fault/ ./internal/net/
+echo "== race (sim kernel + MPI layer + observability + fault injection + network + core + interpreter)"
+go test -race ./internal/sim/ ./internal/mpi/ ./internal/obs/ ./internal/fault/ ./internal/net/ ./internal/core/ ./internal/interp/
 
-echo "== msgown ownership analyzer"
+echo "== simvet static-analysis suite"
 bin=$(mktemp -d)
 trap 'rm -rf "$bin"' EXIT
-go build -o "$bin/msgown" ./tools/analyzers/msgown
-go vet -vettool="$bin/msgown" ./...
+# The analyzers' own tests first: the flow-engine/allow unit tests and
+# the seeded-violation golden corpus (each analyzer must catch every
+# seeded bug and stay silent on the clean fixtures).
+go test -count=1 ./tools/analyzers/simvet/...
+go build -o "$bin/simvet" ./tools/analyzers/simvet
+# The suite over the simulator itself: any non-suppressed diagnostic
+# fails the gate (go vet exits non-zero when the tool reports).
+simvet_out="$bin/simvet.out"
+simvet_status=0
+go vet -vettool="$bin/simvet" ./... 2>"$simvet_out" || simvet_status=$?
+# Per-rule count summary, failing or not (empty on a clean tree).
+awk -F'simvet/' '/simvet\//{split($2, a, ":"); n[a[1]]++}
+     END{for (r in n) printf "simvet %s: %d\n", r, n[r]}' "$simvet_out" | sort
+if [ "$simvet_status" -ne 0 ]; then
+    cat "$simvet_out" >&2
+    echo "simvet: non-suppressed diagnostics (see above)" >&2
+    exit 1
+fi
+echo "simvet: 0 non-suppressed diagnostics ($("$bin/simvet" -listrules | awk '/^  /{n++} END{print n}') rules)"
 
 echo "== mpicheck: registered applications"
 go build -o "$bin/mpicheck" ./cmd/mpicheck

@@ -1,380 +1,33 @@
 // Command msgown is a vet analyzer enforcing the simulator's pooling
 // ownership rule: once a *sim.Message is passed to Send, SendTag,
-// Forward, FreeMessage, or freeMessage, the caller has given it up; the
-// pool may hand it to another rank (or the kernel may deliver and
-// recycle it) at any moment, so no later statement in the same function
-// may read it. Violations are exactly the use-after-free class the
-// pooled hot path reintroduced. (Kernel events used to be pooled too and
-// carried their own rule; they are plain values in per-worker slabs now,
-// with nothing to use after free.)
+// SendTagFault, SendVia, Forward, FreeMessage, or freeMessage, the
+// caller has given it up; the pool may hand it to another rank (or the
+// kernel may deliver and recycle it) at any moment, so no later read of
+// the variable is legal until it is reassigned.
 //
-// The command speaks the `go vet -vettool` unit-checker protocol with
-// the standard library alone, so it works in environments without
-// golang.org/x/tools:
+// The command is kept for compatibility with existing invocations; it
+// is a thin wrapper over the simvet suite's msgown analyzer
+// (tools/analyzers/simvet), which shares the suite's loop-aware flow
+// engine — the backward-jumping-use-in-a-loop gap the standalone
+// analyzer used to document is closed. Prefer running the full suite:
+//
+//	go build -o simvet ./tools/analyzers/simvet
+//	go vet -vettool=$(pwd)/simvet ./...
+//
+// This wrapper speaks the same `go vet -vettool` unit-checker protocol
+// with the standard library alone:
 //
 //	go build -o msgown ./tools/analyzers/msgown
 //	go vet -vettool=$(pwd)/msgown ./...
-//
-// The analysis is flow-insensitive within a function body: a use is
-// "after" a consuming call when it appears later in source order with
-// no intervening reassignment of the variable. That matches how the
-// pooling call sites are written (consume last) and keeps the checker
-// dependency-free; a backward-jumping use inside a loop is the one
-// shape it can miss.
 package main
 
 import (
-	"crypto/sha256"
-	"encoding/json"
-	"fmt"
-	"go/ast"
-	"go/importer"
-	"go/parser"
-	"go/token"
-	"go/types"
-	"io"
 	"os"
-	"path/filepath"
-	"strings"
+
+	"mpisim/tools/analyzers/simvet/rules"
+	"mpisim/tools/analyzers/simvet/vetcore"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
-}
-
-func run(args []string) int {
-	for _, a := range args {
-		switch a {
-		case "-V=full":
-			printVersion()
-			return 0
-		case "-flags":
-			// The vet driver queries supported analyzer flags; we have none.
-			fmt.Println("[]")
-			return 0
-		}
-	}
-	if len(args) == 0 || !strings.HasSuffix(args[len(args)-1], ".cfg") {
-		fmt.Fprintln(os.Stderr, "msgown: usage: msgown <vet.cfg> (run via go vet -vettool)")
-		return 2
-	}
-	return checkPackage(args[len(args)-1])
-}
-
-// printVersion implements the -V=full handshake the go command uses for
-// build caching: "<name> version devel buildID=<content hash>".
-func printVersion() {
-	id := "unknown"
-	if exe, err := os.Executable(); err == nil {
-		if data, err := os.ReadFile(exe); err == nil {
-			sum := sha256.Sum256(data)
-			id = fmt.Sprintf("%x", sum[:12])
-		}
-	}
-	fmt.Printf("msgown version devel buildID=%s\n", id)
-}
-
-// vetConfig mirrors the JSON the go command writes for each package.
-type vetConfig struct {
-	ID                        string
-	Compiler                  string
-	Dir                       string
-	ImportPath                string
-	GoVersion                 string
-	GoFiles                   []string
-	NonGoFiles                []string
-	IgnoredFiles              []string
-	ImportMap                 map[string]string
-	PackageFile               map[string]string
-	Standard                  map[string]bool
-	PackageVetx               map[string]string
-	VetxOnly                  bool
-	VetxOutput                string
-	SucceedOnTypecheckFailure bool
-}
-
-func checkPackage(cfgPath string) int {
-	data, err := os.ReadFile(cfgPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "msgown:", err)
-		return 1
-	}
-	var cfg vetConfig
-	if err := json.Unmarshal(data, &cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "msgown: %s: %v\n", cfgPath, err)
-		return 1
-	}
-	// The driver expects a facts file from every invocation; we carry no
-	// facts, so an empty one satisfies it.
-	defer func() {
-		if cfg.VetxOutput != "" {
-			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
-		}
-	}()
-	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
-		return 0
-	}
-
-	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, name := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
-		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return 0
-			}
-			fmt.Fprintln(os.Stderr, "msgown:", err)
-			return 1
-		}
-		files = append(files, f)
-	}
-
-	// Typecheck against the export data the build already produced.
-	lookup := func(path string) (io.ReadCloser, error) {
-		if mapped, ok := cfg.ImportMap[path]; ok {
-			path = mapped
-		}
-		file, ok := cfg.PackageFile[path]
-		if !ok {
-			return nil, fmt.Errorf("msgown: no export data for %q", path)
-		}
-		return os.Open(file)
-	}
-	compiler := cfg.Compiler
-	if compiler == "" {
-		compiler = "gc"
-	}
-	tcfg := &types.Config{
-		Importer:  importer.ForCompiler(fset, compiler, lookup),
-		GoVersion: languageVersion(cfg.GoVersion),
-		Error:     func(error) {}, // keep going; the first error is returned anyway
-	}
-	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Uses:  map[*ast.Ident]types.Object{},
-		Defs:  map[*ast.Ident]types.Object{},
-	}
-	if _, err := tcfg.Check(cfg.ImportPath, fset, files, info); err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		fmt.Fprintln(os.Stderr, "msgown:", err)
-		return 1
-	}
-
-	findings := analyze(fset, files, info)
-	for _, f := range findings {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", f.pos, f.msg)
-	}
-	if len(findings) > 0 {
-		return 2
-	}
-	return 0
-}
-
-// languageVersion reduces a toolchain version like "go1.24.5" to the
-// language version go/types accepts.
-func languageVersion(v string) string {
-	if !strings.HasPrefix(v, "go") {
-		return ""
-	}
-	parts := strings.SplitN(v, ".", 3)
-	if len(parts) < 2 {
-		return ""
-	}
-	return parts[0] + "." + parts[1]
-}
-
-type finding struct {
-	pos token.Position
-	msg string
-}
-
-// ownRule describes one pooled kernel type and the calls that transfer
-// its ownership away from the caller.
-type ownRule struct {
-	typeName  string
-	consumers map[string]bool
-}
-
-// rules cover the one pooled kernel type left: messages, consumed by the
-// public send/forward API plus the kernel-internal free. Forward is a
-// consumer because it re-issues the received message to another process
-// — the kernel owns it again the moment the call returns.
-var rules = []ownRule{
-	{typeName: "Message", consumers: map[string]bool{
-		"Send": true, "SendTag": true, "Forward": true,
-		"FreeMessage": true, "freeMessage": true,
-	}},
-}
-
-// ruleFor returns the ownership rule whose consumers include callee.
-func ruleFor(callee string) *ownRule {
-	for i := range rules {
-		if rules[i].consumers[callee] {
-			return &rules[i]
-		}
-	}
-	return nil
-}
-
-// analyze reports reads of pooled-type variables (*sim.Message) after a
-// consuming call in the same function body.
-func analyze(fset *token.FileSet, files []*ast.File, info *types.Info) []finding {
-	var out []finding
-	for _, file := range files {
-		base := filepath.Base(fset.Position(file.Pos()).Filename)
-		if strings.HasSuffix(base, "_test.go") {
-			continue
-		}
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			out = append(out, analyzeFunc(fset, fn, info)...)
-		}
-	}
-	return out
-}
-
-func analyzeFunc(fset *token.FileSet, fn *ast.FuncDecl, info *types.Info) []finding {
-	// First sweep: where does each message variable get consumed, and
-	// where is it reassigned (which re-establishes ownership)?
-	consumed := map[types.Object][]token.Pos{} // positions just after consuming calls
-	killed := map[types.Object][]token.Pos{}   // positions of reassignments
-	assignLHS := map[*ast.Ident]bool{}         // idents being (re)assigned, not read
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			rule := ruleFor(calleeName(x))
-			if rule == nil {
-				return true
-			}
-			for _, arg := range x.Args {
-				id, ok := arg.(*ast.Ident)
-				if !ok || !isOwnedPtr(info.TypeOf(id), rule.typeName) {
-					continue
-				}
-				if obj, ok := info.Uses[id].(*types.Var); ok {
-					consumed[obj] = append(consumed[obj], x.End())
-				}
-			}
-		case *ast.AssignStmt:
-			for _, lhs := range x.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok {
-					continue
-				}
-				assignLHS[id] = true
-				obj := info.Uses[id]
-				if obj == nil {
-					obj = info.Defs[id] // := definitions
-				}
-				if v, ok := obj.(*types.Var); ok && isOwned(v.Type()) {
-					killed[v] = append(killed[v], x.End())
-				}
-			}
-		}
-		return true
-	})
-	if len(consumed) == 0 {
-		return nil
-	}
-	// Second sweep: every later read without an intervening reassignment
-	// is a use of a message the pool may already have recycled.
-	var out []finding
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok || assignLHS[id] {
-			return true
-		}
-		obj, ok := info.Uses[id].(*types.Var)
-		if !ok {
-			return true
-		}
-		cons, isConsumed := consumed[obj]
-		if !isConsumed {
-			return true
-		}
-		for _, cpos := range cons {
-			if id.Pos() <= cpos {
-				continue
-			}
-			if reownedBetween(killed[obj], cpos, id.Pos()) {
-				continue
-			}
-			out = append(out, finding{
-				pos: fset.Position(id.Pos()),
-				msg: fmt.Sprintf("msgown: %s is read after being passed to %s; the pool may already have recycled it",
-					id.Name, consumerAt(fn, info, cpos)),
-			})
-			break
-		}
-		return true
-	})
-	return out
-}
-
-// reownedBetween reports whether any kill position lies in (from, to].
-func reownedBetween(kills []token.Pos, from, to token.Pos) bool {
-	for _, k := range kills {
-		if k > from && k <= to {
-			return true
-		}
-	}
-	return false
-}
-
-// consumerAt names the consuming call ending at pos, for the message.
-func consumerAt(fn *ast.FuncDecl, info *types.Info, end token.Pos) string {
-	name := "a consuming call"
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		if c, ok := n.(*ast.CallExpr); ok && c.End() == end && ruleFor(calleeName(c)) != nil {
-			name = calleeName(c)
-			return false
-		}
-		return true
-	})
-	return name
-}
-
-// calleeName extracts the called function or method name.
-func calleeName(c *ast.CallExpr) string {
-	switch fun := c.Fun.(type) {
-	case *ast.Ident:
-		return fun.Name
-	case *ast.SelectorExpr:
-		return fun.Sel.Name
-	}
-	return ""
-}
-
-// isOwnedPtr reports whether t is a pointer to the named pooled type of
-// the simulator kernel package (or of a package named sim, so the
-// kernel's own sources are covered while typechecking them from source).
-func isOwnedPtr(t types.Type, typeName string) bool {
-	ptr, ok := t.(*types.Pointer)
-	if !ok {
-		return false
-	}
-	named, ok := ptr.Elem().(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	if obj.Name() != typeName || obj.Pkg() == nil {
-		return false
-	}
-	return obj.Pkg().Name() == "sim"
-}
-
-// isOwned reports whether t is a pointer to any pooled kernel type.
-func isOwned(t types.Type) bool {
-	for i := range rules {
-		if isOwnedPtr(t, rules[i].typeName) {
-			return true
-		}
-	}
-	return false
+	os.Exit(vetcore.Main("msgown", []vetcore.Analyzer{rules.MsgOwn()}))
 }

@@ -1,0 +1,41 @@
+// Command simvet is the simulator's own static-analysis suite: four
+// determinism & concurrency analyzers over the mpisim source, speaking
+// the `go vet -vettool` unit-checker protocol with the standard library
+// alone (no golang.org/x/tools). Where internal/check verifies the
+// *user's* simulated program against the model's restrictions, simvet
+// verifies the *simulator* against its own invariants:
+//
+//	contsafe  continuation handlers arm exactly one wait per non-nil
+//	          return path, never block, spawn goroutines, or retain
+//	          their *Message argument past return
+//	detpure   the deterministic core reads no wall clock, draws no
+//	          global randomness, and never depends on map iteration
+//	          order (rules: wallclock, globalrand, maprange)
+//	slabref   no pointer or subslice into the per-worker event slabs
+//	          survives a call that can grow or merge the slab
+//	msgown    no *sim.Message is read after ownership transfers to
+//	          Send*/Forward/FreeMessage (loop-aware)
+//
+// Usage:
+//
+//	go build -o simvet ./tools/analyzers/simvet
+//	go vet -vettool=$(pwd)/simvet ./...
+//	go vet -vettool=$(pwd)/simvet -strictallow ./...   # audit stale allows
+//
+// Intentional violations are suppressed with a mandatory reason:
+//
+//	t := time.Now() //simvet:allow wallclock observability only
+//
+// Run with -listrules for the rule catalog.
+package main
+
+import (
+	"os"
+
+	"mpisim/tools/analyzers/simvet/rules"
+	"mpisim/tools/analyzers/simvet/vetcore"
+)
+
+func main() {
+	os.Exit(vetcore.Main("simvet", rules.All()))
+}

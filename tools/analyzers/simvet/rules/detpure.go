@@ -1,0 +1,378 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mpisim/tools/analyzers/simvet/vetcore"
+)
+
+// detpure guards the simulator's reproducibility contract: two runs
+// with the same configuration and seed must produce bit-identical
+// virtual-time results. Inside the deterministic core — the packages
+// whose computations feed virtual time, routing, fault injection and
+// cost estimation — three nondeterminism sources are banned:
+//
+//   - wallclock: time.Now / time.Since. Wall-clock reads belong in the
+//     observability layer only, behind `//simvet:allow wallclock`
+//     annotations that make each one a reviewed decision.
+//   - globalrand: the package-level math/rand functions (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...). They draw from a process-global
+//     source that is seeded once and shared across goroutines; the core
+//     must thread explicit *rand.Rand streams (which are methods, not
+//     package functions, and are not reported).
+//   - maprange: ranging over a map where the iteration order can affect
+//     the result. Go randomizes map order per run. Two shapes are
+//     provably order-independent and exempt: a body that only performs
+//     keyed stores (out[k] = v, out[k] += v — each iteration touches
+//     its own key and reads no other), and the append-then-sort idiom
+//     (the loop only accumulates into a slice that is sorted
+//     immediately after the loop).
+//
+// Findings are filtered by vetcore.Reach: a dead unexported helper is
+// lint, not a reproducibility hazard, and reporting it would train
+// people to sprinkle allows.
+
+// detCorePaths are the import paths forming the deterministic core.
+// Fixture packages use the same paths via the golden harness.
+var detCorePaths = map[string]bool{
+	"mpisim/internal/sim":    true,
+	"mpisim/internal/mpi":    true,
+	"mpisim/internal/net":    true,
+	"mpisim/internal/fault":  true,
+	"mpisim/internal/interp": true,
+	"mpisim/internal/core":   true,
+}
+
+// DetPure returns the determinism-purity analyzer.
+func DetPure() vetcore.Analyzer {
+	return vetcore.Analyzer{
+		Name:  "detpure",
+		Doc:   "the deterministic core must not read the wall clock, draw from the global math/rand source, or depend on map iteration order",
+		Rules: []string{"wallclock", "globalrand", "maprange"},
+		Run:   runDetPure,
+	}
+}
+
+func runDetPure(pass *vetcore.Pass) []vetcore.Diagnostic {
+	if !detCorePaths[pass.ImportPath] {
+		return nil
+	}
+	reach := vetcore.NewReach(pass, nil)
+	var out []vetcore.Diagnostic
+	funcDecls(pass, func(_ *ast.File, fn *ast.FuncDecl) {
+		if !reach.Reachable(pass, fn) {
+			return
+		}
+		out = append(out, detPureFunc(pass, fn.Body)...)
+	})
+	return out
+}
+
+func detPureFunc(pass *vetcore.Pass, body *ast.BlockStmt) []vetcore.Diagnostic {
+	blocks := rangeBlocks(body)
+	var out []vetcore.Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, x); fn != nil && fn.Pkg() != nil {
+				switch {
+				case fn.Pkg().Path() == "time" && (fn.Name() == "Now" || fn.Name() == "Since"):
+					out = append(out, pass.Diag(x.Pos(), "wallclock",
+						"time.%s in the deterministic core; virtual time must not depend on the wall clock", fn.Name()))
+				case fn.Pkg().Path() == "math/rand" && isPackageFunc(fn) && !strings.HasPrefix(fn.Name(), "New"):
+					// New/NewSource/NewZipf construct explicit streams from a
+					// caller-supplied seed — the deterministic alternative the
+					// rule steers toward — and are exempt.
+					out = append(out, pass.Diag(x.Pos(), "globalrand",
+						"rand.%s draws from the process-global source; thread an explicit seeded *rand.Rand through the core instead", fn.Name()))
+				}
+			}
+		case *ast.RangeStmt:
+			if isMapRange(pass.Info, x) && !orderIndependent(pass.Info, x, blocks[x]) {
+				out = append(out, pass.Diag(x.Pos(), "maprange",
+					"map iteration order is randomized per run and this loop's result can depend on it; iterate sorted keys, or restructure into keyed stores or append-then-sort"))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rangeBlocks maps each range statement that sits directly in a block
+// to that block, so appendThenSort can look at the statement following
+// the loop. Range statements in other positions (case clause bodies)
+// simply get no exemption, erring toward reporting.
+func rangeBlocks(body *ast.BlockStmt) map[*ast.RangeStmt]*ast.BlockStmt {
+	m := map[*ast.RangeStmt]*ast.BlockStmt{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for _, s := range blk.List {
+			if r, ok := s.(*ast.RangeStmt); ok {
+				m[r] = blk
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// isPackageFunc reports whether fn is a package-level function (as
+// opposed to a method — *rand.Rand methods on an explicit stream are
+// deterministic given the seed and are fine).
+func isPackageFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isMapRange reports whether the range statement iterates a map.
+func isMapRange(info *types.Info, r *ast.RangeStmt) bool {
+	t := info.TypeOf(r.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderIndependent recognizes the two exempt shapes.
+func orderIndependent(info *types.Info, r *ast.RangeStmt, blk *ast.BlockStmt) bool {
+	return keyedStoreOnly(info, r) || appendThenSort(info, r, blk)
+}
+
+// keyedStoreOnly reports whether the loop body consists solely of
+// stores into map elements (out[k] = v or out[k] op= v — each iteration
+// writes its own key), possibly guarded by if/else and continue, and no
+// written map base is read in any right-hand side or condition — so
+// iterations cannot observe each other and the order is immaterial.
+func keyedStoreOnly(info *types.Info, r *ast.RangeStmt) bool {
+	var written []types.Object
+	var reads []ast.Expr
+	if !keyedStores(info, r.Body.List, &written, &reads) || len(written) == 0 {
+		return false
+	}
+	// out[k] = out[j] + 1 reads what another iteration may or may not
+	// have written yet. (out[k] += v reads only its own key through the
+	// LHS, which is not in reads.)
+	for _, e := range reads {
+		for _, base := range written {
+			if refersTo(info, e, base) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// keyedStores validates one statement list of the keyed-store shape,
+// accumulating the written map bases and every read expression
+// (store RHSs and branch conditions).
+func keyedStores(info *types.Info, stmts []ast.Stmt, written *[]types.Object, reads *[]ast.Expr) bool {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != 1 {
+				return false
+			}
+			idx, ok := x.Lhs[0].(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			t := info.TypeOf(idx.X)
+			if t == nil {
+				return false
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return false
+			}
+			base := rootIdent(idx.X)
+			if base == nil || info.Uses[base] == nil {
+				return false
+			}
+			*written = append(*written, info.Uses[base])
+			*reads = append(*reads, x.Rhs...)
+		case *ast.IfStmt:
+			if x.Init != nil {
+				return false
+			}
+			*reads = append(*reads, x.Cond)
+			if !keyedStores(info, x.Body.List, written, reads) {
+				return false
+			}
+			switch e := x.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !keyedStores(info, e.List, written, reads) {
+					return false
+				}
+			case *ast.IfStmt:
+				if !keyedStores(info, []ast.Stmt{e}, written, reads) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BranchStmt:
+			if x.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// appendThenSort reports whether the loop only accumulates into an
+// outer slice via s = append(s, ...) (plus loop-local assignments and
+// ifs over loop-local state), and the statement following the loop in
+// the enclosing block sorts that slice (sort.* or slices.Sort*). The
+// randomized order is then washed out before anyone observes it.
+func appendThenSort(info *types.Info, r *ast.RangeStmt, blk *ast.BlockStmt) bool {
+	if blk == nil {
+		return false
+	}
+	locals := map[types.Object]bool{}
+	for _, k := range []ast.Expr{r.Key, r.Value} {
+		if id, ok := k.(*ast.Ident); ok && info.Defs[id] != nil {
+			locals[info.Defs[id]] = true
+		}
+	}
+	var target types.Object
+	if !accumulateOnly(info, r.Body.List, &target, locals) || target == nil {
+		return false
+	}
+	// The statement immediately following the loop must be the sort: any
+	// intervening statement could observe the unsorted slice.
+	for i, s := range blk.List {
+		if s == r {
+			return i+1 < len(blk.List) && isSortCallOn(info, blk.List[i+1], target)
+		}
+	}
+	return false
+}
+
+// accumulateOnly reports whether the statements only build up the
+// append target: assignments of the form target = append(target, ...),
+// definitions and mutations of loop-local scratch variables, continue,
+// and if statements whose branches satisfy the same property. Exactly
+// one append target must emerge. Per-item computation over loop-local
+// state is fine — the sort after the loop washes out the visit order —
+// but any other mutation of outer state is order-dependent and rejected.
+func accumulateOnly(info *types.Info, stmts []ast.Stmt, target *types.Object, locals map[types.Object]bool) bool {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && info.Defs[id] != nil {
+						locals[info.Defs[id]] = true
+					}
+				}
+				continue
+			}
+			// target = append(target, ...)
+			if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+				if id, ok := x.Lhs[0].(*ast.Ident); ok {
+					obj := info.Uses[id]
+					if call, ok := x.Rhs[0].(*ast.CallExpr); ok && isAppend(call) && obj != nil {
+						if argRoot, _ := call.Args[0].(*ast.Ident); argRoot != nil && info.Uses[argRoot] == obj {
+							if *target != nil && *target != obj {
+								return false // two different accumulators
+							}
+							*target = obj
+							continue
+						}
+					}
+				}
+			}
+			// Mutation of loop-local scratch (s.W = ..., tmp = ...): every
+			// LHS must be rooted at a loop-local object.
+			for _, lhs := range x.Lhs {
+				root := rootIdent(lhs)
+				if root == nil {
+					return false
+				}
+				obj := info.Uses[root]
+				if obj == nil {
+					obj = info.Defs[root]
+				}
+				if !locals[obj] {
+					return false
+				}
+			}
+		case *ast.IfStmt:
+			if x.Init != nil {
+				return false
+			}
+			if !accumulateOnly(info, x.Body.List, target, locals) {
+				return false
+			}
+			switch e := x.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !accumulateOnly(info, e.List, target, locals) {
+					return false
+				}
+			case *ast.IfStmt:
+				if !accumulateOnly(info, []ast.Stmt{e}, target, locals) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.DeclStmt:
+			// Local var/const declarations are scratch; record the names.
+			if gd, ok := x.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							if info.Defs[id] != nil {
+								locals[info.Defs[id]] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.BranchStmt:
+			if x.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isSortCallOn reports whether the statement is a call into sort or
+// slices (sort.Slice, sort.Strings, slices.Sort, slices.SortFunc, ...)
+// whose first argument mentions the accumulator.
+func isSortCallOn(info *types.Info, s ast.Stmt, target types.Object) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg := fn.Pkg().Path()
+	if pkg != "sort" && pkg != "slices" {
+		return false
+	}
+	if !strings.HasPrefix(fn.Name(), "Sort") && !strings.HasPrefix(fn.Name(), "Slice") &&
+		fn.Name() != "Strings" && fn.Name() != "Ints" && fn.Name() != "Float64s" {
+		return false
+	}
+	return refersTo(info, call.Args[0], target)
+}

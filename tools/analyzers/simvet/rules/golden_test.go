@@ -1,0 +1,139 @@
+package rules
+
+import (
+	"flag"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"mpisim/tools/analyzers/simvet/vetcore"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// fixtureImportPath places fixtures inside the detpure core scope.
+const fixtureImportPath = "mpisim/internal/sim"
+
+// runSuite typechecks the given sources as one package (with the stdlib
+// source importer, so fixtures may import time, math/rand, sort) and
+// runs the full analyzer suite through the same RunAnalyzers seam the
+// vet binary uses.
+func runSuite(t *testing.T, opts vetcore.Options, sources map[string]string) []vetcore.Diagnostic {
+	t.Helper()
+	return runSuiteAt(t, fixtureImportPath, opts, sources)
+}
+
+// runSuiteAt is runSuite with an explicit import path (detpure scopes
+// by it).
+func runSuiteAt(t *testing.T, importPath string, opts vetcore.Options, sources map[string]string) []vetcore.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, sources[name], parser.SkipObjectResolution|parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := vetcore.NewInfo()
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := cfg.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pass := &vetcore.Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, ImportPath: importPath}
+	return vetcore.RunAnalyzers(pass, All(), opts)
+}
+
+// readStub loads the shared package-sim fixture header.
+func readStub(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "testdata", "stub", "sim.go"))
+	if err != nil {
+		t.Fatalf("read stub: %v", err)
+	}
+	return string(data)
+}
+
+// TestGolden runs every fixture in testdata/<rule>/ together with the
+// stub and compares the rendered diagnostics against <fixture>.golden.
+// clean* fixtures must produce no diagnostics at all (no golden file).
+// Regenerate with: go test ./tools/analyzers/simvet/rules -run Golden -update
+func TestGolden(t *testing.T) {
+	stub := readStub(t)
+	dirs, err := filepath.Glob(filepath.Join("..", "testdata", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		base := filepath.Base(dir)
+		if base == "stub" {
+			continue
+		}
+		fixtures, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fixtures) == 0 {
+			t.Errorf("no fixtures under %s", dir)
+		}
+		for _, fixture := range fixtures {
+			fixture := fixture
+			t.Run(base+"/"+filepath.Base(fixture), func(t *testing.T) {
+				src, err := os.ReadFile(fixture)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diags := runSuite(t, vetcore.Options{}, map[string]string{
+					"sim_stub.go":          stub,
+					filepath.Base(fixture): string(src),
+				})
+				var lines []string
+				for _, d := range diags {
+					lines = append(lines, d.String())
+				}
+				got := strings.Join(lines, "\n")
+				if got != "" {
+					got += "\n"
+				}
+
+				if strings.HasPrefix(filepath.Base(fixture), "clean") {
+					if got != "" {
+						t.Errorf("clean fixture produced diagnostics:\n%s", got)
+					}
+					return
+				}
+				goldenPath := fixture + ".golden"
+				if *update {
+					if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(goldenPath)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+				}
+				if got == "" {
+					t.Errorf("bad fixture produced no diagnostics")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mpisim/tools/analyzers/simvet/vetcore"
+)
+
+// msgown enforces the kernel's pooling ownership rule: once a
+// *sim.Message is passed to Send, SendTag, SendTagFault, SendVia,
+// Forward, FreeMessage or freeMessage, the caller has given it up; the
+// pool may hand it to another rank (or the kernel may deliver and
+// recycle it) at any moment, so no later read of the variable is legal
+// until it is reassigned. Violations are exactly the use-after-free
+// class the pooled hot path reintroduced.
+//
+// Built on vetcore.FindUsesAfter, the rule is loop-aware: a use that
+// precedes the consuming call in source order but follows it around a
+// loop back-edge (including the consuming call's own argument in a
+// loop that never reassigns — a loop-carried double-consume) is
+// reported. That closes the flow-insensitivity gap the standalone
+// msgown documented.
+
+// msgConsumers are the calls that transfer a *sim.Message argument's
+// ownership away from the caller. Forward re-issues the received
+// message to another process — the kernel owns it again the moment the
+// call returns. SendTagFault and SendVia consume a message passed as
+// their payload argument, like Send.
+var msgConsumers = map[string]bool{
+	"Send": true, "SendTag": true, "SendTagFault": true, "SendVia": true,
+	"Forward": true, "FreeMessage": true, "freeMessage": true,
+}
+
+// MsgOwn returns the message-ownership analyzer.
+func MsgOwn() vetcore.Analyzer {
+	return vetcore.Analyzer{
+		Name:  "msgown",
+		Doc:   "a *sim.Message must not be read after being passed to a consuming call (Send*, Forward, FreeMessage)",
+		Rules: []string{"msgown"},
+		Run:   runMsgOwn,
+	}
+}
+
+func runMsgOwn(pass *vetcore.Pass) []vetcore.Diagnostic {
+	var out []vetcore.Diagnostic
+	funcDecls(pass, func(_ *ast.File, fn *ast.FuncDecl) {
+		out = append(out, msgOwnFunc(pass, fn.Body)...)
+	})
+	return out
+}
+
+// msgOwnFunc analyzes one function body (closures included: they are
+// part of the body's AST and the engine's object-granular tracking
+// handles captured variables naturally).
+func msgOwnFunc(pass *vetcore.Pass, body *ast.BlockStmt) []vetcore.Diagnostic {
+	var consumed []vetcore.Consumption
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !msgConsumers[calleeName(call)] {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := arg.(*ast.Ident)
+			if !ok || !simPtrTo(pass.Info.TypeOf(id), "Message") {
+				continue
+			}
+			if obj, ok := pass.Info.Uses[id].(*types.Var); ok {
+				consumed = append(consumed, vetcore.Consumption{
+					Obj: obj, Pos: call.End(), Label: calleeName(call),
+				})
+			}
+		}
+		return true
+	})
+	var out []vetcore.Diagnostic
+	for _, f := range vetcore.FindUsesAfter(body, pass.Info, consumed) {
+		out = append(out, pass.Diag(f.Use.Pos(), "msgown",
+			"%s is read after being passed to %s%s; the pool may already have recycled it",
+			f.Use.Name, f.Consumption.Label, loopNote(f)))
+	}
+	return out
+}
+
+// loopNote annotates loop-carried findings so the report explains the
+// execution order the source order hides.
+func loopNote(f vetcore.UseAfterFinding) string {
+	if f.LoopCarried {
+		return " on the previous loop iteration"
+	}
+	return ""
+}

@@ -1,0 +1,127 @@
+// Package rules implements the simvet analyzers over the simulator's
+// own source: contsafe (continuation-handler discipline), detpure
+// (determinism purity of the result-affecting core), slabref (no
+// retained aliases into the per-worker event slabs), and msgown (pooled
+// message ownership). All four share the vetcore analysis core; the
+// kernel types they recognize are matched structurally (named type in a
+// package named "sim"), so the rules work both on the real kernel via
+// `go vet -vettool` and on the self-contained fixture packages of the
+// golden corpus.
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mpisim/tools/analyzers/simvet/vetcore"
+)
+
+// All returns the full analyzer suite in reporting order.
+func All() []vetcore.Analyzer {
+	return []vetcore.Analyzer{ContSafe(), DetPure(), SlabRef(), MsgOwn()}
+}
+
+// simNamed reports whether t is the named type typeName declared in a
+// package named "sim" (the simulator kernel; matching by package *name*
+// covers both the real import path and the corpus fixtures, and keeps
+// typechecking the kernel's own sources in scope).
+func simNamed(t types.Type, typeName string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+// simPtrTo reports whether t is a pointer to the named sim type.
+func simPtrTo(t types.Type, typeName string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return simNamed(ptr.Elem(), typeName)
+}
+
+// simSliceOf reports whether t is a slice of the named sim type.
+func simSliceOf(t types.Type, typeName string) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return simNamed(sl.Elem(), typeName)
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(c *ast.CallExpr) string {
+	switch fun := c.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// calleeFunc resolves the called function object, nil when unknown.
+func calleeFunc(info *types.Info, c *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := c.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcDecls yields every function declaration with a body across the
+// pass's files, paired with its file.
+func funcDecls(pass *vetcore.Pass, visit func(file *ast.File, fn *ast.FuncDecl)) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				visit(file, fn)
+			}
+		}
+	}
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (x in x.f[i].g), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// refersTo reports whether node mentions the given object.
+func refersTo(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

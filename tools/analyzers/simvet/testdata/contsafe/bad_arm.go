@@ -1,0 +1,32 @@
+package sim
+
+// noArm returns a continuation without arming any wait: the process
+// would never be scheduled again.
+func noArm(p *Proc, m *Message) Cont {
+	p.FreeMessage(m)
+	return noArm
+}
+
+// twoArms arms twice before returning; the kernel allows one pending
+// wait per process.
+func twoArms(p *Proc, m *Message) Cont {
+	p.WaitRecv()
+	p.WaitSleep(10)
+	return twoArms
+}
+
+// maybeArm arms on one branch only: the else path returns an armless
+// continuation.
+func maybeArm(p *Proc, m *Message) Cont {
+	if m.Size > 0 {
+		p.WaitRecv()
+	}
+	return maybeArm
+}
+
+// armThenNil arms a wait and then terminates; the armed wait fires into
+// a dead process.
+func armThenNil(p *Proc, m *Message) Cont {
+	p.WaitSleep(5)
+	return nil
+}

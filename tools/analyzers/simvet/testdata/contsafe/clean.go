@@ -1,0 +1,47 @@
+package sim
+
+// pingpong arms exactly one wait on each non-nil return path and frees
+// the message before returning.
+func pingpong(p *Proc, m *Message) Cont {
+	if m == nil {
+		return nil
+	}
+	size := m.Size
+	from := m.From
+	p.FreeMessage(m)
+	if size > 0 {
+		p.SendTag(from, 0, size)
+		p.WaitRecv()
+		return pingpong
+	}
+	return nil
+}
+
+// dispatch arms in every switch arm, including the default.
+func dispatch(p *Proc, m *Message) Cont {
+	switch m.Tag {
+	case 0:
+		p.WaitRecv()
+	case 1:
+		p.WaitRecvFn(m.From, 1)
+	default:
+		p.WaitSleep(1)
+	}
+	return dispatch
+}
+
+// makeHandler is not itself a handler (wrong arity), so its return is
+// not judged; the closure it builds is, and is clean.
+func makeHandler(tag int) Cont {
+	return func(p *Proc, m *Message) Cont {
+		p.FreeMessage(m)
+		p.WaitRecvFn(0, tag)
+		return dispatch
+	}
+}
+
+// stopper terminates without arming: a plain nil return needs no wait.
+func stopper(p *Proc, m *Message) Cont {
+	p.FreeMessage(m)
+	return nil
+}

@@ -1,0 +1,19 @@
+package sim
+
+import "math/rand"
+
+// Jitter draws from the process-global source: seeded once, shared
+// across goroutines, irreproducible.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Pick indexes with the global source.
+func Pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Scramble mutates order with the global source.
+func Scramble(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

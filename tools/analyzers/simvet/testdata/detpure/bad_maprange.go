@@ -1,0 +1,28 @@
+package sim
+
+// Checksum folds float values in iteration order; float addition is not
+// associative, so the sum depends on the randomized order.
+func Checksum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// FirstKey returns whichever key the iterator yields first.
+func FirstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// Concat builds a string in iteration order.
+func Concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}

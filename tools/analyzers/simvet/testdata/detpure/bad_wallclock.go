@@ -1,0 +1,13 @@
+package sim
+
+import "time"
+
+// Stamp reads the wall clock inside the deterministic core.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed derives a duration from wall time.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

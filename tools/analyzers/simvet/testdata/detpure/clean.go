@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Scaled threads an explicit seeded stream: fully deterministic, and
+// exactly what globalrand steers toward.
+func Scaled(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Invert is a keyed store: each iteration writes its own key and reads
+// no other, so the visit order is immaterial.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Buckets mixes guards and continue with keyed stores.
+func Buckets(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		if v < 0 {
+			continue
+		}
+		if v%2 == 0 {
+			out[k] = v
+		} else {
+			out[k] = -v
+		}
+	}
+	return out
+}
+
+// SortedKeys is the append-then-sort idiom: the randomized order is
+// washed out before anyone observes it.
+func SortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Traced carries a reviewed wallclock annotation: observability only.
+func Traced() int64 {
+	t := time.Now().UnixNano() //simvet:allow wallclock fixture: observability only
+	return t
+}
+
+// deadClock is unreachable from any entry point — lint, not a
+// reproducibility hazard, and deliberately not reported.
+func deadClock() int64 {
+	return time.Now().UnixNano()
+}

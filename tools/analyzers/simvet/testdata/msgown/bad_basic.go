@@ -1,0 +1,26 @@
+package sim
+
+// readAfterFree reads the message after returning it to the pool.
+func readAfterFree(p *Proc, m *Message) int64 {
+	p.FreeMessage(m)
+	return m.Size
+}
+
+// doubleFree frees twice; the second call hands the pool a pointer it
+// may already have re-issued.
+func doubleFree(p *Proc, m *Message) {
+	p.FreeMessage(m)
+	p.FreeMessage(m)
+}
+
+// readAfterSend reads after ownership transferred with the payload.
+func readAfterSend(p *Proc, m *Message) int64 {
+	p.Send(1, m, m.Size)
+	return m.Size
+}
+
+// readAfterForward reads after re-issuing the message to the kernel.
+func readAfterForward(p *Proc, m *Message) int64 {
+	p.Forward(m, 1, 0)
+	return m.Size
+}

@@ -1,0 +1,13 @@
+package sim
+
+// staleLoop reads a peek result taken before the loop on every
+// iteration; from the second pass on, the push may have moved it.
+func staleLoop(q *eventQueue, n int) Time {
+	var last Time
+	top := q.peek()
+	for i := 0; i < n; i++ {
+		last = top.t
+		q.push(event{t: last})
+	}
+	return last
+}

@@ -1,0 +1,23 @@
+package sim
+
+// stalePeek holds a peek result across a push: the push may grow the
+// slab and move every event.
+func stalePeek(q *eventQueue, e event) Time {
+	top := q.peek()
+	q.push(e)
+	return top.t
+}
+
+// staleSubslice holds a view of the outbox across a sendOut.
+func staleSubslice(w *worker, e event) int {
+	pending := w.outbox[1:]
+	w.sendOut(e)
+	return len(pending)
+}
+
+// staleMerge holds a pointer across a merge that rewrites the slab.
+func staleMerge(w *worker) Time {
+	head := w.queue.peek()
+	w.mergeOutboxes()
+	return head.t
+}

@@ -1,0 +1,48 @@
+package sim
+
+// growPush is the canonical append-grow pattern: a holds the append's
+// own result, which is the fresh, valid slab reference.
+func growPush(q *eventQueue, e event) {
+	a := append(q.a, e)
+	i := len(a) - 1
+	for i > 0 {
+		par := (i - 1) / 2
+		if !eventLess(&e, &a[par]) {
+			break
+		}
+		a[i] = a[par]
+		i = par
+	}
+	a[i] = e
+	q.a = a
+}
+
+// rederive refreshes the reference after the mutation instead of
+// holding it across.
+func rederive(q *eventQueue, e event) Time {
+	top := q.peek()
+	t0 := top.t
+	q.push(e)
+	top = q.peek()
+	return top.t - t0
+}
+
+// copyOut copies the event value before mutating: events are plain
+// values, a copy cannot go stale.
+func copyOut(q *eventQueue, e event) Time {
+	top := *q.peek()
+	q.push(e)
+	return top.t
+}
+
+// drain re-derives the head at the top of every iteration, so the
+// previous iteration's pop never leaks a stale alias into this one.
+func drain(q *eventQueue) Time {
+	var last Time
+	for len(q.a) > 0 {
+		top := q.peek()
+		last = top.t
+		_ = q.pop()
+	}
+	return last
+}

@@ -1,0 +1,117 @@
+package vetcore
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Suppression directives. A comment of the form
+//
+//	//simvet:allow <rule> <reason>
+//
+// suppresses diagnostics of that rule on the directive's own line
+// (trailing comment) or on the line directly below it (comment-above
+// style). The reason is mandatory: an allow without one is malformed
+// and reported unconditionally — a suppression nobody can audit is
+// itself a finding. A wrong rule name suppresses nothing, so the
+// original diagnostic still fires; under -strictallow the unmatched
+// directive is additionally reported as stale, which is also how
+// annotations that outlive their diagnostic (the code was fixed, the
+// comment stayed) surface.
+
+// AllowRule is the rule name under which the suppression mechanism's
+// own findings (malformed or stale directives) are reported.
+const AllowRule = "allow"
+
+// allowPrefix is the directive marker. Like go:build directives, the
+// comment must start exactly with it (no space after //).
+const allowPrefix = "simvet:allow"
+
+// Allow is one parsed //simvet:allow directive.
+type Allow struct {
+	File   string
+	Line   int
+	Rule   string
+	Reason string
+	// Malformed is set when the directive lacks a rule or a reason.
+	Malformed bool
+	// used records whether the directive suppressed at least one
+	// diagnostic in this package.
+	used bool
+}
+
+// CollectAllows parses the suppression directives from the given files
+// (which must have been parsed with parser.ParseComments).
+func CollectAllows(fset *token.FileSet, files []*ast.File) []*Allow {
+	var out []*Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a := &Allow{File: pos.Filename, Line: pos.Line}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					a.Malformed = true
+					if len(fields) == 1 {
+						a.Rule = fields[0]
+					}
+				} else {
+					a.Rule = fields[0]
+					a.Reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), fields[0]))
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// ApplyAllows filters diags through the directives: a diagnostic is
+// suppressed when a well-formed allow with the same rule sits on the
+// same line or the line above it in the same file. Malformed directives
+// are always reported; unused (stale) and unknown-rule directives are
+// reported when strict is set.
+func ApplyAllows(diags []Diagnostic, allows []*Allow, knownRules map[string]bool, strict bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.Malformed || a.Rule != d.Rule || a.File != d.File {
+				continue
+			}
+			if a.Line == d.Line || a.Line == d.Line-1 {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.Malformed:
+			out = append(out, Diagnostic{
+				File: a.File, Line: a.Line, Col: 1, Rule: AllowRule,
+				Message: "malformed //simvet:allow: want \"//simvet:allow <rule> <reason>\"",
+			})
+		case strict && !knownRules[a.Rule]:
+			out = append(out, Diagnostic{
+				File: a.File, Line: a.Line, Col: 1, Rule: AllowRule,
+				Message: "//simvet:allow names unknown rule " + strconv.Quote(a.Rule),
+			})
+		case strict && !a.used:
+			out = append(out, Diagnostic{
+				File: a.File, Line: a.Line, Col: 1, Rule: AllowRule,
+				Message: "stale //simvet:allow " + a.Rule + ": no matching diagnostic on this or the next line",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package vetcore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Diagnostic is one finding. The text rendering is what go vet relays
+// to the user ("file:line:col: simvet/rule: message"); the JSON form is
+// for machine consumers (-json) and mirrors internal/check's Diagnostic
+// shape: every field a gate script needs to aggregate per-rule counts.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the vet-style text form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: simvet/%s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Render returns the JSON line form when asJSON is set, the text form
+// otherwise.
+func (d Diagnostic) Render(asJSON bool) string {
+	if !asJSON {
+		return d.String()
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		return d.String() // cannot happen: all fields are plain
+	}
+	return string(b)
+}
+
+// SortDiagnostics orders diagnostics by (file, line, col, rule,
+// message), the stable order golden tests and humans both want.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}

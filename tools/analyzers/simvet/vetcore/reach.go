@@ -1,0 +1,110 @@
+package vetcore
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Call-graph-lite reachability. Analyzers that guard determinism (like
+// detpure) only care about code the simulator can actually execute:
+// a dead unexported helper with a wall-clock read is lint, not a
+// reproducibility hazard. Building a precise call graph needs pointer
+// analysis; this is the honest cheap version:
+//
+//   - nodes are the package's declared functions and methods;
+//   - there is an edge from f to g when f's declaration references g at
+//     all (called, deferred, passed, stored — any mention). Reference
+//     edges over-approximate calls, which is the safe direction for a
+//     reachability *filter*: address-taken functions invoked through a
+//     table or goroutine are still covered;
+//   - entry points are the exported functions and methods, init, main,
+//     and every function referenced from a package-level variable
+//     declaration (it escapes into a table the package may consult).
+//
+// Cross-package calls into the analyzed package (interface dispatch
+// from elsewhere) land on exported methods, which are entries already.
+type Reach struct {
+	reachable map[types.Object]bool
+}
+
+// NewReach computes the reachable set for the pass. isEntry may be nil,
+// in which case DefaultEntry is used.
+func NewReach(pass *Pass, isEntry func(*types.Func) bool) *Reach {
+	if isEntry == nil {
+		isEntry = DefaultEntry
+	}
+	// Collect declarations and their reference edges.
+	edges := map[types.Object][]types.Object{}
+	var work []types.Object
+	reachable := map[types.Object]bool{}
+	mark := func(obj types.Object) {
+		if obj != nil && !reachable[obj] {
+			reachable[obj] = true
+			work = append(work, obj)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				obj, ok := pass.Info.Defs[d.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				var refs []types.Object
+				ast.Inspect(d, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if g, ok := pass.Info.Uses[id].(*types.Func); ok && g.Pkg() == pass.Pkg {
+						refs = append(refs, g)
+					}
+					return true
+				})
+				edges[obj] = refs
+				if isEntry(obj) {
+					mark(obj)
+				}
+			case *ast.GenDecl:
+				// Functions referenced from package-level var/const decls
+				// escape into initialization tables: treat them as entries.
+				ast.Inspect(d, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if g, ok := pass.Info.Uses[id].(*types.Func); ok && g.Pkg() == pass.Pkg {
+						mark(g)
+					}
+					return true
+				})
+			}
+		}
+	}
+	for len(work) > 0 {
+		obj := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, g := range edges[obj] {
+			mark(g)
+		}
+	}
+	return &Reach{reachable: reachable}
+}
+
+// DefaultEntry treats exported functions and methods, init and main as
+// roots.
+func DefaultEntry(fn *types.Func) bool {
+	return fn.Exported() || fn.Name() == "init" || fn.Name() == "main"
+}
+
+// Reachable reports whether the declaration's function is reachable.
+// Declarations without type information (broken code) count as
+// reachable, erring toward reporting.
+func (r *Reach) Reachable(pass *Pass, decl *ast.FuncDecl) bool {
+	obj, ok := pass.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return true
+	}
+	return r.reachable[obj]
+}

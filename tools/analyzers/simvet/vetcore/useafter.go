@@ -1,0 +1,171 @@
+package vetcore
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Use-after-consume flow engine, shared by msgown (message ownership)
+// and slabref (event-slab aliasing). The analysis is intraprocedural
+// and mostly flow-insensitive, with one deliberate piece of flow
+// structure: loop back-edges.
+//
+// A variable is "consumed" at a position (ownership transferred away,
+// or the memory it points into invalidated). A later read of the same
+// variable is a finding unless a reassignment re-establishes it in
+// between. "Later" means later in execution order, which is source
+// order plus the back-edges of enclosing loops: a use that precedes the
+// consume in source but shares an enclosing for/range statement with it
+// executes after it on the next iteration. That loop case is exactly
+// the shape the original standalone msgown documented as its known
+// gap; handling it here fixes every analyzer built on the engine at
+// once.
+//
+// For the backward (loop-carried) path consume → loop end → loop start
+// → use, a reassignment kills the finding when it lies either after the
+// consume (still inside the loop) or before the use — i.e. anywhere on
+// that path. The common safe idiom `for { m := recv(); ...; free(m) }`
+// is killed by the `m :=` at the loop head; a loop that consumes
+// without reassigning (`for ... { free(m) }`) is correctly flagged,
+// including at the consuming call's own argument, which is a genuine
+// loop-carried double-consume.
+
+// Consumption marks one variable invalidated from Pos onward.
+type Consumption struct {
+	Obj types.Object
+	// Pos is the position after which uses are invalid (typically the
+	// consuming call's End).
+	Pos token.Pos
+	// Label names the consumer for the diagnostic message.
+	Label string
+}
+
+// UseAfterFinding is one read of a consumed variable.
+type UseAfterFinding struct {
+	// Use is the offending identifier.
+	Use *ast.Ident
+	// Consumption is the transfer the use trails.
+	Consumption Consumption
+	// LoopCarried is set when the use only follows the consumption via a
+	// loop back-edge (use before consume in source order).
+	LoopCarried bool
+}
+
+// FindUsesAfter reports reads of consumed variables after their
+// consumption point within body. Kills (reassignments of the variable,
+// including := definitions) re-establish ownership on the paths
+// described above.
+func FindUsesAfter(body *ast.BlockStmt, info *types.Info, consumed []Consumption) []UseAfterFinding {
+	if len(consumed) == 0 {
+		return nil
+	}
+	byObj := map[types.Object][]Consumption{}
+	for _, c := range consumed {
+		byObj[c.Obj] = append(byObj[c.Obj], c)
+	}
+
+	// Kill positions: every (re)assignment of a consumed variable, and
+	// the set of identifiers that are assignment targets (an LHS ident is
+	// not a read).
+	kills := map[types.Object][]token.Pos{}
+	assignLHS := map[*ast.Ident]bool{}
+	var loops []loopRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				assignLHS[id] = true
+				obj := info.Uses[id]
+				if obj == nil {
+					obj = info.Defs[id] // := definitions
+				}
+				if obj != nil && byObj[obj] != nil {
+					kills[obj] = append(kills[obj], x.End())
+				}
+			}
+		case *ast.ForStmt:
+			loops = append(loops, loopRange{x.Pos(), x.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, loopRange{x.Pos(), x.End()})
+		}
+		return true
+	})
+
+	var out []UseAfterFinding
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || assignLHS[id] {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		cons := byObj[obj]
+		if cons == nil {
+			return true
+		}
+		for _, c := range cons {
+			if id.Pos() > c.Pos {
+				// Forward: use after consume in source order.
+				if !killedBetween(kills[obj], c.Pos, id.Pos()) {
+					out = append(out, UseAfterFinding{Use: id, Consumption: c})
+					return true
+				}
+				continue
+			}
+			// Backward: use precedes the consume in source. It trails it in
+			// execution order iff some loop encloses both; the innermost
+			// such loop gives the tightest back-edge path.
+			l, ok := innermostEnclosingBoth(loops, c.Pos, id.Pos())
+			if !ok {
+				continue
+			}
+			// Path consume → loop end → loop start → use; any kill on it
+			// re-establishes the variable before the use.
+			if killedBetween(kills[obj], c.Pos, l.end) || killedBetween(kills[obj], l.pos-1, id.Pos()) {
+				continue
+			}
+			out = append(out, UseAfterFinding{Use: id, Consumption: c, LoopCarried: true})
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// loopRange is the source span of one for/range statement.
+type loopRange struct {
+	pos, end token.Pos
+}
+
+// innermostEnclosingBoth returns the smallest loop span containing both
+// positions.
+func innermostEnclosingBoth(loops []loopRange, a, b token.Pos) (loopRange, bool) {
+	var best loopRange
+	found := false
+	for _, l := range loops {
+		if a < l.pos || a > l.end || b < l.pos || b > l.end {
+			continue
+		}
+		if !found || l.end-l.pos < best.end-best.pos {
+			best, found = l, true
+		}
+	}
+	return best, found
+}
+
+// killedBetween reports whether any kill position lies in (from, to].
+func killedBetween(kills []token.Pos, from, to token.Pos) bool {
+	for _, k := range kills {
+		if k > from && k <= to {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,297 @@
+// Package vetcore is the shared analysis core of the simvet suite: the
+// determinism & concurrency analyzers that machine-check the simulator's
+// own source, the way internal/check machine-checks user programs.
+//
+// It speaks the `go vet -vettool` unit-checker protocol with the
+// standard library alone (no golang.org/x/tools), so the analyzers work
+// in environments without the x/tools module:
+//
+//	go build -o simvet ./tools/analyzers/simvet
+//	go vet -vettool=$(pwd)/simvet ./...
+//
+// The core provides what every analyzer needs and none should
+// reimplement: vet.cfg package loading and typechecking against the
+// build's export data, a Diagnostic type with stable text and JSON
+// encodings, the `//simvet:allow <rule> <reason>` suppression mechanism
+// (with -strictallow auditing of stale allows), a loop-aware
+// use-after-consume flow engine (useafter.go), and call-graph-lite
+// reachability from package entry points (reach.go).
+package vetcore
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Analyzer is one simvet rule family. Run receives a loaded, typechecked
+// package and returns raw diagnostics; the core applies suppressions,
+// sorts, and prints.
+type Analyzer struct {
+	// Name identifies the analyzer (contsafe, detpure, slabref, msgown).
+	Name string
+	// Doc is a one-line description, printed by -listrules.
+	Doc string
+	// Rules lists the diagnostic rule names the analyzer can emit. Allow
+	// comments name these; unknown names are flagged as stale.
+	Rules []string
+	// Run performs the analysis.
+	Run func(pass *Pass) []Diagnostic
+}
+
+// Pass is one package's worth of analysis input.
+type Pass struct {
+	Fset *token.FileSet
+	// Files holds the package's non-test files. Test files are excluded
+	// wholesale: they intentionally violate the kernel invariants (panic
+	// paths, forced misuse) and carry no suppression obligations.
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	ImportPath string
+}
+
+// Position resolves a token position against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// Diag constructs a diagnostic at pos.
+func (p *Pass) Diag(pos token.Pos, rule, format string, args ...interface{}) Diagnostic {
+	tp := p.Fset.Position(pos)
+	return Diagnostic{
+		File:    tp.Filename,
+		Line:    tp.Line,
+		Col:     tp.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// Main is the entry point shared by the simvet binary and the msgown
+// compatibility wrapper: it implements the vet driver handshake
+// (-V=full, -flags), parses the analyzer flags, loads the vet.cfg
+// package and runs the given analyzers. It returns the process exit
+// code: 0 clean, 1 operational error, 2 diagnostics reported.
+func Main(name string, analyzers []Analyzer) int {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	version := fs.String("V", "", "print version and exit (driver handshake)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON and exit (driver handshake)")
+	listRules := fs.Bool("listrules", false, "list analyzers and their rule names, then exit")
+	strict := fs.Bool("strictallow", false, "report stale //simvet:allow comments (no matching diagnostic) as diagnostics")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON lines instead of text")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 1
+	}
+	switch {
+	case *version == "full":
+		printVersion(name)
+		return 0
+	case *printFlags:
+		// The go command queries supported analyzer flags and then accepts
+		// them on the `go vet` command line, forwarding them to every tool
+		// invocation.
+		fmt.Println(`[{"Name":"strictallow","Bool":true,"Usage":"report stale //simvet:allow comments"},` +
+			`{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON lines"}]`)
+		return 0
+	case *listRules:
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+			for _, r := range a.Rules {
+				fmt.Printf("  %s\n", r)
+			}
+		}
+		return 0
+	}
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: usage: %s [-strictallow] [-json] <vet.cfg> (run via go vet -vettool)\n", name, name)
+		return 2
+	}
+	return checkPackage(name, args[0], analyzers, Options{StrictAllow: *strict, JSON: *jsonOut})
+}
+
+// Options are the per-invocation analysis options.
+type Options struct {
+	// StrictAllow reports allow comments that suppressed nothing.
+	StrictAllow bool
+	// JSON emits diagnostics as JSON lines instead of text.
+	JSON bool
+}
+
+// printVersion implements the -V=full handshake the go command uses for
+// build caching: "<name> version devel buildID=<content hash>".
+func printVersion(name string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
+
+// vetConfig mirrors the JSON the go command writes for each package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// checkPackage loads one vet.cfg unit, runs the analyzers and prints
+// the surviving diagnostics.
+func checkPackage(name, cfgPath string, analyzers []Analyzer, opts Options) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", name, cfgPath, err)
+		return 1
+	}
+	// The driver expects a facts file from every invocation; we carry no
+	// facts, so an empty one satisfies it.
+	defer func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}()
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, fname := range cfg.GoFiles {
+		// Comments are needed for the //simvet:allow directives.
+		f, err := parser.ParseFile(fset, fname, nil, parser.SkipObjectResolution|parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Typecheck against the export data the build already produced.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("%s: no export data for %q", name, path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tcfg := &types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: languageVersion(cfg.GoVersion),
+		Error:     func(error) {}, // keep going; the first error is returned anyway
+	}
+	info := NewInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		return 1
+	}
+
+	pass := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, ImportPath: cfg.ImportPath}
+	diags := RunAnalyzers(pass, analyzers, opts)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.Render(opts.JSON))
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// RunAnalyzers runs the analyzers over a loaded pass, drops diagnostics
+// from test files, applies the //simvet:allow suppressions, and returns
+// the survivors sorted by position. It is the seam the golden corpus
+// tests drive directly, so the suppression semantics under test are
+// exactly the ones the vet binary ships.
+func RunAnalyzers(pass *Pass, analyzers []Analyzer, opts Options) []Diagnostic {
+	nonTest := pass.Files[:0:0]
+	for _, f := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		nonTest = append(nonTest, f)
+	}
+	sub := *pass
+	sub.Files = nonTest
+
+	known := map[string]bool{}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, r := range a.Rules {
+			known[r] = true
+		}
+		diags = append(diags, a.Run(&sub)...)
+	}
+	allows := CollectAllows(sub.Fset, sub.Files)
+	diags = ApplyAllows(diags, allows, known, opts.StrictAllow)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// languageVersion reduces a toolchain version like "go1.24.5" to the
+// language version go/types accepts.
+func languageVersion(v string) string {
+	if !strings.HasPrefix(v, "go") {
+		return ""
+	}
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 {
+		return ""
+	}
+	return parts[0] + "." + parts[1]
+}

@@ -1,0 +1,135 @@
+package vetcore
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestLanguageVersion(t *testing.T) {
+	cases := map[string]string{
+		"go1.24.5": "go1.24",
+		"go1.21":   "go1.21",
+		"devel":    "",
+		"":         "",
+	}
+	for in, want := range cases {
+		if got := languageVersion(in); got != want {
+			t.Errorf("languageVersion(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDiagnosticRender(t *testing.T) {
+	d := Diagnostic{File: "kernel.go", Line: 7, Col: 3, Rule: "slabref", Message: "stale alias"}
+	if got, want := d.String(), "kernel.go:7:3: simvet/slabref: stale alias"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	var back Diagnostic
+	if err := json.Unmarshal([]byte(d.Render(true)), &back); err != nil {
+		t.Fatalf("JSON form does not round-trip: %v", err)
+	}
+	if back != d {
+		t.Errorf("round-trip: got %+v, want %+v", back, d)
+	}
+}
+
+func TestSortDiagnostics(t *testing.T) {
+	ds := []Diagnostic{
+		{File: "b.go", Line: 1, Col: 1, Rule: "x"},
+		{File: "a.go", Line: 2, Col: 1, Rule: "x"},
+		{File: "a.go", Line: 1, Col: 5, Rule: "x"},
+		{File: "a.go", Line: 1, Col: 5, Rule: "m"},
+	}
+	SortDiagnostics(ds)
+	want := []Diagnostic{
+		{File: "a.go", Line: 1, Col: 5, Rule: "m"},
+		{File: "a.go", Line: 1, Col: 5, Rule: "x"},
+		{File: "a.go", Line: 2, Col: 1, Rule: "x"},
+		{File: "b.go", Line: 1, Col: 1, Rule: "x"},
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("order[%d] = %+v, want %+v", i, ds[i], want[i])
+		}
+	}
+}
+
+func parseAllows(t *testing.T, src string) []*Allow {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution|parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CollectAllows(fset, []*ast.File{f})
+}
+
+func TestCollectAllows(t *testing.T) {
+	allows := parseAllows(t, `package p
+
+var a = 1 //simvet:allow wallclock reason with several words
+//simvet:allow maprange
+// simvet:allow spaced does not count: not a directive
+var b = 2
+`)
+	if len(allows) != 2 {
+		t.Fatalf("want 2 directives, got %+v", allows)
+	}
+	if allows[0].Rule != "wallclock" || allows[0].Reason != "reason with several words" || allows[0].Malformed {
+		t.Errorf("directive 0 parsed wrong: %+v", allows[0])
+	}
+	if allows[1].Rule != "maprange" || !allows[1].Malformed {
+		t.Errorf("missing-reason directive not marked malformed: %+v", allows[1])
+	}
+}
+
+func TestApplyAllowsSameAndPreviousLine(t *testing.T) {
+	known := map[string]bool{"wallclock": true}
+	allows := []*Allow{{File: "x.go", Line: 10, Rule: "wallclock", Reason: "ok"}}
+	diags := []Diagnostic{
+		{File: "x.go", Line: 10, Rule: "wallclock"}, // same line: suppressed
+		{File: "x.go", Line: 11, Rule: "wallclock"}, // line below the directive: suppressed
+		{File: "x.go", Line: 12, Rule: "wallclock"}, // too far: kept
+		{File: "y.go", Line: 10, Rule: "wallclock"}, // other file: kept
+	}
+	out := ApplyAllows(diags, allows, known, false)
+	if len(out) != 2 {
+		t.Fatalf("want 2 surviving diagnostics, got %+v", out)
+	}
+	for _, d := range out {
+		if d.File == "x.go" && d.Line != 12 {
+			t.Errorf("wrong diagnostic survived: %+v", d)
+		}
+	}
+}
+
+func TestApplyAllowsStrict(t *testing.T) {
+	known := map[string]bool{"wallclock": true}
+	allows := []*Allow{
+		{File: "x.go", Line: 3, Rule: "wallclock", Reason: "stale"},
+		{File: "x.go", Line: 5, Rule: "bogus", Reason: "typo"},
+	}
+	out := ApplyAllows(nil, allows, known, true)
+	if len(out) != 2 {
+		t.Fatalf("want stale + unknown-rule reports, got %+v", out)
+	}
+	var haveStale, haveUnknown bool
+	for _, d := range out {
+		if d.Rule != AllowRule {
+			t.Errorf("meta-report under wrong rule: %+v", d)
+		}
+		if strings.Contains(d.Message, "stale") {
+			haveStale = true
+		}
+		if strings.Contains(d.Message, "unknown rule") {
+			haveUnknown = true
+		}
+	}
+	if !haveStale || !haveUnknown {
+		t.Errorf("missing stale/unknown report: %+v", out)
+	}
+}
