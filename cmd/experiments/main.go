@@ -51,7 +51,8 @@ func run() error {
 		metrics = flag.Bool("metrics", false, "print simulator self-metrics to stderr after the run")
 		trcFile = flag.String("tracefile", "", "write a structured trace of every simulation to this file")
 		trcFmt  = flag.String("traceformat", "chrome", "trace file format: chrome or jsonl")
-		obsHTTP = flag.String("obshttp", "", "serve live simulator metrics over HTTP at this address (e.g. localhost:6070)")
+		obsHTTP = flag.String("obshttp", "", "serve live simulator telemetry over HTTP at this address (e.g. localhost:6070)")
+		linger  = flag.Duration("obslinger", 0, "keep the -obshttp server up this long after the experiments finish (for scripted scrapes)")
 	)
 	flag.Parse()
 
@@ -89,16 +90,27 @@ func run() error {
 		reg.SetEnabled(true)
 		cfg.Metrics = reg
 	}
+	var ri *obs.RunInfo
 	if *obsHTTP != "" {
-		// Fail fast on a bad address, then serve in the background; the
-		// registry aggregates across every experiment as the run proceeds.
+		// Fail fast on a bad address, then serve in the background. The
+		// registry, timeline and run tracker aggregate across every
+		// experiment as the run proceeds: one telemetry plane for the
+		// whole sweep.
+		tl := obs.NewTimeline(reg, obs.TimelineOptions{})
+		tl.SetEnabled(true)
+		ri = obs.NewRunInfo()
+		cfg.Timeline = tl
+		cfg.RunInfo = ri
 		ln, err := net.Listen("tcp", *obsHTTP)
 		if err != nil {
 			return err
 		}
 		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics at http://%s/ (JSON; /text for plain)\n", ln.Addr())
-		go http.Serve(ln, obs.Handler(reg))
+		fmt.Fprintf(os.Stderr, "serving telemetry at http://%s/ (/text /series /run /events /healthz)\n", ln.Addr())
+		go http.Serve(ln, obs.HandlerWith(reg, obs.HandlerOpts{Timeline: tl, Run: ri}))
+		if *linger > 0 {
+			defer time.Sleep(*linger)
+		}
 	}
 	if *trcFile != "" {
 		tracer, traceDone, err := cliutil.OpenTraceFile(*trcFile, *trcFmt)

@@ -13,6 +13,7 @@
 //	mpisim -app sweep3d -mode am -ranks 64 -runjson r64.json
 //	mpireport r16.json r64.json
 //	mpireport -json r16.json r32.json r64.json > scaling.json
+//	mpireport -profile r64.pb.gz r16.json r64.json   # then go tool pprof
 //
 // With more than two artifacts, runs are sorted by rank count and each
 // consecutive pair is attributed.
@@ -22,9 +23,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
-	"strings"
 
 	"mpisim/internal/trace"
 )
@@ -38,12 +39,15 @@ func main() {
 
 func run() error {
 	var (
-		jsonOut = flag.Bool("json", false, "emit the attribution(s) as JSON instead of text")
-		topN    = flag.Int("top", 10, "bound the per-task and per-rank tables (0 = all)")
+		jsonOut  = flag.Bool("json", false, "emit the attribution(s) as JSON instead of text")
+		topN     = flag.Int("top", 10, "bound the per-task and per-rank tables (0 = all)")
+		profile  = flag.String("profile", "", "write a virtual-time pprof profile of the largest run (gzip profile.proto; view with go tool pprof)")
+		profFold = flag.String("profilefolded", "", "write the largest run's virtual-time profile as folded stacks (flamegraph.pl input)")
 	)
 	flag.Parse()
 	paths := flag.Args()
-	if len(paths) < 2 {
+	profiling := *profile != "" || *profFold != ""
+	if len(paths) < 2 && !(profiling && len(paths) == 1) {
 		return fmt.Errorf("need at least two run artifacts (from mpisim -runjson), got %d", len(paths))
 	}
 
@@ -53,17 +57,36 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if a.Partial {
-			reason := a.AbortReason
-			if i := strings.IndexByte(reason, ':'); i > 0 {
-				reason = reason[:i]
-			}
-			fmt.Fprintf(os.Stderr, "mpireport: warning: %s is a partial run (aborted: %s); its attribution understates the full execution\n",
-				p, reason)
+		if w := trace.PartialWarning(p, a); w != "" {
+			fmt.Fprintf(os.Stderr, "mpireport: warning: %s\n", w)
 		}
 		arts[i] = a
 	}
 	sort.SliceStable(arts, func(i, j int) bool { return arts[i].Ranks < arts[j].Ranks })
+
+	if profiling {
+		// Profile the largest (highest-rank) run: the configuration whose
+		// scaling behaviour the comparison interrogates.
+		a := arts[len(arts)-1]
+		p, err := trace.BuildProfile(a)
+		if err != nil {
+			return err
+		}
+		if *profile != "" {
+			if err := writeTo(*profile, p.WritePprof); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "mpireport: profile of %s (%d ranks) written to %s\n",
+				artifactName(a), a.Ranks, *profile)
+		}
+		if *profFold != "" {
+			if err := writeTo(*profFold, p.WriteFolded); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "mpireport: folded stacks of %s (%d ranks) written to %s\n",
+				artifactName(a), a.Ranks, *profFold)
+		}
+	}
 
 	var ats []*trace.Attribution
 	for i := 0; i+1 < len(arts); i++ {
@@ -97,6 +120,19 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// writeTo creates path and streams write into it, closing on all paths.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // artifactName labels a congestion section with the run's identity.

@@ -9,6 +9,8 @@
 //	mpisim -app sweep3d -mode am -ranks 64 -tracefile run.json -metrics
 //	mpisim -app sweep3d -mode am -ranks 64 -runjson r64.json   # then mpireport
 //	mpisim -app sweep3d -mode am -ranks 64 -faults loss.json -watchdog 100000
+//	mpisim -app sweep3d -mode am -ranks 256 -progress -obshttp :8080
+//	mpisim -app sweep3d -mode am -ranks 64 -profile run.pb.gz   # go tool pprof
 //
 // Modes: measured (detailed ground truth), de (MPI-SIM-DE, direct
 // execution), am (MPI-SIM-AM, compiler-simplified program with delay
@@ -27,8 +29,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"mpisim/internal/apps"
 	"mpisim/internal/check"
@@ -82,6 +87,10 @@ func run() error {
 		traceFile = flag.String("tracefile", "", "write a structured trace of the run to this file (implies trace collection)")
 		traceFmt  = flag.String("traceformat", "chrome", "trace file format: chrome (trace_event JSON for Perfetto) or jsonl")
 		runJSON   = flag.String("runjson", "", "write the run artifact as JSON (input for mpireport)")
+		progress  = flag.Bool("progress", false, "print a progress/ETA line to stderr every 2s while the run executes")
+		obsHTTP   = flag.String("obshttp", "", "serve live telemetry over HTTP on this address (endpoints: / /text /series /run /events /healthz)")
+		profile   = flag.String("profile", "", "write a virtual-time pprof profile of the predicted run (gzip profile.proto; view with go tool pprof)")
+		profFold  = flag.String("profilefolded", "", "write the virtual-time profile as folded stacks (flamegraph.pl input)")
 
 		faultsFile  = flag.String("faults", "", "run under a deterministic fault-injection scenario (JSON, see internal/fault)")
 		faultSeed   = flag.Uint64("seed", 0, "override the fault scenario's RNG seed (0 = keep the file's)")
@@ -160,10 +169,18 @@ func run() error {
 		return fmt.Errorf("unknown mode %q (want measured, de, am)", *modeName)
 	}
 
+	// The run-lifecycle tracker covers compilation too, so create it
+	// before NewRunner (which compiles the program).
+	var ri *obs.RunInfo
+	if *progress || *obsHTTP != "" {
+		ri = obs.NewRunInfo()
+		ri.SetState(obs.RunCompiling)
+	}
 	r, err := core.NewRunner(prog, m)
 	if err != nil {
 		return err
 	}
+	r.RunInfo = ri
 	r.HostWorkers = *hosts
 	r.RealParallel = *hosts > 1
 	r.MemoryLimit = *memLimit
@@ -185,10 +202,21 @@ func run() error {
 	r.StallEvents = *watchdog
 	r.WallTimeout = *wallTimeout
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *obsHTTP != "" {
 		reg = obs.NewRegistry(*hosts)
 		reg.SetEnabled(true)
 		r.Metrics = reg
+	}
+	if *obsHTTP != "" {
+		tl := obs.NewTimeline(reg, obs.TimelineOptions{})
+		tl.SetEnabled(true)
+		r.Timeline = tl
+		ln, err := net.Listen("tcp", *obsHTTP)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mpisim: serving telemetry at http://%s/ (/series /run /events /healthz)\n", ln.Addr())
+		go http.Serve(ln, obs.HandlerWith(reg, obs.HandlerOpts{Timeline: tl, Run: ri}))
 	}
 	var tracer *obs.Tracer
 	var traceDone func() error
@@ -237,7 +265,20 @@ func run() error {
 		}
 	}
 
+	if ri != nil && r.TaskTimes != nil {
+		// Best-effort static horizon: a fast abstract pre-run fixes the
+		// virtual-time end the percent/ETA extrapolate toward.
+		_, _ = r.EstimateHorizon(*ranks, inputs)
+	}
+	var stopProgress func()
+	if *progress {
+		stopProgress = cliutil.StartProgress(os.Stderr, ri, 2*time.Second)
+	}
+
 	rep, err := r.Run(mode, *ranks, inputs)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	var abortErr error
 	if err != nil {
 		// Graceful degradation: an aborted run (budget, watchdog,
@@ -322,7 +363,7 @@ func run() error {
 		}
 		fmt.Printf("trace written to %s (%s)\n", *traceFile, *traceFmt)
 	}
-	if *runJSON != "" {
+	if *runJSON != "" || *profile != "" || *profFold != "" {
 		art := &trace.Artifact{
 			App: *appName, Mode: mode.String(), Machine: m.Name,
 			Inputs: inputs, Report: rep,
@@ -335,10 +376,49 @@ func run() error {
 				art.TaskHeads[tl.Task] = tl.Head
 			}
 		}
-		if err := trace.WriteArtifact(*runJSON, art); err != nil {
-			return err
+		if rep.Partial {
+			// How much of the run the truncated prediction covers: the
+			// live tracker's last snapshot when available, else the
+			// consumed fraction of whichever budget is set.
+			switch {
+			case ri != nil && ri.Status().Percent > 0:
+				art.Progress = ri.Status().Percent
+			case *timeBudget > 0:
+				art.Progress = clamp01(rep.Time / *timeBudget)
+			case *budget > 0:
+				art.Progress = clamp01(float64(rep.Kernel.Events) / float64(*budget))
+			}
 		}
-		fmt.Printf("run artifact written to %s\n", *runJSON)
+		if *runJSON != "" {
+			if err := trace.WriteArtifact(*runJSON, art); err != nil {
+				return err
+			}
+			fmt.Printf("run artifact written to %s\n", *runJSON)
+		}
+		if *profile != "" {
+			if err := trace.WriteProfileFile(*profile, art); err != nil {
+				return err
+			}
+			fmt.Printf("profile written to %s (view: go tool pprof -top %s)\n", *profile, *profile)
+		}
+		if *profFold != "" {
+			p, err := trace.BuildProfile(art)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(*profFold)
+			if err != nil {
+				return err
+			}
+			if err := p.WriteFolded(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("folded stacks written to %s\n", *profFold)
+		}
 	}
 	if reg != nil {
 		fmt.Fprintln(os.Stderr, "simulator self-metrics:")
@@ -357,6 +437,16 @@ func run() error {
 		}
 	}
 	return abortErr
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
 }
 
 // shorten truncates a long abort reason (the deadlock form enumerates

@@ -1,0 +1,60 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mpisim/internal/obs"
+)
+
+// FormatRunStatus renders one progress line for a run snapshot: state,
+// percent-complete and ETA when the horizon is known, plus virtual time
+// and committed events. It is the line -progress prints to stderr.
+func FormatRunStatus(s obs.RunStatus) string {
+	line := string(s.State)
+	if s.Percent >= 0 {
+		line += fmt.Sprintf(" %5.1f%%", 100*s.Percent)
+		if s.ETANs > 0 {
+			line += fmt.Sprintf(" eta %s", (time.Duration(s.ETANs)).Round(time.Second))
+		}
+	}
+	line += fmt.Sprintf(" | virtual %s, %d events", FormatSeconds(s.Virtual), s.Events)
+	if s.ElapsedNs > 0 {
+		line += fmt.Sprintf(", wall %s", (time.Duration(s.ElapsedNs)).Round(time.Second))
+	}
+	if s.AbortReason != "" {
+		line += fmt.Sprintf(" (aborted: %s)", s.AbortReason)
+	}
+	return line
+}
+
+// StartProgress prints a progress line for ri to w every interval until
+// the returned stop function is called. Stop prints one final line so
+// the terminal always ends on the run's closing state. Interval <= 0
+// defaults to 2s.
+func StartProgress(w io.Writer, ri *obs.RunInfo, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintf(w, "progress: %s\n", FormatRunStatus(ri.Status()))
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		fmt.Fprintf(w, "progress: %s\n", FormatRunStatus(ri.Status()))
+	}
+}

@@ -1,0 +1,50 @@
+package cliutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"mpisim/internal/obs"
+)
+
+func TestFormatRunStatus(t *testing.T) {
+	s := obs.RunStatus{
+		State:     obs.RunRunning,
+		Percent:   0.25,
+		ETANs:     int64(90 * time.Second),
+		Virtual:   12.5,
+		Events:    1000,
+		ElapsedNs: int64(30 * time.Second),
+	}
+	line := FormatRunStatus(s)
+	for _, want := range []string{"running", "25.0%", "eta 1m30s", "1000 events", "wall 30s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line missing %q: %s", want, line)
+		}
+	}
+	// Unknown horizon: no percent, no ETA.
+	line = FormatRunStatus(obs.RunStatus{State: obs.RunRunning, Percent: -1, Virtual: 1})
+	if strings.Contains(line, "%") || strings.Contains(line, "eta") {
+		t.Errorf("line should omit percent/eta without a horizon: %s", line)
+	}
+	line = FormatRunStatus(obs.RunStatus{State: obs.RunAborted, Percent: -1, AbortReason: "watchdog"})
+	if !strings.Contains(line, "aborted: watchdog") {
+		t.Errorf("line missing abort reason: %s", line)
+	}
+}
+
+func TestStartProgressPrintsFinalLine(t *testing.T) {
+	ri := obs.NewRunInfo()
+	ri.SetState(obs.RunRunning)
+	ri.Heartbeat(3.5, 42)
+	var b bytes.Buffer
+	stop := StartProgress(&b, ri, time.Hour) // ticker never fires; stop prints
+	ri.Finish(obs.RunDone, 3.5, "")
+	stop()
+	out := b.String()
+	if !strings.Contains(out, "progress: done") || !strings.Contains(out, "42 events") {
+		t.Errorf("final progress line wrong: %q", out)
+	}
+}

@@ -108,6 +108,16 @@ type Runner struct {
 	// instrumentation down to one pointer check per kernel hook.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Timeline, when non-nil and enabled, receives live time-series
+	// snapshots from the kernel of every subsequent run (see
+	// obs.Timeline); strictly out of band, results are unchanged.
+	Timeline *obs.Timeline
+	// RunInfo, when non-nil, is kept current with the run lifecycle
+	// (calibrating/running/done/aborted), progress heartbeats, and the
+	// horizon the percent/ETA estimates divide by: the statically known
+	// virtual-time end when EstimateHorizon was consulted, else the
+	// MaxVirtualTime / MaxEvents budgets.
+	RunInfo *obs.RunInfo
 	// LastCalibration is the collector of the most recent Calibrate call,
 	// kept so callers can inspect per-coefficient fit quality
 	// (Calibration.Stats) after the run.
@@ -221,6 +231,9 @@ func (r *Runner) Calibrate(ranks int, inputs map[string]float64) (map[string]flo
 	if err := r.precheck(ranks, inputs); err != nil {
 		return nil, err
 	}
+	if r.RunInfo != nil {
+		r.RunInfo.SetState(obs.RunCalibrating)
+	}
 	if r.ProfileBranches {
 		bp := interp.NewBranchProfile()
 		if _, err := interp.Run(r.Compiled.Timer, interp.Config{
@@ -281,6 +294,8 @@ func (r *Runner) Run(mode Mode, ranks int, inputs map[string]float64) (*mpi.Repo
 		CollectTrace:   r.CollectTrace,
 		Metrics:        r.Metrics,
 		Tracer:         r.Tracer,
+		Timeline:       r.Timeline,
+		RunInfo:        r.RunInfo,
 		Faults:         r.Faults,
 		Limits: sim.Limits{
 			MaxEvents:   r.MaxEvents,
@@ -289,6 +304,33 @@ func (r *Runner) Run(mode Mode, ranks int, inputs map[string]float64) (*mpi.Repo
 			Ctx:         ctx,
 		},
 	}
+	if ri := r.RunInfo; ri != nil {
+		// Budget horizons fill only what an earlier static estimate
+		// (EstimateHorizon) has not already set.
+		ri.SetHorizon(r.MaxVirtualTime, r.MaxEvents)
+		ri.SetState(obs.RunRunning)
+	}
+	rep, err := r.runMode(mode, cfg)
+	if ri := r.RunInfo; ri != nil {
+		vt := 0.0
+		if rep != nil {
+			vt = rep.Time
+		}
+		if err != nil {
+			reason := err.Error()
+			if ab, ok := err.(*sim.AbortError); ok {
+				reason = ab.Reason
+			}
+			ri.Finish(obs.RunAborted, vt, reason)
+		} else {
+			ri.Finish(obs.RunDone, vt, "")
+		}
+	}
+	return rep, err
+}
+
+// runMode dispatches the mode-specific program/comm-model combination.
+func (r *Runner) runMode(mode Mode, cfg interp.Config) (*mpi.Report, error) {
 	switch mode {
 	case Measured:
 		cfg.Comm = mpi.Detailed
@@ -314,6 +356,30 @@ func (r *Runner) Run(mode Mode, ranks int, inputs map[string]float64) (*mpi.Repo
 		return interp.Run(r.Compiled.Simplified, cfg)
 	}
 	return nil, fmt.Errorf("core: unknown mode %d", mode)
+}
+
+// EstimateHorizon predicts the run's virtual-time end from the
+// simplified program under the abstract communication model — no
+// event-level simulation, so it costs a fraction of any real mode. It
+// requires a task-time table (Calibrate or EstimateTaskTimes). When a
+// RunInfo is attached, the estimate is stored as its virtual-time
+// horizon so progress and ETA divide by the statically known end
+// instead of a budget.
+func (r *Runner) EstimateHorizon(ranks int, inputs map[string]float64) (float64, error) {
+	if r.TaskTimes == nil {
+		return 0, fmt.Errorf("core: EstimateHorizon requires task times (Calibrate or EstimateTaskTimes)")
+	}
+	rep, err := interp.Run(r.Compiled.Simplified, interp.Config{
+		Ranks: ranks, Machine: r.Machine, Comm: mpi.AbstractComm,
+		Inputs: inputs, TaskTimes: r.TaskTimes,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if r.RunInfo != nil && rep.Time > 0 {
+		r.RunInfo.SetHorizon(rep.Time, 0)
+	}
+	return rep.Time, nil
 }
 
 // EstimateTaskTimes sets the w_i table from a purely static compiler

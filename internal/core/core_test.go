@@ -8,6 +8,7 @@ import (
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
 	"mpisim/internal/mpi"
+	"mpisim/internal/obs"
 )
 
 func tomcatvRunner(t *testing.T) *Runner {
@@ -333,5 +334,69 @@ func TestCollectMatrixThroughRunner(t *testing.T) {
 	// Tomcatv's shift pattern: rank 1 sends to 0 and 2, never to 3.
 	if rep.MsgMatrix[1][0] == 0 || rep.MsgMatrix[1][3] != 0 {
 		t.Fatalf("unexpected matrix row: %v", rep.MsgMatrix[1])
+	}
+}
+
+// TestRunInfoLifecycle drives a full run and a budget-aborted run and
+// checks the tracker ends in done/aborted with the right vitals.
+func TestRunInfoLifecycle(t *testing.T) {
+	r := tomcatvRunner(t)
+	r.RunInfo = obs.NewRunInfo()
+	rep, err := r.Run(Measured, 4, apps.TomcatvInputs(64, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.RunInfo.Status()
+	if st.State != obs.RunDone || st.Percent != 1 {
+		t.Fatalf("after clean run: state=%v percent=%g", st.State, st.Percent)
+	}
+	if st.Virtual != rep.Time {
+		t.Fatalf("final virtual %g, report %g", st.Virtual, rep.Time)
+	}
+
+	r2 := tomcatvRunner(t)
+	r2.RunInfo = obs.NewRunInfo()
+	// The guard checks the event budget at flush granularity (64
+	// events/worker), so use a run long enough to cross it.
+	r2.MaxEvents = 100
+	_, err = r2.Run(Measured, 4, apps.TomcatvInputs(64, 50))
+	if err == nil {
+		t.Fatal("expected budget abort")
+	}
+	st = r2.RunInfo.Status()
+	if st.State != obs.RunAborted {
+		t.Fatalf("after abort: state=%v", st.State)
+	}
+	if !strings.Contains(st.AbortReason, "budget") {
+		t.Fatalf("abort reason %q", st.AbortReason)
+	}
+}
+
+// TestEstimateHorizon checks the abstract pre-run stores a positive
+// virtual-time horizon that the real run then completes against.
+func TestEstimateHorizon(t *testing.T) {
+	r := tomcatvRunner(t)
+	inputs := apps.TomcatvInputs(64, 1)
+	tt, err := r.Calibrate(4, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.TaskTimes = tt
+	r.RunInfo = obs.NewRunInfo()
+	h, err := r.EstimateHorizon(4, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h <= 0 {
+		t.Fatalf("horizon %g, want > 0", h)
+	}
+	if st := r.RunInfo.Status(); st.HorizonVirtual != h {
+		t.Fatalf("stored horizon %g, want %g", st.HorizonVirtual, h)
+	}
+	if _, err := r.Run(Abstract, 4, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.RunInfo.Status(); st.State != obs.RunDone || st.Percent != 1 {
+		t.Fatalf("after run: %+v", st)
 	}
 }

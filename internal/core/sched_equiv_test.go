@@ -134,6 +134,82 @@ func TestSchedEquivalenceTopology(t *testing.T) {
 		"torus:dims=2x2", nil)
 }
 
+// TestSchedEquivalenceTelemetry pins the telemetry plane's first
+// invariant: results are byte-identical whether the timeline/run-info
+// plane is absent ("off"), attached but disabled, or armed with an
+// aggressive sampling cadence — across worker counts. Telemetry reads
+// the simulation; it must never steer it.
+func TestSchedEquivalenceTelemetry(t *testing.T) {
+	spec := apps.Registry()["sample"]
+	inputs := flatInputs("sample", 4)
+	modes := []string{"off", "disabled", "armed"}
+	workerCounts := []int{1, 2, 8}
+
+	run := func(mode string, workers int) (string, string) {
+		r, err := NewRunner(spec.Build(), machine.IBMSP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.HostWorkers = workers
+		r.RealParallel = workers > 1
+		r.CollectMatrix = true
+		r.CollectTrace = true
+		switch mode {
+		case "disabled":
+			r.Timeline = obs.NewTimeline(nil, obs.TimelineOptions{})
+			r.RunInfo = obs.NewRunInfo()
+		case "armed":
+			tl := obs.NewTimeline(nil, obs.TimelineOptions{EveryEvents: 1})
+			tl.SetEnabled(true)
+			r.Timeline = tl
+			r.RunInfo = obs.NewRunInfo()
+		}
+		rep, err := r.Run(Measured, 4, inputs)
+		if err != nil {
+			t.Fatalf("mode=%s workers=%d: %v", mode, workers, err)
+		}
+		if mode == "armed" {
+			if _, seq := r.Timeline.Since(0); seq == 0 {
+				t.Fatalf("mode=%s workers=%d: armed timeline captured nothing", mode, workers)
+			}
+			if r.RunInfo.Status().State != obs.RunDone {
+				t.Fatalf("mode=%s workers=%d: run info not done: %v",
+					mode, workers, r.RunInfo.Status().State)
+			}
+		}
+		rep.Kernel = nil
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		tr := obs.NewTracer(obs.NewJSONLSink(&sb))
+		if err := trace.Export(tr, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return string(b), sb.String()
+	}
+
+	refRep, refTrace := run("off", 1)
+	for _, mode := range modes {
+		for _, workers := range workerCounts {
+			if mode == "off" && workers == 1 {
+				continue
+			}
+			rep, tr := run(mode, workers)
+			if rep != refRep {
+				t.Errorf("telemetry=%s workers=%d: report diverged from off/workers=1", mode, workers)
+			}
+			if tr != refTrace {
+				t.Errorf("telemetry=%s workers=%d: trace diverged from off/workers=1", mode, workers)
+			}
+		}
+	}
+}
+
 // TestSchedEquivalenceFaults arms a deterministic fault scenario (loss
 // with retries, delay injection) so the retransmission machinery runs
 // identically under both scheduling paths.

@@ -62,6 +62,10 @@ type Config struct {
 	// kernel (see mpi.Config and internal/obs).
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Timeline / RunInfo attach the live-telemetry plane: time-series
+	// snapshots and progress heartbeats (see sim.Config).
+	Timeline *obs.Timeline
+	RunInfo  *obs.RunInfo
 	// Faults injects a deterministic fault scenario into the run (see
 	// internal/fault and mpi.Config.Faults).
 	Faults *fault.Scenario
@@ -95,6 +99,8 @@ func Run(p *ir.Program, cfg Config) (*mpi.Report, error) {
 		CollectTrace:   cfg.CollectTrace,
 		Metrics:        cfg.Metrics,
 		Tracer:         cfg.Tracer,
+		Timeline:       cfg.Timeline,
+		RunInfo:        cfg.RunInfo,
 		Faults:         cfg.Faults,
 		Limits:         cfg.Limits,
 	})

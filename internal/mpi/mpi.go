@@ -117,6 +117,10 @@ type Config struct {
 	// spans, message flows, collective phases) is exported separately
 	// from the Report by internal/trace.Export.
 	Tracer *obs.Tracer
+	// Timeline / RunInfo attach the live-telemetry plane to the kernel:
+	// time-series snapshots and progress heartbeats (see sim.Config).
+	Timeline *obs.Timeline
+	RunInfo  *obs.RunInfo
 	// Faults, when non-nil and active, injects the scenario's faults
 	// (crashes, loss, duplication, delay, link and compute slowdown)
 	// into the run, deterministically per scenario seed. Ignored under
@@ -348,6 +352,8 @@ func NewWorld(cfg Config) (*World, error) {
 		Queue:          cfg.Queue,
 		Metrics:        cfg.Metrics,
 		Tracer:         cfg.Tracer,
+		Timeline:       cfg.Timeline,
+		RunInfo:        cfg.RunInfo,
 		Limits:         cfg.Limits,
 	})
 	if err != nil {

@@ -1,8 +1,25 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 )
+
+// HandlerOpts attaches the live-telemetry surfaces to a Handler. All
+// fields are optional; endpoints whose backing object is absent return
+// 404.
+type HandlerOpts struct {
+	// Timeline backs /series and /events.
+	Timeline *Timeline
+	// Run backs /run and enriches /healthz with heartbeat state.
+	Run *RunInfo
+	// StaleAfter is the heartbeat age beyond which /healthz reports a
+	// running simulation as stalled (503). Zero means 15s.
+	StaleAfter time.Duration
+}
 
 // Handler serves the registry as an expvar-style HTTP endpoint:
 //
@@ -10,10 +27,42 @@ import (
 //	GET /text    — the human-readable table of WriteText
 //
 // Mount it (e.g. on cmd/experiments' -obshttp flag) to watch a long
-// sweep's kernel behaviour live without touching the run.
+// sweep's kernel behaviour live without touching the run. For the live
+// telemetry endpoints (/series, /run, /healthz, /events) use
+// HandlerWith.
 func Handler(r *Registry) http.Handler {
+	return HandlerWith(r, HandlerOpts{})
+}
+
+// HandlerWith is Handler plus the live-telemetry endpoints — one such
+// handler per run is what the future mpisimd daemon mounts:
+//
+//	GET /              — JSON metrics snapshot {"metrics": [...]}
+//	GET /text          — human-readable metric table
+//	GET /series?since=N — JSON {"points": [...], "next": M}: retained
+//	                     timeline points with seq > N, oldest first
+//	GET /run           — RunInfo status (state, progress, ETA)
+//	GET /healthz       — liveness: state + watchdog-heartbeat age
+//	GET /events        — SSE stream; each timeline point arrives as one
+//	                     `data:` frame (JSON TimePoint)
+//
+// Non-GET methods get 405; every response carries a Content-Type.
+func HandlerWith(r *Registry, o HandlerOpts) http.Handler {
+	if o.StaleAfter <= 0 {
+		o.StaleAfter = 15 * time.Second
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+	handle := func(path string, fn http.HandlerFunc) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, req *http.Request) {
+			if req.Method != http.MethodGet && req.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			fn(w, req)
+		})
+	}
+	handle("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
@@ -21,9 +70,98 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})
-	mux.HandleFunc("/text", func(w http.ResponseWriter, req *http.Request) {
+	handle("/text", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = r.WriteText(w)
+	})
+	handle("/series", func(w http.ResponseWriter, req *http.Request) {
+		if o.Timeline == nil {
+			http.NotFound(w, req)
+			return
+		}
+		since := int64(0)
+		if s := req.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since parameter", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		pts, next := o.Timeline.Since(since)
+		if pts == nil {
+			pts = []TimePoint{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Points []TimePoint `json:"points"`
+			Next   int64       `json:"next"`
+		}{pts, next})
+	})
+	handle("/run", func(w http.ResponseWriter, req *http.Request) {
+		if o.Run == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Run.WriteJSON(w)
+	})
+	handle("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		health := struct {
+			Status         string   `json:"status"`
+			State          RunState `json:"state,omitempty"`
+			HeartbeatAgeNs int64    `json:"heartbeat_age_ns"`
+		}{Status: "ok", HeartbeatAgeNs: -1}
+		code := http.StatusOK
+		if o.Run != nil {
+			st := o.Run.Status()
+			health.State = st.State
+			health.HeartbeatAgeNs = st.HeartbeatAgeNs
+			if st.State == RunRunning && st.HeartbeatAgeNs >= 0 &&
+				st.HeartbeatAgeNs > o.StaleAfter.Nanoseconds() {
+				health.Status = "stalled"
+				code = http.StatusServiceUnavailable
+			}
+		}
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(health)
+	})
+	handle("/events", func(w http.ResponseWriter, req *http.Request) {
+		if o.Timeline == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		flusher, _ := w.(http.Flusher)
+		since := int64(0)
+		for {
+			// Grab the wake channel before reading, so a point captured
+			// between Since and the select still wakes us.
+			wake := o.Timeline.Wait()
+			pts, next := o.Timeline.Since(since)
+			for _, p := range pts {
+				data, err := json.Marshal(p)
+				if err != nil {
+					return
+				}
+				if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+					return
+				}
+			}
+			if len(pts) > 0 && flusher != nil {
+				flusher.Flush()
+			}
+			since = next
+			select {
+			case <-req.Context().Done():
+				return
+			case <-wake:
+			}
+		}
 	})
 	return mux
 }

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRegistry() *Registry {
+	reg := NewRegistry(1)
+	reg.SetEnabled(true)
+	reg.Counter("demo_total", "a demo counter").Add(0, 42)
+	return reg
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestHandlerRootJSON(t *testing.T) {
+	rec := get(t, Handler(testRegistry()), "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	var body struct {
+		Metrics []Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(body.Metrics) != 1 || body.Metrics[0].Name != "demo_total" || body.Metrics[0].Value != 42 {
+		t.Fatalf("metrics = %+v", body.Metrics)
+	}
+}
+
+func TestHandlerText(t *testing.T) {
+	rec := get(t, Handler(testRegistry()), "/text")
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Fatalf("content-type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "demo_total") {
+		t.Fatalf("text output missing metric:\n%s", rec.Body.String())
+	}
+}
+
+func TestHandlerUnknownPath404(t *testing.T) {
+	if rec := get(t, Handler(testRegistry()), "/nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", rec.Code)
+	}
+}
+
+func TestHandlerNonGET405(t *testing.T) {
+	h := HandlerWith(testRegistry(), HandlerOpts{
+		Timeline: NewTimeline(nil, TimelineOptions{}),
+		Run:      NewRunInfo(),
+	})
+	for _, path := range []string{"/", "/text", "/series", "/run", "/healthz", "/events"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader("x")))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: status %d, want 405", path, rec.Code)
+		}
+		if allow := rec.Header().Get("Allow"); allow != "GET" {
+			t.Fatalf("POST %s: Allow %q, want GET", path, allow)
+		}
+	}
+}
+
+func TestHandlerTelemetryEndpointsAbsentBackings404(t *testing.T) {
+	h := Handler(testRegistry())
+	for _, path := range []string{"/series", "/run", "/events"} {
+		if rec := get(t, h, path); rec.Code != http.StatusNotFound {
+			t.Fatalf("GET %s without backing: status %d, want 404", path, rec.Code)
+		}
+	}
+	// /healthz works even without a RunInfo.
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status %d", rec.Code)
+	}
+}
+
+func TestHandlerSeriesSince(t *testing.T) {
+	tl := NewTimeline(nil, TimelineOptions{EveryEvents: 1})
+	tl.SetEnabled(true)
+	for i := 1; i <= 3; i++ {
+		tl.Sample(Vitals{Virtual: float64(i), Events: int64(i * 10)})
+	}
+	h := HandlerWith(testRegistry(), HandlerOpts{Timeline: tl})
+
+	var body struct {
+		Points []TimePoint `json:"points"`
+		Next   int64       `json:"next"`
+	}
+	rec := get(t, h, "/series?since=0")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(body.Points) != 3 || body.Next != 3 {
+		t.Fatalf("since=0: %d points next %d", len(body.Points), body.Next)
+	}
+
+	rec = get(t, h, "/series?since=2")
+	body.Points = nil
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(body.Points) != 1 || body.Points[0].Seq != 3 {
+		t.Fatalf("since=2 returned %+v, want only seq 3", body.Points)
+	}
+
+	if rec := get(t, h, "/series?since=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad since: status %d, want 400", rec.Code)
+	}
+}
+
+func TestHandlerRun(t *testing.T) {
+	ri := NewRunInfo()
+	ri.SetHorizon(10, 0)
+	ri.SetState(RunRunning)
+	ri.Heartbeat(5, 100)
+	rec := get(t, HandlerWith(testRegistry(), HandlerOpts{Run: ri}), "/run")
+	var st RunStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if st.State != RunRunning || st.Percent != 0.5 {
+		t.Fatalf("run status = %+v", st)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	ri := NewRunInfo()
+	ri.SetState(RunRunning)
+	ri.Heartbeat(1, 10)
+	h := HandlerWith(testRegistry(), HandlerOpts{Run: ri})
+	rec := get(t, h, "/healthz")
+	var health struct {
+		Status         string `json:"status"`
+		State          string `json:"state"`
+		HeartbeatAgeNs int64  `json:"heartbeat_age_ns"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rec.Code != http.StatusOK || health.Status != "ok" || health.State != "running" {
+		t.Fatalf("healthz = %d %+v", rec.Code, health)
+	}
+	if health.HeartbeatAgeNs < 0 {
+		t.Fatalf("heartbeat age %d, want >= 0 after a beat", health.HeartbeatAgeNs)
+	}
+
+	// A running simulation with an ancient heartbeat reports stalled.
+	stale := HandlerWith(testRegistry(), HandlerOpts{Run: ri, StaleAfter: time.Nanosecond})
+	time.Sleep(2 * time.Millisecond)
+	rec = get(t, stale, "/healthz")
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rec.Code != http.StatusServiceUnavailable || health.Status != "stalled" {
+		t.Fatalf("stale healthz = %d %+v, want 503 stalled", rec.Code, health)
+	}
+}
+
+func TestHandlerEventsStreamsDeltas(t *testing.T) {
+	tl := NewTimeline(nil, TimelineOptions{EveryEvents: 1})
+	tl.SetEnabled(true)
+	tl.Sample(Vitals{Virtual: 1, Events: 10})
+
+	srv := httptest.NewServer(HandlerWith(testRegistry(), HandlerOpts{Timeline: tl}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+
+	type frame struct {
+		point TimePoint
+		err   error
+	}
+	frames := make(chan frame, 4)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var p TimePoint
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &p); err != nil {
+				frames <- frame{err: err}
+				return
+			}
+			frames <- frame{point: p}
+		}
+	}()
+
+	// The pre-existing point arrives immediately; a point captured after
+	// the subscription arrives as a delta.
+	want := func(seq int64) {
+		t.Helper()
+		select {
+		case f := <-frames:
+			if f.err != nil {
+				t.Fatalf("bad SSE frame: %v", f.err)
+			}
+			if f.point.Seq != seq {
+				t.Fatalf("got seq %d, want %d", f.point.Seq, seq)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for SSE frame seq %d", seq)
+		}
+	}
+	want(1)
+	tl.Sample(Vitals{Virtual: 2, Events: 20})
+	want(2)
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Timeline is a lock-light ring buffer of time-series snapshots of a
+// running simulation: run vitals (virtual time, committed events,
+// window count, wall-ns per virtual second) plus the merged value of
+// every registered counter and gauge. Kernel workers offer vitals from
+// their existing sample points (every obsSampleEvery events, see
+// internal/sim); the timeline decides — with a few atomic loads and no
+// lock — whether the configured cadence has elapsed, so the per-offer
+// cost is negligible and a disabled timeline costs the kernel exactly
+// one nil check. Snapshots are strictly out of band: nothing read or
+// written here feeds back into simulation state, so results stay
+// byte-identical with the timeline off, disabled, or armed.
+//
+// Readers (the /series and /events HTTP endpoints) page through the
+// ring with Since, using each point's monotonically increasing Seq as
+// the cursor, and block for new points on the channel returned by Wait.
+type Timeline struct {
+	reg *Registry
+	cap int
+
+	everyVirtual float64 // minimum virtual-time advance between points
+	everyEvents  int64   // minimum committed-event advance between points
+
+	enabled atomic.Bool
+
+	// Last-captured vitals, readable without the lock for the cadence
+	// fast path. lastVirtBits holds math.Float64bits of the virtual time.
+	lastVirtBits atomic.Uint64
+	lastEvents   atomic.Int64
+
+	mu    sync.Mutex
+	start time.Time
+	ring  []TimePoint
+	n     int   // points currently in the ring
+	next  int   // ring index of the next write
+	seq   int64 // last assigned sequence number
+	wake  chan struct{}
+}
+
+// TimelineOptions configures a Timeline. The zero value gets a
+// capacity of 1024 points and an event cadence of 262144 committed
+// events (coarse enough that capture cost is unmeasurable, fine enough
+// to chart multi-second runs).
+type TimelineOptions struct {
+	// Capacity is the ring size: the newest Capacity points are kept.
+	Capacity int
+	// EveryVirtual samples whenever virtual time has advanced by at
+	// least this amount since the last point.
+	EveryVirtual float64
+	// EveryEvents samples whenever at least this many events have been
+	// committed since the last point. Either cadence firing captures a
+	// point; a zero field never fires.
+	EveryEvents int64
+}
+
+// Vitals is the run-vital tuple a kernel worker offers at a sample
+// point.
+type Vitals struct {
+	Virtual           float64
+	Events            int64
+	Windows           int64
+	WallNsPerVirtualS float64
+}
+
+// TimePoint is one captured snapshot.
+type TimePoint struct {
+	// Seq increases by one per captured point; /series?since= cursors
+	// and SSE deltas key on it.
+	Seq int64 `json:"seq"`
+	// WallNs is wall time since the timeline was created.
+	WallNs int64 `json:"wall_ns"`
+	// Virtual is the offering worker's virtual time.
+	Virtual float64 `json:"virtual"`
+	// Events is the merged committed-event count.
+	Events int64 `json:"events"`
+	// Windows is the number of conservative windows executed so far.
+	Windows int64 `json:"windows"`
+	// WallNsPerVirtualS is the sampled simulation rate (0 if unknown).
+	WallNsPerVirtualS float64 `json:"wall_ns_per_virtual_s,omitempty"`
+	// Metrics holds the merged value of every registered counter and
+	// gauge (histograms report their sample count), keyed by metric
+	// name. Nil when the timeline has no registry.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NewTimeline returns a timeline capturing from reg (which may be nil:
+// points then carry vitals only). The timeline starts disabled; call
+// SetEnabled(true) to arm it.
+func NewTimeline(reg *Registry, opts TimelineOptions) *Timeline {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 1024
+	}
+	if opts.EveryVirtual <= 0 && opts.EveryEvents <= 0 {
+		opts.EveryEvents = 262144
+	}
+	return &Timeline{
+		reg:          reg,
+		cap:          opts.Capacity,
+		everyVirtual: opts.EveryVirtual,
+		everyEvents:  opts.EveryEvents,
+		start:        time.Now(), //simvet:allow wallclock timeline epoch; never feeds virtual time
+		ring:         make([]TimePoint, opts.Capacity),
+		wake:         make(chan struct{}),
+	}
+}
+
+// SetEnabled arms or disarms capture. A disabled timeline is dropped by
+// the kernel at setup, reducing its hot-path cost to the shared nil
+// check.
+func (t *Timeline) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether the timeline captures offered vitals.
+func (t *Timeline) Enabled() bool { return t.enabled.Load() }
+
+// Offer captures a point if the timeline is enabled and a cadence has
+// elapsed since the last point. The common path (cadence not reached)
+// is three atomic loads; when a capture is due, contending offerers
+// skip rather than queue (TryLock), so workers never serialize here.
+func (t *Timeline) Offer(v Vitals) {
+	if !t.enabled.Load() {
+		return
+	}
+	due := false
+	if t.everyVirtual > 0 &&
+		v.Virtual-math.Float64frombits(t.lastVirtBits.Load()) >= t.everyVirtual {
+		due = true
+	}
+	if !due && t.everyEvents > 0 && v.Events-t.lastEvents.Load() >= t.everyEvents {
+		due = true
+	}
+	if !due {
+		return
+	}
+	if !t.mu.TryLock() {
+		return
+	}
+	defer t.mu.Unlock()
+	// Re-check under the lock: another offerer may have just captured.
+	if t.everyVirtual <= 0 || v.Virtual-math.Float64frombits(t.lastVirtBits.Load()) < t.everyVirtual {
+		if t.everyEvents <= 0 || v.Events-t.lastEvents.Load() < t.everyEvents {
+			return
+		}
+	}
+	t.capture(v)
+}
+
+// Sample captures a point unconditionally (if enabled), waiting for the
+// lock. The kernel calls it once at run end so even a short run yields
+// at least one point and /events subscribers see a final delta.
+func (t *Timeline) Sample(v Vitals) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.capture(v)
+}
+
+// capture appends a point. Caller holds t.mu.
+func (t *Timeline) capture(v Vitals) {
+	t.seq++
+	p := TimePoint{
+		Seq:               t.seq,
+		WallNs:            time.Since(t.start).Nanoseconds(), //simvet:allow wallclock snapshot timestamp; never feeds virtual time
+		Virtual:           v.Virtual,
+		Events:            v.Events,
+		Windows:           v.Windows,
+		WallNsPerVirtualS: v.WallNsPerVirtualS,
+	}
+	if t.reg != nil {
+		snaps := t.reg.Snapshot()
+		p.Metrics = make(map[string]float64, len(snaps))
+		for _, s := range snaps {
+			p.Metrics[s.Name] = s.Value
+		}
+	}
+	t.ring[t.next] = p
+	t.next = (t.next + 1) % t.cap
+	if t.n < t.cap {
+		t.n++
+	}
+	t.lastVirtBits.Store(math.Float64bits(v.Virtual))
+	t.lastEvents.Store(v.Events)
+	close(t.wake)
+	t.wake = make(chan struct{})
+}
+
+// Since returns, oldest first, every retained point with Seq > since,
+// plus the newest sequence number (the cursor for the next call; equal
+// to since when nothing new arrived).
+func (t *Timeline) Since(since int64) ([]TimePoint, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []TimePoint
+	for i := 0; i < t.n; i++ {
+		p := t.ring[(t.next-t.n+i+t.cap)%t.cap]
+		if p.Seq > since {
+			out = append(out, p)
+		}
+	}
+	cursor := since
+	if t.seq > cursor {
+		cursor = t.seq
+	}
+	return out, cursor
+}
+
+// Latest returns the newest point, if any.
+func (t *Timeline) Latest() (TimePoint, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == 0 {
+		return TimePoint{}, false
+	}
+	return t.ring[(t.next-1+t.cap)%t.cap], true
+}
+
+// Wait returns a channel closed when the next point is captured.
+// Grab it before calling Since to avoid missing a point between the
+// read and the wait.
+func (t *Timeline) Wait() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wake
+}

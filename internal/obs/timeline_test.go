@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestTimelineDisabledCapturesNothing(t *testing.T) {
+	tl := NewTimeline(nil, TimelineOptions{EveryEvents: 1})
+	tl.Offer(Vitals{Virtual: 1, Events: 100})
+	tl.Sample(Vitals{Virtual: 2, Events: 200})
+	if pts, next := tl.Since(0); len(pts) != 0 || next != 0 {
+		t.Fatalf("disabled timeline captured: %d points, next %d", len(pts), next)
+	}
+}
+
+func TestTimelineEventCadence(t *testing.T) {
+	tl := NewTimeline(nil, TimelineOptions{EveryEvents: 100})
+	tl.SetEnabled(true)
+	tl.Offer(Vitals{Virtual: 0.1, Events: 50}) // below cadence from 0
+	if pts, _ := tl.Since(0); len(pts) != 0 {
+		t.Fatalf("offer below cadence captured %d points", len(pts))
+	}
+	tl.Offer(Vitals{Virtual: 0.2, Events: 120})
+	tl.Offer(Vitals{Virtual: 0.3, Events: 180}) // only +60 since last point
+	tl.Offer(Vitals{Virtual: 0.4, Events: 250})
+	pts, next := tl.Since(0)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].Events != 120 || pts[1].Events != 250 {
+		t.Fatalf("captured events %d, %d; want 120, 250", pts[0].Events, pts[1].Events)
+	}
+	if pts[0].Seq != 1 || pts[1].Seq != 2 || next != 2 {
+		t.Fatalf("seqs %d,%d next %d; want 1,2,2", pts[0].Seq, pts[1].Seq, next)
+	}
+}
+
+func TestTimelineVirtualCadence(t *testing.T) {
+	tl := NewTimeline(nil, TimelineOptions{EveryVirtual: 1.0})
+	tl.SetEnabled(true)
+	tl.Offer(Vitals{Virtual: 0.5, Events: 10})
+	tl.Offer(Vitals{Virtual: 1.5, Events: 20})
+	tl.Offer(Vitals{Virtual: 2.0, Events: 30})
+	tl.Offer(Vitals{Virtual: 2.6, Events: 40})
+	pts, _ := tl.Since(0)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].Virtual != 1.5 || pts[1].Virtual != 2.6 {
+		t.Fatalf("captured virtual %g, %g; want 1.5, 2.6", pts[0].Virtual, pts[1].Virtual)
+	}
+}
+
+func TestTimelineRingWrapKeepsNewest(t *testing.T) {
+	tl := NewTimeline(nil, TimelineOptions{Capacity: 4, EveryEvents: 1})
+	tl.SetEnabled(true)
+	for i := 1; i <= 10; i++ {
+		tl.Sample(Vitals{Virtual: float64(i), Events: int64(i)})
+	}
+	pts, next := tl.Since(0)
+	if len(pts) != 4 || next != 10 {
+		t.Fatalf("got %d points next %d, want 4 points next 10", len(pts), next)
+	}
+	for i, p := range pts {
+		if want := int64(7 + i); p.Seq != want {
+			t.Fatalf("point %d has seq %d, want %d", i, p.Seq, want)
+		}
+	}
+}
+
+func TestTimelineSinceReturnsOnlyNewer(t *testing.T) {
+	tl := NewTimeline(nil, TimelineOptions{EveryEvents: 1})
+	tl.SetEnabled(true)
+	for i := 1; i <= 5; i++ {
+		tl.Sample(Vitals{Events: int64(i)})
+	}
+	pts, next := tl.Since(3)
+	if len(pts) != 2 || pts[0].Seq != 4 || pts[1].Seq != 5 || next != 5 {
+		t.Fatalf("Since(3) = %d points next %d", len(pts), next)
+	}
+	if pts, next := tl.Since(5); len(pts) != 0 || next != 5 {
+		t.Fatalf("Since(5) = %d points next %d, want 0 points next 5", len(pts), next)
+	}
+	// A stale cursor far beyond the newest seq stays where it is.
+	if _, next := tl.Since(99); next != 99 {
+		t.Fatalf("Since(99) next = %d, want 99", next)
+	}
+}
+
+func TestTimelineCapturesRegistryMetrics(t *testing.T) {
+	reg := NewRegistry(1)
+	reg.SetEnabled(true)
+	c := reg.Counter("test_total", "")
+	g := reg.Gauge("test_gauge", "")
+	c.Add(0, 7)
+	g.Set(0, 3)
+	tl := NewTimeline(reg, TimelineOptions{EveryEvents: 1})
+	tl.SetEnabled(true)
+	tl.Sample(Vitals{Virtual: 1, Events: 10})
+	p, ok := tl.Latest()
+	if !ok {
+		t.Fatal("no point captured")
+	}
+	if p.Metrics["test_total"] != 7 || p.Metrics["test_gauge"] != 3 {
+		t.Fatalf("metrics = %v", p.Metrics)
+	}
+}
+
+func TestTimelineWaitWakesOnCapture(t *testing.T) {
+	tl := NewTimeline(nil, TimelineOptions{EveryEvents: 1})
+	tl.SetEnabled(true)
+	wake := tl.Wait()
+	select {
+	case <-wake:
+		t.Fatal("wake channel closed before any capture")
+	default:
+	}
+	tl.Sample(Vitals{Events: 1})
+	select {
+	case <-wake:
+	default:
+		t.Fatal("wake channel not closed after capture")
+	}
+}

@@ -293,6 +293,44 @@ func BenchmarkKernelObs(b *testing.B) {
 	})
 }
 
+// BenchmarkKernelTelemetry measures the live-telemetry plane's cost on
+// the sequential engine at 256 processes. "off" is the paired baseline:
+// a recording registry but no timeline/run-info, so the telemetry hook
+// in obsSample is one nil check. "disabled" attaches a timeline that is
+// switched off (setupObs drops it, so the cost must equal "off");
+// "armed" samples the timeline at a production cadence and heartbeats a
+// RunInfo. scripts/ci.sh gates armed within 2% and disabled within 0.5%
+// of off in the same process.
+func BenchmarkKernelTelemetry(b *testing.B) {
+	reg := func() *obs.Registry {
+		r := obs.NewRegistry(1)
+		r.SetEnabled(true)
+		return r
+	}
+	b.Run("off", func(b *testing.B) {
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, spawnExch,
+			func(cfg *Config) { cfg.Metrics = reg() })
+	})
+	b.Run("disabled", func(b *testing.B) {
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, spawnExch,
+			func(cfg *Config) {
+				cfg.Metrics = reg()
+				cfg.Timeline = obs.NewTimeline(nil, obs.TimelineOptions{})
+				cfg.RunInfo = nil
+			})
+	})
+	b.Run("armed", func(b *testing.B) {
+		tl := obs.NewTimeline(nil, obs.TimelineOptions{})
+		tl.SetEnabled(true)
+		benchKernelBody(b, 256, 1, ProtocolWindow, QueueQuaternary, spawnExch,
+			func(cfg *Config) {
+				cfg.Metrics = reg()
+				cfg.Timeline = tl
+				cfg.RunInfo = obs.NewRunInfo()
+			})
+	})
+}
+
 // BenchmarkKernelGuard measures the run-limit guard's cost on the
 // sequential engine at 256 processes. "off" is the fault/guard layer
 // disabled (Config.Limits zero, so the hot loop pays two nil checks per

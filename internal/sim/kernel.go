@@ -105,6 +105,17 @@ type Config struct {
 	// counter tracks (queue depth, wallclock per virtual second) on
 	// obs.PlaneSimulator. Neither option affects simulation results.
 	Tracer *obs.Tracer
+	// Timeline, when non-nil and enabled, receives time-series snapshots
+	// of run vitals and registry metrics, offered from the existing
+	// worker sample points (every obsSampleEvery events). A nil or
+	// disabled timeline costs the hot path the same single nil check as
+	// the other observability options; snapshots are strictly out of
+	// band and never change simulation results.
+	Timeline *obs.Timeline
+	// RunInfo, when non-nil, receives progress heartbeats (virtual time,
+	// committed events) from the same sample points, feeding live
+	// percent/ETA reporting. Same cost discipline as Timeline.
+	RunInfo *obs.RunInfo
 	// Limits bounds the run: event/virtual-time budgets, the no-progress
 	// watchdog, and context cancellation (guard.go). The zero value
 	// disables the guard; an aborted run returns a partial Result and an
@@ -396,6 +407,12 @@ func (k *Kernel) runParallel(res *Result) {
 			return
 		}
 		res.Windows++
+		if k.kobs != nil {
+			// Live window count: incremented here on the driver between
+			// windows, with the final-sample remainder added in obsFinish.
+			k.kobs.windows.Inc(0)
+			k.kobs.windowsLive++
+		}
 		if k.cfg.RealParallel {
 			for i, w := range k.workers {
 				w.winStart <- bounds[i]

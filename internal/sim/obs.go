@@ -13,8 +13,9 @@ import (
 // queue depth, wake batching, and wallclock cost per virtual second.
 //
 // Cost discipline: the kernel hot loop pays one nil-pointer check per
-// instrumentation point when observability is off (cfg.Metrics and
-// cfg.Tracer both nil). When on, per-event costs are plain increments
+// instrumentation point when observability is off (cfg.Metrics,
+// cfg.Tracer, cfg.RunInfo all nil and cfg.Timeline nil or disabled).
+// When on, per-event costs are plain increments
 // on worker-local accumulators; the sharded registry and the tracer are
 // only touched at sample points (every obsSampleEvery events per
 // worker) and at the final flush, so the deterministic simulation
@@ -31,8 +32,15 @@ const obsSampleEvery = 4096
 // kernel. Handles are resolved once per Run; the registry deduplicates
 // by name, so kernels of an experiment sweep can share one registry.
 type kernelObs struct {
-	reg *obs.Registry
-	tr  *obs.Tracer
+	reg      *obs.Registry
+	tr       *obs.Tracer
+	timeline *obs.Timeline
+	run      *obs.RunInfo
+
+	// windowsLive counts the windows already added to the windows
+	// counter by the parallel driver, so obsFinish only adds the
+	// remainder. Driver-owned; read by obsFinish after the drivers stop.
+	windowsLive int64
 
 	events    *obs.Counter
 	delivered *obs.Counter
@@ -90,18 +98,27 @@ type workerObs struct {
 // keeps every hot-path hook to a single nil check.
 func (k *Kernel) setupObs() *kernelObs {
 	reg, tr := k.cfg.Metrics, k.cfg.Tracer
-	if reg == nil && tr == nil {
+	tl, run := k.cfg.Timeline, k.cfg.RunInfo
+	if tl != nil && !tl.Enabled() {
+		// A disabled timeline is dropped here, so its hot-path cost is
+		// exactly the shared nil check — the same as no timeline at all.
+		tl = nil
+	}
+	if reg == nil && tr == nil && tl == nil && run == nil {
 		return nil
 	}
 	if reg == nil {
-		// Tracing without metrics still needs handles for the sampled
-		// counter tracks; a private registry keeps the code uniform.
+		// Tracing (or telemetry) without metrics still needs handles for
+		// the sampled counter tracks and the timeline's vitals; a private
+		// registry keeps the code uniform.
 		reg = obs.NewRegistry(len(k.workers))
 		reg.SetEnabled(true)
 	}
 	o := &kernelObs{
-		reg: reg,
-		tr:  tr,
+		reg:      reg,
+		tr:       tr,
+		timeline: tl,
+		run:      run,
 
 		events:    reg.Counter("sim_events_total", "kernel events processed"),
 		delivered: reg.Counter("sim_messages_delivered_total", "messages delivered to processes"),
@@ -186,6 +203,24 @@ func (w *worker) obsSample(now Time) {
 				obs.Num("ns", nsPerVs))
 		}
 	}
+
+	// Live telemetry: heartbeat the run info and offer the timeline a
+	// snapshot. Both are strictly out of band — they read the merged
+	// counters but feed nothing back into the simulation.
+	if k.run != nil || k.timeline != nil {
+		events := k.events.Value()
+		if k.run != nil {
+			k.run.Heartbeat(float64(now), events)
+		}
+		if k.timeline != nil {
+			k.timeline.Offer(obs.Vitals{
+				Virtual:           float64(now),
+				Events:            events,
+				Windows:           k.windows.Value(),
+				WallNsPerVirtualS: nsPerVs,
+			})
+		}
+	}
 }
 
 // obsFlushCounters moves the worker-local accumulators into the sharded
@@ -248,5 +283,17 @@ func (k *Kernel) obsFinish(ko *kernelObs, res *Result) {
 	for _, w := range k.workers {
 		w.obsSample(res.EndTime)
 	}
-	ko.windows.Add(0, res.Windows)
+	ko.windows.Add(0, res.Windows-ko.windowsLive)
+	if ko.run != nil {
+		ko.run.Heartbeat(float64(res.EndTime), res.Events)
+	}
+	if ko.timeline != nil {
+		// Forced final point: even a run shorter than one cadence yields
+		// a timeline entry, and /events subscribers see a closing delta.
+		ko.timeline.Sample(obs.Vitals{
+			Virtual: float64(res.EndTime),
+			Events:  res.Events,
+			Windows: res.Windows,
+		})
+	}
 }

@@ -95,6 +95,8 @@ func Ablation(cfg Config) (*Table, error) {
 	}
 	r.Metrics = cfg.Metrics
 	r.Tracer = cfg.Tracer
+	r.Timeline = cfg.Timeline
+	r.RunInfo = cfg.RunInfo
 	if _, err := r.EstimateTaskTimes(ranks, inputs); err != nil {
 		return nil, err
 	}

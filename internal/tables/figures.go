@@ -60,6 +60,8 @@ func newRunner(prog *ir.Program, m *machine.Model, cfg Config) (*core.Runner, er
 	r.RealParallel = cfg.HostWorkers > 1
 	r.Metrics = cfg.Metrics
 	r.Tracer = cfg.Tracer
+	r.Timeline = cfg.Timeline
+	r.RunInfo = cfg.RunInfo
 	return r, nil
 }
 
@@ -282,6 +284,8 @@ func sampleSweep(cfg Config) (map[string][][4]float64, error) {
 		}
 		r.Metrics = cfg.Metrics
 		r.Tracer = cfg.Tracer
+		r.Timeline = cfg.Timeline
+		r.RunInfo = cfg.RunInfo
 		for _, work := range works {
 			inputs := apps.SampleInputs(pat.id, work, 500, cfg.pick(6, 20), 2, 4)
 			r.TaskTimes = nil

@@ -35,6 +35,11 @@ type Config struct {
 	// behaviour can be watched live (cmd/experiments -metrics/-obshttp).
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Timeline / RunInfo attach the live-telemetry plane to every runner
+	// (time-series snapshots, progress heartbeats; see internal/obs), so
+	// cmd/experiments -obshttp can serve /series, /run and /events.
+	Timeline *obs.Timeline
+	RunInfo  *obs.RunInfo
 	// Topology / Placement override the interconnect model of every
 	// machine the experiments construct (cmd/experiments
 	// -topology/-placement); empty keeps each preset's flat default.

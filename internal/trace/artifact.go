@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 
 	"mpisim/internal/mpi"
 )
@@ -31,6 +32,12 @@ type Artifact struct {
 	// truncated prediction from a completed one.
 	Partial     bool   `json:"partial,omitempty"`
 	AbortReason string `json:"abort_reason,omitempty"`
+	// Progress is the last-snapshot fraction of the run completed when
+	// the artifact was written (obs.RunInfo percent, or a budget ratio),
+	// in [0,1]; 0 when unknown. Meaningful mainly for partial runs,
+	// where it quantifies how much execution the truncated prediction
+	// covers.
+	Progress float64 `json:"progress,omitempty"`
 	// TaskLines / TaskHeads anchor condensed-task names (w_i) to the
 	// original program's canonical listing, from compiler.TaskLines.
 	TaskLines map[string]int    `json:"task_lines,omitempty"`
@@ -53,6 +60,28 @@ func WriteArtifact(path string, a *Artifact) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PartialWarning renders the one-line warning mpireport prints for a
+// partial artifact: the (shortened) abort reason plus the last-snapshot
+// progress percentage when the run recorded one. Returns "" for a
+// complete artifact.
+func PartialWarning(path string, a *Artifact) string {
+	if !a.Partial {
+		return ""
+	}
+	reason := a.AbortReason
+	if i := strings.IndexByte(reason, ':'); i > 0 {
+		reason = reason[:i]
+	}
+	if reason == "" {
+		reason = "unknown"
+	}
+	s := fmt.Sprintf("%s is a partial run (aborted: %s", path, reason)
+	if a.Progress > 0 {
+		s += fmt.Sprintf("; ~%.0f%% complete at abort", 100*a.Progress)
+	}
+	return s + "); its attribution understates the full execution"
 }
 
 // ReadArtifact loads a run artifact written by WriteArtifact.

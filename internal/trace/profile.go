@@ -1,0 +1,430 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// Virtual-time profiler: fold one run artifact's per-rank attribution
+// components (the exact decomposition of breakdown: Finish =
+// PureCompute + Delay + CommCPU + Blocked + Fault + Net) into a
+// pprof-compatible profile.proto, so predicted executions can be
+// explored with go tool pprof and rendered as flamegraphs before the
+// machine exists. The sample unit is virtual nanoseconds; stacks are
+//
+//	<app> ; rank N ; <component>          (per-rank components)
+//	<app> ; delay ; task T (line L: head) (abstracted computation,
+//	                                       anchored to the listing line
+//	                                       via compiler.TaskLines)
+//
+// Component totals match trace.Attribute exactly: each component's
+// sample values sum to the ns-rounded per-rank breakdown sums (the
+// delay task split is adjusted by its rounding remainder so it, too,
+// preserves the total).
+//
+// The encoder writes the profile.proto wire format by hand (plus gzip
+// from the standard library) to keep the repo dependency-free.
+
+// Profile is a built virtual-time profile, ready to serialize.
+type Profile struct {
+	app        string
+	durationNs int64
+	samples    []profSample
+	// totals holds the per-component ns sums, matching breakdown.
+	totals map[string]int64
+}
+
+// profFrame is one stack frame: a display name plus an optional listing
+// anchor.
+type profFrame struct {
+	name string
+	file string
+	line int64
+}
+
+// profSample is one stack with its virtual-ns value. Stacks are stored
+// leaf-first, as profile.proto expects.
+type profSample struct {
+	stack     []profFrame
+	value     int64
+	component string
+}
+
+// Component frame names, matching the labels of Attribution.Text.
+const (
+	compPure    = "pure compute"
+	compDelay   = "delay"
+	compCommCPU = "comm cpu"
+	compBlocked = "blocked"
+	compFault   = "fault"
+	compNet     = "net contention"
+)
+
+// ns rounds seconds to integer nanoseconds.
+func ns(seconds float64) int64 {
+	return int64(math.Round(seconds * 1e9))
+}
+
+// BuildProfile folds the artifact's per-rank breakdowns into a profile.
+// Delay is attributed per condensed task (with listing lines from
+// TaskLines) when the report carries DelayByTask, per rank otherwise.
+func BuildProfile(a *Artifact) (*Profile, error) {
+	if a.Report == nil || len(a.Report.Ranks) == 0 {
+		return nil, fmt.Errorf("trace: profile needs an artifact with per-rank statistics")
+	}
+	app := a.App
+	if app == "" {
+		app = "program"
+	}
+	p := &Profile{
+		app:        app,
+		durationNs: ns(a.Report.Time),
+		totals:     map[string]int64{},
+	}
+	root := profFrame{name: app}
+	perTaskDelay := len(a.Report.DelayByTask) > 0
+
+	var delayTotal int64
+	for i := range a.Report.Ranks {
+		b := breakdown(a, i)
+		rank := profFrame{name: fmt.Sprintf("rank %d", i)}
+		add := func(component string, seconds float64) {
+			v := ns(seconds)
+			if v == 0 {
+				return
+			}
+			p.add(profSample{
+				stack:     []profFrame{{name: component}, rank, root},
+				value:     v,
+				component: component,
+			})
+		}
+		add(compPure, b.PureCompute)
+		add(compCommCPU, b.CommCPU)
+		add(compBlocked, b.Blocked)
+		add(compFault, b.Fault)
+		add(compNet, b.Net)
+		if perTaskDelay {
+			delayTotal += ns(b.Delay)
+		} else {
+			add(compDelay, b.Delay)
+		}
+	}
+
+	if perTaskDelay {
+		p.addDelayByTask(a, root, delayTotal)
+	}
+	return p, nil
+}
+
+// addDelayByTask splits the delay component over condensed tasks,
+// anchored to listing lines. The per-task ns roundings are reconciled
+// against the per-rank delay total so the component still sums exactly
+// to the breakdown sums.
+func (p *Profile) addDelayByTask(a *Artifact, root profFrame, delayTotal int64) {
+	tasks := make([]string, 0, len(a.Report.DelayByTask))
+	for task := range a.Report.DelayByTask {
+		tasks = append(tasks, task)
+	}
+	sort.Strings(tasks)
+	delayFrame := profFrame{name: compDelay}
+	vals := make([]int64, len(tasks))
+	var sum int64
+	for i, task := range tasks {
+		vals[i] = ns(a.Report.DelayByTask[task])
+		sum += vals[i]
+	}
+	// Rounding reconciliation: spread the remainder so the task split
+	// sums to the per-rank delay total. A positive remainder becomes an
+	// explicit unattributed sample; a negative one (at most a few ns) is
+	// taken from the largest task values.
+	rem := delayTotal - sum
+	for rem < 0 {
+		bi := 0
+		for i, v := range vals {
+			if v > vals[bi] {
+				bi = i
+			}
+		}
+		take := -rem
+		if take > vals[bi] {
+			take = vals[bi]
+		}
+		if take == 0 {
+			break
+		}
+		vals[bi] -= take
+		rem += take
+	}
+	for i, task := range tasks {
+		if vals[i] == 0 {
+			continue
+		}
+		tf := profFrame{name: "task " + task}
+		if line, ok := a.TaskLines[task]; ok && line > 0 {
+			tf.line = int64(line)
+			tf.file = p.app + ".listing"
+			if head := a.TaskHeads[task]; head != "" {
+				tf.name = fmt.Sprintf("task %s (line %d: %s)", task, line, head)
+			} else {
+				tf.name = fmt.Sprintf("task %s (line %d)", task, line)
+			}
+		}
+		p.add(profSample{
+			stack:     []profFrame{tf, delayFrame, root},
+			value:     vals[i],
+			component: compDelay,
+		})
+	}
+	if rem > 0 {
+		p.add(profSample{
+			stack:     []profFrame{{name: "delay (unattributed)"}, delayFrame, root},
+			value:     rem,
+			component: compDelay,
+		})
+	}
+}
+
+func (p *Profile) add(s profSample) {
+	p.samples = append(p.samples, s)
+	p.totals[s.component] += s.value
+}
+
+// ComponentTotals returns the per-component virtual-ns sums of the
+// profile's samples. By construction each equals the ns-rounded sum of
+// that component over the per-rank breakdowns trace.Attribute uses.
+func (p *Profile) ComponentTotals() map[string]int64 {
+	out := make(map[string]int64, len(p.totals))
+	for k, v := range p.totals {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalNs returns the sum of all sample values.
+func (p *Profile) TotalNs() int64 {
+	var t int64
+	for _, s := range p.samples {
+		t += s.value
+	}
+	return t
+}
+
+// WriteFolded writes the profile as folded stacks (root;...;leaf value
+// per line), the input format of flamegraph tooling. Lines are sorted
+// for deterministic output.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	lines := make([]string, 0, len(p.samples))
+	for _, s := range p.samples {
+		var names []string
+		for i := len(s.stack) - 1; i >= 0; i-- {
+			names = append(names, s.stack[i].name)
+		}
+		line := ""
+		for i, n := range names {
+			if i > 0 {
+				line += ";"
+			}
+			line += n
+		}
+		lines = append(lines, fmt.Sprintf("%s %d", line, s.value))
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePprof writes the profile as gzip-compressed profile.proto.
+func (p *Profile) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(p.encodeProto()); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// WriteProfileFile builds the artifact's profile and writes it as
+// path (gzip profile.proto).
+func WriteProfileFile(path string, a *Artifact) error {
+	p, err := BuildProfile(a)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WritePprof(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// --- profile.proto wire encoding ----------------------------------------
+//
+// Minimal hand-rolled protobuf writer for the subset of
+// github.com/google/pprof/proto/profile.proto this profile uses:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table, 10 duration_nanos, 11 period_type, 12 period
+//	ValueType: 1 type, 2 unit (string-table indices)
+//	Sample:   1 location_id (packed uint64), 2 value (packed int64)
+//	Location: 1 id, 4 line (Line)
+//	Line:     1 function_id, 2 line
+//	Function: 1 id, 2 name, 3 system_name, 4 filename, 5 start_line
+
+// pbuf accumulates protobuf wire bytes.
+type pbuf struct {
+	b []byte
+}
+
+func (p *pbuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tag writes a field key. wire 0 = varint, 2 = length-delimited.
+func (p *pbuf) tag(field, wire int) {
+	p.uvarint(uint64(field)<<3 | uint64(wire))
+}
+
+// varint writes a varint-typed field, omitting the proto3 zero default.
+func (p *pbuf) varint(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.uvarint(uint64(v))
+}
+
+func (p *pbuf) bytes(field int, data []byte) {
+	p.tag(field, 2)
+	p.uvarint(uint64(len(data)))
+	p.b = append(p.b, data...)
+}
+
+func (p *pbuf) str(field int, s string) {
+	p.tag(field, 2)
+	p.uvarint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packed writes a packed repeated varint field (skipped when empty).
+func (p *pbuf) packed(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner pbuf
+	for _, v := range vs {
+		inner.uvarint(v)
+	}
+	p.bytes(field, inner.b)
+}
+
+// encodeProto builds the uncompressed profile.proto message.
+func (p *Profile) encodeProto() []byte {
+	// String table: index 0 must be "".
+	strIdx := map[string]int64{"": 0}
+	strs := []string{""}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strIdx[s] = i
+		strs = append(strs, s)
+		return i
+	}
+
+	// Functions and locations: one location per distinct frame, with a
+	// single line record pointing at its function. IDs start at 1.
+	type funcRec struct {
+		id         uint64
+		name, file int64
+		line       int64
+	}
+	frameKey := func(f profFrame) string {
+		return fmt.Sprintf("%s\x00%s\x00%d", f.name, f.file, f.line)
+	}
+	locIdx := map[string]uint64{}
+	var funcs []funcRec
+	locOf := func(f profFrame) uint64 {
+		key := frameKey(f)
+		if id, ok := locIdx[key]; ok {
+			return id
+		}
+		id := uint64(len(funcs) + 1)
+		funcs = append(funcs, funcRec{
+			id:   id,
+			name: intern(f.name),
+			file: intern(f.file),
+			line: f.line,
+		})
+		locIdx[key] = id
+		return id
+	}
+
+	var samples pbuf
+	for _, s := range p.samples {
+		var sm pbuf
+		ids := make([]uint64, len(s.stack))
+		for i, f := range s.stack {
+			ids[i] = locOf(f)
+		}
+		sm.packed(1, ids)
+		sm.packed(2, []uint64{uint64(s.value)})
+		samples.bytes(2, sm.b)
+	}
+
+	var out pbuf
+	// sample_type: one dimension, virtual nanoseconds.
+	var vt pbuf
+	vt.varint(1, intern("virtual"))
+	vt.varint(2, intern("nanoseconds"))
+	out.bytes(1, vt.b)
+	out.b = append(out.b, samples.b...)
+	for _, f := range funcs {
+		// Location {id, line: [{function_id, line}]}.
+		var ln pbuf
+		ln.varint(1, int64(f.id))
+		ln.varint(2, f.line)
+		var loc pbuf
+		loc.varint(1, int64(f.id))
+		loc.bytes(4, ln.b)
+		out.bytes(4, loc.b)
+	}
+	for _, f := range funcs {
+		var fn pbuf
+		fn.varint(1, int64(f.id))
+		fn.varint(2, f.name)
+		fn.varint(3, f.name)
+		fn.varint(4, f.file)
+		fn.varint(5, f.line)
+		out.bytes(5, fn.b)
+	}
+	// period_type: built before the string table is emitted so any
+	// interning it does still lands in the table.
+	var pt pbuf
+	pt.varint(1, intern("virtual"))
+	pt.varint(2, intern("nanoseconds"))
+	for _, s := range strs {
+		out.str(6, s)
+	}
+	out.varint(10, p.durationNs)
+	out.bytes(11, pt.b)
+	out.varint(12, 1)
+	return out.b
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func profileFixture() *Artifact {
+	a := artifactAt("app", []RankBreakdown{
+		{PureCompute: 4, Delay: 2, CommCPU: 0.5, Blocked: 1},
+		{PureCompute: 3, Delay: 2, CommCPU: 0.5, Blocked: 0.5},
+		{PureCompute: 3.5, Delay: 1, CommCPU: 0.25, Blocked: 2},
+	}, map[string]float64{"w_1": 3.5, "w_2": 1.5})
+	a.TaskLines = map[string]int{"w_1": 12, "w_2": 19}
+	a.TaskHeads = map[string]string{"w_1": "for i = 1..n", "w_2": "halo exchange"}
+	return a
+}
+
+// TestProfileComponentTotalsMatchAttribute pins the acceptance
+// criterion: each component's sample sum equals the ns-rounded per-rank
+// breakdown sums that trace.Attribute decomposes.
+func TestProfileComponentTotalsMatchAttribute(t *testing.T) {
+	a := profileFixture()
+	p, err := BuildProfile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{}
+	var finishNs int64
+	for i := range a.Report.Ranks {
+		b := breakdown(a, i)
+		want[compPure] += ns(b.PureCompute)
+		want[compDelay] += ns(b.Delay)
+		want[compCommCPU] += ns(b.CommCPU)
+		want[compBlocked] += ns(b.Blocked)
+		want[compFault] += ns(b.Fault)
+		want[compNet] += ns(b.Net)
+		finishNs += ns(b.Finish)
+	}
+	got := p.ComponentTotals()
+	for comp, w := range want {
+		if got[comp] != w {
+			t.Errorf("component %q: profile %d ns, breakdown %d ns", comp, got[comp], w)
+		}
+	}
+	// The attribution identity: the profile covers every finish ns.
+	var sum int64
+	for _, v := range want {
+		sum += v
+	}
+	if p.TotalNs() != sum {
+		t.Fatalf("profile total %d ns, component sum %d ns", p.TotalNs(), sum)
+	}
+	if p.TotalNs() != finishNs {
+		t.Fatalf("profile total %d ns, finish sum %d ns", p.TotalNs(), finishNs)
+	}
+}
+
+// TestProfileDelayRoundingReconciled engineers a task table whose
+// ns-rounded sum disagrees with the per-rank delay total and checks the
+// remainder is reconciled rather than lost.
+func TestProfileDelayRoundingReconciled(t *testing.T) {
+	a := artifactAt("app", []RankBreakdown{
+		{PureCompute: 1, Delay: 1.0000000004, CommCPU: 0, Blocked: 0},
+	}, map[string]float64{"w_1": 0.3333333333, "w_2": 0.6666666671})
+	p, err := BuildProfile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.ComponentTotals()[compDelay], ns(1.0000000004); got != want {
+		t.Fatalf("delay total %d ns, want %d", got, want)
+	}
+}
+
+func TestProfileFoldedStacks(t *testing.T) {
+	p, err := BuildProfile(profileFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"app;rank 0;pure compute 4000000000\n",
+		"app;delay;task w_1 (line 12: for i = 1..n) 3500000000\n",
+		"app;delay;task w_2 (line 19: halo exchange) 1500000000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("folded output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: two renders are identical.
+	var b2 bytes.Buffer
+	_ = p.WriteFolded(&b2)
+	if b.String() != b2.String() {
+		t.Fatal("folded output not deterministic")
+	}
+}
+
+func TestProfilePprofIsGzippedProto(t *testing.T) {
+	p, err := BuildProfile(profileFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := p.WritePprof(&b); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&b)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw := new(bytes.Buffer)
+	if _, err := raw.ReadFrom(zr); err != nil {
+		t.Fatal(err)
+	}
+	if raw.Len() == 0 {
+		t.Fatal("empty profile body")
+	}
+	// The string table travels in the wire bytes; spot-check anchors.
+	for _, want := range []string{"virtual", "nanoseconds", "pure compute", "task w_1 (line 12: for i = 1..n)"} {
+		if !bytes.Contains(raw.Bytes(), []byte(want)) {
+			t.Errorf("profile body missing string %q", want)
+		}
+	}
+}
+
+// TestProfileParsesWithGoToolPprof runs the real consumer over an
+// emitted profile; skipped when no go binary is on PATH.
+func TestProfileParsesWithGoToolPprof(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go binary on PATH")
+	}
+	a := profileFixture()
+	path := filepath.Join(t.TempDir(), "prof.pb.gz")
+	if err := WriteProfileFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goBin, "tool", "pprof", "-top", "-nodecount=20", path)
+	cmd.Env = append(os.Environ(), "PPROF_NO_BROWSER=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -top failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"virtual", "pure compute", "delay"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("pprof -top output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -14,21 +14,27 @@
 #   7. golden trace-export tests (Chrome trace_event + JSONL formats)
 #   8. observability overhead gate: the kernel with a disabled metrics
 #      registry attached must stay within 5% of the bare kernel
-#   9. fault determinism gate: same fault seed -> byte-identical report,
+#   9. telemetry overhead gate: timeline disabled within 0.5% of off,
+#      armed (production cadence + RunInfo heartbeats) within 2%, both
+#      within-run pairs; then an HTTP smoke over every live endpoint
+#      (/healthz /run /series /events, JSON/SSE validated by
+#      tools/obsprobe) and a profiler smoke (mpisim -profile output must
+#      parse with go tool pprof)
+#  10. fault determinism gate: same fault seed -> byte-identical report,
 #      across host worker counts
-#  10. fuzz smoke: 10s of randomized fault schedules against the kernel
+#  11. fuzz smoke: 10s of randomized fault schedules against the kernel
 #      and MPI layer (no panics, accounting invariants hold)
-#  11. fault-layer overhead gate: with the watchdog armed the kernel must
+#  12. fault-layer overhead gate: with the watchdog armed the kernel must
 #      stay within 15% of the guard-disabled kernel measured in the same
 #      process (within-run pair, immune to host drift)
-#  12. network determinism gate: topology-aware runs (bus, torus,
+#  13. network determinism gate: topology-aware runs (bus, torus,
 #      fat-tree) are byte-identical across host worker counts
-#  13. example network configs: every examples/networks/*.json passes
+#  14. example network configs: every examples/networks/*.json passes
 #      the mpicheck netconfig pass
-#  14. network overhead gate: flat topology (the seed-compatible fast
+#  15. network overhead gate: flat topology (the seed-compatible fast
 #      path) must stay within 2% events/sec of topology-off measured in
 #      the same runs
-#  15. kernel throughput gate: the full BenchmarkKernel suite (through
+#  16. kernel throughput gate: the full BenchmarkKernel suite (through
 #      procs=16384 on the short path; KernelNet included) vs the recorded
 #      BENCH_kernel.json at a 25% tolerance — best-of-3 samples of
 #      identical code land ±20% apart across sessions on this host, so
@@ -113,6 +119,42 @@ done; } |
     "$bin/benchgate" \
         -pair "BenchmarkKernelObs/off,BenchmarkKernelObs/disabled,0.05" \
         -pair "BenchmarkKernelObs/off,BenchmarkKernelObs/metrics,0.15"
+
+echo "== telemetry overhead gate"
+# Timeline/RunInfo plane: "disabled" is dropped in setupObs, so it must
+# be indistinguishable from "off" (0.5%); "armed" samples at the
+# production cadence and must stay within 2%. Both pairs are within-run
+# and take five interleaved samples like the other tight gates.
+{ for i in 1 2 3 4 5; do
+    go test -run '^$' -bench 'BenchmarkKernelTelemetry' -benchtime 1s ./internal/sim/
+done; } |
+    "$bin/benchgate" \
+        -pair "BenchmarkKernelTelemetry/off,BenchmarkKernelTelemetry/disabled,0.005" \
+        -pair "BenchmarkKernelTelemetry/off,BenchmarkKernelTelemetry/armed,0.02"
+
+echo "== telemetry HTTP smoke"
+# Boot a short experiment with the telemetry server up, then hit every
+# live endpoint and assert well-formed JSON (obsprobe); -obslinger keeps
+# the server alive after the run so the probes cannot race completion.
+go build -o "$bin/experiments" ./cmd/experiments
+go build -o "$bin/obsprobe" ./tools/obsprobe
+obsaddr=127.0.0.1:6074
+"$bin/experiments" -id fig3 -obshttp "$obsaddr" -obslinger 15s >/dev/null 2>&1 &
+exp_pid=$!
+"$bin/obsprobe" -retry 5s -require status,state,heartbeat_age_ns "http://$obsaddr/healthz"
+"$bin/obsprobe" -require state,percent,events "http://$obsaddr/run"
+"$bin/obsprobe" -require points,next "http://$obsaddr/series?since=0"
+"$bin/obsprobe" -sse "http://$obsaddr/events"
+kill "$exp_pid" 2>/dev/null || true
+wait "$exp_pid" 2>/dev/null || true
+echo "telemetry HTTP smoke: /healthz /run /series /events OK"
+
+echo "== virtual-time profiler smoke"
+# The profile an mpisim run emits must parse with the real consumer.
+go build -o "$bin/mpisim" ./cmd/mpisim
+"$bin/mpisim" -app sweep3d -mode am -ranks 16 -profile "$bin/prof.pb.gz" >/dev/null
+go tool pprof -top -nodecount=5 "$bin/prof.pb.gz" >/dev/null
+echo "profiler smoke: go tool pprof parsed $bin/prof.pb.gz"
 
 echo "== fault determinism gate"
 go test -count=1 -run 'TestFaultDeterminism' ./internal/mpi/

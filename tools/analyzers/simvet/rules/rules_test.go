@@ -303,8 +303,22 @@ func deadClock() int64 { return time.Now().UnixNano() }
 
 func TestDetPureOutOfScopePackage(t *testing.T) {
 	// detpure keys on the import path: identical source outside the
-	// deterministic core is not its business (internal/obs may read the
-	// clock all it wants).
+	// deterministic core is not its business (internal/tables renders
+	// experiment wall-clock durations all it wants).
+	src := `package tables
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+	diags := runSuiteAt(t, "mpisim/internal/tables", vetcore.Options{}, map[string]string{"fixture.go": src})
+	wantRules(t, diags)
+}
+
+func TestDetPureObsInScope(t *testing.T) {
+	// The telemetry layer is inside the detpure scope: a bare wall-clock
+	// read there is reported, and each intentional one must carry a
+	// reviewed allow.
 	src := `package obs
 
 import "time"
@@ -312,6 +326,17 @@ import "time"
 func Stamp() int64 { return time.Now().UnixNano() }
 `
 	diags := runSuiteAt(t, "mpisim/internal/obs", vetcore.Options{}, map[string]string{"fixture.go": src})
+	wantRules(t, diags, "wallclock")
+
+	allowed := `package obs
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //simvet:allow wallclock snapshot timestamps are observability-only
+}
+`
+	diags = runSuiteAt(t, "mpisim/internal/obs", vetcore.Options{}, map[string]string{"fixture.go": allowed})
 	wantRules(t, diags)
 }
 

@@ -1,0 +1,22 @@
+package sim
+
+import "time"
+
+// EstimateETA is the live-telemetry ETA shape: extrapolating remaining
+// wall time for a run fraction from the wall clock. Inside the
+// deterministic core this is exactly the code that must carry a
+// reviewed //simvet:allow wallclock annotation — without one the gate
+// is red (obs.RunInfo carries the allowed twin).
+func EstimateETA(start time.Time, percent float64) time.Duration {
+	elapsed := time.Since(start)
+	if percent <= 0 || percent > 1 {
+		return 0
+	}
+	return time.Duration(float64(elapsed) * (1 - percent) / percent)
+}
+
+// SnapshotDue decides a sampling cadence from the wall clock instead of
+// virtual time or event counts — the other tempting telemetry bug.
+func SnapshotDue(last time.Time, every time.Duration) bool {
+	return time.Now().Sub(last) >= every
+}

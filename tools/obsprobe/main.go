@@ -1,0 +1,102 @@
+// Command obsprobe is the CI smoke-test client for the live-telemetry
+// HTTP plane (internal/obs.HandlerWith). It GETs one endpoint, asserts
+// the response is well-formed JSON, and optionally that named top-level
+// keys are present; with -sse it instead reads a text/event-stream until
+// the first data frame arrives and validates that frame's JSON payload.
+// Exit status is the assertion: 0 on success, 1 with a diagnostic on
+// stderr otherwise, so scripts/ci.sh can chain probes with set -e.
+//
+// Usage:
+//
+//	obsprobe -require status,state http://127.0.0.1:6070/healthz
+//	obsprobe -require points,next 'http://127.0.0.1:6070/series?since=0'
+//	obsprobe -sse http://127.0.0.1:6070/events
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		timeout = flag.Duration("timeout", 10*time.Second, "overall probe deadline")
+		require = flag.String("require", "", "comma-separated top-level JSON keys that must be present")
+		sse     = flag.Bool("sse", false, "treat the endpoint as an SSE stream; validate the first data frame")
+		retry   = flag.Duration("retry", 0, "keep retrying connection errors for this long (for servers still starting)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "obsprobe: usage: obsprobe [flags] URL")
+		os.Exit(2)
+	}
+	url := flag.Arg(0)
+	if err := probe(url, *timeout, *retry, *require, *sse); err != nil {
+		fmt.Fprintf(os.Stderr, "obsprobe: %s: %v\n", url, err)
+		os.Exit(1)
+	}
+}
+
+func probe(url string, timeout, retry time.Duration, require string, sse bool) error {
+	client := &http.Client{Timeout: timeout}
+	deadline := time.Now().Add(retry)
+	var resp *http.Response
+	for {
+		var err error
+		resp, err = client.Get(url)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	var payload []byte
+	if sse {
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+			return fmt.Errorf("content-type %q, want text/event-stream", ct)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+				payload = []byte(strings.TrimPrefix(line, "data: "))
+				break
+			}
+		}
+		if payload == nil {
+			return fmt.Errorf("stream ended without a data frame: %v", sc.Err())
+		}
+	} else {
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		payload = b
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(payload, &obj); err != nil {
+		return fmt.Errorf("response is not a JSON object: %v (body %.120q)", err, payload)
+	}
+	for _, key := range strings.Split(require, ",") {
+		if key = strings.TrimSpace(key); key == "" {
+			continue
+		}
+		if _, ok := obj[key]; !ok {
+			return fmt.Errorf("JSON missing required key %q (body %.200q)", key, payload)
+		}
+	}
+	return nil
+}
