@@ -26,13 +26,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"mpisim/internal/apps"
@@ -264,6 +267,26 @@ func run() error {
 			cliutil.WriteTaskTimes(os.Stdout, tt)
 		}
 	}
+
+	// Interruption is an abort, not a kill: SIGINT/SIGTERM cancels the
+	// run context, the kernel trips its cancellation guard, and the
+	// normal abort path below still prints the partial prediction and
+	// (with -runjson) archives the partial artifact with its abort
+	// reason and progress. A second signal force-quits immediately.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	go func() {
+		sig, ok := <-sigCh
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "mpisim: %v: cancelling run, partial results follow (repeat to force-quit)\n", sig)
+		cancelRun()
+		signal.Stop(sigCh) // second signal: default disposition, process dies
+	}()
+	r.Ctx = runCtx
 
 	if ri != nil && r.TaskTimes != nil {
 		// Best-effort static horizon: a fast abstract pre-run fixes the

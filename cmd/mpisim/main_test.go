@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mpisim/internal/trace"
+)
+
+// TestMain lets the test binary double as the mpisim CLI: when
+// re-executed with MPISIM_SIGNAL_CHILD=1 it runs main() with the
+// remaining arguments, so the signal tests exercise the real
+// signal-handling path of a real process.
+func TestMain(m *testing.M) {
+	if os.Getenv("MPISIM_SIGNAL_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestInterruptWritesPartialArtifact sends SIGINT to a long mpisim run
+// and verifies the graceful-abort contract: exit status 1 (not a
+// signal death), and the -runjson artifact written anyway, flagged
+// partial with a cancellation abort reason.
+func TestInterruptWritesPartialArtifact(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signals required")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact := filepath.Join(t.TempDir(), "run.json")
+	// A deliberately long run with a blocking exchange every iteration:
+	// each iteration yields to the kernel, so the cancellation guard can
+	// trip promptly, and ITERS this size keeps the run busy (~15s) far
+	// beyond the interrupt delay below.
+	cmd := exec.Command(exe,
+		"-app", "sample", "-mode", "measured", "-ranks", "4",
+		"-inputs", "PATTERN=2,ITERS=500000,WORK=100,MSG=64",
+		"-nocheck", "-runjson", artifact)
+	cmd.Env = append(os.Environ(), "MPISIM_SIGNAL_CHILD=1")
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("child did not exit after SIGINT; output:\n%s", out.String())
+	}
+
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("child exited cleanly; SIGINT should abort with status 1 (output:\n%s)", out.String())
+	}
+	if ws := ee.Sys().(syscall.WaitStatus); ws.Signaled() {
+		t.Fatalf("child died of signal %v instead of handling it; output:\n%s", ws.Signal(), out.String())
+	} else if ws.ExitStatus() != 1 {
+		t.Fatalf("exit status = %d, want 1; output:\n%s", ws.ExitStatus(), out.String())
+	}
+
+	a, err := trace.ReadArtifact(artifact)
+	if err != nil {
+		t.Fatalf("partial artifact missing after SIGINT: %v (output:\n%s)", err, out.String())
+	}
+	if !a.Partial {
+		t.Errorf("artifact.Partial = false, want true")
+	}
+	if !strings.Contains(a.AbortReason, "canceled") {
+		t.Errorf("artifact.AbortReason = %q, want a cancellation reason", a.AbortReason)
+	}
+	if !strings.Contains(out.String(), "cancelling run") {
+		t.Errorf("stderr missing the cancellation notice; output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,120 @@
+// Command mpisimd is the simulation-as-a-service daemon: an HTTP/JSON
+// front end over internal/svc. Clients POST a job spec (app or inline
+// program, mode, ranks, machine/topology/placement/fault config,
+// budgets) to /jobs, poll the job through pending → compiling →
+// running → done/aborted/failed, stream its live telemetry from
+// /jobs/{id}/obs/*, and fetch the content-addressed run artifact from
+// /jobs/{id}/artifact.
+//
+// Robustness properties (see DESIGN.md "Service architecture"):
+//
+//   - bounded admission: a full queue answers 429 + Retry-After
+//   - per-job budgets and panic isolation: a poisoned job becomes a
+//     failed record, the daemon keeps serving
+//   - crash-safe journal: every state change is written ahead to
+//     <dir>/journal.jsonl; a killed daemon recovers its jobs on restart
+//   - graceful drain: SIGTERM/SIGINT stops admissions, cancels running
+//     jobs (each persists a partial artifact), then exits cleanly
+//   - artifact cache: identical specs are answered from the store
+//     without re-running the compiler or simulator
+//
+// Usage:
+//
+//	mpisimd -addr 127.0.0.1:6080 -dir /var/lib/mpisim
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpisim/internal/svc"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:6080", "HTTP listen address")
+		dir         = flag.String("dir", "mpisimd-data", "data directory (journal, artifacts, calibration tables)")
+		concurrency = flag.Int("concurrency", 2, "jobs simulated at once")
+		queueCap    = flag.Int("queue", 16, "admission queue capacity (beyond it: 429)")
+		hostWorkers = flag.Int("workers", 1, "simulation host workers per job")
+		maxRanks    = flag.Int("max-ranks", 65536, "largest target rank count a job may request")
+		maxEvents   = flag.Int64("max-events", 0, "cap on per-job event budget (0 = unlimited)")
+		maxVirtual  = flag.Float64("max-vt", 0, "cap on per-job virtual-time budget in seconds (0 = unlimited)")
+		wallCap     = flag.Duration("wall-cap", 10*time.Minute, "cap on per-job wall-clock budget")
+		stall       = flag.Int64("stall-events", 0, "default no-progress watchdog threshold (0 = off)")
+		retryAfter  = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503")
+		recoverPol  = flag.String("recover", "rerun", "interrupted-job policy on restart: rerun|abort")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on shutdown")
+		quiet       = flag.Bool("q", false, "suppress per-event log lines")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := svc.NewServer(svc.Options{
+		Dir:               *dir,
+		Concurrency:       *concurrency,
+		QueueCap:          *queueCap,
+		HostWorkers:       *hostWorkers,
+		MaxRanks:          *maxRanks,
+		MaxEventsCap:      *maxEvents,
+		MaxVirtualTimeCap: *maxVirtual,
+		WallTimeoutCap:    *wallCap,
+		StallEvents:       *stall,
+		RetryAfter:        *retryAfter,
+		Recover:           svc.RecoverPolicy(*recoverPol),
+		Logf:              logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpisimd: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpisimd: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	logf("mpisimd: serving on http://%s (data %s)", ln.Addr(), *dir)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		logf("mpisimd: %v: draining (running jobs persist partial artifacts)", sig)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "mpisimd: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Drain: stop admitting (in-flight polls keep working), cancel
+	// running jobs so each journals its abort + partial artifact, then
+	// shut the HTTP server down and exit 0.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "mpisimd: drain: %v\n", err)
+		hs.Close()
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "mpisimd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	logf("mpisimd: drained; exiting")
+}

@@ -18,6 +18,10 @@ const (
 	RunRunning     RunState = "running"
 	RunDone        RunState = "done"
 	RunAborted     RunState = "aborted"
+	// RunFailed marks a run that ended in an error or isolated panic
+	// rather than a clean finish or budgeted abort (used by the service
+	// daemon's job lifecycle).
+	RunFailed RunState = "failed"
 )
 
 // RunInfo tracks one run's lifecycle and progress: state, wall-clock

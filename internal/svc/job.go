@@ -1,0 +1,473 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mpisim/internal/apps"
+	"mpisim/internal/compiler"
+	"mpisim/internal/core"
+	"mpisim/internal/ir"
+	"mpisim/internal/machine"
+	"mpisim/internal/mpi"
+	"mpisim/internal/obs"
+	"mpisim/internal/sim"
+	"mpisim/internal/trace"
+)
+
+// job is the in-memory state of one submission, mirrored record by
+// record in the journal (the journal is authoritative: memory is only
+// updated after the corresponding record is appended).
+type job struct {
+	id       string
+	spec     *JobSpec
+	specHash string
+
+	// Per-run telemetry plane, mounted at /jobs/{id}/obs/*.
+	reg *obs.Registry
+	tl  *obs.Timeline
+	ri  *obs.RunInfo
+	obs http.Handler
+
+	mu           sync.Mutex
+	state        JobState
+	errText      string
+	snapshot     *sim.Snapshot
+	artifact     string
+	progress     float64
+	cached       bool
+	submitted    time.Time
+	started      time.Time
+	finished     time.Time
+	cancel       context.CancelFunc
+	cancelWanted bool
+}
+
+// newJob builds a job with a fresh telemetry plane.
+func newJob(id string, spec *JobSpec, hash string, hostWorkers int) *job {
+	reg := obs.NewRegistry(hostWorkers)
+	reg.SetEnabled(true)
+	tl := obs.NewTimeline(reg, obs.TimelineOptions{})
+	tl.SetEnabled(true)
+	ri := obs.NewRunInfo()
+	j := &job{
+		id: id, spec: spec, specHash: hash,
+		reg: reg, tl: tl, ri: ri,
+		state:     JobPending,
+		submitted: time.Now(),
+	}
+	j.obs = obs.HandlerWith(reg, obs.HandlerOpts{Timeline: tl, Run: ri})
+	return j
+}
+
+// apply folds a just-journaled record into the in-memory state.
+func (j *job) apply(rec *Record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = rec.State
+	if rec.Error != "" {
+		j.errText = rec.Error
+	}
+	if rec.Artifact != "" {
+		j.artifact = rec.Artifact
+	}
+	if rec.Progress > 0 {
+		j.progress = rec.Progress
+	}
+	if rec.Cached {
+		j.cached = true
+	}
+	if rec.Snapshot != nil {
+		j.snapshot = rec.Snapshot
+	}
+	switch {
+	case rec.State == JobCompiling && j.started.IsZero():
+		j.started = time.Now()
+	case rec.State.Terminal() && j.finished.IsZero():
+		j.finished = time.Now()
+	}
+}
+
+// runState maps a job state onto the obs run lifecycle.
+func (s JobState) runState() obs.RunState {
+	switch s {
+	case JobCompiling:
+		return obs.RunCompiling
+	case JobRunning:
+		return obs.RunRunning
+	case JobDone:
+		return obs.RunDone
+	case JobAborted:
+		return obs.RunAborted
+	case JobFailed:
+		return obs.RunFailed
+	}
+	return obs.RunPending
+}
+
+// JobView is the JSON representation served by GET /jobs and
+// GET /jobs/{id}.
+type JobView struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	SpecHash string   `json:"spec_hash"`
+	// Workload identifies what runs: the app name or the inline
+	// program's name.
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	Ranks    int    `json:"ranks"`
+	// Progress is the completed fraction in [0,1]; -1 while unknown.
+	Progress float64 `json:"progress"`
+	// Cached marks a job answered from the artifact cache.
+	Cached bool `json:"cached,omitempty"`
+	// Error carries the abort reason or failure diagnostic.
+	Error string `json:"error,omitempty"`
+	// Artifact is the content address of the run artifact, when one
+	// exists (complete for done, partial for drained/aborted runs).
+	Artifact    string `json:"artifact,omitempty"`
+	ArtifactURL string `json:"artifact_url,omitempty"`
+	// ObsURL is the per-run telemetry mount.
+	ObsURL string `json:"obs_url"`
+	// Snapshot is the kernel diagnostic snapshot of a failed/aborted
+	// run, when captured.
+	Snapshot    *sim.Snapshot `json:"snapshot,omitempty"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+}
+
+// view snapshots the job for serving. Live progress comes from the
+// telemetry tracker while running; the journaled fraction afterwards.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	name := j.spec.App
+	if name == "" {
+		if p, err := parseProgram(j.spec.Program); err == nil {
+			name = p.Name
+		} else {
+			name = "program"
+		}
+	}
+	v := JobView{
+		ID: j.id, State: j.state, SpecHash: j.specHash,
+		Workload: name, Mode: j.spec.Mode, Ranks: j.spec.Ranks,
+		Progress: -1, Cached: j.cached, Error: j.errText,
+		Artifact: j.artifact, Snapshot: j.snapshot,
+		ObsURL:      "/jobs/" + j.id + "/obs/",
+		SubmittedAt: j.submitted,
+	}
+	if j.artifact != "" {
+		v.ArtifactURL = "/jobs/" + j.id + "/artifact"
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	switch {
+	case j.state == JobDone:
+		v.Progress = 1
+	case j.state.Terminal():
+		v.Progress = j.progress
+	default:
+		if p := j.ri.Status().Percent; p >= 0 {
+			v.Progress = p
+		}
+	}
+	return v
+}
+
+// requestCancel asks the job to stop: a running job's context is
+// cancelled; a job between dequeue and context creation is flagged so
+// execute cancels itself as soon as the context exists.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.cancelWanted = true
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// setCancel installs the run context's cancel func, honoring a cancel
+// that arrived before the context existed.
+func (j *job) setCancel(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = cancel
+	wanted := j.cancelWanted
+	j.mu.Unlock()
+	if wanted {
+		cancel()
+	}
+}
+
+// stateIs reports the current state.
+func (j *job) stateIs() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// execute runs one job start to finish on a worker goroutine. Any
+// panic — spec materialization (e.g. an app rejecting the rank count),
+// compiler, or simulator — is confined to this job: the deferred guard
+// journals a failed record and the worker moves on.
+func (s *Server) execute(j *job) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.fail(j, fmt.Sprintf("panic: %v", v), nil)
+		}
+	}()
+	if j.stateIs().Terminal() { // cancelled while queued
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	j.setCancel(cancel)
+
+	s.transition(j, &Record{State: JobCompiling})
+	j.ri.SetState(obs.RunCompiling)
+
+	prog, inputs, m, err := j.spec.materialize()
+	if err != nil {
+		s.fail(j, err.Error(), nil)
+		return
+	}
+	entry := s.compile.entry(j.spec.compileKey())
+	prog, _, compiled, err := entry.get(func() (*ir.Program, *machine.Model, *compiler.Result, error) {
+		res, cerr := compiler.Compile(prog)
+		if cerr != nil {
+			return nil, nil, nil, cerr
+		}
+		return prog, m, res, nil
+	})
+	if err != nil {
+		s.fail(j, fmt.Sprintf("compile: %v", err), nil)
+		return
+	}
+
+	mode := j.spec.mode()
+	tt := j.spec.TaskTimes
+	if mode == core.Abstract && tt == nil {
+		tt, err = s.calibrated(j, entry, prog, compiled)
+		if err != nil {
+			s.fail(j, fmt.Sprintf("calibration: %v", err), nil)
+			return
+		}
+	}
+
+	lim := j.spec.Limits
+	r := &core.Runner{
+		Program: prog, Machine: m, Compiled: compiled,
+		TaskTimes:   tt,
+		HostWorkers: s.opts.HostWorkers, RealParallel: s.opts.HostWorkers > 1,
+		Metrics: j.reg, Timeline: j.tl, RunInfo: j.ri,
+		Faults:         j.spec.Faults,
+		MaxEvents:      clampI64(limMaxEvents(lim), s.opts.MaxEventsCap),
+		MaxVirtualTime: clampF64(limMaxVirtual(lim), s.opts.MaxVirtualTimeCap),
+		StallEvents:    limStall(lim, s.opts.StallEvents),
+		WallTimeout:    clampDur(lim.wallTimeout(), s.opts.WallTimeoutCap),
+		Ctx:            ctx,
+		SkipChecks:     j.spec.SkipChecks,
+	}
+	if tt != nil {
+		// Fix the virtual-time horizon so /obs/run progress and ETA
+		// divide by the statically predicted end.
+		_, _ = r.EstimateHorizon(j.spec.Ranks, inputs)
+	}
+	s.transition(j, &Record{State: JobRunning})
+
+	rep, runErr := r.Run(mode, j.spec.Ranks, inputs)
+	s.finishJob(j, r, rep, runErr, inputs)
+}
+
+// calibrated resolves the job's w_i table through the calibration cache
+// (memory, then disk, then a real calibration run).
+func (s *Server) calibrated(j *job, entry *compileEntry, prog *ir.Program, compiled *compiler.Result) (map[string]float64, error) {
+	calRanks := j.spec.effectiveCalRanks()
+	calInputs := map[string]float64{}
+	if j.spec.App != "" {
+		calInputs = appDefaults(j.spec.App, calRanks)
+	}
+	for k, v := range j.spec.Inputs {
+		calInputs[k] = v
+	}
+	key := j.spec.calKey(calRanks, calInputs)
+	tt, _, err := s.compile.calibration(entry, key, func() (map[string]float64, error) {
+		_, _, m, merr := j.spec.materialize()
+		if merr != nil {
+			return nil, merr
+		}
+		cr := &core.Runner{
+			Program: prog, Machine: m, Compiled: compiled,
+			HostWorkers: s.opts.HostWorkers, RealParallel: s.opts.HostWorkers > 1,
+			RunInfo:    j.ri,
+			SkipChecks: j.spec.SkipChecks,
+		}
+		return cr.Calibrate(calRanks, calInputs)
+	})
+	return tt, err
+}
+
+// appDefaults builds a registered app's default inputs; may panic on
+// unsupported rank counts (confined by execute's guard).
+func appDefaults(app string, ranks int) map[string]float64 {
+	return apps.Registry()[app].Default(ranks)
+}
+
+// finishJob maps a run outcome onto the job's terminal record:
+//
+//	nil error                  → done, complete artifact, cache entry
+//	*sim.AbortError            → aborted, partial artifact + progress %
+//	*sim.PanicError            → failed, with the kernel's snapshot
+//	anything else (check, ...) → failed
+func (s *Server) finishJob(j *job, r *core.Runner, rep *mpi.Report, runErr error, inputs map[string]float64) {
+	if runErr == nil {
+		data, hash, err := s.persistArtifact(j, r, rep, inputs, 1)
+		if err != nil {
+			s.fail(j, fmt.Sprintf("artifact: %v", err), nil)
+			return
+		}
+		s.transition(j, &Record{State: JobDone, Artifact: hash, Progress: 1})
+		s.rememberArtifact(j.specHash, hash, int64(len(data)))
+		return
+	}
+	var ae *sim.AbortError
+	if errors.As(runErr, &ae) {
+		rec := &Record{State: JobAborted, Error: ae.Reason, Snapshot: ae.Snapshot}
+		if rep != nil {
+			rec.Progress = s.runProgress(j)
+			if _, hash, err := s.persistArtifact(j, r, rep, inputs, rec.Progress); err == nil {
+				rec.Artifact = hash
+			}
+		}
+		s.transition(j, rec)
+		return
+	}
+	var pe *sim.PanicError
+	if errors.As(runErr, &pe) {
+		s.fail(j, runErr.Error(), pe.Snapshot)
+		return
+	}
+	s.fail(j, runErr.Error(), nil)
+}
+
+// runProgress is the completed fraction the telemetry tracker last
+// observed, clamped to [0,1]; 0 when unknown.
+func (s *Server) runProgress(j *job) float64 {
+	p := j.ri.Status().Percent
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// persistArtifact encodes the run artifact and stores it under its
+// content address. Partiality travels inside the report; progress
+// records how much of the run a truncated prediction covers.
+func (s *Server) persistArtifact(j *job, r *core.Runner, rep *mpi.Report, inputs map[string]float64, progress float64) ([]byte, string, error) {
+	name := j.spec.App
+	if name == "" {
+		name = r.Program.Name
+	}
+	art := &trace.Artifact{
+		App: name, Mode: j.spec.mode().String(), Machine: r.Machine.Name,
+		Inputs: inputs, Report: rep,
+	}
+	if rep.Partial {
+		art.Progress = progress
+	}
+	if tls := r.Compiled.TaskLines(); len(tls) > 0 {
+		art.TaskLines = make(map[string]int, len(tls))
+		art.TaskHeads = make(map[string]string, len(tls))
+		for _, tl := range tls {
+			art.TaskLines[tl.Task] = tl.Line
+			art.TaskHeads[tl.Task] = tl.Head
+		}
+	}
+	data, err := trace.EncodeArtifact(art)
+	if err != nil {
+		return nil, "", err
+	}
+	hash, err := s.store.Put(data)
+	if err != nil {
+		return nil, "", err
+	}
+	return data, hash, nil
+}
+
+// fail journals a failed record (unless the job already reached a
+// terminal state) and moves the telemetry tracker to failed.
+func (s *Server) fail(j *job, msg string, snap *sim.Snapshot) {
+	if j.stateIs().Terminal() {
+		return
+	}
+	s.transition(j, &Record{State: JobFailed, Error: msg, Snapshot: snap})
+	j.ri.Finish(obs.RunFailed, 0, msg)
+}
+
+// Limit helpers: a request clamps against the operator cap; zero
+// requests inherit the cap (or stay unlimited when there is none).
+
+func limMaxEvents(l *SpecLimits) int64 {
+	if l == nil {
+		return 0
+	}
+	return l.MaxEvents
+}
+
+func limMaxVirtual(l *SpecLimits) float64 {
+	if l == nil {
+		return 0
+	}
+	return l.MaxVirtualTime
+}
+
+func limStall(l *SpecLimits, def int64) int64 {
+	if l != nil && l.StallEvents > 0 {
+		return l.StallEvents
+	}
+	return def
+}
+
+func clampI64(req, cap int64) int64 {
+	if cap > 0 && (req <= 0 || req > cap) {
+		return cap
+	}
+	if req < 0 {
+		return 0
+	}
+	return req
+}
+
+func clampF64(req, cap float64) float64 {
+	if cap > 0 && (req <= 0 || req > cap) {
+		return cap
+	}
+	if req < 0 {
+		return 0
+	}
+	return req
+}
+
+func clampDur(req, cap time.Duration) time.Duration {
+	if cap > 0 && (req <= 0 || req > cap) {
+		return cap
+	}
+	if req < 0 {
+		return 0
+	}
+	return req
+}

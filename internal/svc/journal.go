@@ -1,0 +1,158 @@
+package svc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mpisim/internal/sim"
+)
+
+// Record is one write-ahead journal entry: a job mutation. The first
+// record for a job carries its full spec; later records carry only the
+// state transition and its outcome fields. The journal is an append-only
+// JSONL file — replaying it start to finish and keeping the last state
+// per job reconstructs the job table exactly.
+type Record struct {
+	// Seq is the journal-wide sequence number, strictly increasing.
+	Seq int64 `json:"seq"`
+	// Time is the wall-clock append time (diagnostic only; recovery
+	// never orders by it).
+	Time time.Time `json:"time"`
+	// ID is the job this record mutates.
+	ID string `json:"id"`
+	// State is the job state this record establishes.
+	State JobState `json:"state"`
+	// Spec is the full submission; set on the initial pending record.
+	Spec *JobSpec `json:"spec,omitempty"`
+	// SpecHash is the content address of the submission.
+	SpecHash string `json:"spec_hash,omitempty"`
+	// Artifact is the content address (sha256 hex) of the run artifact
+	// in the store, set on done and on aborted-with-partial records.
+	Artifact string `json:"artifact,omitempty"`
+	// Progress is the completed fraction recorded at the terminal
+	// transition (1 for done; the last-snapshot fraction for aborts).
+	Progress float64 `json:"progress,omitempty"`
+	// Cached marks a done record answered from the artifact cache.
+	Cached bool `json:"cached,omitempty"`
+	// Error is the abort reason or failure diagnostic.
+	Error string `json:"error,omitempty"`
+	// Snapshot is the kernel's diagnostic snapshot when a failed or
+	// aborted run captured one (*sim.PanicError / *sim.AbortError).
+	Snapshot *sim.Snapshot `json:"snapshot,omitempty"`
+}
+
+// Journal is the crash-safe append-only job log. Append is serialized
+// and (by default) fsynced per record: once a caller observes a record
+// as written, a crash cannot lose it.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	seq    int64
+	fsync  bool
+	closed bool
+}
+
+// journalName is the journal file inside a daemon data directory.
+const journalName = "journal.jsonl"
+
+// OpenJournal opens (creating if needed) the journal in dir for
+// appending. nextSeq must be one past the highest replayed sequence
+// number (1 for a fresh directory). sync enables per-record fsync.
+func OpenJournal(dir string, nextSeq int64, sync bool) (*Journal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, journalName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, seq: nextSeq - 1, fsync: sync}, nil
+}
+
+// Append assigns the record its sequence number and timestamp, writes
+// it as one JSONL line and (if enabled) fsyncs. It is the write-ahead
+// barrier: callers update in-memory state only after Append returns.
+func (j *Journal) Append(rec *Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("svc: journal closed")
+	}
+	j.seq++
+	rec.Seq = j.seq
+	rec.Time = time.Now().UTC()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		j.seq--
+		return fmt.Errorf("svc: journal encode: %w", err)
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("svc: journal write: %w", err)
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("svc: journal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the journal. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// ReplayJournal reads every intact record from dir's journal, oldest
+// first. A missing journal is an empty one. A torn final line — the
+// signature of a crash mid-append — is dropped; a malformed line
+// followed by further intact lines is corruption and fails the replay.
+// The second result is the next sequence number to append with.
+func ReplayJournal(dir string) ([]Record, int64, error) {
+	f, err := os.Open(filepath.Join(dir, journalName))
+	if os.IsNotExist(err) {
+		return nil, 1, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var recs []Record
+	var badLine int
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), maxSpecBytes+64*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		if badLine != 0 {
+			return nil, 0, fmt.Errorf("svc: journal corrupt at line %d (intact records follow)", badLine)
+		}
+		var rec Record
+		if err := json.Unmarshal(text, &rec); err != nil {
+			// Tolerated only as the final line (torn append).
+			badLine = line
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("svc: journal read: %w", err)
+	}
+	next := int64(1)
+	if n := len(recs); n > 0 {
+		next = recs[n-1].Seq + 1
+	}
+	return recs, next, nil
+}

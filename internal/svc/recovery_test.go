@@ -1,0 +1,324 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCachedVsFresh is the determinism gate for the artifact cache: a
+// repeat submission must be answered from the store (Cached=true, same
+// content address, no second simulation), and those cached bytes must
+// be byte-identical to what a completely fresh daemon in a fresh data
+// directory computes for the same spec. AM mode is used deliberately so
+// the compile + calibration caches sit in the loop being proven.
+func TestCachedVsFresh(t *testing.T) {
+	spec := `{"app":"sample","mode":"am","ranks":4,
+		"inputs":{"PATTERN":2,"ITERS":50,"WORK":100,"MSG":64}}`
+
+	srvA := newTestServer(t, Options{})
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+
+	id1, _, _ := submit(t, tsA, spec)
+	v1 := pollUntil(t, tsA, id1, terminal, 60*time.Second)
+	if v1.State != JobDone {
+		t.Fatalf("first run ended %s (%s)", v1.State, v1.Error)
+	}
+	if v1.Cached {
+		t.Fatal("first run claims to be cached")
+	}
+	fresh := fetchArtifact(t, tsA, id1)
+
+	id2, _, _ := submit(t, tsA, spec)
+	v2 := pollUntil(t, tsA, id2, terminal, 60*time.Second)
+	if v2.State != JobDone || !v2.Cached {
+		t.Fatalf("repeat submission: state=%s cached=%v, want done/cached", v2.State, v2.Cached)
+	}
+	if v2.Artifact != v1.Artifact {
+		t.Fatalf("cached artifact %s != fresh artifact %s", v2.Artifact, v1.Artifact)
+	}
+	cached := fetchArtifact(t, tsA, id2)
+	if !bytes.Equal(cached, fresh) {
+		t.Fatal("cached artifact bytes differ from the fresh run")
+	}
+
+	// A brand-new daemon, brand-new directory: same spec, same bytes.
+	srvB := newTestServer(t, Options{})
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+	id3, _, _ := submit(t, tsB, spec)
+	v3 := pollUntil(t, tsB, id3, terminal, 60*time.Second)
+	if v3.State != JobDone {
+		t.Fatalf("fresh-daemon run ended %s (%s)", v3.State, v3.Error)
+	}
+	other := fetchArtifact(t, tsB, id3)
+	if !bytes.Equal(other, fresh) {
+		t.Fatal("artifacts differ across independent daemons for the same spec")
+	}
+	if v3.Artifact != v1.Artifact {
+		t.Fatalf("content addresses differ across daemons: %s vs %s", v3.Artifact, v1.Artifact)
+	}
+}
+
+// TestCacheSurvivesRestart proves the artifact cache is rebuilt from
+// the journal: after a clean drain and restart, the same spec is
+// answered cached without re-running.
+func TestCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := newTestServer(t, Options{Dir: dir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	id1, _, _ := submit(t, ts1, quickSpec())
+	v1 := pollUntil(t, ts1, id1, terminal, 30*time.Second)
+	if v1.State != JobDone {
+		t.Fatalf("run ended %s (%s)", v1.State, v1.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	srv2 := newTestServer(t, Options{Dir: dir})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	// The replayed job is visible with its artifact intact.
+	if v := getView(t, ts2, id1); v.State != JobDone || v.Artifact != v1.Artifact {
+		t.Fatalf("replayed job: %+v", v)
+	}
+	if !bytes.Equal(fetchArtifact(t, ts2, id1), fetchArtifact(t, ts2, id1)) {
+		t.Fatal("artifact unstable across reads")
+	}
+	id2, _, _ := submit(t, ts2, quickSpec())
+	v2 := pollUntil(t, ts2, id2, terminal, 30*time.Second)
+	if v2.State != JobDone || !v2.Cached || v2.Artifact != v1.Artifact {
+		t.Fatalf("post-restart repeat: state=%s cached=%v artifact=%s, want cached %s",
+			v2.State, v2.Cached, v2.Artifact, v1.Artifact)
+	}
+}
+
+// TestCrashRecoveryRerun kills the daemon mid-run (simulated SIGKILL:
+// journaling stops, no terminal records land) and verifies the next
+// start re-runs both the interrupted job and the still-queued one to
+// completion, and sweeps the orphaned artifact bytes the dying run left
+// in the store.
+func TestCrashRecoveryRerun(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := newTestServer(t, Options{Dir: dir, Concurrency: 1})
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	idRun, _, _ := submit(t, ts1, slowSpec(150000))
+	pollUntil(t, ts1, idRun, func(v JobView) bool { return v.State == JobRunning }, 10*time.Second)
+	idQueued, _, _ := submit(t, ts1, quickSpec())
+
+	srv1.crash()
+	ts1.Close()
+
+	// A stray unreferenced blob and a torn temp file, as a crash between
+	// a store write and its journal record would leave.
+	stray := strings.Repeat("ab", 32)
+	if err := os.WriteFile(filepath.Join(dir, casDirName, stray), []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, casDirName, tmpPrefix+"x"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := newTestServer(t, Options{Dir: dir, Concurrency: 1, Recover: RecoverRerun})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, casDirName, stray)); !os.IsNotExist(err) {
+		t.Error("orphaned artifact not swept on recovery")
+	}
+	if _, err := os.Stat(filepath.Join(dir, casDirName, tmpPrefix+"x")); !os.IsNotExist(err) {
+		t.Error("torn temp file not swept on recovery")
+	}
+
+	// The interrupted job re-runs start to finish — determinism means
+	// the re-run is the same prediction the killed run would have made —
+	// and the queued job runs after it.
+	vR := pollUntil(t, ts2, idRun, terminal, 120*time.Second)
+	if vR.State != JobDone {
+		t.Fatalf("re-run job ended %s (%s), want done", vR.State, vR.Error)
+	}
+	if vR.Artifact == "" {
+		t.Fatal("re-run job has no artifact")
+	}
+	vQ := pollUntil(t, ts2, idQueued, terminal, 60*time.Second)
+	if vQ.State != JobDone {
+		t.Fatalf("recovered queued job ended %s (%s), want done", vQ.State, vQ.Error)
+	}
+
+	// Every surviving store blob is referenced by the journal.
+	entries, err := os.ReadDir(filepath.Join(dir, casDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	referenced := map[string]bool{}
+	for _, v := range srv2.Jobs() {
+		if v.Artifact != "" {
+			referenced[v.Artifact] = true
+		}
+	}
+	for _, e := range entries {
+		if !referenced[e.Name()] {
+			t.Errorf("unreferenced blob %s survives recovery", e.Name())
+		}
+	}
+}
+
+// TestCrashRecoveryAbort is the other policy: the interrupted job is
+// marked aborted instead of re-run; queued jobs still re-run.
+func TestCrashRecoveryAbort(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := newTestServer(t, Options{Dir: dir, Concurrency: 1})
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	idRun, _, _ := submit(t, ts1, slowSpec(500000))
+	pollUntil(t, ts1, idRun, func(v JobView) bool { return v.State == JobRunning }, 10*time.Second)
+	idQueued, _, _ := submit(t, ts1, quickSpec())
+	srv1.crash()
+	ts1.Close()
+
+	srv2 := newTestServer(t, Options{Dir: dir, Concurrency: 1, Recover: RecoverAbort})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	vR := getView(t, ts2, idRun)
+	if vR.State != JobAborted || !strings.Contains(vR.Error, "interrupted") {
+		t.Fatalf("interrupted job: state=%s error=%q, want aborted/interrupted", vR.State, vR.Error)
+	}
+	vQ := pollUntil(t, ts2, idQueued, terminal, 60*time.Second)
+	if vQ.State != JobDone {
+		t.Fatalf("recovered queued job ended %s (%s), want done", vQ.State, vQ.Error)
+	}
+}
+
+// TestJournalTornFinalLine: a crash mid-append leaves a torn last line;
+// replay drops it and keeps every intact record.
+func TestJournalTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := DecodeSpec([]byte(`{"app":"sample","ranks":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Record{ID: "j1", State: JobPending, Spec: spec, SpecHash: spec.Hash()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Record{ID: "j1", State: JobRunning}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":3,"id":"j1","state":"do`) // torn mid-record
+	f.Close()
+
+	recs, next, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatalf("replay with torn final line: %v", err)
+	}
+	if len(recs) != 2 || next != 3 {
+		t.Fatalf("replay = %d records, next %d; want 2, 3", len(recs), next)
+	}
+	// And a server starts on it, resolving the interrupted job.
+	srv := newTestServer(t, Options{Dir: dir, Recover: RecoverAbort})
+	if v := srv.Jobs(); len(v) != 1 || v[0].State != JobAborted {
+		t.Fatalf("recovered jobs = %+v", v)
+	}
+}
+
+// TestJournalMidFileCorruption: a malformed line with intact records
+// after it is real corruption, not a torn append; replay must refuse.
+func TestJournalMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := DecodeSpec([]byte(`{"app":"sample","ranks":4}`))
+	j.Append(&Record{ID: "j1", State: JobPending, Spec: spec})
+	j.Close()
+	path := filepath.Join(dir, journalName)
+	data, _ := os.ReadFile(path)
+	data = append([]byte("GARBAGE NOT JSON\n"), data...)
+	os.WriteFile(path, data, 0o644)
+	if _, _, err := ReplayJournal(dir); err == nil {
+		t.Fatal("replay accepted mid-file corruption")
+	}
+}
+
+// TestStoreChecksumVerification: blobs are re-hashed on read; flipped
+// bits are corruption, not data.
+func TestStoreChecksumVerification(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"report":{"time":1}}`)
+	hash, err := st.Put(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err := st.Put(payload); err != nil || again != hash {
+		t.Fatalf("re-put: %s, %v", again, err)
+	}
+	got, err := st.Get(hash)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("roundtrip: %q, %v", got, err)
+	}
+	// Flip a byte on disk behind the store's back.
+	path := filepath.Join(dir, casDirName, hash)
+	data, _ := os.ReadFile(path)
+	data[0] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+	if _, err := st.Get(hash); err == nil || !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("corrupted read: err=%v, want checksum mismatch", err)
+	}
+	// Traversal-shaped names never reach the filesystem.
+	if _, err := st.Get("../../etc/passwd"); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+}
+
+// TestCalibrationTablePersisted: an AM job persists its w_i table under
+// cal/, so a restarted daemon skips calibration for the same context.
+func TestCalibrationTablePersisted(t *testing.T) {
+	dir := t.TempDir()
+	srv := newTestServer(t, Options{Dir: dir})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	spec := `{"app":"sample","mode":"am","ranks":4,
+		"inputs":{"PATTERN":2,"ITERS":50,"WORK":100,"MSG":64}}`
+	id, _, _ := submit(t, ts, spec)
+	if v := pollUntil(t, ts, id, terminal, 60*time.Second); v.State != JobDone {
+		t.Fatalf("AM run ended %s (%s)", v.State, v.Error)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, calDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			saved++
+		}
+	}
+	if saved == 0 {
+		t.Fatal("AM run persisted no calibration table")
+	}
+}

@@ -1,0 +1,126 @@
+package svc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is the content-addressed artifact store: every blob lives at
+// cas/<sha256-hex> inside the daemon data directory. Writes go through
+// a temp file + fsync + rename, so a crash can leave at worst a stray
+// temp file (swept on recovery), never a torn blob under a final name;
+// reads re-hash the bytes and refuse corrupted content.
+type Store struct {
+	dir string
+}
+
+// casDirName is the store directory inside a daemon data directory.
+const casDirName = "cas"
+
+// tmpPrefix marks in-flight writes; Sweep removes leftovers.
+const tmpPrefix = ".tmp-"
+
+// OpenStore creates (if needed) and returns the store under dir.
+func OpenStore(dir string) (*Store, error) {
+	d := filepath.Join(dir, casDirName)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: d}, nil
+}
+
+// Put writes data under its content address and returns the sha256 hex
+// hash. Re-putting identical content is a no-op.
+func (s *Store) Put(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	final := filepath.Join(s.dir, hash)
+	if _, err := os.Stat(final); err == nil {
+		return hash, nil
+	}
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+hash+"-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	return hash, nil
+}
+
+// Get returns the blob stored under hash, verifying the checksum: bytes
+// that no longer hash to their name are corruption, not data.
+func (s *Store) Get(hash string) ([]byte, error) {
+	if !validHash(hash) {
+		return nil, fmt.Errorf("svc: invalid artifact hash %q", hash)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, hash))
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != hash {
+		return nil, fmt.Errorf("svc: artifact %s corrupted (checksum mismatch)", hash)
+	}
+	return data, nil
+}
+
+// Has reports whether a blob exists under hash (no checksum pass).
+func (s *Store) Has(hash string) bool {
+	if !validHash(hash) {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.dir, hash))
+	return err == nil
+}
+
+// Sweep removes temp leftovers and any blob whose hash is not in
+// referenced — the orphans a crash between a Put and its journal record
+// can leave behind. It returns the number of files removed.
+func (s *Store) Sweep(referenced map[string]bool) (int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, tmpPrefix) || !referenced[name] {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// validHash guards path construction against traversal: only lowercase
+// sha256 hex names reach the filesystem.
+func validHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for _, c := range h {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

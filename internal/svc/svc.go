@@ -1,0 +1,373 @@
+// Package svc turns the one-shot simulation CLI into a long-running
+// simulation-as-a-service daemon (cmd/mpisimd): clients POST a job spec
+// (program + machine/topology/placement/fault configuration), poll the
+// job through its lifecycle, and fetch the run artifact when it reaches
+// a terminal state.
+//
+// Robustness is the core of the design, not a bolt-on:
+//
+//   - Admission control: a bounded queue with configurable concurrency.
+//     Submissions beyond capacity get 429 + Retry-After instead of
+//     accepting unbounded work; a draining server answers 503.
+//   - Isolation: every job runs under its own sim.Limits (event,
+//     virtual-time and wall budgets, no-progress watchdog) and a panic
+//     guard, so one poisoned job yields a `failed` record — with the
+//     *sim.PanicError snapshot when the kernel captured one — while the
+//     server keeps serving.
+//   - Crash safety: every job mutation is journaled write-ahead to an
+//     append-only JSONL file, and artifacts live in a content-addressed
+//     store (sha256-named, checksum-verified on read, temp+rename
+//     writes). A killed-and-restarted daemon replays the journal,
+//     re-enqueues queued jobs and deterministically resolves interrupted
+//     ones (re-run, or mark aborted), and sweeps orphaned artifacts.
+//   - Graceful drain: on SIGTERM the server stops admitting, cancels
+//     running jobs via their contexts, persists their partial artifacts
+//     (Artifact.Partial + progress %) and exits; still-queued jobs stay
+//     `pending` in the journal and are recovered by the next start.
+//   - Caching: compiled IR/STG and calibration tables are
+//     content-addressed by program + machine configuration, so repeat
+//     submissions skip the compiler (and calibration); whole artifacts
+//     are content-addressed by the full spec, so an identical
+//     resubmission is answered from the store — byte-identical to a
+//     fresh run by the determinism gates.
+//
+// The per-run telemetry plane (obs.Timeline / obs.RunInfo, PR 8) is
+// mounted per job at /jobs/{id}/obs/*.
+package svc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"mpisim/internal/apps"
+	"mpisim/internal/core"
+	"mpisim/internal/fault"
+	"mpisim/internal/ir"
+	"mpisim/internal/machine"
+	"mpisim/internal/net"
+)
+
+// JobState is the lifecycle state of one submitted job.
+type JobState string
+
+// Job lifecycle: pending → compiling → running → done | aborted | failed.
+const (
+	// JobPending: journaled and queued, not yet picked up by a worker.
+	JobPending JobState = "pending"
+	// JobCompiling: a worker is compiling (and, for AM mode,
+	// calibrating) the program; skipped on a compile-cache hit.
+	JobCompiling JobState = "compiling"
+	// JobRunning: the simulation is executing.
+	JobRunning JobState = "running"
+	// JobDone: completed; the artifact is in the store.
+	JobDone JobState = "done"
+	// JobAborted: stopped before completion (budget, watchdog, client
+	// cancel, drain, or daemon restart); a partial artifact may exist.
+	JobAborted JobState = "aborted"
+	// JobFailed: the job itself was poisoned — compile/validation error,
+	// static-verification refusal, or a panic (spec materialization or a
+	// simulated-process body, captured as a *sim.PanicError snapshot).
+	JobFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobAborted || s == JobFailed
+}
+
+// SpecLimits are the per-job run budgets a client may request. The
+// server clamps each against its own caps (Options.MaxEventsCap etc.),
+// so a client can tighten but never exceed the operator's bounds.
+type SpecLimits struct {
+	// MaxEvents aborts the run after this many kernel events (0 = server
+	// default).
+	MaxEvents int64 `json:"max_events,omitempty"`
+	// MaxVirtualTime aborts the run past this virtual time in seconds.
+	MaxVirtualTime float64 `json:"max_virtual_time,omitempty"`
+	// StallEvents arms the no-progress watchdog: abort after this many
+	// events without virtual time advancing.
+	StallEvents int64 `json:"stall_events,omitempty"`
+	// WallTimeoutMS bounds host wall-clock time for the run.
+	WallTimeoutMS int64 `json:"wall_timeout_ms,omitempty"`
+}
+
+// JobSpec is the submission body of POST /jobs. Exactly one of App
+// (a registered application) or Program (inline IR pseudocode, the
+// stgdump format) selects the workload.
+type JobSpec struct {
+	// App names a registered application (internal/apps).
+	App string `json:"app,omitempty"`
+	// Program is inline IR program text (see examples/programs/*.ir).
+	Program string `json:"program,omitempty"`
+	// Mode is the evaluation mode: "measured", "de", or "am" (default).
+	Mode string `json:"mode,omitempty"`
+	// Ranks is the target process count.
+	Ranks int `json:"ranks"`
+	// Inputs overrides the program's problem-size parameters (merged
+	// over the app defaults for registered applications).
+	Inputs map[string]float64 `json:"inputs,omitempty"`
+	// Machine names the target machine preset (default "ibmsp").
+	Machine string `json:"machine,omitempty"`
+	// Topology / Placement override the machine's interconnect model
+	// ("bus", "torus:dims=4x4", "fattree:k=4"; "block", "roundrobin",
+	// "random:SEED"). "graph:PATH" is rejected: the daemon does not read
+	// server-side files named by clients.
+	Topology  string `json:"topology,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	// Faults is an inline deterministic fault-injection scenario.
+	Faults *fault.Scenario `json:"faults,omitempty"`
+	// CalRanks sets the AM calibration rank count (default
+	// min(Ranks, 16)).
+	CalRanks int `json:"cal_ranks,omitempty"`
+	// TaskTimes supplies a w_i table directly, skipping calibration.
+	TaskTimes map[string]float64 `json:"task_times,omitempty"`
+	// SkipChecks disables the pre-simulation static verifier.
+	SkipChecks bool `json:"skip_checks,omitempty"`
+	// Limits tightens the per-job run budgets.
+	Limits *SpecLimits `json:"limits,omitempty"`
+}
+
+// maxSpecBytes bounds a submission body; larger requests get 400.
+const maxSpecBytes = 4 << 20
+
+// DecodeSpec strictly decodes a submission body: unknown fields,
+// trailing data and non-finite numbers are errors, never panics. It
+// returns the decoded spec with defaults applied (Normalize).
+func DecodeSpec(data []byte) (*JobSpec, error) {
+	if len(data) > maxSpecBytes {
+		return nil, fmt.Errorf("svc: spec larger than %d bytes", maxSpecBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("svc: malformed spec: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("svc: trailing data after spec")
+	}
+	s.Normalize()
+	return &s, nil
+}
+
+// Normalize fills defaulted fields in place so that hashing and
+// execution see the same spec.
+func (s *JobSpec) Normalize() {
+	if s.Mode == "" {
+		s.Mode = "am"
+	}
+	if s.Machine == "" {
+		s.Machine = "ibmsp"
+	}
+	if s.Topology == "flat" {
+		s.Topology = ""
+	}
+}
+
+// parseProgram parses inline program text, converting parser panics on
+// hostile input into errors (the fuzz contract: malformed submissions
+// must never take the daemon down).
+func parseProgram(src string) (p *ir.Program, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			p, err = nil, fmt.Errorf("program parse panic: %v", v)
+		}
+	}()
+	return ir.Parse(src)
+}
+
+// Validate reports submission-time errors: everything cheap enough to
+// answer 400 synchronously (shape, unknown names, parse errors, bad
+// fault scenarios, out-of-range budgets). maxRanks > 0 caps the target
+// process count. Compile and simulation errors surface later as a
+// `failed` job instead.
+func (s *JobSpec) Validate(maxRanks int) error {
+	switch {
+	case s.App == "" && s.Program == "":
+		return fmt.Errorf("svc: spec needs one of \"app\" or \"program\"")
+	case s.App != "" && s.Program != "":
+		return fmt.Errorf("svc: \"app\" and \"program\" are mutually exclusive")
+	}
+	if s.App != "" {
+		if _, ok := apps.Registry()[s.App]; !ok {
+			return fmt.Errorf("svc: unknown app %q (have %s)", s.App, strings.Join(apps.Names(), ", "))
+		}
+	} else if _, err := parseProgram(s.Program); err != nil {
+		return fmt.Errorf("svc: program: %w", err)
+	}
+	switch s.Mode {
+	case "measured", "de", "am":
+	default:
+		return fmt.Errorf("svc: unknown mode %q (want measured, de, am)", s.Mode)
+	}
+	if s.Ranks < 1 {
+		return fmt.Errorf("svc: ranks must be >= 1 (got %d)", s.Ranks)
+	}
+	if maxRanks > 0 && s.Ranks > maxRanks {
+		return fmt.Errorf("svc: ranks %d beyond server cap %d", s.Ranks, maxRanks)
+	}
+	if s.CalRanks < 0 {
+		return fmt.Errorf("svc: cal_ranks must not be negative")
+	}
+	for k, v := range s.Inputs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("svc: input %q is not finite", k)
+		}
+	}
+	for k, v := range s.TaskTimes {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("svc: task time %q is not a finite non-negative number", k)
+		}
+	}
+	m, err := machine.ByName(s.Machine)
+	if err != nil {
+		return fmt.Errorf("svc: %w", err)
+	}
+	if strings.HasPrefix(s.Topology, "graph:") {
+		return fmt.Errorf("svc: topology %q not accepted over the service (server-side file)", s.Topology)
+	}
+	if s.Topology != "" {
+		m.Topology = s.Topology
+	}
+	if s.Placement != "" {
+		m.Placement = s.Placement
+	}
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("svc: %w", err)
+	}
+	if _, err := net.Build(m, s.Ranks); err != nil {
+		return fmt.Errorf("svc: %w", err)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(s.Ranks); err != nil {
+			return fmt.Errorf("svc: %w", err)
+		}
+	}
+	if l := s.Limits; l != nil {
+		if l.MaxEvents < 0 || l.StallEvents < 0 || l.WallTimeoutMS < 0 {
+			return fmt.Errorf("svc: limits must not be negative")
+		}
+		if l.MaxVirtualTime < 0 || math.IsNaN(l.MaxVirtualTime) || math.IsInf(l.MaxVirtualTime, 0) {
+			return fmt.Errorf("svc: max_virtual_time must be a finite non-negative number")
+		}
+	}
+	return nil
+}
+
+// Hash is the content address of the full submission: sha256 over the
+// canonical JSON encoding of the normalized spec (Go marshals struct
+// fields in declaration order and maps sorted by key, so equal specs
+// hash equally). Two submissions with the same hash produce
+// byte-identical artifacts — the determinism gate in the test suite
+// proves it — which is what lets the artifact cache answer repeats.
+func (s *JobSpec) Hash() string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		// Validate rejects non-finite numbers, the only marshal failure
+		// a spec can carry.
+		data = []byte(fmt.Sprintf("unhashable: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// compileKey content-addresses the compiled program + calibration
+// context: everything that affects compiler output and w_i tables but
+// not the individual run (ranks, faults, budgets stay out).
+func (s *JobSpec) compileKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "app=%s\x00prog=%s\x00machine=%s\x00topo=%s\x00place=%s",
+		s.App, s.Program, s.Machine, s.Topology, s.Placement)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// mode maps the spec's mode string onto core.Mode. Validate has already
+// vetted it.
+func (s *JobSpec) mode() core.Mode {
+	switch s.Mode {
+	case "measured":
+		return core.Measured
+	case "de":
+		return core.DirectExec
+	default:
+		return core.Abstract
+	}
+}
+
+// materialize builds the program, merged inputs and machine model for
+// execution. App default-input builders may panic on unsupported rank
+// counts (e.g. NAS SP on a non-square grid); the worker's panic guard
+// turns that into a failed job rather than a dead daemon.
+func (s *JobSpec) materialize() (*ir.Program, map[string]float64, *machine.Model, error) {
+	var prog *ir.Program
+	inputs := map[string]float64{}
+	if s.App != "" {
+		spec := apps.Registry()[s.App]
+		prog = spec.Build()
+		inputs = spec.Default(s.Ranks)
+	} else {
+		p, err := parseProgram(s.Program)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		prog = p
+	}
+	for k, v := range s.Inputs {
+		inputs[k] = v
+	}
+	m, err := machine.ByName(s.Machine)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if s.Topology != "" {
+		m.Topology = s.Topology
+	}
+	if s.Placement != "" {
+		m.Placement = s.Placement
+	}
+	return prog, inputs, m, nil
+}
+
+// calKey content-addresses a calibration table: the compile context
+// plus the calibration configuration.
+func (s *JobSpec) calKey(calRanks int, inputs map[string]float64) string {
+	keys := make([]string, 0, len(inputs))
+	for k := range inputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00calranks=%d", s.compileKey(), calRanks)
+	for _, k := range keys {
+		fmt.Fprintf(h, "\x00%s=%g", k, inputs[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// effectiveCalRanks resolves the calibration rank count the same way
+// mpisim does: the spec's cal_ranks, else min(ranks, 16).
+func (s *JobSpec) effectiveCalRanks() int {
+	if s.CalRanks > 0 {
+		return s.CalRanks
+	}
+	if s.Ranks > 16 {
+		return 16
+	}
+	return s.Ranks
+}
+
+// wallTimeout returns the requested wall budget as a duration.
+func (l *SpecLimits) wallTimeout() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.WallTimeoutMS) * time.Millisecond
+}

@@ -46,10 +46,14 @@ type Artifact struct {
 	Report *mpi.Report `json:"report"`
 }
 
-// WriteArtifact writes a run artifact as indented JSON.
-func WriteArtifact(path string, a *Artifact) error {
+// EncodeArtifact normalizes the report-derived fields and renders the
+// artifact as indented JSON (with a trailing newline). The bytes are
+// deterministic for a deterministic report, which is what lets the
+// service daemon content-address artifacts and prove cached submissions
+// byte-identical to fresh runs.
+func EncodeArtifact(a *Artifact) ([]byte, error) {
 	if a.Report == nil {
-		return fmt.Errorf("trace: artifact has no report")
+		return nil, fmt.Errorf("trace: artifact has no report")
 	}
 	a.PredictedTime = a.Report.Time
 	a.Ranks = len(a.Report.Ranks)
@@ -57,9 +61,30 @@ func WriteArtifact(path string, a *Artifact) error {
 	a.AbortReason = a.Report.AbortReason
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeArtifact parses artifact bytes produced by EncodeArtifact.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, err
+	}
+	if a.Report == nil {
+		return nil, fmt.Errorf("trace: artifact has no report")
+	}
+	return &a, nil
+}
+
+// WriteArtifact writes a run artifact as indented JSON.
+func WriteArtifact(path string, a *Artifact) error {
+	data, err := EncodeArtifact(a)
+	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(path, data, 0o644)
 }
 
 // PartialWarning renders the one-line warning mpireport prints for a
@@ -90,12 +115,9 @@ func ReadArtifact(path string) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	var a Artifact
-	if err := json.Unmarshal(data, &a); err != nil {
+	a, err := DecodeArtifact(data)
+	if err != nil {
 		return nil, fmt.Errorf("trace: %s: %w", path, err)
 	}
-	if a.Report == nil {
-		return nil, fmt.Errorf("trace: %s: artifact has no report", path)
-	}
-	return &a, nil
+	return a, nil
 }

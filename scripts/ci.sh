@@ -20,21 +20,31 @@
 #      (/healthz /run /series /events, JSON/SSE validated by
 #      tools/obsprobe) and a profiler smoke (mpisim -profile output must
 #      parse with go tool pprof)
-#  10. fault determinism gate: same fault seed -> byte-identical report,
+#  10. service gates: determinism (cached vs fresh artifacts
+#      byte-identical, the cache index rebuilt from the journal) and
+#      crash recovery (kill mid-run, restart under both policies,
+#      orphaned-artifact sweep) tests over internal/svc
+#  11. daemon smoke: boot mpisimd on a scratch directory, submit with
+#      simdctl, poll to done, fetch the artifact, resubmit and require
+#      the cached answer byte-identical, probe the per-job obs plane,
+#      then SIGTERM with a job still running and require a graceful
+#      drain (clean exit 0, abort journaled)
+#  12. fault determinism gate: same fault seed -> byte-identical report,
 #      across host worker counts
-#  11. fuzz smoke: 10s of randomized fault schedules against the kernel
-#      and MPI layer (no panics, accounting invariants hold)
-#  12. fault-layer overhead gate: with the watchdog armed the kernel must
+#  13. fuzz smoke: 10s of randomized fault schedules against the kernel
+#      and MPI layer, plus 10s of hostile job-submission bodies against
+#      the daemon's decoder (no panics, malformed input never enqueues)
+#  14. fault-layer overhead gate: with the watchdog armed the kernel must
 #      stay within 15% of the guard-disabled kernel measured in the same
 #      process (within-run pair, immune to host drift)
-#  13. network determinism gate: topology-aware runs (bus, torus,
+#  15. network determinism gate: topology-aware runs (bus, torus,
 #      fat-tree) are byte-identical across host worker counts
-#  14. example network configs: every examples/networks/*.json passes
+#  16. example network configs: every examples/networks/*.json passes
 #      the mpicheck netconfig pass
-#  15. network overhead gate: flat topology (the seed-compatible fast
+#  17. network overhead gate: flat topology (the seed-compatible fast
 #      path) must stay within 2% events/sec of topology-off measured in
 #      the same runs
-#  16. kernel throughput gate: the full BenchmarkKernel suite (through
+#  18. kernel throughput gate: the full BenchmarkKernel suite (through
 #      procs=16384 on the short path; KernelNet included) vs the recorded
 #      BENCH_kernel.json at a 25% tolerance — best-of-3 samples of
 #      identical code land ±20% apart across sessions on this host, so
@@ -66,8 +76,8 @@ go vet ./...
 echo "== tests"
 go test ./...
 
-echo "== race (sim kernel + MPI layer + observability + fault injection + network + core + interpreter)"
-go test -race ./internal/sim/ ./internal/mpi/ ./internal/obs/ ./internal/fault/ ./internal/net/ ./internal/core/ ./internal/interp/
+echo "== race (sim kernel + MPI layer + observability + fault injection + network + core + interpreter + service)"
+go test -race ./internal/sim/ ./internal/mpi/ ./internal/obs/ ./internal/fault/ ./internal/net/ ./internal/core/ ./internal/interp/ ./internal/svc/
 
 echo "== simvet static-analysis suite"
 bin=$(mktemp -d)
@@ -156,6 +166,43 @@ go build -o "$bin/mpisim" ./cmd/mpisim
 go tool pprof -top -nodecount=5 "$bin/prof.pb.gz" >/dev/null
 echo "profiler smoke: go tool pprof parsed $bin/prof.pb.gz"
 
+echo "== service determinism + crash-recovery gate"
+go test -count=1 -run 'TestCachedVsFresh|TestCacheSurvivesRestart|TestCrashRecovery|TestDrain|TestJournal|TestStore' ./internal/svc/
+
+echo "== daemon smoke (mpisimd + simdctl)"
+go build -o "$bin/mpisimd" ./cmd/mpisimd
+go build -o "$bin/simdctl" ./tools/simdctl
+simaddr=127.0.0.1:6075
+simdir="$bin/mpisimd-data"
+"$bin/mpisimd" -addr "$simaddr" -dir "$simdir" -q &
+simd_pid=$!
+"$bin/obsprobe" -retry 5s -require status,jobs,queue_depth "http://$simaddr/healthz"
+quickjob='{"app":"sample","mode":"measured","ranks":4,"inputs":{"PATTERN":2,"ITERS":50,"WORK":100,"MSG":64}}'
+job=$("$bin/simdctl" -addr "$simaddr" submit "$quickjob" |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$job" ] || { echo "daemon smoke: submit returned no job id" >&2; exit 1; }
+"$bin/simdctl" -addr "$simaddr" wait "$job" >/dev/null
+"$bin/simdctl" -addr "$simaddr" artifact "$job" >"$bin/artifact1.json"
+grep -q '"report"' "$bin/artifact1.json"
+"$bin/obsprobe" -require state,percent,events "http://$simaddr/jobs/$job/obs/run"
+"$bin/obsprobe" -require status,state "http://$simaddr/jobs/$job/obs/healthz"
+# Resubmit the identical spec: must be answered from the artifact cache,
+# byte-identical to the fresh run.
+job2=$("$bin/simdctl" -addr "$simaddr" submit "$quickjob" |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1)
+"$bin/simdctl" -addr "$simaddr" wait "$job2" >/dev/null
+"$bin/simdctl" -addr "$simaddr" artifact "$job2" >"$bin/artifact2.json"
+cmp "$bin/artifact1.json" "$bin/artifact2.json"
+# Graceful drain: SIGTERM with a long job still running must cancel it,
+# journal the abort, and exit 0.
+longjob='{"app":"sample","mode":"measured","ranks":4,"inputs":{"PATTERN":2,"ITERS":500000,"WORK":100,"MSG":64}}'
+"$bin/simdctl" -addr "$simaddr" submit "$longjob" >/dev/null
+sleep 1
+kill -TERM "$simd_pid"
+wait "$simd_pid"
+grep -q '"state":"aborted"' "$simdir/journal.jsonl"
+echo "daemon smoke: submit/wait/artifact/cache/obs/drain OK"
+
 echo "== fault determinism gate"
 go test -count=1 -run 'TestFaultDeterminism' ./internal/mpi/
 
@@ -168,8 +215,9 @@ for f in examples/networks/*.json; do
         -ranks 8 -netjson "$f" -min warning
 done
 
-echo "== fuzz smoke (randomized fault schedules)"
+echo "== fuzz smoke (randomized fault schedules + hostile job submissions)"
 go test -fuzz 'FuzzFaultSchedules' -fuzztime 10s -run '^$' ./internal/mpi/
+go test -fuzz 'FuzzDecodeSpec' -fuzztime 10s -run '^$' ./internal/svc/
 
 echo "== fault-layer overhead gate"
 { for i in 1 2 3; do

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,19 +46,36 @@ func main() {
 }
 
 func probe(url string, timeout, retry time.Duration, require string, sse bool) error {
-	client := &http.Client{Timeout: timeout}
-	deadline := time.Now().Add(retry)
+	// -timeout is a hard overall deadline: connection, retries, headers
+	// AND body/stream reads all run under one context, so a server that
+	// accepts the connection and then stalls — the failure mode an SSE
+	// probe is most exposed to, since it waits for a first data frame
+	// that may never come — still turns into a nonzero exit at the
+	// deadline instead of a hung CI job.
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	retryUntil := time.Now().Add(retry)
 	var resp *http.Response
 	for {
-		var err error
-		resp, err = client.Get(url)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err = http.DefaultClient.Do(req)
 		if err == nil {
 			break
 		}
-		if time.Now().After(deadline) {
+		if ctx.Err() != nil {
+			return fmt.Errorf("hard deadline (%v) exceeded: %w", timeout, err)
+		}
+		if time.Now().After(retryUntil) {
 			return err
 		}
-		time.Sleep(100 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("hard deadline (%v) exceeded: %w", timeout, ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestProbeTimesOutOnStalledSSE covers the failure mode the hard
+// deadline exists for: a server that speaks just enough SSE to get past
+// the headers, then never emits a data frame. The probe must give up at
+// -timeout with an error instead of hanging the CI job.
+func TestProbeTimesOutOnStalledSSE(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		select { // stall: headers out, no frames, ever
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+
+	start := time.Now()
+	err := probe(srv.URL, 300*time.Millisecond, 0, "", true)
+	if err == nil {
+		t.Fatal("probe returned nil on a stalled SSE stream")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("probe took %v to give up; the deadline is not hard", elapsed)
+	}
+}
+
+// TestProbeTimesOutOnStalledHeaders stalls even earlier: the connection
+// is accepted but no response ever arrives.
+func TestProbeTimesOutOnStalledHeaders(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+
+	start := time.Now()
+	err := probe(srv.URL, 300*time.Millisecond, 0, "", false)
+	if err == nil {
+		t.Fatal("probe returned nil on a server that never responded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("probe took %v to give up; the deadline is not hard", elapsed)
+	}
+}
+
+// TestProbeRetryBoundedByDeadline ensures -retry (connection-error
+// retries for servers still starting) cannot outlive the hard deadline.
+func TestProbeRetryBoundedByDeadline(t *testing.T) {
+	start := time.Now()
+	// Nothing listens on this port (reserved, then closed, by httptest).
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	err := probe(url, 300*time.Millisecond, 30*time.Second, "", false)
+	if err == nil {
+		t.Fatal("probe returned nil for a dead server")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("probe retried for %v; -retry must be bounded by -timeout", elapsed)
+	}
+}
+
+// TestProbeStillPassesOnHealthyEndpoints guards against the deadline
+// rework breaking the success paths.
+func TestProbeStillPassesOnHealthyEndpoints(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","state":"running"}`)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "data: {\"events\":1}\n\n")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if err := probe(srv.URL+"/healthz", 5*time.Second, 0, "status,state", false); err != nil {
+		t.Fatalf("healthy JSON probe failed: %v", err)
+	}
+	if err := probe(srv.URL+"/events", 5*time.Second, 0, "events", true); err != nil {
+		t.Fatalf("healthy SSE probe failed: %v", err)
+	}
+}

@@ -1,0 +1,163 @@
+// Command simdctl is the scriptable client for mpisimd, used by
+// scripts/ci.sh's daemon smoke gate and handy interactively. Each
+// subcommand is one HTTP exchange (plus polling for wait):
+//
+//	simdctl -addr 127.0.0.1:6080 submit '{"app":"sample","ranks":16}'
+//	simdctl -addr 127.0.0.1:6080 submit @job.json
+//	simdctl -addr 127.0.0.1:6080 wait j000001-ab12cd34
+//	simdctl -addr 127.0.0.1:6080 artifact j000001-ab12cd34
+//	simdctl -addr 127.0.0.1:6080 health
+//
+// submit prints the created job's JSON view (its .id on the first
+// line's "id" field); wait polls until the job is terminal and exits 0
+// only for state done; artifact streams the artifact JSON to stdout;
+// health prints /healthz. Non-2xx responses and non-done terminal
+// states exit nonzero with the server's diagnostic on stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:6080", "mpisimd address")
+		timeout = flag.Duration("timeout", 120*time.Second, "overall deadline for the subcommand")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "simdctl: usage: simdctl [flags] submit|wait|artifact|cancel|health [arg]")
+		os.Exit(2)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	base := "http://" + *addr
+	var err error
+	switch cmd, arg := flag.Arg(0), flag.Arg(1); cmd {
+	case "submit":
+		err = submit(ctx, base, arg)
+	case "wait":
+		err = wait(ctx, base, arg)
+	case "artifact":
+		err = get(ctx, base+"/jobs/"+arg+"/artifact")
+	case "cancel":
+		err = post(ctx, base+"/jobs/"+arg+"/cancel", nil)
+	case "health":
+		err = get(ctx, base+"/healthz")
+	default:
+		err = fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simdctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// readSpec resolves the submit argument: inline JSON, @file, or "-"
+// for stdin.
+func readSpec(arg string) ([]byte, error) {
+	switch {
+	case arg == "":
+		return nil, fmt.Errorf("submit needs a spec: inline JSON, @file, or -")
+	case arg == "-":
+		return io.ReadAll(os.Stdin)
+	case strings.HasPrefix(arg, "@"):
+		return os.ReadFile(arg[1:])
+	default:
+		return []byte(arg), nil
+	}
+}
+
+func submit(ctx context.Context, base, arg string) error {
+	spec, err := readSpec(arg)
+	if err != nil {
+		return err
+	}
+	return post(ctx, base+"/jobs", spec)
+}
+
+// wait polls the job until it reaches a terminal state; only "done"
+// exits 0, so scripts can chain with set -e.
+func wait(ctx context.Context, base, id string) error {
+	if id == "" {
+		return fmt.Errorf("wait needs a job id")
+	}
+	for {
+		body, err := fetch(ctx, http.MethodGet, base+"/jobs/"+id, nil)
+		if err != nil {
+			return err
+		}
+		var v struct {
+			State string  `json:"state"`
+			Error string  `json:"error"`
+			Prog  float64 `json:"progress"`
+		}
+		if err := json.Unmarshal(body, &v); err != nil {
+			return fmt.Errorf("bad job view: %v", err)
+		}
+		switch v.State {
+		case "done":
+			os.Stdout.Write(body)
+			return nil
+		case "aborted", "failed":
+			os.Stdout.Write(body)
+			return fmt.Errorf("job %s %s: %s", id, v.State, v.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("job %s still %s at deadline", id, v.State)
+		case <-time.After(150 * time.Millisecond):
+		}
+	}
+}
+
+func get(ctx context.Context, url string) error { return run(ctx, http.MethodGet, url, nil) }
+func post(ctx context.Context, url string, body []byte) error {
+	return run(ctx, http.MethodPost, url, body)
+}
+
+func run(ctx context.Context, method, url string, body []byte) error {
+	data, err := fetch(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	return nil
+}
+
+// fetch performs one exchange and returns the body; non-2xx is an
+// error carrying the server's diagnostic.
+func fetch(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}
