@@ -278,13 +278,19 @@ func run() error {
 	runCtx, cancelRun := context.WithCancel(context.Background())
 	defer cancelRun()
 	go func() {
-		sig, ok := <-sigCh
-		if !ok {
-			return
-		}
+		sig := <-sigCh
 		fmt.Fprintf(os.Stderr, "mpisim: %v: cancelling run, partial results follow (repeat to force-quit)\n", sig)
 		cancelRun()
-		signal.Stop(sigCh) // second signal: default disposition, process dies
+		// Keep receiving so a second signal — even one delivered while
+		// the first was being handled — force-quits unconditionally
+		// instead of relying on restoring the default disposition.
+		sig = <-sigCh
+		fmt.Fprintf(os.Stderr, "mpisim: %v: force quit\n", sig)
+		code := 1
+		if s, ok := sig.(syscall.Signal); ok {
+			code = 128 + int(s)
+		}
+		os.Exit(code)
 	}()
 	r.Ctx = runCtx
 

@@ -26,6 +26,9 @@ type job struct {
 	id       string
 	spec     *JobSpec
 	specHash string
+	// workload is the app name or the inline program's name, resolved
+	// once at construction so view() never re-parses the program text.
+	workload string
 
 	// Per-run telemetry plane, mounted at /jobs/{id}/obs/*.
 	reg *obs.Registry
@@ -54,8 +57,16 @@ func newJob(id string, spec *JobSpec, hash string, hostWorkers int) *job {
 	tl := obs.NewTimeline(reg, obs.TimelineOptions{})
 	tl.SetEnabled(true)
 	ri := obs.NewRunInfo()
+	name := spec.App
+	if name == "" {
+		if p, err := parseProgram(spec.Program); err == nil {
+			name = p.Name
+		} else {
+			name = "program"
+		}
+	}
 	j := &job{
-		id: id, spec: spec, specHash: hash,
+		id: id, spec: spec, specHash: hash, workload: name,
 		reg: reg, tl: tl, ri: ri,
 		state:     JobPending,
 		submitted: time.Now(),
@@ -145,17 +156,9 @@ type JobView struct {
 func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	name := j.spec.App
-	if name == "" {
-		if p, err := parseProgram(j.spec.Program); err == nil {
-			name = p.Name
-		} else {
-			name = "program"
-		}
-	}
 	v := JobView{
 		ID: j.id, State: j.state, SpecHash: j.specHash,
-		Workload: name, Mode: j.spec.Mode, Ranks: j.spec.Ranks,
+		Workload: j.workload, Mode: j.spec.Mode, Ranks: j.spec.Ranks,
 		Progress: -1, Cached: j.cached, Error: j.errText,
 		Artifact: j.artifact, Snapshot: j.snapshot,
 		ObsURL:      "/jobs/" + j.id + "/obs/",
@@ -348,6 +351,10 @@ func (s *Server) finishJob(j *job, r *core.Runner, rep *mpi.Report, runErr error
 			rec.Progress = s.runProgress(j)
 			if _, hash, err := s.persistArtifact(j, r, rep, inputs, rec.Progress); err == nil {
 				rec.Artifact = hash
+			} else {
+				// The abort still journals, but the partial artifact is
+				// lost; the operator needs to know why.
+				s.logf("svc: %s: partial artifact not persisted: %v", j.id, err)
 			}
 		}
 		s.transition(j, rec)

@@ -2,8 +2,10 @@ package svc
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -62,12 +64,26 @@ const journalName = "journal.jsonl"
 
 // OpenJournal opens (creating if needed) the journal in dir for
 // appending. nextSeq must be one past the highest replayed sequence
-// number (1 for a fresh directory). sync enables per-record fsync.
-func OpenJournal(dir string, nextSeq int64, sync bool) (*Journal, error) {
+// number (1 for a fresh directory), and intactSize the byte length of
+// the intact prefix both as reported by ReplayJournal (0 for a fresh
+// directory). Any torn tail beyond intactSize — the residue of a crash
+// mid-append — is truncated away before the first append, so a
+// recovered daemon never concatenates a new record onto a torn
+// fragment. sync enables per-record fsync.
+func OpenJournal(dir string, nextSeq, intactSize int64, sync bool) (*Journal, error) {
 	f, err := os.OpenFile(filepath.Join(dir, journalName),
 		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, err
+	} else if fi.Size() > intactSize {
+		if err := f.Truncate(intactSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("svc: journal truncate torn tail: %w", err)
+		}
 	}
 	return &Journal{f: f, seq: nextSeq - 1, fsync: sync}, nil
 }
@@ -113,46 +129,64 @@ func (j *Journal) Close() error {
 
 // ReplayJournal reads every intact record from dir's journal, oldest
 // first. A missing journal is an empty one. A torn final line — the
-// signature of a crash mid-append — is dropped; a malformed line
-// followed by further intact lines is corruption and fails the replay.
-// The second result is the next sequence number to append with.
-func ReplayJournal(dir string) ([]Record, int64, error) {
+// signature of a crash mid-append — is dropped; so is a final line
+// missing its newline even when it parses, because Append writes
+// record+newline in one write and an unterminated record was never
+// acknowledged. A malformed line followed by further intact lines is
+// corruption and fails the replay. The second result is the next
+// sequence number to append with; the third is the byte length of the
+// intact prefix, which OpenJournal truncates to before appending.
+func ReplayJournal(dir string) ([]Record, int64, int64, error) {
 	f, err := os.Open(filepath.Join(dir, journalName))
 	if os.IsNotExist(err) {
-		return nil, 1, nil
+		return nil, 1, 0, nil
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer f.Close()
 	var recs []Record
+	var off, intact int64
 	var badLine int
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), maxSpecBytes+64*1024)
+	br := bufio.NewReaderSize(f, 64*1024)
 	line := 0
-	for sc.Scan() {
-		line++
-		text := sc.Bytes()
-		if len(text) == 0 {
-			continue
+	for {
+		text, rerr := br.ReadBytes('\n')
+		if len(text) > 0 {
+			line++
+			terminated := text[len(text)-1] == '\n'
+			body := bytes.TrimSuffix(text, []byte("\n"))
+			body = bytes.TrimSuffix(body, []byte("\r"))
+			switch {
+			case len(body) == 0:
+				// Blank line: harmless, stays inside the intact prefix.
+				if badLine == 0 && terminated {
+					intact = off + int64(len(text))
+				}
+			case badLine != 0:
+				return nil, 0, 0, fmt.Errorf("svc: journal corrupt at line %d (intact records follow)", badLine)
+			default:
+				var rec Record
+				if err := json.Unmarshal(body, &rec); err != nil || !terminated {
+					// Tolerated only as the final line (torn append).
+					badLine = line
+				} else {
+					recs = append(recs, rec)
+					intact = off + int64(len(text))
+				}
+			}
+			off += int64(len(text))
 		}
-		if badLine != 0 {
-			return nil, 0, fmt.Errorf("svc: journal corrupt at line %d (intact records follow)", badLine)
+		if rerr != nil {
+			if rerr == io.EOF {
+				break
+			}
+			return nil, 0, 0, fmt.Errorf("svc: journal read: %w", rerr)
 		}
-		var rec Record
-		if err := json.Unmarshal(text, &rec); err != nil {
-			// Tolerated only as the final line (torn append).
-			badLine = line
-			continue
-		}
-		recs = append(recs, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("svc: journal read: %w", err)
 	}
 	next := int64(1)
 	if n := len(recs); n > 0 {
 		next = recs[n-1].Seq + 1
 	}
-	return recs, next, nil
+	return recs, next, intact, nil
 }

@@ -202,10 +202,13 @@ func TestCrashRecoveryAbort(t *testing.T) {
 }
 
 // TestJournalTornFinalLine: a crash mid-append leaves a torn last line;
-// replay drops it and keeps every intact record.
+// replay drops it and keeps every intact record, and reopening for
+// append truncates the torn fragment so records written by the
+// recovered daemon land on a fresh line — a second restart must replay
+// cleanly, not reject the journal as corrupt.
 func TestJournalTornFinalLine(t *testing.T) {
 	dir := t.TempDir()
-	j, err := OpenJournal(dir, 1, false)
+	j, err := OpenJournal(dir, 1, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,17 +230,96 @@ func TestJournalTornFinalLine(t *testing.T) {
 	f.WriteString(`{"seq":3,"id":"j1","state":"do`) // torn mid-record
 	f.Close()
 
-	recs, next, err := ReplayJournal(dir)
+	recs, next, intact, err := ReplayJournal(dir)
 	if err != nil {
 		t.Fatalf("replay with torn final line: %v", err)
 	}
 	if len(recs) != 2 || next != 3 {
 		t.Fatalf("replay = %d records, next %d; want 2, 3", len(recs), next)
 	}
-	// And a server starts on it, resolving the interrupted job.
+	// A server starts on it, resolving the interrupted job — and its
+	// abort record goes after the truncated-away torn fragment.
 	srv := newTestServer(t, Options{Dir: dir, Recover: RecoverAbort})
 	if v := srv.Jobs(); len(v) != 1 || v[0].State != JobAborted {
 		t.Fatalf("recovered jobs = %+v", v)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, journalName)); err != nil {
+		t.Fatal(err)
+	} else if fi.Size() <= intact {
+		t.Fatalf("journal size %d after recovery append, want > intact prefix %d", fi.Size(), intact)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Second restart cycle: the journal must be every-line intact.
+	recs2, _, _, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatalf("replay after recovery appended past a torn tail: %v", err)
+	}
+	if n := len(recs2); n != 3 {
+		t.Fatalf("second replay = %d records, want 3 (pending, running, aborted)", n)
+	}
+	if last := recs2[len(recs2)-1]; last.State != JobAborted {
+		t.Fatalf("last recovered record state = %s, want aborted", last.State)
+	}
+}
+
+// TestJournalUnterminatedFinalRecord: a final line that parses but has
+// no trailing newline is a torn append (the writer emits record+newline
+// in one write); replay drops it and the truncation point excludes it.
+func TestJournalUnterminatedFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 1, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := DecodeSpec([]byte(`{"app":"sample","ranks":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Record{ID: "j1", State: JobPending, Spec: spec, SpecHash: spec.Hash()}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	fi, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":2,"id":"j1","state":"running"}`) // valid JSON, newline never landed
+	f.Close()
+
+	recs, next, intact, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatalf("replay with unterminated final record: %v", err)
+	}
+	if len(recs) != 1 || next != 2 {
+		t.Fatalf("replay = %d records, next %d; want 1, 2", len(recs), next)
+	}
+	if intact != fi.Size() {
+		t.Fatalf("intact prefix = %d, want %d (end of last newline-terminated record)", intact, fi.Size())
+	}
+	// Reopening truncates the unterminated tail; the next append starts
+	// a fresh line and a further replay sees both records intact.
+	j2, err := OpenJournal(dir, next, intact, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(&Record{ID: "j1", State: JobAborted, Error: "interrupted"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	recs2, _, _, err := ReplayJournal(dir)
+	if err != nil {
+		t.Fatalf("replay after truncate+append: %v", err)
+	}
+	if len(recs2) != 2 || recs2[1].State != JobAborted {
+		t.Fatalf("second replay = %+v, want pending then aborted", recs2)
 	}
 }
 
@@ -245,7 +327,7 @@ func TestJournalTornFinalLine(t *testing.T) {
 // after it is real corruption, not a torn append; replay must refuse.
 func TestJournalMidFileCorruption(t *testing.T) {
 	dir := t.TempDir()
-	j, err := OpenJournal(dir, 1, false)
+	j, err := OpenJournal(dir, 1, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +338,7 @@ func TestJournalMidFileCorruption(t *testing.T) {
 	data, _ := os.ReadFile(path)
 	data = append([]byte("GARBAGE NOT JSON\n"), data...)
 	os.WriteFile(path, data, 0o644)
-	if _, _, err := ReplayJournal(dir); err == nil {
+	if _, _, _, err := ReplayJournal(dir); err == nil {
 		t.Fatal("replay accepted mid-file corruption")
 	}
 }

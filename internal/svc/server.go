@@ -121,7 +121,12 @@ type Server struct {
 	order    []string
 	cacheIdx map[string]string // spec hash -> artifact hash (done jobs)
 	jobNum   int64
-	draining bool
+	// reserving counts submissions that passed the admission check but
+	// have not yet sent to the queue (their journal append runs outside
+	// mu). The invariant len(queue)+reserving <= QueueCap guarantees the
+	// post-append send never blocks.
+	reserving int
+	draining  bool
 	crashed  atomic.Bool // test hook: simulate an unclean death (outside mu: append runs both with and without it held)
 }
 
@@ -136,7 +141,7 @@ func NewServer(opts Options) (*Server, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	recs, nextSeq, err := ReplayJournal(opts.Dir)
+	recs, nextSeq, intactSize, err := ReplayJournal(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +153,7 @@ func NewServer(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	journal, err := OpenJournal(opts.Dir, nextSeq, !opts.NoSync)
+	journal, err := OpenJournal(opts.Dir, nextSeq, intactSize, !opts.NoSync)
 	if err != nil {
 		return nil, err
 	}
@@ -400,7 +405,10 @@ func (s *Server) retryAfterSeconds() string {
 
 // handleSubmit is POST /jobs: decode strictly, validate cheaply,
 // admission-check, journal write-ahead, then either answer from the
-// artifact cache or enqueue.
+// artifact cache or enqueue. The fsynced journal append runs outside
+// s.mu — a reservation taken under the lock holds the queue slot — so
+// concurrent submissions and the read-only handlers never serialize on
+// a disk sync.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
@@ -418,6 +426,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	hash := spec.Hash()
 
+	// The store stat is a disk access; take it before the lock. Cache
+	// index entries are only ever added, never removed, so a hit seen
+	// here stays valid.
+	s.mu.Lock()
+	cachedArtifact := s.cacheIdx[hash]
+	s.mu.Unlock()
+	cacheHit := cachedArtifact != "" && s.store.Has(cachedArtifact)
+
+	// Admission: reserve a queue slot (or confirm the cache hit) under
+	// the lock, without journaling yet.
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -425,29 +443,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "draining: not admitting new jobs")
 		return
 	}
-	cachedArtifact, cacheHit := s.cacheIdx[hash]
-	if cacheHit {
-		cacheHit = s.store.Has(cachedArtifact)
-	}
-	if !cacheHit && len(s.queue) >= s.opts.QueueCap {
-		depth := len(s.queue)
+	if !cacheHit && len(s.queue)+s.reserving >= s.opts.QueueCap {
+		depth := len(s.queue) + s.reserving
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		httpError(w, http.StatusTooManyRequests,
 			"admission queue full (%d queued); retry later", depth)
 		return
 	}
+	if !cacheHit {
+		s.reserving++
+	}
 	s.jobNum++
 	id := fmt.Sprintf("j%06d-%s", s.jobNum, hash[:8])
 	j := newJob(id, spec, hash, s.opts.HostWorkers)
-	if err := s.append(&Record{ID: id, State: JobPending, Spec: spec, SpecHash: hash}); err != nil {
-		s.jobNum--
+	s.mu.Unlock()
+
+	// Write-ahead barrier, outside the lock.
+	appendErr := s.append(&Record{ID: id, State: JobPending, Spec: spec, SpecHash: hash})
+
+	// Publish the job (or release the reservation on journal failure).
+	s.mu.Lock()
+	if !cacheHit {
+		s.reserving--
+	}
+	if appendErr != nil {
+		// The job was never published; its number stays burned so IDs
+		// taken by concurrent submissions remain unique.
 		s.mu.Unlock()
-		httpError(w, http.StatusInternalServerError, "journal: %v", err)
+		httpError(w, http.StatusInternalServerError, "journal: %v", appendErr)
 		return
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	if !cacheHit {
+		// Cannot block: the reservation held this slot until now, and
+		// reservation-to-send happens atomically under mu.
+		s.queue <- j
+	}
+	s.mu.Unlock()
+
 	if cacheHit {
 		rec := &Record{ID: id, State: JobDone, Artifact: cachedArtifact,
 			Progress: 1, Cached: true}
@@ -456,9 +491,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.ri.Finish(JobDone.runState(), 0, "")
 		} else {
 			// The cache answer could not be journaled; fall back to a
-			// real run so the journal stays authoritative. The send must
-			// not block under s.mu (cache hits skip the depth check), so
-			// a full queue fails the job instead.
+			// real run so the journal stays authoritative. Cache hits
+			// skip the depth check, so a full queue fails the job
+			// instead of blocking.
 			select {
 			case s.queue <- j:
 			default:
@@ -468,10 +503,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				j.apply(frec)
 			}
 		}
-	} else {
-		s.queue <- j
 	}
-	s.mu.Unlock()
 
 	v := j.view()
 	w.Header().Set("Location", "/jobs/"+id)
