@@ -47,19 +47,30 @@ func OpMin(acc, in []float64) {
 // collPhase records the rank's participation interval in a primitive
 // collective when tracing is enabled. Use as
 //
-//	defer r.collPhase(name, r.Now())()
+//	defer r.collPhase(name, r.Now(), bytes)()
 //
-// so the interval closes when the collective returns. Zero-length
-// intervals (e.g. single-rank worlds) are dropped.
-func (r *Rank) collPhase(name string, start float64) func() {
+// so the interval closes when the collective returns. bytes is the
+// rank's payload contribution, carried into the exported trace.
+// Zero-length intervals (e.g. single-rank worlds) are dropped.
+func (r *Rank) collPhase(name string, start float64, bytes int64) func() {
 	if !r.world.cfg.CollectTrace {
 		return func() {}
 	}
 	return func() {
 		if end := r.Now(); end > start {
-			r.collPhases = append(r.collPhases, CollPhase{Name: name, Start: start, End: end})
+			r.collPhases = append(r.collPhases, CollPhase{Name: name, Start: start, End: end, Bytes: bytes})
 		}
 	}
+}
+
+// chunkBytes sums the byte sizes of per-destination chunks (the payload
+// a rank feeds into a variable-size collective).
+func chunkBytes(chunks [][]float64) int64 {
+	var total int64
+	for _, c := range chunks {
+		total += int64(len(c)) * 8
+	}
+	return total
 }
 
 // ceilLog2 returns ceil(log2(p)) for p >= 1.
@@ -108,11 +119,11 @@ func (r *Rank) Bcast(root int, data []float64, size int64) []float64 {
 		panic(fmt.Sprintf("mpi: Bcast root %d out of range", root))
 	}
 	r.collectives++
-	defer r.collPhase("bcast", r.Now())()
+	bytes := collBytes(data, size)
+	defer r.collPhase("bcast", r.Now(), bytes)()
 	if p == 1 {
 		return data
 	}
-	bytes := collBytes(data, size)
 	if r.abstractColl(ceilLog2(p), bytes) {
 		return data
 	}
@@ -158,11 +169,11 @@ func (r *Rank) Reduce(root int, data []float64, size int64, op ReduceOp) []float
 		panic(fmt.Sprintf("mpi: Reduce root %d out of range", root))
 	}
 	r.collectives++
-	defer r.collPhase("reduce", r.Now())()
+	bytes := collBytes(data, size)
+	defer r.collPhase("reduce", r.Now(), bytes)()
 	if p == 1 {
 		return cloneVec(data)
 	}
-	bytes := collBytes(data, size)
 	if r.abstractColl(ceilLog2(p), bytes) {
 		if r.rank == root {
 			return cloneVec(data)
@@ -219,8 +230,8 @@ func (r *Rank) Barrier() {
 func (r *Rank) Gather(root int, data []float64, size int64) [][]float64 {
 	p := r.Size()
 	r.collectives++
-	defer r.collPhase("gather", r.Now())()
 	bytes := collBytes(data, size)
+	defer r.collPhase("gather", r.Now(), bytes)()
 	if r.abstractColl(float64(p-1), bytes) {
 		return nil
 	}
@@ -252,7 +263,11 @@ func (r *Rank) Gather(root int, data []float64, size int64) [][]float64 {
 func (r *Rank) Scatter(root int, chunks [][]float64, size int64) []float64 {
 	p := r.Size()
 	r.collectives++
-	defer r.collPhase("scatter", r.Now())()
+	phaseBytes := size
+	if chunks != nil && r.rank == root {
+		phaseBytes = chunkBytes(chunks)
+	}
+	defer r.collPhase("scatter", r.Now(), phaseBytes)()
 	if r.abstractColl(float64(p-1), size) {
 		if chunks != nil && r.rank == root {
 			return chunks[root]
@@ -289,13 +304,13 @@ func (r *Rank) Scatter(root int, chunks [][]float64, size int64) []float64 {
 func (r *Rank) Allgather(data []float64, size int64) [][]float64 {
 	p := r.Size()
 	r.collectives++
-	defer r.collPhase("allgather", r.Now())()
+	bytes := collBytes(data, size)
+	defer r.collPhase("allgather", r.Now(), bytes)()
 	out := make([][]float64, p)
 	out[r.rank] = cloneVec(data)
 	if p == 1 {
 		return out
 	}
-	bytes := collBytes(data, size)
 	if r.abstractColl(float64(p-1), bytes) {
 		return out
 	}
@@ -325,7 +340,11 @@ func (r *Rank) Allgather(data []float64, size int64) [][]float64 {
 func (r *Rank) Alltoall(chunks [][]float64, size int64) [][]float64 {
 	p := r.Size()
 	r.collectives++
-	defer r.collPhase("alltoall", r.Now())()
+	phaseBytes := size * int64(p)
+	if chunks != nil {
+		phaseBytes = chunkBytes(chunks)
+	}
+	defer r.collPhase("alltoall", r.Now(), phaseBytes)()
 	out := make([][]float64, p)
 	if chunks != nil {
 		out[r.rank] = chunks[r.rank]

@@ -213,6 +213,11 @@ type CollPhase struct {
 	Name string
 	// Start and End bound the rank's participation in seconds.
 	Start, End float64
+	// Bytes is the payload this rank contributed to the collective: the
+	// resolved per-participant size (real data wins over the declared
+	// size), summed over per-destination chunks for the variable-size
+	// collectives (scatter at the root, alltoall).
+	Bytes int64 `json:",omitempty"`
 }
 
 // RankStats extends the kernel's per-process statistics with MPI-level

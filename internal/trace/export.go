@@ -37,11 +37,15 @@ func Export(t *obs.Tracer, rep *mpi.Report) error {
 	for rank, evs := range rep.CommEvents {
 		for _, ev := range evs {
 			flowID++
+			// Every transfer in this simulator is eager/buffered (Send
+			// returns after the sender overhead); the mode annotation makes
+			// the exported stream self-describing for replay consumers.
 			args := []obs.Arg{
 				obs.Num("src", float64(ev.From)),
 				obs.Num("dst", float64(rank)),
 				obs.Num("tag", float64(ev.Tag)),
 				obs.Num("bytes", float64(ev.Size)),
+				obs.Str("mode", "eager"),
 			}
 			// Topology runs annotate routed messages with their hop count
 			// and contention wait; flat runs emit the seed args unchanged.
@@ -60,7 +64,7 @@ func Export(t *obs.Tracer, rep *mpi.Report) error {
 		for n, ph := range phases {
 			id := uint64(rank)<<20 | uint64(n)
 			t.Async(obs.PlaneSimulated, rank, id, "collective", ph.Name,
-				ph.Start, ph.End)
+				ph.Start, ph.End, obs.Num("bytes", float64(ph.Bytes)))
 		}
 	}
 	return t.Err()

@@ -37,8 +37,8 @@ func handReport() *mpi.Report {
 			{{From: 0, SendTime: 0.5, Arrival: 1, Complete: 1.25, Size: 4096, Tag: 7}},
 		},
 		CollPhases: [][]mpi.CollPhase{
-			{{Name: "bcast", Start: 0.25, End: 0.5}},
-			{{Name: "bcast", Start: 0.25, End: 0.6}},
+			{{Name: "bcast", Start: 0.25, End: 0.5, Bytes: 1024}},
+			{{Name: "bcast", Start: 0.25, End: 0.6, Bytes: 1024}},
 		},
 	}
 }
@@ -51,11 +51,11 @@ const exportGolden = `{"type":"meta","pid":1,"tid":0,"name":"process_name","args
 {"type":"span","pid":1,"tid":0,"name":"blocked","cat":"activity","t":1.5,"dur":0.5}
 {"type":"span","pid":1,"tid":1,"name":"compute","cat":"activity","t":0,"dur":1}
 {"type":"span","pid":1,"tid":1,"name":"comm","cat":"activity","t":1,"dur":0.75}
-{"type":"flow_start","pid":1,"tid":0,"name":"p2p","cat":"msg","t":0.5,"id":1,"args":{"src":0,"dst":1,"tag":7,"bytes":4096}}
-{"type":"flow_end","pid":1,"tid":1,"name":"p2p","cat":"msg","t":1,"id":1,"args":{"src":0,"dst":1,"tag":7,"bytes":4096}}
-{"type":"phase_begin","pid":1,"tid":0,"name":"bcast","cat":"collective","t":0.25,"id":0}
+{"type":"flow_start","pid":1,"tid":0,"name":"p2p","cat":"msg","t":0.5,"id":1,"args":{"src":0,"dst":1,"tag":7,"bytes":4096,"mode":"eager"}}
+{"type":"flow_end","pid":1,"tid":1,"name":"p2p","cat":"msg","t":1,"id":1,"args":{"src":0,"dst":1,"tag":7,"bytes":4096,"mode":"eager"}}
+{"type":"phase_begin","pid":1,"tid":0,"name":"bcast","cat":"collective","t":0.25,"id":0,"args":{"bytes":1024}}
 {"type":"phase_end","pid":1,"tid":0,"name":"bcast","cat":"collective","t":0.5,"id":0}
-{"type":"phase_begin","pid":1,"tid":1,"name":"bcast","cat":"collective","t":0.25,"id":1048576}
+{"type":"phase_begin","pid":1,"tid":1,"name":"bcast","cat":"collective","t":0.25,"id":1048576,"args":{"bytes":1024}}
 {"type":"phase_end","pid":1,"tid":1,"name":"bcast","cat":"collective","t":0.6,"id":1048576}
 `
 
