@@ -11,11 +11,21 @@
 //	mpisim -app sweep3d -mode am -ranks 64 -faults loss.json -watchdog 100000
 //	mpisim -app sweep3d -mode am -ranks 256 -progress -obshttp :8080
 //	mpisim -app sweep3d -mode am -ranks 64 -profile run.pb.gz   # go tool pprof
+//	mpisim -app sample -mode de -ranks 16 -record run.trace     # record a trace
+//	mpisim -tracein run.trace -topology torus:dims=4x4          # replay it
+//	mpisim -tracein run.trace -xranks 64 -runjson x64.json      # extrapolate
 //
 // Modes: measured (detailed ground truth), de (MPI-SIM-DE, direct
 // execution), am (MPI-SIM-AM, compiler-simplified program with delay
 // calls). AM calibrates w_i automatically at -cal-ranks unless a table is
 // supplied with -tasktimes.
+//
+// Traces: -record writes the run's API-level call log as a versioned
+// JSONL trace (internal/tracein). -tracein replays such a trace — no
+// program or compiler involved — against any machine, topology,
+// placement, fault scenario and engine configuration; -xranks first
+// extrapolates the trace to a larger rank count (weak scaling) using
+// the recorded symbolic task-scaling functions.
 //
 // Robustness: -faults runs under a deterministic fault-injection
 // scenario (message loss/duplication/delay, link and compute slowdowns,
@@ -41,14 +51,17 @@ import (
 	"mpisim/internal/apps"
 	"mpisim/internal/check"
 	"mpisim/internal/cliutil"
+	"mpisim/internal/compiler"
 	"mpisim/internal/core"
 	"mpisim/internal/dtg"
 	"mpisim/internal/fault"
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
+	"mpisim/internal/mpi"
 	"mpisim/internal/obs"
 	"mpisim/internal/sim"
 	"mpisim/internal/trace"
+	"mpisim/internal/tracein"
 )
 
 func main() {
@@ -62,6 +75,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpisim:", err)
 		os.Exit(1)
 	}
+}
+
+// output carries the post-run reporting configuration shared by the
+// compiled path and the trace-replay path.
+type output struct {
+	appName, modeStr, machName string
+	ranks                      int
+	inputs                     map[string]float64
+	verbose, matrix            bool
+	timeline, dtg              bool
+	tracer                     *obs.Tracer
+	traceDone                  func() error
+	traceFile, traceFmt        string
+	runJSON, profile, profFold string
+	recordFile                 string
+	recordHdr                  tracein.Header
+	taskLines                  []compiler.TaskLine
+	reg                        *obs.Registry
+	ri                         *obs.RunInfo
+	budget                     int64
+	timeBudget                 float64
 }
 
 func run() error {
@@ -95,6 +129,10 @@ func run() error {
 		profile   = flag.String("profile", "", "write a virtual-time pprof profile of the predicted run (gzip profile.proto; view with go tool pprof)")
 		profFold  = flag.String("profilefolded", "", "write the virtual-time profile as folded stacks (flamegraph.pl input)")
 
+		recordFile = flag.String("record", "", "record the run's MPI call log as a JSONL trace to this file (internal/tracein)")
+		traceIn    = flag.String("tracein", "", "replay a recorded JSONL trace instead of simulating a program (ignores -app/-file/-mode)")
+		xranks     = flag.Int("xranks", 0, "with -tracein: extrapolate the trace to this rank count (a multiple of the trace's) before replaying")
+
 		faultsFile  = flag.String("faults", "", "run under a deterministic fault-injection scenario (JSON, see internal/fault)")
 		faultSeed   = flag.Uint64("seed", 0, "override the fault scenario's RNG seed (0 = keep the file's)")
 		watchdog    = flag.Int64("watchdog", 0, "abort after N events without virtual-time progress, with a per-rank wait-state dump (0 = off)")
@@ -115,7 +153,199 @@ func run() error {
 		}
 		return nil
 	}
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if *xranks != 0 && *traceIn == "" {
+		return fmt.Errorf("-xranks requires -tracein")
+	}
 
+	over, err := cliutil.ParseInputs(*inputsStr)
+	if err != nil {
+		return err
+	}
+
+	var faults *fault.Scenario
+	if *faultsFile != "" {
+		sc, err := fault.Load(*faultsFile)
+		if err != nil {
+			return err
+		}
+		if *faultSeed != 0 {
+			sc.Seed = *faultSeed
+		}
+		faults = sc
+	}
+
+	// Observability plumbing, shared by both paths.
+	var ri *obs.RunInfo
+	if *progress || *obsHTTP != "" {
+		ri = obs.NewRunInfo()
+	}
+	var reg *obs.Registry
+	if *metrics || *obsHTTP != "" {
+		reg = obs.NewRegistry(*hosts)
+		reg.SetEnabled(true)
+	}
+	var liveTL *obs.Timeline
+	if *obsHTTP != "" {
+		liveTL = obs.NewTimeline(reg, obs.TimelineOptions{})
+		liveTL.SetEnabled(true)
+		ln, err := net.Listen("tcp", *obsHTTP)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mpisim: serving telemetry at http://%s/ (/series /run /events /healthz)\n", ln.Addr())
+		go http.Serve(ln, obs.HandlerWith(reg, obs.HandlerOpts{Timeline: liveTL, Run: ri}))
+	}
+	var tracer *obs.Tracer
+	var traceDone func() error
+	if *traceFile != "" {
+		tracer, traceDone, err = cliutil.OpenTraceFile(*traceFile, *traceFmt)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Interruption is an abort, not a kill: SIGINT/SIGTERM cancels the
+	// run context, the kernel trips its cancellation guard, and the
+	// normal abort path still prints the partial prediction and (with
+	// -runjson) archives the partial artifact with its abort reason and
+	// progress. A second signal force-quits immediately.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "mpisim: %v: cancelling run, partial results follow (repeat to force-quit)\n", sig)
+		cancelRun()
+		// Keep receiving so a second signal — even one delivered while
+		// the first was being handled — force-quits unconditionally
+		// instead of relying on restoring the default disposition.
+		sig = <-sigCh
+		fmt.Fprintf(os.Stderr, "mpisim: %v: force quit\n", sig)
+		code := 1
+		if s, ok := sig.(syscall.Signal); ok {
+			code = 128 + int(s)
+		}
+		os.Exit(code)
+	}()
+
+	o := &output{
+		verbose: *verbose, matrix: *matrix, timeline: *timeline, dtg: *dtgFlag,
+		tracer: tracer, traceDone: traceDone, traceFile: *traceFile, traceFmt: *traceFmt,
+		runJSON: *runJSON, profile: *profile, profFold: *profFold,
+		recordFile: *recordFile,
+		reg:        reg, ri: ri,
+		budget: *budget, timeBudget: *timeBudget,
+	}
+
+	// ---- Trace-replay path: no program, no compiler. ----
+	if *traceIn != "" {
+		tr, err := tracein.ParseFile(*traceIn)
+		if err != nil {
+			return err
+		}
+		if *xranks != 0 && *xranks != tr.Header.Ranks {
+			tr, err = tracein.Extrapolate(tr, tracein.ExtrapolateOptions{
+				Ranks:  *xranks,
+				Inputs: over,
+				Warn: func(format string, args ...interface{}) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("extrapolated %s from %d to %d ranks\n",
+				*traceIn, tr.Header.ExtrapolatedFrom, tr.Header.Ranks)
+		}
+		// Machine precedence: explicit -machine wins, else the header's.
+		if !setFlags["machine"] && tr.Header.Machine != "" {
+			*machName = tr.Header.Machine
+		}
+		m, err := machine.ByName(*machName)
+		if err != nil {
+			return err
+		}
+		if err := applyTopology(m, netJSON, topology, placement); err != nil {
+			return err
+		}
+
+		ctx := runCtx
+		if *wallTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *wallTimeout)
+			defer cancel()
+		}
+		cfg := mpi.Config{
+			Machine:       m,
+			HostWorkers:   *hosts,
+			RealParallel:  *hosts > 1,
+			CollectMatrix: *matrix,
+			CollectTrace:  *timeline || *dtgFlag || *traceFile != "",
+			RecordCalls:   *recordFile != "",
+			Metrics:       reg,
+			Tracer:        tracer,
+			Timeline:      liveTL,
+			RunInfo:       ri,
+			Faults:        faults,
+			Limits: sim.Limits{
+				MaxEvents:   *budget,
+				MaxTime:     sim.Time(*timeBudget),
+				StallEvents: *watchdog,
+				Ctx:         ctx,
+			},
+		}
+		var stopProgress func()
+		if *progress {
+			stopProgress = cliutil.StartProgress(os.Stderr, ri, 2*time.Second)
+		}
+		// mpi.Run does not drive the RunInfo lifecycle (core.Runner does
+		// on the compiled path), so replay mirrors it here.
+		if ri != nil {
+			ri.SetHorizon(*timeBudget, *budget)
+			ri.SetState(obs.RunRunning)
+		}
+		rep, err := tracein.Replay(tr, cfg)
+		if ri != nil {
+			vt := 0.0
+			if rep != nil {
+				vt = rep.Time
+			}
+			if err != nil {
+				reason := err.Error()
+				if ab, ok := err.(*sim.AbortError); ok {
+					reason = ab.Reason
+				}
+				ri.Finish(obs.RunAborted, vt, reason)
+			} else {
+				ri.Finish(obs.RunDone, vt, "")
+			}
+		}
+		if stopProgress != nil {
+			stopProgress()
+		}
+		abortErr, err := classifyAbort(rep, err)
+		if err != nil {
+			return err
+		}
+
+		o.appName = tr.Header.App
+		if o.appName == "" {
+			o.appName = *traceIn
+		}
+		o.modeStr = "replay"
+		o.machName = m.Name
+		o.ranks = tr.Header.Ranks
+		o.inputs = tr.Header.Inputs
+		o.recordHdr = tr.Header
+		fmt.Printf("trace: %s, %d ranks, %d events (recorded mode=%s comm=%s)\n",
+			*traceIn, tr.Header.Ranks, tr.Events(), tr.Header.Mode, tr.Header.Comm)
+		return o.emit(rep, abortErr)
+	}
+
+	// ---- Compiled path. ----
 	var prog *ir.Program
 	var defaults func(int) map[string]float64
 	if *file != "" {
@@ -141,24 +371,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *netJSON != "" {
-		if *topology != "" {
-			return fmt.Errorf("-netjson and -topology are mutually exclusive")
-		}
-		*topology = "graph:" + *netJSON
-	}
-	if *topology != "" {
-		m.Topology = *topology
-	}
-	if *placement != "" {
-		m.Placement = *placement
-	}
-	inputs := defaults(*ranks)
-	over, err := cliutil.ParseInputs(*inputsStr)
-	if err != nil {
+	if err := applyTopology(m, netJSON, topology, placement); err != nil {
 		return err
 	}
-	inputs = cliutil.MergeInputs(inputs, over)
+	inputs := cliutil.MergeInputs(defaults(*ranks), over)
 
 	var mode core.Mode
 	switch *modeName {
@@ -172,11 +388,8 @@ func run() error {
 		return fmt.Errorf("unknown mode %q (want measured, de, am)", *modeName)
 	}
 
-	// The run-lifecycle tracker covers compilation too, so create it
-	// before NewRunner (which compiles the program).
-	var ri *obs.RunInfo
-	if *progress || *obsHTTP != "" {
-		ri = obs.NewRunInfo()
+	// The run-lifecycle tracker covers compilation too.
+	if ri != nil {
 		ri.SetState(obs.RunCompiling)
 	}
 	r, err := core.NewRunner(prog, m)
@@ -189,47 +402,16 @@ func run() error {
 	r.MemoryLimit = *memLimit
 	r.CollectMatrix = *matrix
 	r.CollectTrace = *timeline || *dtgFlag || *traceFile != ""
+	r.RecordCalls = *recordFile != ""
 	r.SkipChecks = *noCheck
-	if *faultsFile != "" {
-		sc, err := fault.Load(*faultsFile)
-		if err != nil {
-			return err
-		}
-		if *faultSeed != 0 {
-			sc.Seed = *faultSeed
-		}
-		r.Faults = sc
-	}
+	r.Faults = faults
 	r.MaxEvents = *budget
 	r.MaxVirtualTime = *timeBudget
 	r.StallEvents = *watchdog
 	r.WallTimeout = *wallTimeout
-	var reg *obs.Registry
-	if *metrics || *obsHTTP != "" {
-		reg = obs.NewRegistry(*hosts)
-		reg.SetEnabled(true)
-		r.Metrics = reg
-	}
-	if *obsHTTP != "" {
-		tl := obs.NewTimeline(reg, obs.TimelineOptions{})
-		tl.SetEnabled(true)
-		r.Timeline = tl
-		ln, err := net.Listen("tcp", *obsHTTP)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "mpisim: serving telemetry at http://%s/ (/series /run /events /healthz)\n", ln.Addr())
-		go http.Serve(ln, obs.HandlerWith(reg, obs.HandlerOpts{Timeline: tl, Run: ri}))
-	}
-	var tracer *obs.Tracer
-	var traceDone func() error
-	if *traceFile != "" {
-		tracer, traceDone, err = cliutil.OpenTraceFile(*traceFile, *traceFmt)
-		if err != nil {
-			return err
-		}
-		r.Tracer = tracer
-	}
+	r.Metrics = reg
+	r.Timeline = liveTL
+	r.Tracer = tracer
 	if *checkFlag && !*noCheck {
 		res, err := r.Check(*ranks, inputs)
 		if err != nil {
@@ -267,31 +449,6 @@ func run() error {
 			cliutil.WriteTaskTimes(os.Stdout, tt)
 		}
 	}
-
-	// Interruption is an abort, not a kill: SIGINT/SIGTERM cancels the
-	// run context, the kernel trips its cancellation guard, and the
-	// normal abort path below still prints the partial prediction and
-	// (with -runjson) archives the partial artifact with its abort
-	// reason and progress. A second signal force-quits immediately.
-	sigCh := make(chan os.Signal, 2)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	runCtx, cancelRun := context.WithCancel(context.Background())
-	defer cancelRun()
-	go func() {
-		sig := <-sigCh
-		fmt.Fprintf(os.Stderr, "mpisim: %v: cancelling run, partial results follow (repeat to force-quit)\n", sig)
-		cancelRun()
-		// Keep receiving so a second signal — even one delivered while
-		// the first was being handled — force-quits unconditionally
-		// instead of relying on restoring the default disposition.
-		sig = <-sigCh
-		fmt.Fprintf(os.Stderr, "mpisim: %v: force quit\n", sig)
-		code := 1
-		if s, ok := sig.(syscall.Signal); ok {
-			code = 128 + int(s)
-		}
-		os.Exit(code)
-	}()
 	r.Ctx = runCtx
 
 	if ri != nil && r.TaskTimes != nil {
@@ -308,22 +465,69 @@ func run() error {
 	if stopProgress != nil {
 		stopProgress()
 	}
-	var abortErr error
+	abortErr, err := classifyAbort(rep, err)
 	if err != nil {
-		// Graceful degradation: an aborted run (budget, watchdog,
-		// cancellation, crash starvation) still carries a partial report.
-		// Dump the per-rank wait states, keep reporting what the
-		// simulation established, and exit nonzero at the end.
-		var ae *sim.AbortError
-		if !errors.As(err, &ae) || rep == nil {
-			return err
-		}
-		fmt.Fprint(os.Stderr, ae.Dump())
-		abortErr = fmt.Errorf("run aborted: %s (wait-state dump on stderr, partial results above)", shorten(ae.Reason))
+		return err
 	}
 
+	o.appName = *appName
+	o.modeStr = mode.String()
+	o.machName = m.Name
+	o.ranks = *ranks
+	o.inputs = inputs
+	o.taskLines = r.Compiled.TaskLines()
+	o.recordHdr = tracein.Header{
+		App:       *appName,
+		Mode:      mode.String(),
+		Machine:   m.Name,
+		Comm:      mode.Comm(),
+		Inputs:    inputs,
+		TaskScale: r.Compiled.TaskScales(),
+	}
+	return o.emit(rep, abortErr)
+}
+
+// applyTopology resolves the -netjson/-topology/-placement overrides
+// onto the machine model.
+func applyTopology(m *machine.Model, netJSON, topology, placement *string) error {
+	if *netJSON != "" {
+		if *topology != "" {
+			return fmt.Errorf("-netjson and -topology are mutually exclusive")
+		}
+		*topology = "graph:" + *netJSON
+	}
+	if *topology != "" {
+		m.Topology = *topology
+	}
+	if *placement != "" {
+		m.Placement = *placement
+	}
+	return nil
+}
+
+// classifyAbort separates hard failures from graceful aborts: an
+// aborted run (budget, watchdog, cancellation, crash starvation) still
+// carries a partial report. The per-rank wait states are dumped to
+// stderr and reporting continues; the abort surfaces as the final exit
+// status.
+func classifyAbort(rep *mpi.Report, err error) (abortErr, hard error) {
+	if err == nil {
+		return nil, nil
+	}
+	var ae *sim.AbortError
+	if !errors.As(err, &ae) || rep == nil {
+		return nil, err
+	}
+	fmt.Fprint(os.Stderr, ae.Dump())
+	return fmt.Errorf("run aborted: %s (wait-state dump on stderr, partial results above)", shorten(ae.Reason)), nil
+}
+
+// emit prints the prediction summary and writes every requested
+// artifact: timeline, DTG stats, structured trace, recorded call trace,
+// run artifact, profiles, metrics.
+func (o *output) emit(rep *mpi.Report, abortErr error) error {
 	fmt.Printf("app=%s mode=%s machine=%s targets=%d inputs=%v\n",
-		*appName, mode, m.Name, *ranks, inputs)
+		o.appName, o.modeStr, o.machName, o.ranks, o.inputs)
 	if rep.Partial {
 		fmt.Printf("PARTIAL result (aborted: %s)\n", shorten(rep.AbortReason))
 	}
@@ -337,7 +541,7 @@ func run() error {
 		fmt.Printf("network: %s placement=%s, routed %d msgs (%s), node-local %d msgs, contention wait %s\n",
 			st.Topology, st.Placement, st.InterMsgs, cliutil.FormatBytes(st.InterBytes),
 			st.IntraMsgs, cliutil.FormatSeconds(st.Wait))
-		if *verbose {
+		if o.verbose {
 			fmt.Print(trace.Congestion(rep, 5))
 		}
 	}
@@ -345,7 +549,7 @@ func run() error {
 		cliutil.FormatBytes(rep.TotalPeakBytes), cliutil.FormatBytes(rep.MaxRankPeakBytes))
 	fmt.Printf("kernel: %d events, %d messages delivered, %d windows\n",
 		rep.Kernel.Events, rep.Kernel.Delivered, rep.Kernel.Windows)
-	if *verbose {
+	if o.verbose {
 		for i, rs := range rep.Ranks {
 			fmt.Printf("  rank %4d: compute %-12s delay %-12s blocked %-12s sent %d msgs / %s",
 				i, cliutil.FormatSeconds(float64(rs.ComputeTime)),
@@ -361,7 +565,7 @@ func run() error {
 			fmt.Println()
 		}
 	}
-	if *timeline {
+	if o.timeline {
 		tl, err := trace.Timeline(rep, 100)
 		if err != nil {
 			return err
@@ -374,33 +578,50 @@ func run() error {
 		fmt.Println("utilization:")
 		fmt.Print(u.Summary())
 	}
-	if *dtgFlag {
+	if o.dtg {
 		g, err := dtg.Build(rep)
 		if err != nil {
 			return err
 		}
 		fmt.Println(g.Summarize())
 	}
-	if tracer != nil {
+	if o.tracer != nil {
 		// The simulator-plane events streamed during the run; append the
 		// simulated plane (rank spans, message flows, collective phases).
-		if err := trace.Export(tracer, rep); err != nil {
+		if err := trace.Export(o.tracer, rep); err != nil {
 			return err
 		}
-		if err := traceDone(); err != nil {
+		if err := o.traceDone(); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (%s)\n", *traceFile, *traceFmt)
+		fmt.Printf("trace written to %s (%s)\n", o.traceFile, o.traceFmt)
 	}
-	if *runJSON != "" || *profile != "" || *profFold != "" {
-		art := &trace.Artifact{
-			App: *appName, Mode: mode.String(), Machine: m.Name,
-			Inputs: inputs, Report: rep,
+	if o.recordFile != "" {
+		if rep.Partial {
+			// A partial call log includes operations that never completed;
+			// replaying it would deadlock. Refuse rather than write a trap.
+			fmt.Fprintf(os.Stderr, "mpisim: not recording %s: the run aborted, the call log is incomplete\n", o.recordFile)
+		} else {
+			tr, err := tracein.Record(rep, o.recordHdr)
+			if err != nil {
+				return err
+			}
+			if err := tracein.WriteFile(o.recordFile, tr); err != nil {
+				return err
+			}
+			fmt.Printf("trace recorded to %s (%d ranks, %d events)\n",
+				o.recordFile, tr.Header.Ranks, tr.Events())
 		}
-		if tls := r.Compiled.TaskLines(); len(tls) > 0 {
-			art.TaskLines = make(map[string]int, len(tls))
-			art.TaskHeads = make(map[string]string, len(tls))
-			for _, tl := range tls {
+	}
+	if o.runJSON != "" || o.profile != "" || o.profFold != "" {
+		art := &trace.Artifact{
+			App: o.appName, Mode: o.modeStr, Machine: o.machName,
+			Inputs: o.inputs, Report: rep,
+		}
+		if len(o.taskLines) > 0 {
+			art.TaskLines = make(map[string]int, len(o.taskLines))
+			art.TaskHeads = make(map[string]string, len(o.taskLines))
+			for _, tl := range o.taskLines {
 				art.TaskLines[tl.Task] = tl.Line
 				art.TaskHeads[tl.Task] = tl.Head
 			}
@@ -410,32 +631,32 @@ func run() error {
 			// live tracker's last snapshot when available, else the
 			// consumed fraction of whichever budget is set.
 			switch {
-			case ri != nil && ri.Status().Percent > 0:
-				art.Progress = ri.Status().Percent
-			case *timeBudget > 0:
-				art.Progress = clamp01(rep.Time / *timeBudget)
-			case *budget > 0:
-				art.Progress = clamp01(float64(rep.Kernel.Events) / float64(*budget))
+			case o.ri != nil && o.ri.Status().Percent > 0:
+				art.Progress = o.ri.Status().Percent
+			case o.timeBudget > 0:
+				art.Progress = clamp01(rep.Time / o.timeBudget)
+			case o.budget > 0:
+				art.Progress = clamp01(float64(rep.Kernel.Events) / float64(o.budget))
 			}
 		}
-		if *runJSON != "" {
-			if err := trace.WriteArtifact(*runJSON, art); err != nil {
+		if o.runJSON != "" {
+			if err := trace.WriteArtifact(o.runJSON, art); err != nil {
 				return err
 			}
-			fmt.Printf("run artifact written to %s\n", *runJSON)
+			fmt.Printf("run artifact written to %s\n", o.runJSON)
 		}
-		if *profile != "" {
-			if err := trace.WriteProfileFile(*profile, art); err != nil {
+		if o.profile != "" {
+			if err := trace.WriteProfileFile(o.profile, art); err != nil {
 				return err
 			}
-			fmt.Printf("profile written to %s (view: go tool pprof -top %s)\n", *profile, *profile)
+			fmt.Printf("profile written to %s (view: go tool pprof -top %s)\n", o.profile, o.profile)
 		}
-		if *profFold != "" {
+		if o.profFold != "" {
 			p, err := trace.BuildProfile(art)
 			if err != nil {
 				return err
 			}
-			f, err := os.Create(*profFold)
+			f, err := os.Create(o.profFold)
 			if err != nil {
 				return err
 			}
@@ -446,16 +667,16 @@ func run() error {
 			if err := f.Close(); err != nil {
 				return err
 			}
-			fmt.Printf("folded stacks written to %s\n", *profFold)
+			fmt.Printf("folded stacks written to %s\n", o.profFold)
 		}
 	}
-	if reg != nil {
+	if o.reg != nil {
 		fmt.Fprintln(os.Stderr, "simulator self-metrics:")
-		if err := reg.WriteText(os.Stderr); err != nil {
+		if err := o.reg.WriteText(os.Stderr); err != nil {
 			return err
 		}
 	}
-	if *matrix && rep.MsgMatrix != nil {
+	if o.matrix && rep.MsgMatrix != nil {
 		fmt.Println("communication matrix (messages sent, row = source):")
 		for s, row := range rep.MsgMatrix {
 			fmt.Printf("  %4d:", s)

@@ -420,6 +420,29 @@ func (r *Result) Summary() string {
 	return sb.String()
 }
 
+// TaskScales maps every condensed task's w_i parameter name to its
+// symbolic scaling function — the abstract-operation count as an
+// expression over program inputs, P and myid — rendered in the
+// canonical syntax ir.ParseExpr reads back. Recorded traces carry this
+// table so weak-scaling extrapolation can rescale per-task delays for
+// a different rank count without recompiling the program.
+func (r *Result) TaskScales() map[string]string {
+	out := map[string]string{}
+	var rec func(ns []*stg.Node)
+	rec = func(ns []*stg.Node) {
+		for _, n := range ns {
+			if n.Kind == stg.KindCondensed && n.TaskVar != "" && n.Units != nil {
+				out[n.TaskVar] = n.Units.String()
+			}
+			rec(n.Children)
+			rec(n.Then)
+			rec(n.Else)
+		}
+	}
+	rec(r.Graph.Roots)
+	return out
+}
+
 // TaskLine anchors one condensed task to the canonical listing of the
 // original program (Program.String), the same coordinates the static
 // verifier and the scaling-loss attribution report use.

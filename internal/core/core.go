@@ -72,6 +72,19 @@ func (m Mode) String() string {
 	return "unknown"
 }
 
+// Comm names the communication timing model the mode runs under
+// (mpi.CommModel.String). Trace headers record it so replay reproduces
+// the recorded schedule under the same model (see internal/tracein).
+func (m Mode) Comm() string {
+	switch m {
+	case Measured:
+		return "detailed"
+	case PureAnalytic:
+		return "abstract"
+	}
+	return "analytic"
+}
+
 // Runner owns a compiled application and a target machine, and runs it
 // in any mode.
 type Runner struct {
@@ -97,6 +110,10 @@ type Runner struct {
 	CollectMatrix bool
 	// CollectTrace enables per-rank activity segments in run reports.
 	CollectTrace bool
+	// RecordCalls enables the API-level MPI call log in run reports
+	// (mpi.Report.Calls), from which internal/tracein records a
+	// replayable trace.
+	RecordCalls bool
 	// ProfileBranches enables the paper's §3.1 profiling refinement:
 	// Calibrate first measures the taken-probability of every branch,
 	// recompiles so that conditionals folded into condensed tasks are
@@ -292,6 +309,7 @@ func (r *Runner) Run(mode Mode, ranks int, inputs map[string]float64) (*mpi.Repo
 		ForceGoroutine: r.ForceGoroutine,
 		CollectMatrix:  r.CollectMatrix,
 		CollectTrace:   r.CollectTrace,
+		RecordCalls:    r.RecordCalls,
 		Metrics:        r.Metrics,
 		Tracer:         r.Tracer,
 		Timeline:       r.Timeline,

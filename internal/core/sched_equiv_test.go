@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -12,8 +13,10 @@ import (
 	"mpisim/internal/fault"
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
+	"mpisim/internal/mpi"
 	"mpisim/internal/obs"
 	"mpisim/internal/trace"
+	"mpisim/internal/tracein"
 )
 
 // Scheduler-equivalence property tests: the continuation scheduler
@@ -206,6 +209,85 @@ func TestSchedEquivalenceTelemetry(t *testing.T) {
 			if tr != refTrace {
 				t.Errorf("telemetry=%s workers=%d: trace diverged from off/workers=1", mode, workers)
 			}
+		}
+	}
+}
+
+// TestSchedEquivalenceReplay extends the matrix to the trace frontend:
+// a recorded trace replayed through internal/tracein must produce a
+// byte-identical report, exported trace artifact AND re-recorded trace
+// across worker counts and both scheduling paths. Replay is the third
+// front door to the kernel (after the native and continuation paths);
+// the determinism invariant holds there too.
+func TestSchedEquivalenceReplay(t *testing.T) {
+	spec := apps.Registry()["sample"]
+	inputs := flatInputs("sample", 4)
+	m := machine.IBMSP()
+	r, err := NewRunner(spec.Build(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RecordCalls = true
+	rep, err := r.Run(Measured, 4, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tracein.Record(rep, tracein.Header{
+		App: "sample", Machine: m.Name, Comm: "detailed", Inputs: inputs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(workers int, force bool) (string, string, string) {
+		rep2, err := tracein.Replay(tr, mpi.Config{
+			Machine:        m,
+			HostWorkers:    workers,
+			RealParallel:   workers > 1,
+			ForceGoroutine: force,
+			CollectMatrix:  true,
+			CollectTrace:   true,
+			RecordCalls:    true,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d force=%v: %v", workers, force, err)
+		}
+		rep2.Kernel = nil
+		b, err := json.Marshal(rep2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		tre := obs.NewTracer(obs.NewJSONLSink(&sb))
+		if err := trace.Export(tre, rep2); err != nil {
+			t.Fatal(err)
+		}
+		if err := tre.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rerec, err := tracein.Record(rep2, tr.Header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tracein.Write(&buf, rerec); err != nil {
+			t.Fatal(err)
+		}
+		return string(b), sb.String(), buf.String()
+	}
+
+	refRep, refTrace, refRecord := run(1, false)
+	for _, v := range schedVariants[1:] {
+		gotRep, gotTrace, gotRecord := run(v.workers, v.force)
+		label := fmt.Sprintf("replay workers=%d force=%v", v.workers, v.force)
+		if gotRep != refRep {
+			t.Errorf("%s: report diverged from workers=1 reference", label)
+		}
+		if gotTrace != refTrace {
+			t.Errorf("%s: trace artifact diverged from workers=1 reference", label)
+		}
+		if gotRecord != refRecord {
+			t.Errorf("%s: re-recorded trace diverged from workers=1 reference", label)
 		}
 	}
 }

@@ -58,6 +58,10 @@ type Config struct {
 	BranchProfile *BranchProfile
 	// CollectTrace enables per-rank activity segments in the report.
 	CollectTrace bool
+	// RecordCalls enables the API-level MPI call log in the report (see
+	// mpi.Config.RecordCalls), from which internal/tracein records a
+	// replayable trace.
+	RecordCalls bool
 	// Metrics / Tracer attach the observability plane to the underlying
 	// kernel (see mpi.Config and internal/obs).
 	Metrics *obs.Registry
@@ -97,6 +101,7 @@ func Run(p *ir.Program, cfg Config) (*mpi.Report, error) {
 		MemoryLimit:    cfg.MemoryLimit,
 		CollectMatrix:  cfg.CollectMatrix,
 		CollectTrace:   cfg.CollectTrace,
+		RecordCalls:    cfg.RecordCalls,
 		Metrics:        cfg.Metrics,
 		Tracer:         cfg.Tracer,
 		Timeline:       cfg.Timeline,

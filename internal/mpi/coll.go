@@ -63,12 +63,22 @@ func (r *Rank) collPhase(name string, start float64, bytes int64) func() {
 	}
 }
 
-// chunkBytes sums the byte sizes of per-destination chunks (the payload
-// a rank feeds into a variable-size collective).
-func chunkBytes(chunks [][]float64) int64 {
+// chunkSizes extracts the per-destination byte counts of real chunks
+// (the size-only shadow a variable-size collective records and replays).
+func chunkSizes(chunks [][]float64) []int64 {
+	sizes := make([]int64, len(chunks))
+	for i, c := range chunks {
+		sizes[i] = int64(len(c)) * 8
+	}
+	return sizes
+}
+
+// sumSizes totals a per-destination size vector (the payload a rank
+// feeds into a variable-size collective).
+func sumSizes(sizes []int64) int64 {
 	var total int64
-	for _, c := range chunks {
-		total += int64(len(c)) * 8
+	for _, s := range sizes {
+		total += s
 	}
 	return total
 }
@@ -120,6 +130,7 @@ func (r *Rank) Bcast(root int, data []float64, size int64) []float64 {
 	}
 	r.collectives++
 	bytes := collBytes(data, size)
+	defer r.record(Call{Op: "bcast", Root: root, Bytes: bytes})()
 	defer r.collPhase("bcast", r.Now(), bytes)()
 	if p == 1 {
 		return data
@@ -170,6 +181,7 @@ func (r *Rank) Reduce(root int, data []float64, size int64, op ReduceOp) []float
 	}
 	r.collectives++
 	bytes := collBytes(data, size)
+	defer r.record(Call{Op: "reduce", Root: root, Bytes: bytes})()
 	defer r.collPhase("reduce", r.Now(), bytes)()
 	if p == 1 {
 		return cloneVec(data)
@@ -215,6 +227,7 @@ func (r *Rank) Reduce(root int, data []float64, size int64, op ReduceOp) []float
 // simulated). Every rank returns the combined vector (nil payloads stay
 // nil).
 func (r *Rank) Allreduce(data []float64, size int64, op ReduceOp) []float64 {
+	defer r.record(Call{Op: "allreduce", Bytes: collBytes(data, size)})()
 	acc := r.Reduce(0, data, size, op)
 	return r.Bcast(0, acc, collBytes(data, size))
 }
@@ -222,6 +235,7 @@ func (r *Rank) Allreduce(data []float64, size int64, op ReduceOp) []float64 {
 // Barrier blocks until all ranks have entered it, modeled as a zero-byte
 // allreduce over the binomial trees.
 func (r *Rank) Barrier() {
+	defer r.record(Call{Op: "barrier"})()
 	r.Allreduce(nil, 4, OpSum)
 }
 
@@ -231,6 +245,7 @@ func (r *Rank) Gather(root int, data []float64, size int64) [][]float64 {
 	p := r.Size()
 	r.collectives++
 	bytes := collBytes(data, size)
+	defer r.record(Call{Op: "gather", Root: root, Bytes: bytes})()
 	defer r.collPhase("gather", r.Now(), bytes)()
 	if r.abstractColl(float64(p-1), bytes) {
 		return nil
@@ -261,11 +276,33 @@ func (r *Rank) Gather(root int, data []float64, size int64) [][]float64 {
 // i receives chunks[i]; size is the per-chunk byte count used when
 // chunks is nil.
 func (r *Rank) Scatter(root int, chunks [][]float64, size int64) []float64 {
+	var sizes []int64
+	if chunks != nil && r.rank == root {
+		sizes = chunkSizes(chunks)
+	}
+	defer r.record(Call{Op: "scatter", Root: root, Bytes: size, Sizes: sizes})()
+	return r.scatter(root, chunks, sizes, size)
+}
+
+// ScatterSizes is Scatter at the root with explicit per-destination
+// byte counts and no payload movement: destination d's chunk costs
+// sizes[d] bytes (sizes must have one entry per rank). It is the
+// replay-side form of a variable-size Scatter recorded from real
+// chunks; non-root ranks ignore sizes.
+func (r *Rank) ScatterSizes(root int, sizes []int64, size int64) []float64 {
+	if r.rank != root {
+		sizes = nil
+	}
+	defer r.record(Call{Op: "scatter", Root: root, Bytes: size, Sizes: sizes})()
+	return r.scatter(root, nil, sizes, size)
+}
+
+func (r *Rank) scatter(root int, chunks [][]float64, sizes []int64, size int64) []float64 {
 	p := r.Size()
 	r.collectives++
 	phaseBytes := size
-	if chunks != nil && r.rank == root {
-		phaseBytes = chunkBytes(chunks)
+	if sizes != nil && r.rank == root {
+		phaseBytes = sumSizes(sizes)
 	}
 	defer r.collPhase("scatter", r.Now(), phaseBytes)()
 	if r.abstractColl(float64(p-1), size) {
@@ -283,7 +320,9 @@ func (r *Rank) Scatter(root int, chunks [][]float64, size int64) []float64 {
 			bytes := size
 			if chunks != nil {
 				payload = chunks[dst]
-				bytes = int64(len(chunks[dst])) * 8
+			}
+			if sizes != nil {
+				bytes = sizes[dst]
 			}
 			r.send(dst, collTagBase-3, bytes, payload)
 		}
@@ -305,6 +344,7 @@ func (r *Rank) Allgather(data []float64, size int64) [][]float64 {
 	p := r.Size()
 	r.collectives++
 	bytes := collBytes(data, size)
+	defer r.record(Call{Op: "allgather", Bytes: bytes})()
 	defer r.collPhase("allgather", r.Now(), bytes)()
 	out := make([][]float64, p)
 	out[r.rank] = cloneVec(data)
@@ -338,11 +378,29 @@ func (r *Rank) Allgather(data []float64, size int64) [][]float64 {
 // exchange algorithm). Real payloads are taken from chunks (indexed by
 // destination) when non-nil; the result is indexed by source.
 func (r *Rank) Alltoall(chunks [][]float64, size int64) [][]float64 {
+	var sizes []int64
+	if chunks != nil {
+		sizes = chunkSizes(chunks)
+	}
+	defer r.record(Call{Op: "alltoall", Bytes: size, Sizes: sizes})()
+	return r.alltoall(chunks, sizes, size)
+}
+
+// AlltoallSizes is Alltoall with explicit per-destination byte counts
+// and no payload movement: the message to rank d costs sizes[d] bytes
+// (sizes must have one entry per rank). It is the replay-side form of a
+// variable-size Alltoall recorded from real chunks.
+func (r *Rank) AlltoallSizes(sizes []int64, size int64) [][]float64 {
+	defer r.record(Call{Op: "alltoall", Bytes: size, Sizes: sizes})()
+	return r.alltoall(nil, sizes, size)
+}
+
+func (r *Rank) alltoall(chunks [][]float64, sizes []int64, size int64) [][]float64 {
 	p := r.Size()
 	r.collectives++
 	phaseBytes := size * int64(p)
-	if chunks != nil {
-		phaseBytes = chunkBytes(chunks)
+	if sizes != nil {
+		phaseBytes = sumSizes(sizes)
 	}
 	defer r.collPhase("alltoall", r.Now(), phaseBytes)()
 	out := make([][]float64, p)
@@ -359,7 +417,9 @@ func (r *Rank) Alltoall(chunks [][]float64, size int64) [][]float64 {
 		bytes := size
 		if chunks != nil {
 			payload = chunks[dst]
-			bytes = int64(len(chunks[dst])) * 8
+		}
+		if sizes != nil {
+			bytes = sizes[dst]
 		}
 		r.send(dst, collTagBase-5, bytes, payload)
 		_, in := r.Recv(src, collTagBase-5)

@@ -109,6 +109,10 @@ type Config struct {
 	// blocked, communication CPU) in the Report, from which a timeline
 	// of the predicted execution can be rendered.
 	CollectTrace bool
+	// RecordCalls enables the API-level call log (Report.Calls): every
+	// rank's sequence of MPI operations with sizes and metadata but no
+	// payloads, sufficient for internal/tracein to replay the run.
+	RecordCalls bool
 	// Metrics, when non-nil, receives simulator-plane metrics from the
 	// underlying kernel (see sim.Config.Metrics / internal/obs).
 	Metrics *obs.Registry
@@ -280,6 +284,11 @@ type Report struct {
 	// CollPhases holds each rank's collective intervals when
 	// Config.CollectTrace is set.
 	CollPhases [][]CollPhase
+	// Calls holds each rank's API-level call log when
+	// Config.RecordCalls is set. It is in-memory hand-off to the trace
+	// recorder, not part of the serialized report (traces have their
+	// own JSONL format).
+	Calls [][]Call `json:"-"`
 	// DelayByTask aggregates delay seconds per condensed-task name over
 	// all ranks (populated by simplified-program runs).
 	DelayByTask map[string]float64
@@ -488,6 +497,12 @@ func (w *World) Run(body func(*Rank)) (*Report, error) {
 			rep.Traces[i] = r.segments
 			rep.CommEvents[i] = r.commEvents
 			rep.CollPhases[i] = r.collPhases
+		}
+	}
+	if w.cfg.RecordCalls {
+		rep.Calls = make([][]Call, w.cfg.Ranks)
+		for i, r := range w.ranks {
+			rep.Calls[i] = r.calls
 		}
 	}
 	for _, r := range w.ranks {

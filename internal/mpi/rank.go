@@ -45,6 +45,10 @@ type Rank struct {
 	collPhases []CollPhase
 	// Delay seconds per condensed task name.
 	delayByTask map[string]float64
+	// API-level call log, collected when RecordCalls is set; recDepth
+	// suppresses the constituent operations of composed calls.
+	calls    []Call
+	recDepth int
 
 	// Fault injection (nil / zero without an active scenario). faultCPU
 	// is fault time consumed through Advance (retransmission CPU,
@@ -145,6 +149,7 @@ func (r *Rank) Compute(seconds float64) {
 	if seconds < 0 {
 		panic(fmt.Sprintf("mpi: negative Compute(%g)", seconds))
 	}
+	defer r.record(Call{Op: "compute", Sec: seconds})()
 	_, crashed := r.advanceWork(seconds, SegCompute)
 	if crashed {
 		r.crash()
@@ -165,6 +170,7 @@ func (r *Rank) DelayTask(task string, seconds float64) {
 		// (empty) iteration spaces; clamp as the runtime library would.
 		seconds = 0
 	}
+	defer r.record(Call{Op: "delay", Task: task, Sec: seconds})()
 	done, crashed := r.advanceWork(seconds, SegDelay)
 	r.delayTime += sim.Time(done)
 	if task != "" {
@@ -339,6 +345,7 @@ func (r *Rank) send(dst, tag int, size int64, data interface{}) {
 // direct-execution interpreter moves real array sections; the simplified
 // programs send nil, standing for the dummy buffer).
 func (r *Rank) Send(dst, tag int, size int64, data interface{}) {
+	defer r.record(Call{Op: "send", Peer: dst, Tag: tag, Bytes: size})()
 	r.send(dst, tag, size, data)
 }
 
@@ -361,6 +368,7 @@ func (r *Rank) Recv(src, tag int) (int64, interface{}) {
 // ("based on message size, message destination, etc.", paper §5). The
 // event-driven models ignore expect and use the real message's size.
 func (r *Rank) RecvSized(src, tag int, expect int64) (int64, interface{}) {
+	defer r.record(Call{Op: "recv", Peer: src, Tag: tag, Bytes: expect})()
 	if r.world.cfg.Comm == AbstractComm {
 		n := &r.world.cfg.Machine.Net
 		cost := sim.Time(n.AnalyticDelay(expect) + n.RecvOverhead)
@@ -441,6 +449,7 @@ func (r *Rank) finishRecv(m *sim.Message) (int64, interface{}) {
 // communications. The send is issued first (eager), then the receive
 // blocks; this cannot deadlock under the eager model.
 func (r *Rank) Sendrecv(dst, sendTag int, size int64, data interface{}, src, recvTag int) (int64, interface{}) {
+	defer r.record(Call{Op: "sendrecv", Peer: dst, Tag: sendTag, Bytes: size, Peer2: src, Tag2: recvTag})()
 	r.send(dst, sendTag, size, data)
 	return r.Recv(src, recvTag)
 }
@@ -459,6 +468,9 @@ type Request struct {
 // Isend starts a nonblocking send. Under the eager model the message is
 // buffered immediately, so the request is born complete.
 func (r *Rank) Isend(dst, tag int, size int64, data interface{}) *Request {
+	// Recorded as a plain send: timing is identical under the eager
+	// model, so the replay need not distinguish the two.
+	defer r.record(Call{Op: "send", Peer: dst, Tag: tag, Bytes: size})()
 	r.send(dst, tag, size, data)
 	return &Request{rank: r, isSend: true, done: true}
 }

@@ -1,0 +1,85 @@
+package mpi
+
+import "fmt"
+
+// Call is one recorded API-level MPI operation, captured under
+// Config.RecordCalls. The sequence of calls per rank is everything a
+// replay needs to reproduce the predicted schedule: payload values never
+// affect timing (only sizes do), so calls carry sizes and metadata but
+// no data. Composed operations record as a single call (an Allreduce
+// is one "allreduce", not its constituent reduce+bcast), and
+// nonblocking operations record at the point their cost lands: Isend as
+// a "send" (the eager model buffers immediately), Irecv at its Wait as
+// a "recv".
+type Call struct {
+	// Op names the operation: compute, delay, send, recv, sendrecv,
+	// bcast, reduce, allreduce, barrier, gather, scatter, allgather,
+	// alltoall.
+	Op string
+	// Sec is the local-work duration of a compute or delay, in seconds.
+	Sec float64
+	// Task is the condensed-task attribution of a delay ("" = none).
+	Task string
+	// Peer is the destination rank of a send / sendrecv send leg, or
+	// the source rank of a recv (AnySource for the wildcard).
+	Peer int
+	// Tag is the message tag of the Peer leg.
+	Tag int
+	// Bytes is the message size of a send, the receiver's declared size
+	// of a recv (what the AbstractComm model charges), or the
+	// per-participant payload size of a collective.
+	Bytes int64
+	// Peer2 and Tag2 are the receive leg of a sendrecv.
+	Peer2 int
+	Tag2  int
+	// Root is the root rank of a rooted collective (bcast, reduce,
+	// gather, scatter).
+	Root int
+	// Sizes holds per-destination chunk bytes of a variable-size
+	// scatter (recorded at the root only) or alltoall.
+	Sizes []int64
+}
+
+// noRecord is the shared no-op closer returned while recording is off,
+// so disabled runs pay no allocation per call.
+var noRecord = func() {}
+
+// record captures an API-level call when recording is enabled and
+// returns the closer that ends the call's recording scope. Use as
+//
+//	defer r.record(Call{...})()
+//
+// at the top of a public MPI method. Only depth-0 calls are kept:
+// operations issued while another recorded call is in flight (a
+// collective's constituent messages, the receive leg of a Sendrecv)
+// are implementation detail that replaying the outer call re-derives.
+// Arguments are captured before execution, so a run that crashes
+// mid-call still records the call and replays to the same schedule
+// under the same fault scenario.
+func (r *Rank) record(c Call) func() {
+	if !r.world.cfg.RecordCalls {
+		return noRecord
+	}
+	if r.recDepth == 0 {
+		r.calls = append(r.calls, c)
+	}
+	r.recDepth++
+	return r.endRecord
+}
+
+func (r *Rank) endRecord() { r.recDepth-- }
+
+// CommByName maps a communication-model name (the CommModel.String
+// forms) back to the model, for consumers that persist the model choice
+// (recorded traces, job specs).
+func CommByName(name string) (CommModel, error) {
+	switch name {
+	case "analytic", "":
+		return Analytic, nil
+	case "detailed":
+		return Detailed, nil
+	case "abstract":
+		return AbstractComm, nil
+	}
+	return 0, fmt.Errorf("mpi: unknown communication model %q", name)
+}

@@ -25,6 +25,11 @@ func FuzzDecodeSpec(f *testing.F) {
 	f.Add([]byte(`{"app":"sample","ranks":4,"topology":"graph:/etc/passwd"}`))
 	f.Add([]byte(`{"app":"sample","ranks":4,"limits":{"max_events":-1}}`))
 	f.Add([]byte(`{"faults":{"seed":1}}`))
+	f.Add([]byte(`{"trace":"{\"mpisim_trace\":1,\"ranks\":2,\"machine\":\"ibmsp\"}\n{\"r\":0,\"op\":\"barrier\"}\n{\"r\":1,\"op\":\"barrier\"}\n"}`))
+	f.Add([]byte(`{"trace":"{\"mpisim_trace\":1,\"ranks\":2}\n","trace_ranks":8}`))
+	f.Add([]byte(`{"trace":"{\"mpisim_trace\":1,\"ranks\":999999999}\n"}`)) // allocation bomb
+	f.Add([]byte(`{"trace":"not a trace","ranks":4}`))
+	f.Add([]byte(`{"app":"sample","trace":"{\"mpisim_trace\":1,\"ranks\":2}\n","ranks":4}`))
 	f.Add([]byte(`[]`))
 	f.Add([]byte(`"x"`))
 	f.Add([]byte{0xff, 0xfe, 0x00})

@@ -17,6 +17,7 @@ import (
 	"mpisim/internal/obs"
 	"mpisim/internal/sim"
 	"mpisim/internal/trace"
+	"mpisim/internal/tracein"
 )
 
 // job is the in-memory state of one submission, mirrored record by
@@ -58,7 +59,12 @@ func newJob(id string, spec *JobSpec, hash string, hostWorkers int) *job {
 	tl.SetEnabled(true)
 	ri := obs.NewRunInfo()
 	name := spec.App
-	if name == "" {
+	if name == "" && spec.Trace != "" {
+		name = "trace"
+		if h, err := tracein.ParseHeader([]byte(spec.Trace)); err == nil && h.App != "" {
+			name = h.App
+		}
+	} else if name == "" {
 		if p, err := parseProgram(spec.Program); err == nil {
 			name = p.Name
 		} else {
@@ -237,6 +243,11 @@ func (s *Server) execute(j *job) {
 	defer cancel()
 	j.setCancel(cancel)
 
+	if j.spec.Trace != "" {
+		s.executeReplay(j, ctx)
+		return
+	}
+
 	s.transition(j, &Record{State: JobCompiling})
 	j.ri.SetState(obs.RunCompiling)
 
@@ -290,7 +301,116 @@ func (s *Server) execute(j *job) {
 	s.transition(j, &Record{State: JobRunning})
 
 	rep, runErr := r.Run(mode, j.spec.Ranks, inputs)
-	s.finishJob(j, r, rep, runErr, inputs)
+	meta := artifactMeta{
+		app: j.spec.App, mode: mode.String(),
+		machName: r.Machine.Name, inputs: inputs,
+		taskLines: r.Compiled.TaskLines(),
+	}
+	if meta.app == "" {
+		meta.app = r.Program.Name
+	}
+	s.finishJob(j, meta, rep, runErr)
+}
+
+// executeReplay is the trace-submission counterpart of execute: instead
+// of compiling a program it parses the inline trace (and extrapolates
+// it when trace_ranks asks for a larger machine), then replays the
+// recorded call schedule under the job's machine/topology/fault
+// configuration and budgets. The artifact, journal records, telemetry
+// plane and cache behave exactly as for compiled jobs.
+func (s *Server) executeReplay(j *job, ctx context.Context) {
+	// The parse/extrapolate phase stands in for compilation in the
+	// lifecycle.
+	s.transition(j, &Record{State: JobCompiling})
+	j.ri.SetState(obs.RunCompiling)
+
+	// Validate vetted the trace at admission; parse again defensively so
+	// a corrupt journaled spec fails the job rather than the daemon.
+	tr, err := tracein.ParseBytes([]byte(j.spec.Trace))
+	if err != nil {
+		s.fail(j, fmt.Sprintf("trace: %v", err), nil)
+		return
+	}
+	if p := j.spec.TraceRanks; p > 0 && p != tr.Header.Ranks {
+		tr, err = tracein.Extrapolate(tr, tracein.ExtrapolateOptions{
+			Ranks:  p,
+			Inputs: j.spec.Inputs,
+			Warn: func(format string, args ...interface{}) {
+				s.logf("svc: %s: %s", j.id, fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			s.fail(j, fmt.Sprintf("extrapolate: %v", err), nil)
+			return
+		}
+	}
+
+	machName := j.spec.Machine
+	if machName == "" {
+		machName = tr.Header.Machine
+	}
+	m, err := machine.ByName(machName)
+	if err != nil {
+		s.fail(j, err.Error(), nil)
+		return
+	}
+	if j.spec.Topology != "" {
+		m.Topology = j.spec.Topology
+	}
+	if j.spec.Placement != "" {
+		m.Placement = j.spec.Placement
+	}
+
+	lim := j.spec.Limits
+	if wt := clampDur(lim.wallTimeout(), s.opts.WallTimeoutCap); wt > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, wt)
+		defer cancel()
+	}
+	maxEvents := clampI64(limMaxEvents(lim), s.opts.MaxEventsCap)
+	maxVirtual := clampF64(limMaxVirtual(lim), s.opts.MaxVirtualTimeCap)
+	cfg := mpi.Config{
+		Machine:     m,
+		HostWorkers: s.opts.HostWorkers, RealParallel: s.opts.HostWorkers > 1,
+		Metrics: j.reg, Timeline: j.tl, RunInfo: j.ri,
+		Faults: j.spec.Faults,
+		Limits: sim.Limits{
+			MaxEvents:   maxEvents,
+			MaxTime:     sim.Time(maxVirtual),
+			StallEvents: limStall(lim, s.opts.StallEvents),
+			Ctx:         ctx,
+		},
+	}
+
+	s.transition(j, &Record{State: JobRunning})
+	// mpi.Run does not drive the RunInfo lifecycle itself (core.Runner
+	// does for compiled jobs), so replay mirrors it here.
+	j.ri.SetHorizon(maxVirtual, maxEvents)
+	j.ri.SetState(obs.RunRunning)
+
+	rep, runErr := tracein.Replay(tr, cfg)
+	vt := 0.0
+	if rep != nil {
+		vt = rep.Time
+	}
+	if runErr != nil {
+		reason := runErr.Error()
+		if ab, ok := runErr.(*sim.AbortError); ok {
+			reason = ab.Reason
+		}
+		j.ri.Finish(obs.RunAborted, vt, reason)
+	} else {
+		j.ri.Finish(obs.RunDone, vt, "")
+	}
+
+	meta := artifactMeta{
+		app: tr.Header.App, mode: j.spec.Mode,
+		machName: m.Name, inputs: tr.Header.Inputs,
+	}
+	if meta.app == "" {
+		meta.app = "trace"
+	}
+	s.finishJob(j, meta, rep, runErr)
 }
 
 // calibrated resolves the job's w_i table through the calibration cache
@@ -327,15 +447,26 @@ func appDefaults(app string, ranks int) map[string]float64 {
 	return apps.Registry()[app].Default(ranks)
 }
 
+// artifactMeta carries what artifact persistence needs to know about a
+// run, independent of whether a compiled program or a replayed trace
+// produced it.
+type artifactMeta struct {
+	app       string
+	mode      string
+	machName  string
+	inputs    map[string]float64
+	taskLines []compiler.TaskLine
+}
+
 // finishJob maps a run outcome onto the job's terminal record:
 //
 //	nil error                  → done, complete artifact, cache entry
 //	*sim.AbortError            → aborted, partial artifact + progress %
 //	*sim.PanicError            → failed, with the kernel's snapshot
 //	anything else (check, ...) → failed
-func (s *Server) finishJob(j *job, r *core.Runner, rep *mpi.Report, runErr error, inputs map[string]float64) {
+func (s *Server) finishJob(j *job, meta artifactMeta, rep *mpi.Report, runErr error) {
 	if runErr == nil {
-		data, hash, err := s.persistArtifact(j, r, rep, inputs, 1)
+		data, hash, err := s.persistArtifact(meta, rep, 1)
 		if err != nil {
 			s.fail(j, fmt.Sprintf("artifact: %v", err), nil)
 			return
@@ -349,7 +480,7 @@ func (s *Server) finishJob(j *job, r *core.Runner, rep *mpi.Report, runErr error
 		rec := &Record{State: JobAborted, Error: ae.Reason, Snapshot: ae.Snapshot}
 		if rep != nil {
 			rec.Progress = s.runProgress(j)
-			if _, hash, err := s.persistArtifact(j, r, rep, inputs, rec.Progress); err == nil {
+			if _, hash, err := s.persistArtifact(meta, rep, rec.Progress); err == nil {
 				rec.Artifact = hash
 			} else {
 				// The abort still journals, but the partial artifact is
@@ -384,19 +515,15 @@ func (s *Server) runProgress(j *job) float64 {
 // persistArtifact encodes the run artifact and stores it under its
 // content address. Partiality travels inside the report; progress
 // records how much of the run a truncated prediction covers.
-func (s *Server) persistArtifact(j *job, r *core.Runner, rep *mpi.Report, inputs map[string]float64, progress float64) ([]byte, string, error) {
-	name := j.spec.App
-	if name == "" {
-		name = r.Program.Name
-	}
+func (s *Server) persistArtifact(meta artifactMeta, rep *mpi.Report, progress float64) ([]byte, string, error) {
 	art := &trace.Artifact{
-		App: name, Mode: j.spec.mode().String(), Machine: r.Machine.Name,
-		Inputs: inputs, Report: rep,
+		App: meta.app, Mode: meta.mode, Machine: meta.machName,
+		Inputs: meta.inputs, Report: rep,
 	}
 	if rep.Partial {
 		art.Progress = progress
 	}
-	if tls := r.Compiled.TaskLines(); len(tls) > 0 {
+	if tls := meta.taskLines; len(tls) > 0 {
 		art.TaskLines = make(map[string]int, len(tls))
 		art.TaskHeads = make(map[string]string, len(tls))
 		for _, tl := range tls {

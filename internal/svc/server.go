@@ -127,7 +127,7 @@ type Server struct {
 	// post-append send never blocks.
 	reserving int
 	draining  bool
-	crashed  atomic.Bool // test hook: simulate an unclean death (outside mu: append runs both with and without it held)
+	crashed   atomic.Bool // test hook: simulate an unclean death (outside mu: append runs both with and without it held)
 }
 
 // NewServer opens (creating or recovering) the data directory and

@@ -53,6 +53,7 @@ import (
 	"mpisim/internal/ir"
 	"mpisim/internal/machine"
 	"mpisim/internal/net"
+	"mpisim/internal/tracein"
 )
 
 // JobState is the lifecycle state of one submitted job.
@@ -107,7 +108,17 @@ type JobSpec struct {
 	App string `json:"app,omitempty"`
 	// Program is inline IR program text (see examples/programs/*.ir).
 	Program string `json:"program,omitempty"`
-	// Mode is the evaluation mode: "measured", "de", or "am" (default).
+	// Trace is an inline JSONL trace (internal/tracein). A trace
+	// submission replays the recorded schedule instead of compiling a
+	// program; mutually exclusive with App and Program, and the mode
+	// becomes "replay". Malformed traces are rejected at admission with
+	// the parser's line-anchored diagnostic — never enqueued.
+	Trace string `json:"trace,omitempty"`
+	// TraceRanks, when > 0, extrapolates the trace to this rank count (a
+	// multiple of the trace's own) on the server before replaying.
+	TraceRanks int `json:"trace_ranks,omitempty"`
+	// Mode is the evaluation mode: "measured", "de", or "am" (default);
+	// "replay" for trace submissions (set automatically).
 	Mode string `json:"mode,omitempty"`
 	// Ranks is the target process count.
 	Ranks int `json:"ranks"`
@@ -161,11 +172,17 @@ func DecodeSpec(data []byte) (*JobSpec, error) {
 // Normalize fills defaulted fields in place so that hashing and
 // execution see the same spec.
 func (s *JobSpec) Normalize() {
-	if s.Mode == "" {
-		s.Mode = "am"
-	}
-	if s.Machine == "" {
-		s.Machine = "ibmsp"
+	if s.Trace != "" {
+		// Trace submissions replay; the machine stays empty so the trace
+		// header's recorded model is the default target.
+		s.Mode = "replay"
+	} else {
+		if s.Mode == "" {
+			s.Mode = "am"
+		}
+		if s.Machine == "" {
+			s.Machine = "ibmsp"
+		}
 	}
 	if s.Topology == "flat" {
 		s.Topology = ""
@@ -190,29 +207,68 @@ func parseProgram(src string) (p *ir.Program, err error) {
 // process count. Compile and simulation errors surface later as a
 // `failed` job instead.
 func (s *JobSpec) Validate(maxRanks int) error {
-	switch {
-	case s.App == "" && s.Program == "":
-		return fmt.Errorf("svc: spec needs one of \"app\" or \"program\"")
-	case s.App != "" && s.Program != "":
-		return fmt.Errorf("svc: \"app\" and \"program\" are mutually exclusive")
-	}
-	if s.App != "" {
-		if _, ok := apps.Registry()[s.App]; !ok {
-			return fmt.Errorf("svc: unknown app %q (have %s)", s.App, strings.Join(apps.Names(), ", "))
+	// effRanks is the rank count the run will actually simulate: the
+	// spec's for compiled workloads, the (possibly extrapolated) trace's
+	// for replays. Capacity and network checks apply to it.
+	effRanks := s.Ranks
+	machName := s.Machine
+	if s.Trace != "" {
+		if s.App != "" || s.Program != "" {
+			return fmt.Errorf("svc: \"trace\" is mutually exclusive with \"app\" and \"program\"")
 		}
-	} else if _, err := parseProgram(s.Program); err != nil {
-		return fmt.Errorf("svc: program: %w", err)
+		if s.Mode != "replay" {
+			return fmt.Errorf("svc: trace submissions use mode \"replay\" (got %q)", s.Mode)
+		}
+		if s.CalRanks != 0 || s.TaskTimes != nil {
+			return fmt.Errorf("svc: cal_ranks and task_times do not apply to trace replay")
+		}
+		tr, err := tracein.ParseBytes([]byte(s.Trace))
+		if err != nil {
+			return fmt.Errorf("svc: trace: %w", err)
+		}
+		effRanks = tr.Header.Ranks
+		if s.TraceRanks > 0 {
+			if s.TraceRanks < effRanks || s.TraceRanks%effRanks != 0 {
+				return fmt.Errorf("svc: trace_ranks %d must be a multiple of the trace's %d ranks", s.TraceRanks, effRanks)
+			}
+			effRanks = s.TraceRanks
+		}
+		if s.Ranks != 0 && s.Ranks != effRanks {
+			return fmt.Errorf("svc: ranks %d conflicts with the trace's effective %d (omit it)", s.Ranks, effRanks)
+		}
+		if machName == "" {
+			machName = tr.Header.Machine
+		}
+		if machName == "" {
+			return fmt.Errorf("svc: no machine model (spec names none and the trace header names none)")
+		}
+	} else {
+		switch {
+		case s.TraceRanks != 0:
+			return fmt.Errorf("svc: trace_ranks requires \"trace\"")
+		case s.App == "" && s.Program == "":
+			return fmt.Errorf("svc: spec needs one of \"app\", \"program\" or \"trace\"")
+		case s.App != "" && s.Program != "":
+			return fmt.Errorf("svc: \"app\" and \"program\" are mutually exclusive")
+		}
+		if s.App != "" {
+			if _, ok := apps.Registry()[s.App]; !ok {
+				return fmt.Errorf("svc: unknown app %q (have %s)", s.App, strings.Join(apps.Names(), ", "))
+			}
+		} else if _, err := parseProgram(s.Program); err != nil {
+			return fmt.Errorf("svc: program: %w", err)
+		}
+		switch s.Mode {
+		case "measured", "de", "am":
+		default:
+			return fmt.Errorf("svc: unknown mode %q (want measured, de, am)", s.Mode)
+		}
+		if s.Ranks < 1 {
+			return fmt.Errorf("svc: ranks must be >= 1 (got %d)", s.Ranks)
+		}
 	}
-	switch s.Mode {
-	case "measured", "de", "am":
-	default:
-		return fmt.Errorf("svc: unknown mode %q (want measured, de, am)", s.Mode)
-	}
-	if s.Ranks < 1 {
-		return fmt.Errorf("svc: ranks must be >= 1 (got %d)", s.Ranks)
-	}
-	if maxRanks > 0 && s.Ranks > maxRanks {
-		return fmt.Errorf("svc: ranks %d beyond server cap %d", s.Ranks, maxRanks)
+	if maxRanks > 0 && effRanks > maxRanks {
+		return fmt.Errorf("svc: ranks %d beyond server cap %d", effRanks, maxRanks)
 	}
 	if s.CalRanks < 0 {
 		return fmt.Errorf("svc: cal_ranks must not be negative")
@@ -227,7 +283,7 @@ func (s *JobSpec) Validate(maxRanks int) error {
 			return fmt.Errorf("svc: task time %q is not a finite non-negative number", k)
 		}
 	}
-	m, err := machine.ByName(s.Machine)
+	m, err := machine.ByName(machName)
 	if err != nil {
 		return fmt.Errorf("svc: %w", err)
 	}
@@ -243,11 +299,11 @@ func (s *JobSpec) Validate(maxRanks int) error {
 	if err := m.Validate(); err != nil {
 		return fmt.Errorf("svc: %w", err)
 	}
-	if _, err := net.Build(m, s.Ranks); err != nil {
+	if _, err := net.Build(m, effRanks); err != nil {
 		return fmt.Errorf("svc: %w", err)
 	}
 	if s.Faults != nil {
-		if err := s.Faults.Validate(s.Ranks); err != nil {
+		if err := s.Faults.Validate(effRanks); err != nil {
 			return fmt.Errorf("svc: %w", err)
 		}
 	}

@@ -1,0 +1,179 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mpisim/internal/mpi"
+	"mpisim/internal/trace"
+	"mpisim/internal/tracein"
+)
+
+// ringTraceJSONL hand-builds a small valid ring trace: per rank a
+// condensed-task delay, a ring sendrecv and a barrier, with full
+// provenance (machine, inputs, scaling function) so replay and
+// extrapolation have everything they need.
+func ringTraceJSONL(t *testing.T, p int) string {
+	t.Helper()
+	tr := &tracein.Trace{Header: tracein.Header{
+		Version: tracein.SchemaVersion,
+		App:     "ringtest", Mode: "measured",
+		Ranks: p, Machine: "ibmsp", Comm: "analytic",
+		Inputs:    map[string]float64{"N": float64(16 * p)},
+		TaskScale: map[string]string{"w_1": "N / P"},
+	}}
+	tr.Calls = make([][]mpi.Call, p)
+	for r := 0; r < p; r++ {
+		tr.Calls[r] = []mpi.Call{
+			{Op: "delay", Task: "w_1", Sec: 0.001},
+			{Op: "sendrecv", Peer: (r + 1) % p, Tag: 7, Bytes: 4096,
+				Peer2: (r - 1 + p) % p, Tag2: 7},
+			{Op: "barrier"},
+		}
+	}
+	var buf bytes.Buffer
+	if err := tracein.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// traceSpec wraps a trace (and optional extrapolation target) in a
+// submission body.
+func traceSpec(t *testing.T, jsonl string, traceRanks int) string {
+	t.Helper()
+	spec := map[string]interface{}{"trace": jsonl}
+	if traceRanks > 0 {
+		spec["trace_ranks"] = traceRanks
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestTraceJobLifecycle submits a trace, watches it replay to done, and
+// checks the artifact is a normal run artifact with replay provenance.
+func TestTraceJobLifecycle(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id, code, body := submit(t, ts, traceSpec(t, ringTraceJSONL(t, 4), 0))
+	if code != 202 {
+		t.Fatalf("submit: %d (%s)", code, body)
+	}
+
+	v := pollUntil(t, ts, id, terminal, 30*time.Second)
+	if v.State != JobDone {
+		t.Fatalf("job ended %s (%s), want done", v.State, v.Error)
+	}
+	if v.Mode != "replay" {
+		t.Errorf("view mode = %q, want replay", v.Mode)
+	}
+	if v.Workload != "ringtest" {
+		t.Errorf("workload = %q, want the trace header's app name", v.Workload)
+	}
+
+	a, err := trace.DecodeArtifact(fetchArtifact(t, ts, id))
+	if err != nil {
+		t.Fatalf("artifact does not decode: %v", err)
+	}
+	if a.App != "ringtest" || a.Mode != "replay" || a.Machine == "" {
+		t.Fatalf("artifact provenance = app %q mode %q machine %q", a.App, a.Mode, a.Machine)
+	}
+	if a.Report == nil || a.Report.Time <= 0 || len(a.Report.Ranks) != 4 {
+		t.Fatalf("artifact report unexpected: %+v", a.Report)
+	}
+}
+
+// TestTraceMalformedIs400 verifies malformed traces are rejected at
+// admission with the parser's line-anchored diagnostic and are never
+// enqueued.
+func TestTraceMalformedIs400(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	good := ringTraceJSONL(t, 4)
+	bad := []struct{ name, jsonl string }{
+		{"truncated header", good[:20]},
+		{"corrupt event", strings.Replace(good, `"op":"barrier"`, `"op":"zap"`, 1)},
+		{"peer out of range", strings.Replace(good, `"peer":1`, `"peer":99`, 1)},
+		{"empty", ""},
+	}
+	for _, c := range bad {
+		id, code, body := submit(t, ts, traceSpec(t, c.jsonl, 0))
+		if code != 400 {
+			t.Errorf("%s: submit = %d (%s), want 400", c.name, code, body)
+		}
+		if id != "" {
+			t.Errorf("%s: malformed trace was assigned job id %s", c.name, id)
+		}
+		if c.jsonl != "" && !strings.Contains(string(body), "line") {
+			t.Errorf("%s: diagnostic not line-anchored: %s", c.name, body)
+		}
+	}
+	if jobs := srv.Jobs(); len(jobs) != 0 {
+		t.Fatalf("malformed traces were enqueued: %+v", jobs)
+	}
+}
+
+// TestTraceCacheHit verifies an identical trace resubmission is
+// answered from the content-addressed artifact cache (the spec hash
+// covers the trace text) with a byte-identical artifact.
+func TestTraceCacheHit(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := traceSpec(t, ringTraceJSONL(t, 4), 0)
+	idA, _, _ := submit(t, ts, spec)
+	vA := pollUntil(t, ts, idA, terminal, 30*time.Second)
+	if vA.State != JobDone {
+		t.Fatalf("first run ended %s (%s)", vA.State, vA.Error)
+	}
+
+	idB, _, _ := submit(t, ts, spec)
+	vB := pollUntil(t, ts, idB, terminal, 30*time.Second)
+	if vB.State != JobDone || !vB.Cached {
+		t.Fatalf("resubmission: state %s cached %v, want done from cache", vB.State, vB.Cached)
+	}
+	if !bytes.Equal(fetchArtifact(t, ts, idA), fetchArtifact(t, ts, idB)) {
+		t.Fatalf("cached artifact differs from the fresh one")
+	}
+}
+
+// TestTraceExtrapolatedJob submits a 4-rank trace with trace_ranks 16:
+// the daemon extrapolates server-side and replays at the larger size.
+func TestTraceExtrapolatedJob(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id, code, body := submit(t, ts, traceSpec(t, ringTraceJSONL(t, 4), 16))
+	if code != 202 {
+		t.Fatalf("submit: %d (%s)", code, body)
+	}
+	v := pollUntil(t, ts, id, terminal, 30*time.Second)
+	if v.State != JobDone {
+		t.Fatalf("job ended %s (%s), want done", v.State, v.Error)
+	}
+	a, err := trace.DecodeArtifact(fetchArtifact(t, ts, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Report.Ranks) != 16 {
+		t.Fatalf("extrapolated replay has %d ranks, want 16", len(a.Report.Ranks))
+	}
+
+	// trace_ranks outside the cap or not a multiple is a 400.
+	if _, code, _ := submit(t, ts, traceSpec(t, ringTraceJSONL(t, 4), 6)); code != 400 {
+		t.Errorf("non-multiple trace_ranks accepted: %d", code)
+	}
+}

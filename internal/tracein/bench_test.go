@@ -1,0 +1,73 @@
+package tracein_test
+
+import (
+	"testing"
+
+	"mpisim/internal/machine"
+	"mpisim/internal/mpi"
+	"mpisim/internal/tracein"
+)
+
+// benchBody is a synthetic ring workload: per step, a compute span and
+// a neighbor sendrecv; a closing barrier.
+func benchBody(p, steps int) func(r *mpi.Rank) {
+	return func(r *mpi.Rank) {
+		me := r.Rank()
+		next, prev := (me+1)%p, (me-1+p)%p
+		for s := 0; s < steps; s++ {
+			r.Compute(1e-6)
+			r.Sendrecv(next, s, 4096, nil, prev, s)
+		}
+		r.Barrier()
+	}
+}
+
+// BenchmarkTraceReplay compares direct simulation of the workload with
+// replaying its recorded trace through the same kernel. ci.sh gates
+// replay throughput at no worse than 25% below direct: the trace
+// frontend walks a call slice instead of executing the program body, so
+// its per-event cost must stay in the same regime.
+func BenchmarkTraceReplay(b *testing.B) {
+	const p, steps = 16, 200
+	cfg := mpi.Config{Ranks: p, Machine: machine.IBMSP(), Comm: mpi.Analytic}
+	body := benchBody(p, steps)
+
+	rcfg := cfg
+	rcfg.RecordCalls = true
+	rep, err := mpi.Run(rcfg, body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := tracein.Record(rep, tracein.Header{
+		Machine: "ibmsp",
+		Comm:    "analytic",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		var events int64
+		for i := 0; i < b.N; i++ {
+			rep, err := mpi.Run(cfg, body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += rep.Kernel.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	})
+	b.Run("replay", func(b *testing.B) {
+		b.ReportAllocs()
+		var events int64
+		for i := 0; i < b.N; i++ {
+			rep, err := tracein.Replay(tr, mpi.Config{Machine: cfg.Machine})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += rep.Kernel.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	})
+}

@@ -1,0 +1,373 @@
+package tracein
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"mpisim/internal/mpi"
+)
+
+// ParseError is a line-anchored trace diagnostic. Every way a trace can
+// be malformed — bad JSON, unknown fields, missing or extra fields for
+// an op, out-of-range ranks or sizes — reports as a ParseError naming
+// the offending line; the parser never panics.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("tracein: line %d: %s", e.Line, e.Msg)
+}
+
+func lineErr(line int, format string, args ...interface{}) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a JSONL trace stream strictly: the first line must be a
+// valid header of the supported schema version, every following
+// non-empty line one well-formed event. Unknown fields, fields foreign
+// to an event's op, wrong types, non-finite numbers and out-of-range
+// references are all rejected with line-anchored errors.
+func Parse(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	t := &Trace{}
+	lineNo := 0
+	sawHeader := false
+	for {
+		raw, err := br.ReadBytes('\n')
+		if len(raw) == 0 && err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		lineNo++
+		line := bytes.TrimRight(raw, "\r\n")
+		if len(bytes.TrimSpace(line)) == 0 {
+			if err == io.EOF {
+				break
+			}
+			continue
+		}
+		if !sawHeader {
+			if perr := parseHeader(line, lineNo, &t.Header); perr != nil {
+				return nil, perr
+			}
+			t.Calls = make([][]mpi.Call, t.Header.Ranks)
+			sawHeader = true
+		} else if perr := parseEvent(line, lineNo, t); perr != nil {
+			return nil, perr
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !sawHeader {
+		return nil, lineErr(1, "empty trace: missing header line")
+	}
+	return t, nil
+}
+
+// ParseBytes parses an in-memory trace.
+func ParseBytes(data []byte) (*Trace, error) {
+	return Parse(bytes.NewReader(data))
+}
+
+// ParseHeader reads and validates only the trace's header line: cheap
+// access to the run metadata (app, rank count, machine) without
+// materializing the call log.
+func ParseHeader(data []byte) (*Header, error) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	lineNo := 0
+	for {
+		raw, err := br.ReadBytes('\n')
+		if len(raw) == 0 && err != nil {
+			break
+		}
+		lineNo++
+		line := bytes.TrimRight(raw, "\r\n")
+		if len(bytes.TrimSpace(line)) == 0 {
+			if err == io.EOF {
+				break
+			}
+			continue
+		}
+		var h Header
+		if perr := parseHeader(line, lineNo, &h); perr != nil {
+			return nil, perr
+		}
+		return &h, nil
+	}
+	return nil, lineErr(1, "empty trace: missing header line")
+}
+
+// ParseFile parses a trace file.
+func ParseFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// decodeStrict unmarshals one line into v, rejecting unknown fields,
+// non-object values and trailing content.
+func decodeStrict(line []byte, lineNo int, v interface{}) error {
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return lineErr(lineNo, "expected a JSON object")
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return lineErr(lineNo, "%v", err)
+	}
+	if dec.More() {
+		return lineErr(lineNo, "trailing content after JSON object")
+	}
+	return nil
+}
+
+func parseHeader(line []byte, lineNo int, h *Header) error {
+	// Presence of the version key distinguishes "not a trace at all"
+	// from "a trace of an unsupported version".
+	var probe struct {
+		Version *int `json:"mpisim_trace"`
+	}
+	probeDec := json.NewDecoder(bytes.NewReader(line))
+	if err := probeDec.Decode(&probe); err != nil || probe.Version == nil {
+		return lineErr(lineNo, `not a trace header (missing "mpisim_trace" version field)`)
+	}
+	if *probe.Version != SchemaVersion {
+		return lineErr(lineNo, "unsupported trace version %d (this build reads version %d)", *probe.Version, SchemaVersion)
+	}
+	if err := decodeStrict(line, lineNo, h); err != nil {
+		return err
+	}
+	if h.Ranks < 1 {
+		return lineErr(lineNo, "ranks must be >= 1, got %d", h.Ranks)
+	}
+	if h.Ranks > MaxRanks {
+		return lineErr(lineNo, "ranks %d exceeds the supported maximum %d", h.Ranks, MaxRanks)
+	}
+	if h.Comm != "" {
+		if _, err := mpi.CommByName(h.Comm); err != nil {
+			return lineErr(lineNo, "unknown comm model %q", h.Comm)
+		}
+	}
+	for k, v := range h.Inputs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return lineErr(lineNo, "input %q is not finite", k)
+		}
+	}
+	if h.ExtrapolatedFrom < 0 {
+		return lineErr(lineNo, "extrapolated_from must be >= 0, got %d", h.ExtrapolatedFrom)
+	}
+	return nil
+}
+
+// wireEvent is the event line's wire form: pointer fields distinguish
+// absent from zero so each op's required and allowed field sets can be
+// enforced exactly.
+type wireEvent struct {
+	R     *int     `json:"r"`
+	Op    *string  `json:"op"`
+	Sec   *float64 `json:"sec"`
+	Task  *string  `json:"task"`
+	Peer  *int     `json:"peer"`
+	Tag   *int     `json:"tag"`
+	Bytes *int64   `json:"bytes"`
+	Peer2 *int     `json:"peer2"`
+	Tag2  *int     `json:"tag2"`
+	Root  *int     `json:"root"`
+	Sizes []int64  `json:"sizes"`
+}
+
+type fieldMask uint16
+
+const (
+	fSec fieldMask = 1 << iota
+	fTask
+	fPeer
+	fTag
+	fBytes
+	fPeer2
+	fTag2
+	fRoot
+	fSizes
+)
+
+var fieldNames = []struct {
+	mask fieldMask
+	name string
+}{
+	{fSec, "sec"}, {fTask, "task"}, {fPeer, "peer"}, {fTag, "tag"},
+	{fBytes, "bytes"}, {fPeer2, "peer2"}, {fTag2, "tag2"},
+	{fRoot, "root"}, {fSizes, "sizes"},
+}
+
+// opFields declares, per op, which fields must and which additionally
+// may appear.
+var opFields = map[string]struct{ req, opt fieldMask }{
+	"compute":   {fSec, 0},
+	"delay":     {fSec, fTask},
+	"send":      {fPeer | fTag | fBytes, 0},
+	"recv":      {fPeer | fTag | fBytes, 0},
+	"sendrecv":  {fPeer | fTag | fBytes | fPeer2 | fTag2, 0},
+	"bcast":     {fRoot | fBytes, 0},
+	"reduce":    {fRoot | fBytes, 0},
+	"gather":    {fRoot | fBytes, 0},
+	"scatter":   {fRoot | fBytes, fSizes},
+	"allreduce": {fBytes, 0},
+	"allgather": {fBytes, 0},
+	"alltoall":  {fBytes, fSizes},
+	"barrier":   {0, 0},
+}
+
+func (w *wireEvent) present() fieldMask {
+	var m fieldMask
+	if w.Sec != nil {
+		m |= fSec
+	}
+	if w.Task != nil {
+		m |= fTask
+	}
+	if w.Peer != nil {
+		m |= fPeer
+	}
+	if w.Tag != nil {
+		m |= fTag
+	}
+	if w.Bytes != nil {
+		m |= fBytes
+	}
+	if w.Peer2 != nil {
+		m |= fPeer2
+	}
+	if w.Tag2 != nil {
+		m |= fTag2
+	}
+	if w.Root != nil {
+		m |= fRoot
+	}
+	if w.Sizes != nil {
+		m |= fSizes
+	}
+	return m
+}
+
+func maskNames(m fieldMask) string {
+	var names []string
+	for _, f := range fieldNames {
+		if m&f.mask != 0 {
+			names = append(names, f.name)
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+func parseEvent(line []byte, lineNo int, t *Trace) error {
+	var w wireEvent
+	if err := decodeStrict(line, lineNo, &w); err != nil {
+		return err
+	}
+	if w.R == nil {
+		return lineErr(lineNo, `event missing field "r"`)
+	}
+	if w.Op == nil {
+		return lineErr(lineNo, `event missing field "op"`)
+	}
+	ranks := t.Header.Ranks
+	rank := *w.R
+	if rank < 0 || rank >= ranks {
+		return lineErr(lineNo, "rank %d out of range [0, %d)", rank, ranks)
+	}
+	spec, ok := opFields[*w.Op]
+	if !ok {
+		return lineErr(lineNo, "unknown op %q", *w.Op)
+	}
+	have := w.present()
+	if missing := spec.req &^ have; missing != 0 {
+		return lineErr(lineNo, "op %q missing field(s): %s", *w.Op, maskNames(missing))
+	}
+	if extra := have &^ (spec.req | spec.opt); extra != 0 {
+		return lineErr(lineNo, "op %q does not take field(s): %s", *w.Op, maskNames(extra))
+	}
+
+	c := mpi.Call{Op: *w.Op}
+	if w.Sec != nil {
+		if math.IsNaN(*w.Sec) || math.IsInf(*w.Sec, 0) || *w.Sec < 0 {
+			return lineErr(lineNo, "sec must be finite and >= 0, got %v", *w.Sec)
+		}
+		c.Sec = *w.Sec
+	}
+	if w.Task != nil {
+		c.Task = *w.Task
+	}
+	if w.Bytes != nil {
+		if *w.Bytes < 0 {
+			return lineErr(lineNo, "bytes must be >= 0, got %d", *w.Bytes)
+		}
+		c.Bytes = *w.Bytes
+	}
+	if w.Peer != nil {
+		c.Peer = *w.Peer
+		lo := 0
+		if *w.Op == "recv" {
+			lo = mpi.AnySource // the receive wildcard
+		}
+		if c.Peer < lo || c.Peer >= ranks {
+			return lineErr(lineNo, "peer %d out of range [%d, %d)", c.Peer, lo, ranks)
+		}
+	}
+	if w.Tag != nil {
+		c.Tag = *w.Tag
+	}
+	if w.Peer2 != nil {
+		c.Peer2 = *w.Peer2
+		if c.Peer2 < mpi.AnySource || c.Peer2 >= ranks {
+			return lineErr(lineNo, "peer2 %d out of range [%d, %d)", c.Peer2, mpi.AnySource, ranks)
+		}
+	}
+	if w.Tag2 != nil {
+		c.Tag2 = *w.Tag2
+	}
+	if w.Root != nil {
+		c.Root = *w.Root
+		if c.Root < 0 || c.Root >= ranks {
+			return lineErr(lineNo, "root %d out of range [0, %d)", c.Root, ranks)
+		}
+	}
+	if w.Sizes != nil {
+		if len(w.Sizes) != ranks {
+			return lineErr(lineNo, "sizes has %d entries, want one per rank (%d)", len(w.Sizes), ranks)
+		}
+		for i, s := range w.Sizes {
+			if s < 0 {
+				return lineErr(lineNo, "sizes[%d] must be >= 0, got %d", i, s)
+			}
+		}
+		if *w.Op == "scatter" && rank != c.Root {
+			return lineErr(lineNo, "scatter sizes are only valid on the root's event (rank %d, root %d)", rank, c.Root)
+		}
+		c.Sizes = w.Sizes
+	}
+	t.Calls[rank] = append(t.Calls[rank], c)
+	return nil
+}

@@ -1,0 +1,96 @@
+package tracein
+
+import (
+	"fmt"
+
+	"mpisim/internal/machine"
+	"mpisim/internal/mpi"
+)
+
+// Replay runs the trace through the simulation kernel and returns the
+// report, exactly as if the traced program had been simulated directly:
+// every rank re-issues its recorded API call sequence with nil payloads
+// (timing depends only on sizes, so the schedule is identical), while
+// communication is re-simulated against cfg's machine, topology,
+// placement, fault scenario and limits.
+//
+// cfg.Ranks defaults to the trace's rank count and must match it when
+// set. cfg.Machine defaults to the header's machine model. The
+// communication timing model always comes from the header: replay
+// reproduces the recorded schedule under the model it was recorded
+// with rather than re-modeling it.
+func Replay(t *Trace, cfg mpi.Config) (*mpi.Report, error) {
+	if t.Header.Ranks != len(t.Calls) {
+		return nil, fmt.Errorf("tracein: header declares %d ranks but trace has %d call sequences", t.Header.Ranks, len(t.Calls))
+	}
+	if cfg.Ranks == 0 {
+		cfg.Ranks = t.Header.Ranks
+	}
+	if cfg.Ranks != t.Header.Ranks {
+		return nil, fmt.Errorf("tracein: config has %d ranks but the trace has %d (use Extrapolate to change the rank count)", cfg.Ranks, t.Header.Ranks)
+	}
+	if cfg.Machine == nil {
+		if t.Header.Machine == "" {
+			return nil, fmt.Errorf("tracein: no machine model (config has none and the trace header names none)")
+		}
+		m, err := machine.ByName(t.Header.Machine)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Machine = m
+	}
+	comm, err := t.Header.CommModel()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Comm = comm
+	return mpi.Run(cfg, func(r *mpi.Rank) {
+		calls := t.Calls[r.Rank()]
+		for i := range calls {
+			replayCall(r, &calls[i])
+		}
+	})
+}
+
+// replayCall re-issues one recorded operation. Payloads are nil
+// throughout; recorded sizes carry the timing.
+func replayCall(r *mpi.Rank, c *mpi.Call) {
+	switch c.Op {
+	case "compute":
+		r.Compute(c.Sec)
+	case "delay":
+		r.DelayTask(c.Task, c.Sec)
+	case "send":
+		r.Send(c.Peer, c.Tag, c.Bytes, nil)
+	case "recv":
+		r.RecvSized(c.Peer, c.Tag, c.Bytes)
+	case "sendrecv":
+		r.Sendrecv(c.Peer, c.Tag, c.Bytes, nil, c.Peer2, c.Tag2)
+	case "bcast":
+		r.Bcast(c.Root, nil, c.Bytes)
+	case "reduce":
+		r.Reduce(c.Root, nil, c.Bytes, mpi.OpSum)
+	case "allreduce":
+		r.Allreduce(nil, c.Bytes, mpi.OpSum)
+	case "barrier":
+		r.Barrier()
+	case "gather":
+		r.Gather(c.Root, nil, c.Bytes)
+	case "scatter":
+		if c.Sizes != nil {
+			r.ScatterSizes(c.Root, c.Sizes, c.Bytes)
+		} else {
+			r.Scatter(c.Root, nil, c.Bytes)
+		}
+	case "allgather":
+		r.Allgather(nil, c.Bytes)
+	case "alltoall":
+		if c.Sizes != nil {
+			r.AlltoallSizes(c.Sizes, c.Bytes)
+		} else {
+			r.Alltoall(nil, c.Bytes)
+		}
+	default:
+		panic(fmt.Sprintf("tracein: unknown op %q reached replay (parser must reject it)", c.Op))
+	}
+}

@@ -1,0 +1,121 @@
+package tracein
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mpisim/internal/mpi"
+)
+
+// Write serializes the trace as JSONL: the header line followed by each
+// rank's calls in rank order. The output is deterministic (fixed field
+// order per event kind, sorted map keys in the header) and Parse reads
+// it back to an identical Trace.
+func Write(w io.Writer, t *Trace) error {
+	if t.Header.Version != SchemaVersion {
+		return fmt.Errorf("tracein: cannot write schema version %d (want %d)", t.Header.Version, SchemaVersion)
+	}
+	if t.Header.Ranks != len(t.Calls) {
+		return fmt.Errorf("tracein: header declares %d ranks but trace has %d call sequences", t.Header.Ranks, len(t.Calls))
+	}
+	bw := bufio.NewWriter(w)
+	hdr, err := json.Marshal(&t.Header)
+	if err != nil {
+		return err
+	}
+	bw.Write(hdr)
+	bw.WriteByte('\n')
+	for rank, calls := range t.Calls {
+		for i := range calls {
+			line, err := marshalEvent(rank, &calls[i])
+			if err != nil {
+				return err
+			}
+			bw.Write(line)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the trace to path (0644, truncating).
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// marshalEvent renders one call as its canonical JSONL line. Per-op
+// anonymous structs pin the field order, so equal traces serialize to
+// equal bytes.
+func marshalEvent(rank int, c *mpi.Call) ([]byte, error) {
+	type rop struct {
+		R  int    `json:"r"`
+		Op string `json:"op"`
+	}
+	switch c.Op {
+	case "compute":
+		return json.Marshal(struct {
+			rop
+			Sec float64 `json:"sec"`
+		}{rop{rank, c.Op}, c.Sec})
+	case "delay":
+		return json.Marshal(struct {
+			rop
+			Sec  float64 `json:"sec"`
+			Task string  `json:"task,omitempty"`
+		}{rop{rank, c.Op}, c.Sec, c.Task})
+	case "send", "recv":
+		return json.Marshal(struct {
+			rop
+			Peer  int   `json:"peer"`
+			Tag   int   `json:"tag"`
+			Bytes int64 `json:"bytes"`
+		}{rop{rank, c.Op}, c.Peer, c.Tag, c.Bytes})
+	case "sendrecv":
+		return json.Marshal(struct {
+			rop
+			Peer  int   `json:"peer"`
+			Tag   int   `json:"tag"`
+			Bytes int64 `json:"bytes"`
+			Peer2 int   `json:"peer2"`
+			Tag2  int   `json:"tag2"`
+		}{rop{rank, c.Op}, c.Peer, c.Tag, c.Bytes, c.Peer2, c.Tag2})
+	case "bcast", "reduce", "gather":
+		return json.Marshal(struct {
+			rop
+			Root  int   `json:"root"`
+			Bytes int64 `json:"bytes"`
+		}{rop{rank, c.Op}, c.Root, c.Bytes})
+	case "scatter":
+		return json.Marshal(struct {
+			rop
+			Root  int     `json:"root"`
+			Bytes int64   `json:"bytes"`
+			Sizes []int64 `json:"sizes,omitempty"`
+		}{rop{rank, c.Op}, c.Root, c.Bytes, c.Sizes})
+	case "allreduce", "allgather":
+		return json.Marshal(struct {
+			rop
+			Bytes int64 `json:"bytes"`
+		}{rop{rank, c.Op}, c.Bytes})
+	case "alltoall":
+		return json.Marshal(struct {
+			rop
+			Bytes int64   `json:"bytes"`
+			Sizes []int64 `json:"sizes,omitempty"`
+		}{rop{rank, c.Op}, c.Bytes, c.Sizes})
+	case "barrier":
+		return json.Marshal(rop{rank, c.Op})
+	}
+	return nil, fmt.Errorf("tracein: rank %d: unknown op %q in call log", rank, c.Op)
+}

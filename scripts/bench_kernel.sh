@@ -1,8 +1,9 @@
 #!/bin/sh
 # bench_kernel.sh — run the kernel throughput suite (BenchmarkKernel* in
-# internal/sim plus the network-layer BenchmarkKernelNet in internal/mpi)
-# and record the results as BENCH_kernel.json so the performance
-# trajectory is tracked across PRs.
+# internal/sim, the network-layer BenchmarkKernelNet in internal/mpi,
+# and the trace-frontend BenchmarkTraceReplay in internal/tracein) and
+# record the results as BENCH_kernel.json so the performance trajectory
+# is tracked across PRs.
 #
 # Usage:
 #   scripts/bench_kernel.sh [benchtime]                      # record (default 2s)
@@ -45,6 +46,7 @@ if [ "${1:-}" = "-check" ]; then
     { for i in 1 2 3; do
         go test -bench 'BenchmarkKernel' -benchtime "$benchtime" -run '^$' ./internal/sim/
         go test -bench 'BenchmarkKernelNet' -benchtime "$benchtime" -run '^$' ./internal/mpi/
+        go test -bench 'BenchmarkTraceReplay' -benchtime "$benchtime" -run '^$' ./internal/tracein/
     done; } | "$bin/benchgate" -baseline BENCH_kernel.json -maxregress "$maxregress"
     exit 0
 fi
@@ -57,6 +59,7 @@ export MPISIM_BENCH_LARGE=1 # the recorded baseline always carries the 65536 row
 
 { go test -bench 'BenchmarkKernel' -benchtime "$benchtime" -count 3 -run '^$' ./internal/sim/
   go test -bench 'BenchmarkKernelNet' -benchtime "$benchtime" -count 3 -run '^$' ./internal/mpi/
+  go test -bench 'BenchmarkTraceReplay' -benchtime "$benchtime" -count 3 -run '^$' ./internal/tracein/
 } |
 awk '
 BEGIN { n = 0 }

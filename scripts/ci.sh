@@ -20,31 +20,42 @@
 #      (/healthz /run /series /events, JSON/SSE validated by
 #      tools/obsprobe) and a profiler smoke (mpisim -profile output must
 #      parse with go tool pprof)
-#  10. service gates: determinism (cached vs fresh artifacts
+#  10. trace frontend gate: record → replay round-trip and weak-scaling
+#      extrapolation tests (bit-exact replay, sched-equivalence across
+#      engines), every examples/traces/*.jsonl replayed and extrapolated
+#      through mpisim and attributed with mpireport
+#  11. service gates: determinism (cached vs fresh artifacts
 #      byte-identical, the cache index rebuilt from the journal) and
 #      crash recovery (kill mid-run, restart under both policies,
 #      orphaned-artifact sweep) tests over internal/svc
-#  11. daemon smoke: boot mpisimd on a scratch directory, submit with
+#  12. daemon smoke: boot mpisimd on a scratch directory, submit with
 #      simdctl, poll to done, fetch the artifact, resubmit and require
 #      the cached answer byte-identical, probe the per-job obs plane,
-#      then SIGTERM with a job still running and require a graceful
-#      drain (clean exit 0, abort journaled)
-#  12. fault determinism gate: same fault seed -> byte-identical report,
+#      submit a recorded trace with simdctl -trace (replay artifact +
+#      content-addressed cache hit), then SIGTERM with a job still
+#      running and require a graceful drain (clean exit 0, abort
+#      journaled)
+#  13. fault determinism gate: same fault seed -> byte-identical report,
 #      across host worker counts
-#  13. fuzz smoke: 10s of randomized fault schedules against the kernel
-#      and MPI layer, plus 10s of hostile job-submission bodies against
-#      the daemon's decoder (no panics, malformed input never enqueues)
-#  14. fault-layer overhead gate: with the watchdog armed the kernel must
+#  14. fuzz smoke: 10s of randomized fault schedules against the kernel
+#      and MPI layer, 10s of hostile job-submission bodies against the
+#      daemon's decoder, and 10s of malformed JSONL against the trace
+#      parser (no panics, every rejection line-anchored, malformed input
+#      never enqueues)
+#  15. fault-layer overhead gate: with the watchdog armed the kernel must
 #      stay within 15% of the guard-disabled kernel measured in the same
 #      process (within-run pair, immune to host drift)
-#  15. network determinism gate: topology-aware runs (bus, torus,
+#  16. network determinism gate: topology-aware runs (bus, torus,
 #      fat-tree) are byte-identical across host worker counts
-#  16. example network configs: every examples/networks/*.json passes
+#  17. example network configs: every examples/networks/*.json passes
 #      the mpicheck netconfig pass
-#  17. network overhead gate: flat topology (the seed-compatible fast
+#  18. network overhead gate: flat topology (the seed-compatible fast
 #      path) must stay within 2% events/sec of topology-off measured in
 #      the same runs
-#  18. kernel throughput gate: the full BenchmarkKernel suite (through
+#  19. trace replay overhead gate: replaying a recorded trace must stay
+#      within 25% events/sec of simulating the program directly,
+#      measured as a within-run pair
+#  20. kernel throughput gate: the full BenchmarkKernel suite (through
 #      procs=16384 on the short path; KernelNet included) vs the recorded
 #      BENCH_kernel.json at a 25% tolerance — best-of-3 samples of
 #      identical code land ±20% apart across sessions on this host, so
@@ -166,8 +177,27 @@ go build -o "$bin/mpisim" ./cmd/mpisim
 go tool pprof -top -nodecount=5 "$bin/prof.pb.gz" >/dev/null
 echo "profiler smoke: go tool pprof parsed $bin/prof.pb.gz"
 
+echo "== trace frontend gate (record -> replay -> extrapolate)"
+# Unit gates: bit-exact round-trip replay, weak-scaling extrapolation
+# (16 -> 64 under torus and fat-tree), and record-and-replay determinism
+# across engines/worker counts.
+go test -count=1 -run 'TestRoundTrip|TestExtrapolate|TestParse' ./internal/tracein/
+go test -count=1 -run 'TestSchedEquivalenceReplay' ./internal/core/
+# Every committed example trace must replay cleanly; the ring trace is
+# additionally extrapolated to a 64-rank torus and the pair's scaling
+# loss attributed with mpireport.
+go build -o "$bin/mpireport" ./cmd/mpireport
+for f in examples/traces/*.jsonl; do
+    "$bin/mpisim" -tracein "$f" >/dev/null
+done
+"$bin/mpisim" -tracein examples/traces/ring.jsonl -runjson "$bin/ring8.json" >/dev/null
+"$bin/mpisim" -tracein examples/traces/ring.jsonl -xranks 64 \
+    -topology torus:dims=8x8 -runjson "$bin/ring64.json" >/dev/null
+"$bin/mpireport" "$bin/ring8.json" "$bin/ring64.json" >/dev/null
+echo "trace frontend: examples replayed, 8->64 extrapolation attributed"
+
 echo "== service determinism + crash-recovery gate"
-go test -count=1 -run 'TestCachedVsFresh|TestCacheSurvivesRestart|TestCrashRecovery|TestDrain|TestJournal|TestStore' ./internal/svc/
+go test -count=1 -run 'TestCachedVsFresh|TestCacheSurvivesRestart|TestCrashRecovery|TestDrain|TestJournal|TestStore|TestTrace' ./internal/svc/
 
 echo "== daemon smoke (mpisimd + simdctl)"
 go build -o "$bin/mpisimd" ./cmd/mpisimd
@@ -193,6 +223,20 @@ job2=$("$bin/simdctl" -addr "$simaddr" submit "$quickjob" |
 "$bin/simdctl" -addr "$simaddr" wait "$job2" >/dev/null
 "$bin/simdctl" -addr "$simaddr" artifact "$job2" >"$bin/artifact2.json"
 cmp "$bin/artifact1.json" "$bin/artifact2.json"
+# Trace job: submit a recorded trace for replay and require a normal
+# artifact; an identical resubmission must be answered from the
+# content-addressed cache (the spec hash covers the trace text).
+tjob=$("$bin/simdctl" -addr "$simaddr" -trace examples/traces/ring.jsonl submit |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$tjob" ] || { echo "daemon smoke: trace submit returned no job id" >&2; exit 1; }
+"$bin/simdctl" -addr "$simaddr" wait "$tjob" >/dev/null
+"$bin/simdctl" -addr "$simaddr" artifact "$tjob" >"$bin/tartifact1.json"
+grep -q '"mode": "replay"' "$bin/tartifact1.json"
+tjob2=$("$bin/simdctl" -addr "$simaddr" -trace examples/traces/ring.jsonl submit |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1)
+"$bin/simdctl" -addr "$simaddr" wait "$tjob2" >/dev/null
+"$bin/simdctl" -addr "$simaddr" artifact "$tjob2" >"$bin/tartifact2.json"
+cmp "$bin/tartifact1.json" "$bin/tartifact2.json"
 # Graceful drain: SIGTERM with a long job still running must cancel it,
 # journal the abort, and exit 0.
 longjob='{"app":"sample","mode":"measured","ranks":4,"inputs":{"PATTERN":2,"ITERS":500000,"WORK":100,"MSG":64}}'
@@ -215,9 +259,10 @@ for f in examples/networks/*.json; do
         -ranks 8 -netjson "$f" -min warning
 done
 
-echo "== fuzz smoke (randomized fault schedules + hostile job submissions)"
+echo "== fuzz smoke (randomized fault schedules + hostile job submissions + malformed traces)"
 go test -fuzz 'FuzzFaultSchedules' -fuzztime 10s -run '^$' ./internal/mpi/
 go test -fuzz 'FuzzDecodeSpec' -fuzztime 10s -run '^$' ./internal/svc/
+go test -fuzz 'FuzzParseTrace' -fuzztime 10s -run '^$' ./internal/tracein/
 
 echo "== fault-layer overhead gate"
 { for i in 1 2 3; do
@@ -235,6 +280,16 @@ echo "== network overhead gate"
 done; } |
     "$bin/benchgate" \
         -pair "BenchmarkKernelNet/off,BenchmarkKernelNet/flat,0.02"
+
+echo "== trace replay overhead gate"
+# Replay re-issues the recorded call sequence through the same API the
+# compiled program used; the trace indirection must stay within 25%
+# events/sec of direct simulation, measured within the same runs.
+{ for i in 1 2 3; do
+    go test -run '^$' -bench 'BenchmarkTraceReplay' -benchtime 1s ./internal/tracein/
+done; } |
+    "$bin/benchgate" \
+        -pair "BenchmarkTraceReplay/direct,BenchmarkTraceReplay/replay,0.25"
 
 echo "== kernel throughput gate (short mode: up to procs=16384)"
 # MPISIM_BENCH_LARGE is inherited by the check: unset (the default) the

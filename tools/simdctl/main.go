@@ -4,6 +4,8 @@
 //
 //	simdctl -addr 127.0.0.1:6080 submit '{"app":"sample","ranks":16}'
 //	simdctl -addr 127.0.0.1:6080 submit @job.json
+//	simdctl -addr 127.0.0.1:6080 -trace run.jsonl submit
+//	simdctl -addr 127.0.0.1:6080 -trace run.jsonl -xranks 64 submit
 //	simdctl -addr 127.0.0.1:6080 wait j000001-ab12cd34
 //	simdctl -addr 127.0.0.1:6080 artifact j000001-ab12cd34
 //	simdctl -addr 127.0.0.1:6080 health
@@ -31,6 +33,8 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:6080", "mpisimd address")
 		timeout = flag.Duration("timeout", 120*time.Second, "overall deadline for the subcommand")
+		tracef  = flag.String("trace", "", `submit: JSONL trace file to replay (becomes the spec's "trace" field)`)
+		xranks  = flag.Int("xranks", 0, `submit: extrapolate the -trace to this rank count (spec "trace_ranks")`)
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -43,7 +47,7 @@ func main() {
 	var err error
 	switch cmd, arg := flag.Arg(0), flag.Arg(1); cmd {
 	case "submit":
-		err = submit(ctx, base, arg)
+		err = submit(ctx, base, arg, *tracef, *xranks)
 	case "wait":
 		err = wait(ctx, base, arg)
 	case "artifact":
@@ -62,9 +66,12 @@ func main() {
 }
 
 // readSpec resolves the submit argument: inline JSON, @file, or "-"
-// for stdin.
-func readSpec(arg string) ([]byte, error) {
+// for stdin. With -trace the spec argument is optional (defaults to an
+// empty object the trace is injected into).
+func readSpec(arg string, haveTrace bool) ([]byte, error) {
 	switch {
+	case arg == "" && haveTrace:
+		return []byte("{}"), nil
 	case arg == "":
 		return nil, fmt.Errorf("submit needs a spec: inline JSON, @file, or -")
 	case arg == "-":
@@ -76,12 +83,39 @@ func readSpec(arg string) ([]byte, error) {
 	}
 }
 
-func submit(ctx context.Context, base, arg string) error {
-	spec, err := readSpec(arg)
+func submit(ctx context.Context, base, arg, traceFile string, xranks int) error {
+	spec, err := readSpec(arg, traceFile != "")
 	if err != nil {
 		return err
 	}
+	if traceFile != "" {
+		spec, err = injectTrace(spec, traceFile, xranks)
+		if err != nil {
+			return err
+		}
+	} else if xranks != 0 {
+		return fmt.Errorf("-xranks requires -trace")
+	}
 	return post(ctx, base+"/jobs", spec)
+}
+
+// injectTrace folds a trace file (and optional extrapolation target)
+// into the spec JSON, so clients need not hand-escape JSONL inside
+// JSON.
+func injectTrace(spec []byte, traceFile string, xranks int) ([]byte, error) {
+	var m map[string]interface{}
+	if err := json.Unmarshal(spec, &m); err != nil {
+		return nil, fmt.Errorf("spec is not a JSON object: %v", err)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		return nil, err
+	}
+	m["trace"] = string(data)
+	if xranks > 0 {
+		m["trace_ranks"] = xranks
+	}
+	return json.Marshal(m)
 }
 
 // wait polls the job until it reaches a terminal state; only "done"
